@@ -1,0 +1,142 @@
+// Experiments F2 + C6 (paper Fig 2 / §4.4): same-container communication
+// is handled by local message delivery and, for file resources, "the
+// transfer is bypassed by the container as direct access to the resource".
+//
+// For each primitive, compares virtual-time latency and wire bytes for a
+// consumer co-located with the producer vs one on a remote node.
+// Expected shape: local latencies are scheduler-only (microseconds, zero
+// wire bytes); remote add network latency and bandwidth.
+#include "bench_util.h"
+
+namespace marea::bench {
+namespace {
+
+struct BypassResult {
+  double latency_us = 0;
+  uint64_t wire_bytes = 0;
+};
+
+template <typename Producer, typename Consumer, typename Fire>
+BypassResult run(bool local, Fire fire, size_t payload) {
+  mw::SimDomain domain(13);
+  auto& n1 = domain.add_node("producer");
+  auto prod = std::make_unique<Producer>(payload);
+  auto* prod_ptr = prod.get();
+  (void)n1.add_service(std::move(prod));
+  Consumer* cons_ptr = nullptr;
+  if (local) {
+    auto cons = std::make_unique<Consumer>();
+    cons_ptr = cons.get();
+    (void)n1.add_service(std::move(cons));
+  } else {
+    auto& n2 = domain.add_node("consumer");
+    auto cons = std::make_unique<Consumer>();
+    cons_ptr = cons.get();
+    (void)n2.add_service(std::move(cons));
+  }
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+  domain.network().reset_stats();
+  for (int i = 0; i < 100; ++i) {
+    fire(prod_ptr);
+    domain.run_for(milliseconds(5));
+  }
+  domain.run_for(milliseconds(100));
+  BypassResult result;
+  result.latency_us = cons_ptr->latency.mean();
+  result.wire_bytes = domain.network().stats().bytes_sent;
+  domain.stop_all();
+  return result;
+}
+
+// Event latency local vs remote (events are the latency-critical path).
+void BM_EventLocalBypass(benchmark::State& state) {
+  bool local = state.range(0) == 1;
+  for (auto _ : state) {
+    auto result = run<EventProducer, EventConsumer>(
+        local, [](EventProducer* p) { p->fire(); }, 64);
+    state.counters["latency_us"] = result.latency_us;
+    state.counters["wire_bytes"] = static_cast<double>(result.wire_bytes);
+  }
+}
+BENCHMARK(BM_EventLocalBypass)
+    ->Arg(1)  // local (same container)
+    ->Arg(0)  // remote node
+    ->ArgName("local")->Iterations(1);
+
+void BM_VariableLocalBypass(benchmark::State& state) {
+  bool local = state.range(0) == 1;
+  for (auto _ : state) {
+    auto result = run<VarProducer, VarConsumer>(
+        local, [](VarProducer* p) { p->push(); }, 64);
+    state.counters["latency_us"] = result.latency_us;
+    state.counters["wire_bytes"] = static_cast<double>(result.wire_bytes);
+  }
+}
+BENCHMARK(BM_VariableLocalBypass)->Arg(1)->Arg(0)->ArgName("local")->Iterations(1);
+
+// File resource: a 512 KiB image delivered to a co-located vs remote
+// subscriber (the §4.4 bypass in the container).
+void BM_FileLocalBypass(benchmark::State& state) {
+  bool local = state.range(0) == 1;
+  const size_t kBytes = 512 * 1024;
+
+  class FilePub final : public mw::Service {
+   public:
+    FilePub() : Service("fpub") {}
+    Status on_start() override { return Status::ok(); }
+    void publish() {
+      Rng rng(1);
+      Buffer b(kBytes);
+      for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+      publish_at = now();
+      (void)publish_file("img", std::move(b));
+    }
+    TimePoint publish_at{};
+  };
+  class FileSub final : public mw::Service {
+   public:
+    FileSub() : Service("fsub") {}
+    Status on_start() override {
+      return subscribe_file("img",
+                            [this](const proto::FileMeta&, const Buffer&) {
+                              done_at = now();
+                            });
+    }
+    std::optional<TimePoint> done_at;
+  };
+
+  for (auto _ : state) {
+    mw::SimDomain domain(14);
+    auto& n1 = domain.add_node("pub");
+    auto pub = std::make_unique<FilePub>();
+    auto* pub_ptr = pub.get();
+    (void)n1.add_service(std::move(pub));
+    FileSub* sub_ptr = nullptr;
+    if (local) {
+      auto sub = std::make_unique<FileSub>();
+      sub_ptr = sub.get();
+      (void)n1.add_service(std::move(sub));
+    } else {
+      auto& n2 = domain.add_node("sub");
+      auto sub = std::make_unique<FileSub>();
+      sub_ptr = sub.get();
+      (void)n2.add_service(std::move(sub));
+    }
+    domain.start_all();
+    domain.run_for(seconds(1.0));
+    domain.network().reset_stats();
+    pub_ptr->publish();
+    domain.run_for(seconds(30.0));
+    state.counters["delivery_ms"] =
+        sub_ptr->done_at ? (*sub_ptr->done_at - pub_ptr->publish_at).millis()
+                         : -1.0;
+    state.counters["wire_bytes"] =
+        static_cast<double>(domain.network().stats().bytes_sent);
+    domain.stop_all();
+  }
+}
+BENCHMARK(BM_FileLocalBypass)->Arg(1)->Arg(0)->ArgName("local")->Iterations(1);
+
+}  // namespace
+}  // namespace marea::bench

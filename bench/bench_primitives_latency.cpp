@@ -1,0 +1,98 @@
+// Experiment C1 (paper §4.2/§6): "in our current implementation, events
+// seem faster than their function equivalent."
+//
+// Measures one-way virtual-time latency of a variable sample and an event,
+// and the round-trip (plus half-trip) of the equivalent remote invocation,
+// between two nodes on the default LAN model, across payload sizes.
+// Expected shape: variable <= event < rpc_one_way < rpc_round_trip.
+#include "bench_util.h"
+
+namespace marea::bench {
+namespace {
+
+void BM_VariableLatency(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    mw::SimDomain domain(1);
+    auto& n1 = domain.add_node("producer");
+    auto prod = std::make_unique<VarProducer>(payload);
+    auto* prod_ptr = prod.get();
+    (void)n1.add_service(std::move(prod));
+    auto& n2 = domain.add_node("consumer");
+    auto cons = std::make_unique<VarConsumer>();
+    auto* cons_ptr = cons.get();
+    (void)n2.add_service(std::move(cons));
+    domain.start_all();
+    domain.run_for(seconds(1.0));
+    for (int i = 0; i < 200; ++i) {
+      prod_ptr->push();
+      domain.run_for(milliseconds(5));
+    }
+    domain.run_for(milliseconds(100));
+    state.counters["one_way_us"] = cons_ptr->latency.mean();
+    state.counters["p99_us"] = cons_ptr->latency.percentile(0.99);
+    state.counters["delivered"] =
+        static_cast<double>(cons_ptr->received);
+    domain.stop_all();
+  }
+}
+BENCHMARK(BM_VariableLatency)->Arg(16)->Arg(256)->Arg(1024)->Iterations(1);
+
+void BM_EventLatency(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    mw::SimDomain domain(2);
+    auto& n1 = domain.add_node("producer");
+    auto prod = std::make_unique<EventProducer>(payload);
+    auto* prod_ptr = prod.get();
+    (void)n1.add_service(std::move(prod));
+    auto& n2 = domain.add_node("consumer");
+    auto cons = std::make_unique<EventConsumer>();
+    auto* cons_ptr = cons.get();
+    (void)n2.add_service(std::move(cons));
+    domain.start_all();
+    domain.run_for(seconds(1.0));
+    for (int i = 0; i < 200; ++i) {
+      prod_ptr->fire();
+      domain.run_for(milliseconds(5));
+    }
+    domain.run_for(milliseconds(100));
+    state.counters["one_way_us"] = cons_ptr->latency.mean();
+    state.counters["p99_us"] = cons_ptr->latency.percentile(0.99);
+    state.counters["delivered"] =
+        static_cast<double>(cons_ptr->received);
+    domain.stop_all();
+  }
+}
+BENCHMARK(BM_EventLatency)->Arg(16)->Arg(256)->Arg(1024)->Iterations(1);
+
+void BM_RpcLatency(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    mw::SimDomain domain(3);
+    auto& n1 = domain.add_node("server");
+    (void)n1.add_service(std::make_unique<EchoServer>());
+    auto& n2 = domain.add_node("client");
+    auto client = std::make_unique<EchoClient>(payload);
+    auto* client_ptr = client.get();
+    (void)n2.add_service(std::move(client));
+    domain.start_all();
+    domain.run_for(seconds(1.0));
+    for (int i = 0; i < 200; ++i) {
+      client_ptr->invoke();
+      domain.run_for(milliseconds(5));
+    }
+    domain.run_for(milliseconds(100));
+    state.counters["round_trip_us"] = client_ptr->round_trip.mean();
+    // The "function equivalent" of a one-way event is half the round trip.
+    state.counters["one_way_us"] = client_ptr->round_trip.mean() / 2.0;
+    state.counters["p99_rt_us"] = client_ptr->round_trip.percentile(0.99);
+    state.counters["completed"] =
+        static_cast<double>(client_ptr->completed);
+    domain.stop_all();
+  }
+}
+BENCHMARK(BM_RpcLatency)->Arg(16)->Arg(256)->Arg(1024)->Iterations(1);
+
+}  // namespace
+}  // namespace marea::bench

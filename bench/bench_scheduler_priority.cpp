@@ -1,0 +1,152 @@
+// Experiment C9 (paper §6/§4.2): the scheduler is "a simple thread pool
+// with fixed priorities for each named primitive", and for events
+// "reservation of time slots in both the processor and the network will
+// ensure this critical [latency] constraint".
+//
+// An event stream shares one node's CPU with a heavy file transfer
+// (bulk chunk handlers). Three scheduler configurations:
+//   fifo      — no priorities (baseline);
+//   priority  — fixed per-primitive priorities (the paper's scheduler);
+//   priority+slots — priorities plus reserved periodic event slots.
+// Metric: event handler queue wait (mean/max, virtual time). Expected
+// shape: fifo >> priority >= priority+slots for mean; slots cap the max.
+#include "bench_util.h"
+
+#include "sched/sim_executor.h"
+
+namespace marea::bench {
+namespace {
+
+struct SchedResult {
+  double event_mean_wait_us = 0;
+  double event_max_wait_us = 0;
+  double bulk_mean_wait_us = 0;
+  uint64_t events_run = 0;
+};
+
+SchedResult run(bool fifo, bool slots) {
+  sim::Simulator sim;
+  sched::SimExecutor exec(sim);
+  exec.set_fifo(fifo);
+  if (slots) exec.reserve_event_slots(milliseconds(2), microseconds(300));
+
+  // Bulk load: file-chunk handlers, 400us of CPU each, arriving every
+  // 250us for 100ms — the CPU is oversubscribed and a backlog builds.
+  for (int i = 0; i < 400; ++i) {
+    exec.schedule(microseconds(250) * i, sched::Priority::kFileTransfer,
+                  [] {}, microseconds(400));
+  }
+  // Event handlers: 50us of CPU, every 2ms.
+  for (int i = 0; i < 100; ++i) {
+    exec.schedule(milliseconds(2) * i, sched::Priority::kEvent, [] {},
+                  microseconds(50));
+  }
+  sim.run(10'000'000);
+
+  const auto& stats = exec.stats();
+  SchedResult result;
+  int ev = static_cast<int>(sched::Priority::kEvent);
+  int file = static_cast<int>(sched::Priority::kFileTransfer);
+  if (stats.count[ev]) {
+    result.event_mean_wait_us =
+        stats.total_wait[ev].micros() / static_cast<double>(stats.count[ev]);
+    result.event_max_wait_us = stats.max_wait[ev].micros();
+    result.events_run = stats.count[ev];
+  }
+  if (stats.count[file]) {
+    result.bulk_mean_wait_us =
+        stats.total_wait[file].micros() /
+        static_cast<double>(stats.count[file]);
+  }
+  return result;
+}
+
+void report(benchmark::State& state, const SchedResult& result) {
+  state.counters["event_mean_wait_us"] = result.event_mean_wait_us;
+  state.counters["event_max_wait_us"] = result.event_max_wait_us;
+  state.counters["bulk_mean_wait_us"] = result.bulk_mean_wait_us;
+  state.counters["events_run"] = static_cast<double>(result.events_run);
+}
+
+void BM_FifoScheduler(benchmark::State& state) {
+  for (auto _ : state) report(state, run(/*fifo=*/true, /*slots=*/false));
+}
+BENCHMARK(BM_FifoScheduler)->Iterations(1);
+
+void BM_PriorityScheduler(benchmark::State& state) {
+  for (auto _ : state) report(state, run(/*fifo=*/false, /*slots=*/false));
+}
+BENCHMARK(BM_PriorityScheduler)->Iterations(1);
+
+void BM_PriorityWithReservedSlots(benchmark::State& state) {
+  for (auto _ : state) report(state, run(/*fifo=*/false, /*slots=*/true));
+}
+BENCHMARK(BM_PriorityWithReservedSlots)->Iterations(1);
+
+// End-to-end variant: real middleware event latency while a file transfer
+// saturates the consumer node, priorities on vs off (fifo).
+void BM_EventLatencyUnderFileLoad(benchmark::State& state) {
+  bool fifo = state.range(0) == 1;
+  // Chunk/event handlers cost real CPU on the consumer node (a slow
+  // payload computer), so the scheduling policy decides event latency.
+  mw::ContainerConfig slow_cpu;
+  slow_cpu.handler_cost = microseconds(150);
+  for (auto _ : state) {
+    mw::SimDomain domain(19);
+    auto& n1 = domain.add_node("producer");
+    auto eprod = std::make_unique<EventProducer>(64);
+    auto* eprod_ptr = eprod.get();
+    (void)n1.add_service(std::move(eprod));
+    class FilePub final : public mw::Service {
+     public:
+      FilePub() : Service("fpub") {}
+      Status on_start() override { return Status::ok(); }
+      void publish() {
+        Rng rng(1);
+        Buffer b(1024 * 1024);
+        for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+        (void)publish_file("bulk", std::move(b));
+      }
+    };
+    auto fpub = std::make_unique<FilePub>();
+    auto* fpub_ptr = fpub.get();
+    (void)n1.add_service(std::move(fpub));
+
+    auto& n2 = domain.add_node("consumer", slow_cpu);
+    domain.executor(1).set_fifo(fifo);
+    auto econs = std::make_unique<EventConsumer>();
+    auto* econs_ptr = econs.get();
+    (void)n2.add_service(std::move(econs));
+    class FileSub final : public mw::Service {
+     public:
+      FileSub() : Service("fsub") {}
+      Status on_start() override {
+        return subscribe_file("bulk",
+                              [](const proto::FileMeta&, const Buffer&) {});
+      }
+    };
+    (void)n2.add_service(std::make_unique<FileSub>());
+
+    domain.start_all();
+    domain.run_for(seconds(1.0));
+    fpub_ptr->publish();  // kicks off the bulk transfer
+    for (int i = 0; i < 200; ++i) {
+      eprod_ptr->fire();
+      domain.run_for(milliseconds(2));
+    }
+    domain.run_for(seconds(5.0));
+    state.counters["event_mean_us"] = econs_ptr->latency.mean();
+    state.counters["event_p99_us"] = econs_ptr->latency.percentile(0.99);
+    state.counters["event_max_us"] = econs_ptr->latency.max();
+    state.counters["delivered"] =
+        static_cast<double>(econs_ptr->received);
+    domain.stop_all();
+  }
+}
+BENCHMARK(BM_EventLatencyUnderFileLoad)
+    ->Arg(1)  // fifo (no priorities)
+    ->Arg(0)  // fixed priorities
+    ->ArgName("fifo")->Iterations(1);
+
+}  // namespace
+}  // namespace marea::bench

@@ -1,0 +1,172 @@
+// Shared scaffolding for the experiment benches: tiny services that
+// produce/consume each primitive with virtual-time latency capture.
+//
+// All experiment benches run on the deterministic simulator; wall time
+// measured by google-benchmark is just "how long the sim takes to run" —
+// the scientifically meaningful numbers are exported as counters
+// (virtual-time latencies, wire bytes, retransmissions).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+
+namespace marea::bench {
+
+struct Payload {
+  std::vector<uint8_t> data;
+};
+
+struct LatencyStats {
+  std::vector<double> samples_us;
+
+  void add(Duration d) { samples_us.push_back(d.micros()); }
+  double mean() const {
+    if (samples_us.empty()) return 0;
+    return std::accumulate(samples_us.begin(), samples_us.end(), 0.0) /
+           static_cast<double>(samples_us.size());
+  }
+  double percentile(double p) const {
+    if (samples_us.empty()) return 0;
+    std::vector<double> sorted = samples_us;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+  double max() const {
+    return samples_us.empty()
+               ? 0
+               : *std::max_element(samples_us.begin(), samples_us.end());
+  }
+};
+
+// --- minimal bench services -----------------------------------------------------
+
+class VarProducer final : public mw::Service {
+ public:
+  explicit VarProducer(size_t payload_bytes)
+      : Service("producer"), payload_bytes_(payload_bytes) {}
+
+  Status on_start() override {
+    auto h = provide_variable<Payload>(
+        "bench.var", {.period = kDurationZero, .validity = seconds(10.0)});
+    if (!h.ok()) return h.status();
+    handle_ = *h;
+    return Status::ok();
+  }
+
+  void push() {
+    Payload p;
+    p.data.assign(payload_bytes_, 0x7E);
+    (void)handle_.publish(p);
+  }
+
+ private:
+  size_t payload_bytes_;
+  mw::VariableHandle handle_;
+};
+
+class VarConsumer final : public mw::Service {
+ public:
+  explicit VarConsumer(std::string name = "consumer")
+      : Service(std::move(name)) {}
+
+  Status on_start() override {
+    return subscribe_variable<Payload>(
+        "bench.var", [this](const Payload&, const mw::SampleInfo& info) {
+          ++received;
+          if (!info.from_snapshot) latency.add(info.latency);
+        });
+  }
+
+  uint64_t received = 0;
+  LatencyStats latency;
+};
+
+class EventProducer final : public mw::Service {
+ public:
+  explicit EventProducer(size_t payload_bytes)
+      : Service("eproducer"), payload_bytes_(payload_bytes) {}
+
+  Status on_start() override {
+    auto h = provide_event<Payload>("bench.event");
+    if (!h.ok()) return h.status();
+    handle_ = *h;
+    return Status::ok();
+  }
+
+  void fire() {
+    Payload p;
+    p.data.assign(payload_bytes_, 0x7E);
+    (void)handle_.publish(p);
+  }
+
+ private:
+  size_t payload_bytes_;
+  mw::EventHandle handle_;
+};
+
+class EventConsumer final : public mw::Service {
+ public:
+  explicit EventConsumer(std::string name = "econsumer")
+      : Service(std::move(name)) {}
+
+  Status on_start() override {
+    return subscribe_event<Payload>(
+        "bench.event", [this](const Payload&, const mw::EventInfo& info) {
+          ++received;
+          latency.add(info.latency);
+        });
+  }
+
+  uint64_t received = 0;
+  LatencyStats latency;
+};
+
+class EchoServer final : public mw::Service {
+ public:
+  EchoServer() : Service("echo") {}
+  Status on_start() override {
+    return provide_function(
+        "bench.echo", enc::bytes_type(), enc::bytes_type(),
+        [](const enc::Value& v) -> StatusOr<enc::Value> { return v; });
+  }
+};
+
+class EchoClient final : public mw::Service {
+ public:
+  explicit EchoClient(size_t payload_bytes)
+      : Service("echo_client"), payload_bytes_(payload_bytes) {}
+  Status on_start() override { return Status::ok(); }
+
+  void invoke() {
+    TimePoint sent = now();
+    call("bench.echo",
+         enc::Value::of_bytes(Buffer(payload_bytes_, 0x7E)),
+         [this, sent](StatusOr<enc::Value> result) {
+           if (result.ok()) {
+             ++completed;
+             round_trip.add(now() - sent);
+           } else {
+             ++failed;
+           }
+         });
+  }
+
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  LatencyStats round_trip;
+
+ private:
+  size_t payload_bytes_;
+};
+
+}  // namespace marea::bench
+
+MAREA_REFLECT(marea::bench::Payload, data)

@@ -1,0 +1,133 @@
+// Implementation-efficiency microbenchmarks (paper §6 argues a minimal
+// middleware beats heavyweight stacks; these are real wall-clock numbers
+// for the per-message costs on the host CPU): PEPt encode/decode, frame
+// sealing + CRC, typed reflection round trips.
+#include <benchmark/benchmark.h>
+
+#include "encoding/codec.h"
+#include "encoding/typed.h"
+#include "protocol/frame.h"
+#include "protocol/messages.h"
+#include "services/messages.h"
+#include "util/crc32.h"
+
+namespace marea {
+namespace {
+
+using services::GpsFix;
+
+GpsFix sample_fix() {
+  GpsFix fix;
+  fix.lat_deg = 41.2751234;
+  fix.lon_deg = 1.9865678;
+  fix.alt_m = 120.5;
+  fix.heading_deg = 271.25;
+  fix.speed_mps = 22.5;
+  fix.time_ns = 123456789012345;
+  return fix;
+}
+
+void BM_EncodeGpsFix(benchmark::State& state) {
+  GpsFix fix = sample_fix();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto wire = enc::encode_struct(fix);
+    bytes = wire->size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeGpsFix);
+
+void BM_DecodeGpsFix(benchmark::State& state) {
+  Buffer wire = std::move(enc::encode_struct(sample_fix())).value();
+  for (auto _ : state) {
+    auto fix = enc::decode_struct<GpsFix>(as_bytes_view(wire));
+    benchmark::DoNotOptimize(fix);
+  }
+}
+BENCHMARK(BM_DecodeGpsFix);
+
+void BM_EncodeTagged(benchmark::State& state) {
+  enc::Value v = enc::to_value(sample_fix());
+  for (auto _ : state) {
+    Buffer wire = enc::encode_tagged(v);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_EncodeTagged);
+
+void BM_SealOpenFrame(benchmark::State& state) {
+  size_t payload_size = static_cast<size_t>(state.range(0));
+  Buffer payload(payload_size, 0x42);
+  for (auto _ : state) {
+    Buffer frame = proto::seal_frame(
+        proto::FrameHeader{proto::MsgType::kVarSample, 1},
+        as_bytes_view(payload));
+    BytesView body;
+    auto header = proto::open_frame(as_bytes_view(frame), &body);
+    benchmark::DoNotOptimize(header);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload_size));
+}
+BENCHMARK(BM_SealOpenFrame)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Crc32(benchmark::State& state) {
+  Buffer data(static_cast<size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    uint32_t c = crc32(as_bytes_view(data));
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1024)->Arg(65536);
+
+void BM_VarSampleMessageRoundTrip(benchmark::State& state) {
+  proto::VarSampleMsg msg;
+  msg.channel = proto::channel_of("gps.position");
+  msg.seq = 12345;
+  msg.pub_time_ns = 987654321;
+  msg.value = std::move(enc::encode_struct(sample_fix())).value();
+  for (auto _ : state) {
+    ByteWriter w;
+    msg.encode(w);
+    ByteReader r(w.view());
+    proto::VarSampleMsg out;
+    bool ok = proto::VarSampleMsg::decode(r, out);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_VarSampleMessageRoundTrip);
+
+void BM_ManifestRoundTrip(benchmark::State& state) {
+  proto::ContainerHelloMsg hello;
+  hello.incarnation = 3;
+  hello.data_port = 4500;
+  hello.node_name = "payload";
+  for (int s = 0; s < 8; ++s) {
+    proto::ServiceInfo svc;
+    svc.name = "service" + std::to_string(s);
+    svc.state = proto::ServiceState::kRunning;
+    for (int i = 0; i < 6; ++i) {
+      svc.items.push_back(proto::ProvidedItem{
+          proto::ItemKind::kVariable,
+          "svc" + std::to_string(s) + ".item" + std::to_string(i),
+          0xABCD1234, 100000000, 400000000});
+    }
+    hello.services.push_back(std::move(svc));
+  }
+  for (auto _ : state) {
+    ByteWriter w;
+    hello.encode(w);
+    ByteReader r(w.view());
+    proto::ContainerHelloMsg out;
+    bool ok = proto::ContainerHelloMsg::decode(r, out);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ManifestRoundTrip);
+
+}  // namespace
+}  // namespace marea

@@ -1,0 +1,110 @@
+// Failover example (paper §4.3): "upon service failure, if another
+// service is implementing the same functionality, the middleware will
+// detect the situation and redirect requests to the redundant service.
+// This allows the system to continue its mission, although perhaps in a
+// degraded mode."
+//
+// Two storage nodes provide the same storage.* functions. A client
+// service calls storage.store repeatedly; halfway through, the primary
+// storage node is powered off. The middleware detects the death via
+// heartbeat silence and redirects subsequent (and in-flight) calls to the
+// survivor — the mission continues.
+#include <cstdio>
+#include <memory>
+
+#include "middleware/domain.h"
+#include "services/storage_service.h"
+
+using namespace marea;
+using services::Ack;
+using services::StoreRequest;
+
+namespace {
+
+// A minimal client service issuing one storage.store call per 100 ms.
+class StoreClient final : public mw::Service {
+ public:
+  StoreClient() : Service("store_client") {}
+
+  Status on_start() override {
+    (void)require_function("storage.store");
+    tick();
+    return Status::ok();
+  }
+
+  void tick() {
+    StoreRequest req;
+    req.resource = "sample." + std::to_string(issued_);
+    req.directory = "samples";
+    ++issued_;
+    call<StoreRequest, Ack>(
+        "storage.store", req,
+        [this](StatusOr<Ack> ack) {
+          if (ack.ok() && ack->ok) {
+            ++succeeded_;
+          } else {
+            ++failed_;
+            printf("  call failed: %s\n",
+                   ack.ok() ? ack->detail.c_str()
+                            : ack.status().to_string().c_str());
+          }
+        },
+        {.timeout = milliseconds(800)});
+    schedule(milliseconds(100), [this] { tick(); });
+  }
+
+  int issued() const { return issued_; }
+  int succeeded() const { return succeeded_; }
+  int failed() const { return failed_; }
+
+ private:
+  int issued_ = 0;
+  int succeeded_ = 0;
+  int failed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  mw::SimDomain domain(/*seed=*/11);
+
+  auto& primary = domain.add_node("storage-primary");
+  auto* storage_a = new services::StorageService();
+  (void)primary.add_service(std::unique_ptr<mw::Service>(storage_a));
+
+  auto& backup = domain.add_node("storage-backup");
+  auto* storage_b = new services::StorageService();
+  (void)backup.add_service(std::unique_ptr<mw::Service>(storage_b));
+
+  auto& client_node = domain.add_node("client");
+  auto* client = new StoreClient();
+  (void)client_node.add_service(std::unique_ptr<mw::Service>(client));
+  client_node.set_emergency_handler([](const std::string& reason) {
+    printf("!! EMERGENCY: %s\n", reason.c_str());
+  });
+
+  printf("failover_mission: two redundant storage providers + one client\n");
+  domain.start_all();
+  domain.run_for(seconds(3.0));
+
+  int before = client->succeeded();
+  printf("t=3s: %d calls succeeded; POWERING OFF primary storage node\n",
+         before);
+  domain.kill_node(0);
+
+  domain.run_for(seconds(5.0));
+  printf("t=8s: issued=%d succeeded=%d failed=%d\n", client->issued(),
+         client->succeeded(), client->failed());
+  printf("      served by backup after failover: %d\n",
+         client->succeeded() - before);
+  printf("      rpc failovers recorded by client container: %llu\n",
+         static_cast<unsigned long long>(
+             domain.container(2).stats().rpc_failovers));
+
+  bool ok = client->succeeded() > before && client->failed() <= 2;
+  printf("%s\n", ok ? "FAILOVER OK" : "FAILOVER BROKEN");
+  domain.stop_all();
+  return ok ? 0 : 1;
+}

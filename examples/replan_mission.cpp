@@ -1,0 +1,90 @@
+// In-flight re-tasking (paper §4.4: the file primitive carries
+// "configuration files or services program code to be uploaded to the
+// service containers").
+//
+// The ground station operator publishes a NEW flight plan as the
+// `mission.plan` file resource while the aircraft is flying. The FCS
+// subscribes to that resource; the revision-change notice triggers the
+// multicast transfer, and on completion the autopilot hot-swaps plans and
+// diverts — no mission-specific code anywhere in the middleware.
+#include <cstdio>
+#include <memory>
+
+#include "middleware/domain.h"
+#include "services/gps_service.h"
+
+using namespace marea;
+
+namespace {
+
+// The operator-side service: uploads plans through the file primitive.
+class PlanUplink final : public mw::Service {
+ public:
+  PlanUplink() : Service("plan_uplink") {}
+  Status on_start() override { return Status::ok(); }
+  Status upload(const fdm::FlightPlan& plan) {
+    std::string text = plan.to_text();
+    return publish_file("mission.plan", Buffer(text.begin(), text.end()));
+  }
+};
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  mw::SimDomain domain(33);
+  fdm::GeoPoint home{41.275, 1.986, 0.0};
+
+  // Initial tasking: a survey heading east.
+  fdm::FlightPlan initial = fdm::FlightPlan::survey_grid(
+      fdm::offset(home, 90.0, 400.0), 90.0, 2000.0, 200.0, 2, 120.0, 22.0,
+      "");
+
+  services::GpsConfig gps_cfg;
+  gps_cfg.time_scale = 10.0;
+  gps_cfg.loop_plan = true;  // orbit the plan until re-tasked
+
+  auto& fcs = domain.add_node("fcs");
+  auto gps = std::make_unique<services::GpsService>(initial, home, 90.0,
+                                                    gps_cfg);
+  auto* gps_ptr = gps.get();
+  (void)fcs.add_service(std::move(gps));
+
+  auto& ground = domain.add_node("ground");
+  auto uplink = std::make_unique<PlanUplink>();
+  auto* uplink_ptr = uplink.get();
+  (void)ground.add_service(std::move(uplink));
+
+  printf("replan_mission: aircraft departs on the survey plan...\n");
+  domain.start_all();
+  domain.run_for(seconds(30.0));
+  auto before = gps_ptr->aircraft();
+  printf("t=30s  position %.5f,%.5f  heading %.0f  (plan: %zu waypoints)\n",
+         before.position.lat_deg, before.position.lon_deg,
+         before.heading_deg, gps_ptr->active_plan().size());
+
+  // Operator decision: divert to a point-inspection orbit north of home.
+  printf(">>> operator uploads a diversion plan via the file primitive\n");
+  fdm::FlightPlan diversion = fdm::FlightPlan::survey_grid(
+      fdm::offset(home, 0.0, 3000.0), 0.0, 600.0, 150.0, 2, 150.0, 25.0,
+      "photo");
+  if (Status s = uplink_ptr->upload(diversion); !s.is_ok()) {
+    printf("upload failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  domain.run_for(seconds(60.0));
+  auto after = gps_ptr->aircraft();
+  printf("t=90s  position %.5f,%.5f  heading %.0f  alt %.0fm\n",
+         after.position.lat_deg, after.position.lon_deg, after.heading_deg,
+         after.position.alt_m);
+  printf("plans accepted by FCS: %u\n", gps_ptr->plans_accepted());
+
+  bool ok = gps_ptr->plans_accepted() == 1 &&
+            after.position.lat_deg > before.position.lat_deg &&
+            after.position.alt_m > 140.0;  // flying the 150m diversion
+  printf("%s\n", ok ? "REPLAN OK" : "REPLAN FAILED");
+  domain.stop_all();
+  return ok ? 0 : 1;
+}

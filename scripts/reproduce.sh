@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, run the full test suite, every example,
+# and every experiment bench; tee the evaluation outputs next to the repo
+# root (test_output.txt / bench_output.txt), as EXPERIMENTS.md references.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+echo "== examples =="
+for e in quickstart image_mission telemetry_bridge failover_mission \
+         replan_mission live_udp_demo; do
+  echo "--- examples/$e ---"
+  ./build/examples/"$e" >/dev/null && echo "OK" || echo "FAILED ($e)"
+done
+
+echo "== benches =="
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,3 @@
+#include "baseline/point_to_point.h"
+
+// Header-only logic; this translation unit anchors the library target.

@@ -1,0 +1,34 @@
+#include "encoding/schema.h"
+
+namespace marea::enc {
+
+Status SchemaRegistry::add(const std::string& name, TypePtr type) {
+  if (!type) return invalid_argument_error("schema: null type");
+  auto it = schemas_.find(name);
+  if (it != schemas_.end()) {
+    if (TypeDescriptor::equal(*it->second, *type)) return Status::ok();
+    return already_exists_error("schema '" + name +
+                                "' registered with a different structure");
+  }
+  schemas_.emplace(name, std::move(type));
+  return Status::ok();
+}
+
+std::optional<TypePtr> SchemaRegistry::find(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t SchemaRegistry::hash_of(const std::string& name) const {
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? 0 : it->second->structural_hash();
+}
+
+bool SchemaRegistry::compatible(const std::string& name, uint32_t hash) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) return true;
+  return it->second->structural_hash() == hash;
+}
+
+}  // namespace marea::enc

@@ -1,0 +1,38 @@
+// Schema registry: name -> type descriptor, with structural hashes.
+//
+// Containers exchange (name, hash) pairs during discovery; a subscriber
+// whose local descriptor hash disagrees with the publisher's is refused at
+// subscribe time rather than corrupting samples later.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "encoding/type.h"
+#include "util/status.h"
+
+namespace marea::enc {
+
+class SchemaRegistry {
+ public:
+  // Registers `type` under `name`. Re-registering the identical structure
+  // is idempotent; a different structure under the same name is an error.
+  Status add(const std::string& name, TypePtr type);
+
+  std::optional<TypePtr> find(const std::string& name) const;
+
+  // Hash of the registered schema, or 0 when absent.
+  uint32_t hash_of(const std::string& name) const;
+
+  // True when `hash` matches the registered schema for `name` (unknown
+  // names are compatible — the descriptor will arrive with the announce).
+  bool compatible(const std::string& name, uint32_t hash) const;
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::unordered_map<std::string, TypePtr> schemas_;
+};
+
+}  // namespace marea::enc

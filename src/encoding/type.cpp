@@ -1,0 +1,222 @@
+#include "encoding/type.h"
+
+#include <array>
+#include <cassert>
+#include <mutex>
+
+#include "util/crc32.h"
+
+namespace marea::enc {
+
+const char* type_kind_name(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kI8: return "i8";
+    case TypeKind::kI16: return "i16";
+    case TypeKind::kI32: return "i32";
+    case TypeKind::kI64: return "i64";
+    case TypeKind::kU8: return "u8";
+    case TypeKind::kU16: return "u16";
+    case TypeKind::kU32: return "u32";
+    case TypeKind::kU64: return "u64";
+    case TypeKind::kF32: return "f32";
+    case TypeKind::kF64: return "f64";
+    case TypeKind::kString: return "string";
+    case TypeKind::kBytes: return "bytes";
+    case TypeKind::kArray: return "array";
+    case TypeKind::kStruct: return "struct";
+    case TypeKind::kUnion: return "union";
+  }
+  return "?";
+}
+
+bool is_primitive(TypeKind kind) {
+  return kind <= TypeKind::kBytes && kind != TypeKind::kArray;
+}
+
+TypePtr TypeDescriptor::primitive(TypeKind kind) {
+  assert(is_primitive(kind));
+  auto d = std::shared_ptr<TypeDescriptor>(new TypeDescriptor());
+  d->kind_ = kind;
+  d->compute_hash();
+  return d;
+}
+
+TypePtr TypeDescriptor::array_of(TypePtr element, uint32_t fixed_size) {
+  assert(element);
+  auto d = std::shared_ptr<TypeDescriptor>(new TypeDescriptor());
+  d->kind_ = TypeKind::kArray;
+  d->element_ = std::move(element);
+  d->fixed_size_ = fixed_size;
+  d->compute_hash();
+  return d;
+}
+
+TypePtr TypeDescriptor::struct_of(std::string name, std::vector<Field> fields) {
+  auto d = std::shared_ptr<TypeDescriptor>(new TypeDescriptor());
+  d->kind_ = TypeKind::kStruct;
+  d->name_ = std::move(name);
+  d->fields_ = std::move(fields);
+  d->compute_hash();
+  return d;
+}
+
+TypePtr TypeDescriptor::union_of(std::string name, std::vector<Field> cases) {
+  assert(!cases.empty());
+  auto d = std::shared_ptr<TypeDescriptor>(new TypeDescriptor());
+  d->kind_ = TypeKind::kUnion;
+  d->name_ = std::move(name);
+  d->fields_ = std::move(cases);
+  d->compute_hash();
+  return d;
+}
+
+int TypeDescriptor::field_index(const std::string& field_name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TypeDescriptor::compute_hash() {
+  // Structural: kind, fixed_size, field *names* (they are part of the
+  // contract), children hashes — but not the display name.
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(kind_));
+  w.u32(fixed_size_);
+  if (element_) w.u32(element_->hash_);
+  for (const auto& f : fields_) {
+    w.str(f.name);
+    w.u32(f.type->structural_hash());
+  }
+  hash_ = crc32(w.view());
+}
+
+std::string TypeDescriptor::to_string() const {
+  switch (kind_) {
+    case TypeKind::kArray: {
+      std::string s = element_->to_string() + "[";
+      if (fixed_size_ > 0) s += std::to_string(fixed_size_);
+      s += "]";
+      return s;
+    }
+    case TypeKind::kStruct:
+    case TypeKind::kUnion: {
+      std::string s = kind_ == TypeKind::kStruct ? "struct " : "union ";
+      s += name_.empty() ? "<anon>" : name_;
+      s += " { ";
+      for (const auto& f : fields_) {
+        s += f.type->to_string() + " " + f.name + "; ";
+      }
+      s += "}";
+      return s;
+    }
+    default:
+      return type_kind_name(kind_);
+  }
+}
+
+bool TypeDescriptor::equal(const TypeDescriptor& a, const TypeDescriptor& b) {
+  if (a.kind_ != b.kind_ || a.fixed_size_ != b.fixed_size_) return false;
+  if ((a.element_ == nullptr) != (b.element_ == nullptr)) return false;
+  if (a.element_ && !equal(*a.element_, *b.element_)) return false;
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].name != b.fields_[i].name) return false;
+    if (!equal(*a.fields_[i].type, *b.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+void TypeDescriptor::encode(ByteWriter& w) const {
+  w.u8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case TypeKind::kArray:
+      w.varint(fixed_size_);
+      element_->encode(w);
+      break;
+    case TypeKind::kStruct:
+    case TypeKind::kUnion:
+      w.str(name_);
+      w.varint(fields_.size());
+      for (const auto& f : fields_) {
+        w.str(f.name);
+        f.type->encode(w);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+StatusOr<TypePtr> TypeDescriptor::decode(ByteReader& r, int max_depth) {
+  if (max_depth <= 0) {
+    return data_loss_error("type descriptor nests too deep");
+  }
+  uint8_t raw = r.u8();
+  if (!r.ok() || raw > static_cast<uint8_t>(TypeKind::kUnion)) {
+    return data_loss_error("bad type kind");
+  }
+  auto kind = static_cast<TypeKind>(raw);
+  switch (kind) {
+    case TypeKind::kArray: {
+      uint64_t fixed = r.varint();
+      auto elem = decode(r, max_depth - 1);
+      if (!elem.ok()) return elem.status();
+      if (fixed > UINT32_MAX) return data_loss_error("bad array size");
+      return array_of(std::move(elem).value(), static_cast<uint32_t>(fixed));
+    }
+    case TypeKind::kStruct:
+    case TypeKind::kUnion: {
+      std::string name = r.str();
+      uint64_t n = r.varint();
+      if (!r.ok() || n > 4096) return data_loss_error("bad field count");
+      std::vector<Field> fields;
+      fields.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string fname = r.str();
+        auto ft = decode(r, max_depth - 1);
+        if (!ft.ok()) return ft.status();
+        fields.push_back(Field{std::move(fname), std::move(ft).value()});
+      }
+      if (kind == TypeKind::kUnion && fields.empty()) {
+        return data_loss_error("union with no cases");
+      }
+      return kind == TypeKind::kStruct
+                 ? struct_of(std::move(name), std::move(fields))
+                 : union_of(std::move(name), std::move(fields));
+    }
+    default:
+      if (!is_primitive(kind)) return data_loss_error("bad primitive kind");
+      return primitive(kind);
+  }
+}
+
+namespace {
+TypePtr cached_primitive(TypeKind kind) {
+  static std::array<TypePtr, 13> cache;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (uint8_t k = 0; k <= static_cast<uint8_t>(TypeKind::kBytes); ++k) {
+      cache[k] = TypeDescriptor::primitive(static_cast<TypeKind>(k));
+    }
+  });
+  return cache[static_cast<uint8_t>(kind)];
+}
+}  // namespace
+
+TypePtr bool_type() { return cached_primitive(TypeKind::kBool); }
+TypePtr i8_type() { return cached_primitive(TypeKind::kI8); }
+TypePtr i16_type() { return cached_primitive(TypeKind::kI16); }
+TypePtr i32_type() { return cached_primitive(TypeKind::kI32); }
+TypePtr i64_type() { return cached_primitive(TypeKind::kI64); }
+TypePtr u8_type() { return cached_primitive(TypeKind::kU8); }
+TypePtr u16_type() { return cached_primitive(TypeKind::kU16); }
+TypePtr u32_type() { return cached_primitive(TypeKind::kU32); }
+TypePtr u64_type() { return cached_primitive(TypeKind::kU64); }
+TypePtr f32_type() { return cached_primitive(TypeKind::kF32); }
+TypePtr f64_type() { return cached_primitive(TypeKind::kF64); }
+TypePtr string_type() { return cached_primitive(TypeKind::kString); }
+TypePtr bytes_type() { return cached_primitive(TypeKind::kBytes); }
+
+}  // namespace marea::enc

@@ -1,0 +1,104 @@
+// The middleware's C-like type system (paper §4.1: variables are "a basic
+// type (boolean, integer, floating point real, character string, etc.) or
+// a composition (vector, struct or union) of basic types").
+//
+// This is the PEPt *Presentation* layer: the datatypes visible to service
+// programmers. Descriptors are immutable shared trees; a structural hash
+// lets containers verify publisher/subscriber schema agreement on the wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace marea::enc {
+
+enum class TypeKind : uint8_t {
+  kBool = 0,
+  kI8, kI16, kI32, kI64,
+  kU8, kU16, kU32, kU64,
+  kF32, kF64,
+  kString,
+  kBytes,   // opaque blob
+  kArray,   // variable- or fixed-length sequence of one element type
+  kStruct,  // named, ordered fields
+  kUnion,   // one active case out of named alternatives
+};
+
+const char* type_kind_name(TypeKind kind);
+bool is_primitive(TypeKind kind);
+
+class TypeDescriptor;
+using TypePtr = std::shared_ptr<const TypeDescriptor>;
+
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+class TypeDescriptor {
+ public:
+  // Factories (the only way to make descriptors).
+  static TypePtr primitive(TypeKind kind);
+  // fixed_size == 0 means variable length.
+  static TypePtr array_of(TypePtr element, uint32_t fixed_size = 0);
+  static TypePtr struct_of(std::string name, std::vector<Field> fields);
+  static TypePtr union_of(std::string name, std::vector<Field> cases);
+
+  TypeKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const TypePtr& element() const { return element_; }
+  uint32_t fixed_size() const { return fixed_size_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Index of a field/case by name; -1 if absent.
+  int field_index(const std::string& field_name) const;
+
+  // Structural hash: equal structures hash equally regardless of the
+  // struct/union display names (names travel out-of-band in the schema
+  // registry).
+  uint32_t structural_hash() const { return hash_; }
+
+  // Human-readable form, e.g. "struct Position { f64 lat; f64 lon; }".
+  std::string to_string() const;
+
+  // Deep structural equality.
+  static bool equal(const TypeDescriptor& a, const TypeDescriptor& b);
+
+  // Wire (de)serialization of the descriptor itself — used when announcing
+  // variables/events so remote containers can type-check subscriptions.
+  void encode(ByteWriter& w) const;
+  static StatusOr<TypePtr> decode(ByteReader& r, int max_depth = 32);
+
+ private:
+  TypeDescriptor() = default;
+  void compute_hash();
+
+  TypeKind kind_ = TypeKind::kBool;
+  std::string name_;       // struct/union display name
+  TypePtr element_;        // array element
+  uint32_t fixed_size_ = 0;
+  std::vector<Field> fields_;
+  uint32_t hash_ = 0;
+};
+
+// Shorthand primitives.
+TypePtr bool_type();
+TypePtr i8_type();
+TypePtr i16_type();
+TypePtr i32_type();
+TypePtr i64_type();
+TypePtr u8_type();
+TypePtr u16_type();
+TypePtr u32_type();
+TypePtr u64_type();
+TypePtr f32_type();
+TypePtr f64_type();
+TypePtr string_type();
+TypePtr bytes_type();
+
+}  // namespace marea::enc

@@ -1,0 +1,89 @@
+#include "fdm/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace marea::fdm {
+
+FlightDynamics::FlightDynamics(GeoPoint start, double initial_heading_deg,
+                               FdmConfig config)
+    : config_(config) {
+  state_.position = start;
+  state_.heading_deg = wrap_heading(initial_heading_deg);
+}
+
+double FlightDynamics::distance_to_target_m() const {
+  if (!target_) return std::numeric_limits<double>::infinity();
+  return slant_distance_m(state_.position, target_->position);
+}
+
+bool FlightDynamics::step(double dt_s) {
+  if (dt_s <= 0) return false;
+
+  if (target_) {
+    // Track the commanded speed.
+    double dv = target_->speed_mps - state_.speed_mps;
+    double max_dv = config_.accel_mps2 * dt_s;
+    state_.speed_mps += std::clamp(dv, -max_dv, max_dv);
+
+    // Turn toward the target at the limited rate.
+    double desired = bearing_deg(state_.position, target_->position);
+    double delta = heading_delta(state_.heading_deg, desired);
+    double max_turn = config_.turn_rate_dps * dt_s;
+    state_.heading_deg = wrap_heading(
+        state_.heading_deg + std::clamp(delta, -max_turn, max_turn));
+
+    // Climb/descend toward the target altitude.
+    double dalt = target_->position.alt_m - state_.position.alt_m;
+    double max_climb = config_.climb_rate_mps * dt_s;
+    double climb = std::clamp(dalt, -max_climb, max_climb);
+    state_.vertical_mps = climb / dt_s;
+    state_.position.alt_m += climb;
+  } else {
+    state_.vertical_mps = 0.0;
+  }
+
+  // Integrate ground track: airspeed along heading plus wind drift.
+  double dist_air = state_.speed_mps * dt_s;
+  if (dist_air > 0) {
+    state_.position =
+        offset(state_.position, state_.heading_deg, dist_air);
+  }
+  if (config_.wind_speed_mps > 0) {
+    double wind_to = wrap_heading(config_.wind_from_deg + 180.0);
+    state_.position =
+        offset(state_.position, wind_to, config_.wind_speed_mps * dt_s);
+  }
+
+  if (target_ && distance_to_target_m() <= config_.arrival_radius_m) {
+    target_.reset();
+    return true;
+  }
+  return false;
+}
+
+PlanFollower::PlanFollower(FlightPlan plan, GeoPoint start,
+                           double initial_heading_deg, FdmConfig config,
+                           bool loop)
+    : plan_(std::move(plan)),
+      fdm_(start, initial_heading_deg, config),
+      loop_(loop) {
+  if (!plan_.empty()) fdm_.set_target(plan_.at(0));
+}
+
+int PlanFollower::step(double dt_s) {
+  if (finished()) {
+    fdm_.step(dt_s);
+    return -1;
+  }
+  bool captured = fdm_.step(dt_s);
+  if (!captured) return -1;
+  int reached = static_cast<int>(next_);
+  ++next_;
+  if (next_ >= plan_.size() && loop_) next_ = 0;
+  if (next_ < plan_.size()) fdm_.set_target(plan_.at(next_));
+  return reached;
+}
+
+}  // namespace marea::fdm

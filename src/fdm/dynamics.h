@@ -1,0 +1,77 @@
+// Point-mass kinematic flight model: the laptop stand-in for the real
+// airframe + autopilot (DESIGN.md §2). Rate-limited heading/speed/altitude
+// tracking toward the active waypoint, plus a constant wind field — enough
+// fidelity to drive realistic GPS streams and waypoint sequencing at any
+// simulation rate.
+#pragma once
+
+#include <optional>
+
+#include "fdm/flight_plan.h"
+#include "fdm/geodesy.h"
+
+namespace marea::fdm {
+
+struct FdmConfig {
+  double turn_rate_dps = 15.0;     // max heading change, deg/s
+  double accel_mps2 = 2.0;         // max speed change
+  double climb_rate_mps = 3.0;     // max altitude change
+  double arrival_radius_m = 30.0;  // waypoint capture distance (3D)
+  double wind_speed_mps = 0.0;
+  double wind_from_deg = 0.0;      // meteorological: direction wind comes FROM
+};
+
+struct AircraftState {
+  GeoPoint position;
+  double heading_deg = 0.0;  // true heading the aircraft is flying
+  double speed_mps = 0.0;    // airspeed along heading
+  double vertical_mps = 0.0;
+};
+
+class FlightDynamics {
+ public:
+  FlightDynamics(GeoPoint start, double initial_heading_deg,
+                 FdmConfig config = {});
+
+  void set_target(const Waypoint& waypoint) { target_ = waypoint; }
+  void clear_target() { target_.reset(); }
+  bool has_target() const { return target_.has_value(); }
+
+  // Advances the model by dt seconds. Returns true if the active target
+  // was captured during this step (and clears it).
+  bool step(double dt_s);
+
+  const AircraftState& state() const { return state_; }
+  // 3D distance to the active target; infinity when none.
+  double distance_to_target_m() const;
+
+ private:
+  FdmConfig config_;
+  AircraftState state_;
+  std::optional<Waypoint> target_;
+};
+
+// Drives a FlightDynamics through a whole plan, waypoint by waypoint.
+// `loop` restarts at waypoint 0 after the last capture (survey racetrack).
+class PlanFollower {
+ public:
+  PlanFollower(FlightPlan plan, GeoPoint start, double initial_heading_deg,
+               FdmConfig config = {}, bool loop = false);
+
+  // Steps the model; returns the waypoint index captured this step, or -1.
+  int step(double dt_s);
+
+  const AircraftState& state() const { return fdm_.state(); }
+  const FlightPlan& plan() const { return plan_; }
+  // Index of the waypoint currently being flown to; plan.size() when done.
+  size_t active_waypoint() const { return next_; }
+  bool finished() const { return !loop_ && next_ >= plan_.size(); }
+
+ private:
+  FlightPlan plan_;
+  FlightDynamics fdm_;
+  size_t next_ = 0;
+  bool loop_;
+};
+
+}  // namespace marea::fdm

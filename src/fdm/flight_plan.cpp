@@ -1,0 +1,89 @@
+#include "fdm/flight_plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace marea::fdm {
+
+StatusOr<FlightPlan> FlightPlan::parse(const std::string& text) {
+  std::vector<Waypoint> waypoints;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag != "WP") {
+      return invalid_argument_error("flight plan line " +
+                                    std::to_string(line_no) +
+                                    ": expected WP, got '" + tag + "'");
+    }
+    Waypoint wp;
+    if (!(ls >> wp.position.lat_deg >> wp.position.lon_deg >>
+          wp.position.alt_m >> wp.speed_mps)) {
+      return invalid_argument_error("flight plan line " +
+                                    std::to_string(line_no) +
+                                    ": malformed waypoint");
+    }
+    if (wp.position.lat_deg < -90 || wp.position.lat_deg > 90 ||
+        wp.position.lon_deg < -180 || wp.position.lon_deg > 180 ||
+        wp.speed_mps <= 0) {
+      return invalid_argument_error("flight plan line " +
+                                    std::to_string(line_no) +
+                                    ": values out of range");
+    }
+    ls >> wp.action;  // optional
+    waypoints.push_back(std::move(wp));
+  }
+  if (waypoints.empty()) {
+    return invalid_argument_error("flight plan has no waypoints");
+  }
+  return FlightPlan(std::move(waypoints));
+}
+
+std::string FlightPlan::to_text() const {
+  std::string out;
+  char buf[160];
+  for (const auto& wp : waypoints_) {
+    snprintf(buf, sizeof buf, "WP %.6f %.6f %.1f %.1f %s\n",
+             wp.position.lat_deg, wp.position.lon_deg, wp.position.alt_m,
+             wp.speed_mps, wp.action.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+double FlightPlan::total_distance_m() const {
+  double total = 0;
+  for (size_t i = 1; i < waypoints_.size(); ++i) {
+    total += slant_distance_m(waypoints_[i - 1].position,
+                              waypoints_[i].position);
+  }
+  return total;
+}
+
+FlightPlan FlightPlan::survey_grid(GeoPoint corner, double heading,
+                                   double leg_length_m, double leg_spacing_m,
+                                   int legs, double alt_m, double speed_mps,
+                                   const std::string& action_at_turns) {
+  std::vector<Waypoint> waypoints;
+  GeoPoint cursor = corner;
+  cursor.alt_m = alt_m;
+  double cross = wrap_heading(heading + 90.0);
+  for (int leg = 0; leg < legs; ++leg) {
+    double along = (leg % 2 == 0) ? heading : wrap_heading(heading + 180.0);
+    waypoints.push_back(Waypoint{cursor, speed_mps, action_at_turns});
+    cursor = offset(cursor, along, leg_length_m);
+    waypoints.push_back(Waypoint{cursor, speed_mps, action_at_turns});
+    if (leg + 1 < legs) cursor = offset(cursor, cross, leg_spacing_m);
+  }
+  return FlightPlan(std::move(waypoints));
+}
+
+}  // namespace marea::fdm

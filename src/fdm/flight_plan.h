@@ -1,0 +1,58 @@
+// Flight plans: the "predetermined flight-plan" (paper §1) the FCS flies
+// and the mission controller orchestrates against. A simple line-oriented
+// text format keeps plans diffable and hand-editable:
+//
+//   # comment
+//   WP <lat_deg> <lon_deg> <alt_m> <speed_mps> [action]
+//
+// `action` is a free-form token the mission controller interprets
+// (e.g. "photo"). Example:
+//
+//   WP 41.2750 1.9860 120 22 photo
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fdm/geodesy.h"
+#include "util/status.h"
+
+namespace marea::fdm {
+
+struct Waypoint {
+  GeoPoint position;
+  double speed_mps = 20.0;
+  std::string action;  // empty = just fly through
+
+  friend bool operator==(const Waypoint&, const Waypoint&) = default;
+};
+
+class FlightPlan {
+ public:
+  FlightPlan() = default;
+  explicit FlightPlan(std::vector<Waypoint> waypoints)
+      : waypoints_(std::move(waypoints)) {}
+
+  static StatusOr<FlightPlan> parse(const std::string& text);
+  std::string to_text() const;
+
+  const std::vector<Waypoint>& waypoints() const { return waypoints_; }
+  size_t size() const { return waypoints_.size(); }
+  bool empty() const { return waypoints_.empty(); }
+  const Waypoint& at(size_t i) const { return waypoints_.at(i); }
+
+  // Total ground track length in meters.
+  double total_distance_m() const;
+
+  // A rectangular survey ("lawnmower") pattern generator — the typical
+  // observation mission the paper's applications fly.
+  static FlightPlan survey_grid(GeoPoint corner, double heading_deg,
+                                double leg_length_m, double leg_spacing_m,
+                                int legs, double alt_m, double speed_mps,
+                                const std::string& action_at_turns = "photo");
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace marea::fdm

@@ -1,0 +1,63 @@
+#include "fdm/geodesy.h"
+
+#include <cmath>
+
+namespace marea::fdm {
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+double wrap_heading(double deg) {
+  double w = std::fmod(deg, 360.0);
+  if (w < 0) w += 360.0;
+  return w;
+}
+
+double heading_delta(double from_deg, double to_deg) {
+  double d = std::fmod(to_deg - from_deg, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+double ground_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double slant_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double ground = ground_distance_m(a, b);
+  const double dalt = b.alt_m - a.alt_m;
+  return std::sqrt(ground * ground + dalt * dalt);
+}
+
+double bearing_deg(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return wrap_heading(rad_to_deg(std::atan2(y, x)));
+}
+
+GeoPoint offset(const GeoPoint& origin, double bearing, double distance_m) {
+  const double ang = distance_m / kEarthRadiusM;
+  const double brg = deg_to_rad(bearing);
+  const double lat1 = deg_to_rad(origin.lat_deg);
+  const double lon1 = deg_to_rad(origin.lon_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  return GeoPoint{rad_to_deg(lat2), rad_to_deg(lon2), origin.alt_m};
+}
+
+}  // namespace marea::fdm

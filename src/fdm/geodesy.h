@@ -1,0 +1,35 @@
+// Geodesy helpers on a spherical Earth — plenty for mission-scale
+// distances (tens of km) where the spherical error is < 0.5%.
+#pragma once
+
+namespace marea::fdm {
+
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kPi = 3.14159265358979323846;
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+double deg_to_rad(double deg);
+double rad_to_deg(double rad);
+// Wraps to [0, 360).
+double wrap_heading(double deg);
+// Signed smallest rotation from `from` to `to`, in (-180, 180].
+double heading_delta(double from_deg, double to_deg);
+
+// Great-circle ground distance (ignores altitude).
+double ground_distance_m(const GeoPoint& a, const GeoPoint& b);
+// 3D distance including altitude difference.
+double slant_distance_m(const GeoPoint& a, const GeoPoint& b);
+// Initial bearing from a to b, degrees [0, 360).
+double bearing_deg(const GeoPoint& a, const GeoPoint& b);
+// Point `distance_m` from `origin` along `bearing` (altitude preserved).
+GeoPoint offset(const GeoPoint& origin, double bearing_deg,
+                double distance_m);
+
+}  // namespace marea::fdm

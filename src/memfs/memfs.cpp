@@ -1,0 +1,88 @@
+#include "memfs/memfs.h"
+
+#include <algorithm>
+
+namespace marea::memfs {
+
+std::string MemFs::normalize(const std::string& path) {
+  std::string out;
+  std::string segment;
+  auto flush = [&] {
+    if (segment.empty()) return true;
+    if (segment == "." || segment == "..") return false;  // no traversal
+    if (!out.empty()) out += '/';
+    out += segment;
+    segment.clear();
+    return true;
+  };
+  for (char c : path) {
+    if (c == '/') {
+      if (!flush()) return "";
+    } else {
+      segment += c;
+    }
+  }
+  if (!flush()) return "";
+  return out;
+}
+
+Status MemFs::write(const std::string& raw_path, Buffer content) {
+  std::string path = normalize(raw_path);
+  if (path.empty()) return invalid_argument_error("bad path: " + raw_path);
+
+  auto it = files_.find(path);
+  uint64_t replaced = it == files_.end() ? 0 : it->second.content.size();
+  uint64_t next_used = used_ - replaced + content.size();
+  if (quota_ > 0 && next_used > quota_) {
+    return resource_exhausted_error("quota exceeded writing " + path);
+  }
+  used_ = next_used;
+  if (it == files_.end()) {
+    files_.emplace(path, Entry{std::move(content), 1});
+  } else {
+    it->second.content = std::move(content);
+    it->second.revision++;
+  }
+  return Status::ok();
+}
+
+StatusOr<Buffer> MemFs::read(const std::string& raw_path) const {
+  std::string path = normalize(raw_path);
+  auto it = files_.find(path);
+  if (it == files_.end()) return not_found_error("no such file: " + path);
+  return it->second.content;
+}
+
+Status MemFs::remove(const std::string& raw_path) {
+  std::string path = normalize(raw_path);
+  auto it = files_.find(path);
+  if (it == files_.end()) return not_found_error("no such file: " + path);
+  used_ -= it->second.content.size();
+  files_.erase(it);
+  return Status::ok();
+}
+
+bool MemFs::exists(const std::string& raw_path) const {
+  return files_.count(normalize(raw_path)) > 0;
+}
+
+StatusOr<FileInfo> MemFs::stat(const std::string& raw_path) const {
+  std::string path = normalize(raw_path);
+  auto it = files_.find(path);
+  if (it == files_.end()) return not_found_error("no such file: " + path);
+  return FileInfo{path, it->second.content.size(), it->second.revision};
+}
+
+std::vector<FileInfo> MemFs::list(const std::string& raw_dir) const {
+  std::string dir = normalize(raw_dir);
+  std::string prefix = dir.empty() ? "" : dir + "/";
+  std::vector<FileInfo> out;
+  for (const auto& [path, entry] : files_) {
+    if (path.rfind(prefix, 0) == 0 || path == dir) {
+      out.push_back(FileInfo{path, entry.content.size(), entry.revision});
+    }
+  }
+  return out;
+}
+
+}  // namespace marea::memfs

@@ -1,0 +1,60 @@
+// In-memory filesystem substrate backing the storage service (the paper's
+// §5 storage service "provides storage and retrieval of data by providing
+// access to an inner file system"). Hierarchical paths, per-file revision
+// counters, and an optional byte quota (the storage node is a small
+// embedded device).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace marea::memfs {
+
+struct FileInfo {
+  std::string path;
+  uint64_t size = 0;
+  uint32_t revision = 0;  // bumped on every write to the same path
+};
+
+class MemFs {
+ public:
+  // quota_bytes == 0 means unlimited.
+  explicit MemFs(uint64_t quota_bytes = 0) : quota_(quota_bytes) {}
+
+  // Writes (creating or replacing) the file at `path`. Parent directories
+  // are implicit. Paths are normalized: leading '/' optional, empty
+  // segments rejected.
+  Status write(const std::string& path, Buffer content);
+
+  StatusOr<Buffer> read(const std::string& path) const;
+  Status remove(const std::string& path);
+  bool exists(const std::string& path) const;
+  StatusOr<FileInfo> stat(const std::string& path) const;
+
+  // Files whose path starts with `dir` (normalized, "" = all), sorted.
+  std::vector<FileInfo> list(const std::string& dir = "") const;
+
+  uint64_t total_bytes() const { return used_; }
+  uint64_t quota_bytes() const { return quota_; }
+  size_t file_count() const { return files_.size(); }
+
+  // Normalizes a path ("/a//b/" -> "a/b"). Empty result means invalid.
+  static std::string normalize(const std::string& path);
+
+ private:
+  struct Entry {
+    Buffer content;
+    uint32_t revision = 0;
+  };
+
+  uint64_t quota_;
+  uint64_t used_ = 0;
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace marea::memfs

@@ -1,0 +1,654 @@
+#include "middleware/container.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "encoding/codec.h"
+#include "util/crc32.h"
+
+namespace marea::mw {
+
+namespace {
+constexpr const char* kLog = "container";
+
+std::string qualify(const ContainerConfig& cfg) {
+  return cfg.node_name + "#" + std::to_string(cfg.id);
+}
+}  // namespace
+
+ServiceContainer::ServiceContainer(ContainerConfig config,
+                                   transport::Transport& transport,
+                                   sched::Executor& executor)
+    : config_(std::move(config)),
+      transport_(transport),
+      executor_(executor) {}
+
+ServiceContainer::~ServiceContainer() {
+  if (running_) stop();
+  if (bound_) transport_.unbind(config_.data_port);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Status ServiceContainer::add_service(std::unique_ptr<Service> service) {
+  if (!service) return invalid_argument_error("null service");
+  if (running_) {
+    return failed_precondition_error("add_service before start()");
+  }
+  if (find_service(service->name())) {
+    return already_exists_error("service '" + service->name() +
+                                "' already in container");
+  }
+  service->container_ = this;
+  service_states_[service->name()] = proto::ServiceState::kStopped;
+  services_.push_back(std::move(service));
+  return Status::ok();
+}
+
+Service* ServiceContainer::find_service(const std::string& name) {
+  for (auto& s : services_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+Status ServiceContainer::start() {
+  if (running_) return failed_precondition_error("already running");
+  if (!bound_) {
+    Status s = transport_.bind(
+        config_.data_port,
+        [this](transport::Address from, BytesView data) {
+          on_datagram(from, data);
+        });
+    if (!s.is_ok()) return s;
+    bound_ = true;
+  }
+  running_ = true;
+  started_at_ = now();
+  // A restart is a new incarnation: peers reset their reliable-link state.
+  incarnation_ = incarnation_ == 0 ? config_.incarnation : incarnation_ + 1;
+
+  // Start the services in registration order (§3 "the container is the
+  // responsible of starting and stopping the services it contains").
+  for (auto& service : services_) {
+    service_states_[service->name()] = proto::ServiceState::kStarting;
+    Status s = internal_error("on_start threw");
+    guard(nullptr, "on_start", [&] { s = service->on_start(); });
+    if (s.is_ok()) {
+      service_states_[service->name()] = proto::ServiceState::kRunning;
+      MAREA_LOG(kInfo, kLog) << qualify(config_) << " service '"
+                             << service->name() << "' running";
+    } else {
+      service_states_[service->name()] = proto::ServiceState::kFailed;
+      MAREA_LOG(kError, kLog) << qualify(config_) << " service '"
+                              << service->name()
+                              << "' failed to start: " << s.to_string();
+    }
+  }
+
+  // Local bindings may already be satisfiable (provider and subscriber in
+  // this same container).
+  rebind_after_directory_change();
+  check_function_requirements();
+
+  announce(/*broadcast_to_all=*/true);
+
+  heartbeat_timer_ =
+      executor_.schedule(config_.heartbeat_interval,
+                         sched::Priority::kBackground,
+                         [this] { heartbeat_tick(); });
+  health_timer_ =
+      executor_.schedule(config_.health_check_interval,
+                         sched::Priority::kBackground, [this] { health_tick(); });
+  resub_timer_ =
+      executor_.schedule(config_.resubscribe_interval,
+                         sched::Priority::kBackground,
+                         [this] { resubscribe_tick(); });
+  return Status::ok();
+}
+
+void ServiceContainer::stop() {
+  if (!running_) return;
+  broadcast_msg(proto::MsgType::kContainerBye, proto::ContainerByeMsg{});
+  // Stop services in reverse start order.
+  for (auto it = services_.rbegin(); it != services_.rend(); ++it) {
+    if (service_states_[(*it)->name()] == proto::ServiceState::kRunning ||
+        service_states_[(*it)->name()] == proto::ServiceState::kDegraded) {
+      (*it)->on_stop();
+    }
+    service_states_[(*it)->name()] = proto::ServiceState::kStopped;
+  }
+  executor_.cancel(heartbeat_timer_);
+  executor_.cancel(health_timer_);
+  executor_.cancel(resub_timer_);
+  for (auto& [name, prov] : var_provisions_) {
+    executor_.cancel(prov.period_timer);
+  }
+  for (auto& [name, sub] : var_subs_) {
+    executor_.cancel(sub.deadline_timer);
+  }
+  for (auto& [id, call] : pending_calls_) {
+    executor_.cancel(call.timer);
+  }
+  pending_calls_.clear();
+
+  // Drop every registration and all distributed state: services
+  // re-register from on_start() on the next start(), and peers treat the
+  // new incarnation as a fresh container.
+  var_provisions_.clear();
+  provision_channels_.clear();
+  var_subs_.clear();
+  sub_channels_.clear();
+  event_provisions_.clear();
+  event_subs_.clear();
+  functions_.clear();
+  rr_cursor_.clear();
+  static_binding_.clear();
+  required_functions_.clear();
+  functions_in_emergency_.clear();
+  file_provisions_.clear();
+  file_remote_subscribers_.clear();
+  file_subs_.clear();
+  transfer_names_.clear();
+  peers_.clear();
+  directory_ = NameDirectory{};
+
+  running_ = false;
+}
+
+std::vector<proto::ContainerId> ServiceContainer::known_peers() const {
+  std::vector<proto::ContainerId> ids;
+  ids.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) ids.push_back(id);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Frame plumbing
+// ---------------------------------------------------------------------------
+
+sched::Priority ServiceContainer::priority_of(proto::MsgType type) const {
+  using T = proto::MsgType;
+  switch (type) {
+    case T::kReliableData:
+    case T::kReliableAck:
+      return sched::Priority::kEvent;  // events & rpc ride the link
+    case T::kVarSample:
+    case T::kVarSubscribe:
+    case T::kVarUnsubscribe:
+    case T::kVarSnapshot:
+    case T::kVarSnapshotRequest:
+    case T::kEventSubscribe:
+    case T::kEventUnsubscribe:
+      return sched::Priority::kVariable;
+    case T::kFileSubscribe:
+    case T::kFileUnsubscribe:
+    case T::kFileChunk:
+    case T::kFileStatusRequest:
+    case T::kFileAck:
+    case T::kFileNack:
+    case T::kFileRevision:
+      return sched::Priority::kFileTransfer;
+    default:
+      return sched::Priority::kBackground;
+  }
+}
+
+void ServiceContainer::on_datagram(transport::Address from, BytesView data) {
+  // Runs on the transport dispatch context: copy out and hand the real
+  // work to the scheduler at the primitive's fixed priority (§6).
+  if (data.size() < proto::kFrameOverhead) return;
+  auto type = static_cast<proto::MsgType>(data[3]);  // header peek
+  Duration cost = config_.handler_cost;
+  if (type == proto::MsgType::kFileChunk) cost = cost * 2;  // bulk copy
+  executor_.post(priority_of(type),
+                 [this, from, frame = to_buffer(data)]() mutable {
+                   process_frame(from, std::move(frame));
+                 },
+                 cost);
+}
+
+void ServiceContainer::process_frame(transport::Address from, Buffer frame) {
+  if (!running_) return;
+  BytesView payload;
+  auto header = proto::open_frame(as_bytes_view(frame), &payload);
+  if (!header.ok()) {
+    stats_.frames_dropped++;
+    return;
+  }
+  if (header->source == config_.id) return;  // our own broadcast echo
+  stats_.frames_received++;
+
+  const proto::ContainerId src = header->source;
+  ByteReader r(payload);
+  using T = proto::MsgType;
+  switch (header->type) {
+    case T::kContainerHello: {
+      proto::ContainerHelloMsg msg;
+      if (proto::ContainerHelloMsg::decode(r, msg)) on_hello(src, from, msg);
+      break;
+    }
+    case T::kContainerBye:
+      on_bye(src);
+      break;
+    case T::kHeartbeat: {
+      proto::HeartbeatMsg msg;
+      if (proto::HeartbeatMsg::decode(r, msg)) on_heartbeat(src, from, msg);
+      break;
+    }
+    case T::kServiceStatus: {
+      proto::ServiceStatusMsg msg;
+      if (proto::ServiceStatusMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_service_status(src, msg);
+      }
+      break;
+    }
+    case T::kNameQuery: {
+      proto::NameQueryMsg msg;
+      if (proto::NameQueryMsg::decode(r, msg)) on_name_query(src, from, msg);
+      break;
+    }
+    case T::kNameReply: {
+      proto::NameReplyMsg msg;
+      if (proto::NameReplyMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_name_reply(msg);
+      }
+      break;
+    }
+    case T::kVarSample: {
+      proto::VarSampleMsg msg;
+      if (proto::VarSampleMsg::decode(r, msg)) on_var_sample(msg);
+      break;
+    }
+    case T::kReliableData: {
+      proto::ReliableDataMsg msg;
+      if (proto::ReliableDataMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_reliable_data(src, msg);
+      }
+      break;
+    }
+    case T::kReliableAck: {
+      proto::ReliableAckMsg msg;
+      if (proto::ReliableAckMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_reliable_ack(src, msg);
+      }
+      break;
+    }
+    case T::kFileChunk: {
+      proto::FileChunkMsg msg;
+      if (proto::FileChunkMsg::decode(r, msg)) on_file_chunk(msg);
+      break;
+    }
+    case T::kFileStatusRequest: {
+      proto::FileStatusRequestMsg msg;
+      if (proto::FileStatusRequestMsg::decode(r, msg)) {
+        on_file_status_request(src, msg);
+      }
+      break;
+    }
+    case T::kFileAck: {
+      proto::FileAckMsg msg;
+      if (proto::FileAckMsg::decode(r, msg)) on_file_ack(src, msg);
+      break;
+    }
+    case T::kFileNack: {
+      proto::FileNackMsg msg;
+      if (proto::FileNackMsg::decode(r, msg)) on_file_nack(src, msg);
+      break;
+    }
+    case T::kFileRevision: {
+      proto::FileRevisionMsg msg;
+      if (proto::FileRevisionMsg::decode(r, msg)) on_file_revision(src, msg);
+      break;
+    }
+    // The following arrive via the reliable control channel in normal
+    // operation but are also accepted as bare frames (e.g. snapshots
+    // re-requested over best-effort paths).
+    case T::kVarSubscribe: {
+      proto::VarSubscribeMsg msg;
+      if (proto::VarSubscribeMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_var_subscribe(src, msg);
+      }
+      break;
+    }
+    case T::kVarSnapshotRequest: {
+      proto::VarSnapshotRequestMsg msg;
+      if (proto::VarSnapshotRequestMsg::decode(r, msg)) {
+        ensure_peer(src, from);
+        on_var_snapshot_request(src, msg);
+      }
+      break;
+    }
+    case T::kVarSnapshot: {
+      proto::VarSnapshotMsg msg;
+      if (proto::VarSnapshotMsg::decode(r, msg)) on_var_snapshot(msg);
+      break;
+    }
+    default:
+      stats_.frames_dropped++;
+      break;
+  }
+}
+
+void ServiceContainer::send_frame(transport::Address to, proto::MsgType type,
+                                  BytesView payload) {
+  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
+                                   payload);
+  Status s = transport_.send(config_.data_port, to, as_bytes_view(frame));
+  if (!s.is_ok()) {
+    MAREA_LOG(kDebug, kLog) << qualify(config_) << " send "
+                            << proto::msg_type_name(type) << " to "
+                            << transport::to_string(to)
+                            << " failed: " << s.to_string();
+  }
+}
+
+void ServiceContainer::broadcast_frame(proto::MsgType type,
+                                       BytesView payload) {
+  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
+                                   payload);
+  (void)transport_.send_broadcast(config_.data_port, config_.data_port,
+                                  as_bytes_view(frame));
+}
+
+void ServiceContainer::multicast_frame(transport::GroupId group,
+                                       proto::MsgType type,
+                                       BytesView payload) {
+  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
+                                   payload);
+  (void)transport_.send_multicast(config_.data_port, group,
+                                  as_bytes_view(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Membership & discovery
+// ---------------------------------------------------------------------------
+
+proto::ContainerHelloMsg ServiceContainer::build_manifest() const {
+  proto::ContainerHelloMsg hello;
+  hello.incarnation = incarnation_;
+  hello.manifest_version = manifest_version_;
+  hello.data_port = config_.data_port;
+  hello.node_name = config_.node_name;
+  for (const auto& service : services_) {
+    proto::ServiceInfo info;
+    info.name = service->name();
+    auto it = service_states_.find(service->name());
+    info.state = it == service_states_.end() ? proto::ServiceState::kStopped
+                                             : it->second;
+    for (const auto& [name, prov] : var_provisions_) {
+      if (prov.owner != service.get()) continue;
+      proto::ProvidedItem item;
+      item.kind = proto::ItemKind::kVariable;
+      item.name = name;
+      item.schema_hash = prov.type->structural_hash();
+      item.period_ns = prov.qos.period.ns;
+      item.validity_ns = prov.qos.validity.ns;
+      info.items.push_back(std::move(item));
+    }
+    for (const auto& [name, prov] : event_provisions_) {
+      if (prov.owner != service.get()) continue;
+      proto::ProvidedItem item;
+      item.kind = proto::ItemKind::kEvent;
+      item.name = name;
+      item.schema_hash = prov.type->structural_hash();
+      info.items.push_back(std::move(item));
+    }
+    for (const auto& [name, prov] : functions_) {
+      if (prov.owner != service.get()) continue;
+      proto::ProvidedItem item;
+      item.kind = proto::ItemKind::kFunction;
+      item.name = name;
+      item.schema_hash = prov.args_type->structural_hash();
+      info.items.push_back(std::move(item));
+    }
+    for (const auto& [name, prov] : file_provisions_) {
+      if (prov.owner != service.get()) continue;
+      proto::ProvidedItem item;
+      item.kind = proto::ItemKind::kFile;
+      item.name = name;
+      item.schema_hash = prov.meta.revision;  // revision doubles as version
+      info.items.push_back(std::move(item));
+    }
+    hello.services.push_back(std::move(info));
+  }
+  return hello;
+}
+
+void ServiceContainer::announce(bool broadcast_to_all,
+                                transport::Address unicast_to) {
+  ++manifest_version_;  // receivers drop anything older they see later
+  proto::ContainerHelloMsg hello = build_manifest();
+  if (broadcast_to_all) {
+    last_announce_ = now();
+    broadcast_msg(proto::MsgType::kContainerHello, hello);
+  } else {
+    send_msg(unicast_to, proto::MsgType::kContainerHello, hello);
+  }
+}
+
+void ServiceContainer::manifest_changed() {
+  // Coalesce bursts (e.g. several registrations inside one on_start) into
+  // a single broadcast on the next scheduler turn.
+  if (!running_ || announce_pending_) return;
+  announce_pending_ = true;
+  executor_.post(sched::Priority::kBackground, [this] {
+    announce_pending_ = false;
+    if (running_) announce(/*broadcast_to_all=*/true);
+  });
+}
+
+ServiceContainer::Peer& ServiceContainer::ensure_peer(
+    proto::ContainerId id, transport::Address addr) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) {
+    Peer peer;
+    peer.id = id;
+    peer.address = addr;
+    peer.last_heard = now();
+    it = peers_.emplace(id, std::move(peer)).first;
+    // Introduce ourselves so the newcomer learns our manifest without
+    // waiting for the next broadcast.
+    announce(/*broadcast_to_all=*/false, addr);
+  }
+  it->second.last_heard = now();
+  return it->second;
+}
+
+ServiceContainer::Peer* ServiceContainer::peer(proto::ContainerId id) {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+void ServiceContainer::on_hello(proto::ContainerId from,
+                                transport::Address addr,
+                                const proto::ContainerHelloMsg& msg) {
+  Peer& peer = ensure_peer(from, transport::Address{addr.host, msg.data_port});
+  // A hello is authoritative for the peer's data endpoint (earlier frames
+  // may have arrived from an ephemeral source port on real transports).
+  peer.address = transport::Address{addr.host, msg.data_port};
+  peer.node_name = msg.node_name;
+  if (msg.incarnation != peer.incarnation) {
+    // Restarted peer: its reliable-link state is gone; reset ours.
+    peer.tx.reset();
+    peer.rx.reset();
+    peer.incarnation = msg.incarnation;
+    peer.manifest_version = 0;
+  }
+  // Best-effort broadcasts reorder: never let an older manifest clobber a
+  // newer one within the same incarnation.
+  if (msg.manifest_version <= peer.manifest_version) return;
+  peer.manifest_version = msg.manifest_version;
+  directory_.apply_hello(from, addr, msg, now());
+  MAREA_LOG(kTrace, kLog) << qualify(config_) << " applied hello from "
+                          << from << " (" << msg.services.size()
+                          << " services, " << directory_.record_count()
+                          << " records now)";
+  rebind_after_directory_change();
+  check_function_requirements();
+}
+
+void ServiceContainer::on_bye(proto::ContainerId from) {
+  if (peers_.count(from)) peer_lost(from, "bye");
+}
+
+void ServiceContainer::on_heartbeat(proto::ContainerId from,
+                                    transport::Address addr,
+                                    const proto::HeartbeatMsg& msg) {
+  Peer& peer = ensure_peer(from, addr);
+  if (peer.incarnation != 0 && msg.incarnation != peer.incarnation) {
+    // Peer restarted between heartbeats.
+    peer_lost(from, "incarnation change");
+  }
+}
+
+void ServiceContainer::on_service_status(proto::ContainerId from,
+                                         const proto::ServiceStatusMsg& msg) {
+  directory_.apply_service_status(from, msg);
+  if (msg.state == proto::ServiceState::kFailed ||
+      msg.state == proto::ServiceState::kStopped) {
+    // A provider went away: re-select providers where needed.
+    rebind_after_directory_change();
+    check_function_requirements();
+  }
+}
+
+void ServiceContainer::heartbeat_tick() {
+  if (!running_) return;
+  proto::HeartbeatMsg hb;
+  hb.incarnation = incarnation_;
+  hb.seq = ++heartbeat_seq_;
+  broadcast_msg(proto::MsgType::kHeartbeat, hb);
+
+  // Periodic manifest refresh: heals lost hello broadcasts.
+  if (config_.announce_interval.ns > 0 &&
+      now() - last_announce_ >= config_.announce_interval) {
+    announce(/*broadcast_to_all=*/true);
+  }
+
+  const Duration limit = config_.heartbeat_interval * config_.liveness_factor;
+  std::vector<proto::ContainerId> dead;
+  for (const auto& [id, peer] : peers_) {
+    if (now() - peer.last_heard > limit) dead.push_back(id);
+  }
+  for (auto id : dead) peer_lost(id, "heartbeat silence");
+
+  heartbeat_timer_ =
+      executor_.schedule(config_.heartbeat_interval,
+                         sched::Priority::kBackground,
+                         [this] { heartbeat_tick(); });
+}
+
+void ServiceContainer::health_tick() {
+  if (!running_) return;
+  for (auto& service : services_) {
+    auto& state = service_states_[service->name()];
+    if (state != proto::ServiceState::kRunning &&
+        state != proto::ServiceState::kDegraded) {
+      continue;
+    }
+    Status s = internal_error("health_check threw");
+    guard(nullptr, "health_check", [&] { s = service->health_check(); });
+    proto::ServiceState next =
+        s.is_ok() ? proto::ServiceState::kRunning : proto::ServiceState::kFailed;
+    if (next != state) {
+      state = next;
+      MAREA_LOG(kWarn, kLog) << qualify(config_) << " service '"
+                             << service->name() << "' -> "
+                             << proto::service_state_name(next) << " ("
+                             << s.to_string() << ")";
+      proto::ServiceStatusMsg msg;
+      msg.service = service->name();
+      msg.state = next;
+      broadcast_msg(proto::MsgType::kServiceStatus, msg);
+    }
+  }
+  health_timer_ =
+      executor_.schedule(config_.health_check_interval,
+                         sched::Priority::kBackground, [this] { health_tick(); });
+}
+
+void ServiceContainer::peer_lost(proto::ContainerId id,
+                                 const std::string& why) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  MAREA_LOG(kWarn, kLog) << qualify(config_) << " lost container " << id
+                         << " (" << why << ")";
+  peers_.erase(it);
+
+  directory_.drop_container(id);
+
+  // Unbind subscriptions pointing at the lost provider; the resubscribe
+  // loop re-resolves them against surviving providers.
+  for (auto& [name, sub] : var_subs_) {
+    if (sub.provider && sub.provider->container == id) {
+      sub.provider.reset();
+      sub.announced = false;
+    }
+  }
+  for (auto& [name, sub] : event_subs_) {
+    sub.announced_to.erase(id);
+  }
+  for (auto& [name, sub] : file_subs_) {
+    if (sub.provider && sub.provider->container == id) {
+      sub.provider.reset();
+      sub.announced = false;
+      if (sub.receiver && !sub.receiver->complete()) {
+        transfer_names_.erase(sub.receiver->transfer_id());
+        sub.receiver.reset();
+      }
+    }
+  }
+  // Publishers drop the dead subscriber.
+  for (auto& [name, prov] : var_provisions_) prov.remote_subscribers.erase(id);
+  for (auto& [name, prov] : event_provisions_) {
+    prov.remote_subscribers.erase(id);
+  }
+  for (auto& [name, prov] : file_provisions_) {
+    if (prov.publisher) prov.publisher->remove_subscriber(id);
+  }
+
+  // Fail over in-flight calls that targeted the dead container.
+  std::vector<uint64_t> affected;
+  for (const auto& [rid, call] : pending_calls_) {
+    if (call.target == id) affected.push_back(rid);
+  }
+  for (uint64_t rid : affected) fail_over_call(rid, "provider container lost");
+
+  rebind_after_directory_change();
+  check_function_requirements();
+}
+
+void ServiceContainer::handler_crashed(Service* service, const char* what,
+                                       const std::string& why) {
+  std::string name = service ? service->name() : "<container>";
+  MAREA_LOG(kError, kLog) << qualify(config_) << " handler '" << what
+                          << "' of service '" << name
+                          << "' threw: " << why;
+  if (!service) return;
+  auto it = service_states_.find(service->name());
+  if (it == service_states_.end()) return;
+  if (it->second == proto::ServiceState::kRunning ||
+      it->second == proto::ServiceState::kDegraded) {
+    it->second = proto::ServiceState::kFailed;
+    proto::ServiceStatusMsg msg;
+    msg.service = service->name();
+    msg.state = proto::ServiceState::kFailed;
+    broadcast_msg(proto::MsgType::kServiceStatus, msg);
+  }
+}
+
+void ServiceContainer::emergency(const std::string& reason) {
+  stats_.emergencies++;
+  MAREA_LOG(kError, kLog) << qualify(config_) << " EMERGENCY: " << reason;
+  if (emergency_) emergency_(reason);
+}
+
+}  // namespace marea::mw

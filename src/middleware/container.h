@@ -1,0 +1,527 @@
+// The Service Container — the middleware itself (paper §3): exactly one
+// per node; it "manages several services and provides common
+// functionalities (network access, local message delivery, name
+// resolution and caching, etc.) to the services it contains".
+//
+// Responsibilities, mapped to the paper's §3 bullet list:
+//   * Service management — lifecycle (add/start/stop), health watchdog,
+//     ServiceStatus gossip to the other containers.
+//   * Name management — NameDirectory proxy cache fed by hello manifests,
+//     NameQuery fallback, invalidation on peer failure, provider
+//     re-selection (failover).
+//   * Network management & abstraction — services never touch the
+//     Transport; the container owns the single data port, multicast
+//     group membership and all marshalling.
+//   * Resource management — every handler runs on the pluggable scheduler
+//     tagged with its primitive's fixed priority; per-primitive traffic
+//     accounting is kept in ContainerStats.
+//
+// Threading model: every mutation happens on the container's Executor
+// context. With SimExecutor that is the simulation loop; with
+// ThreadPoolExecutor use a single worker (the paper's prototype had the
+// same constraint — handlers are serialized by the scheduler).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/directory.h"
+#include "middleware/qos.h"
+#include "middleware/service.h"
+#include "protocol/arq.h"
+#include "protocol/frame.h"
+#include "protocol/messages.h"
+#include "protocol/mftp.h"
+#include "sched/executor.h"
+#include "transport/transport.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace marea::mw {
+
+struct ContainerConfig {
+  proto::ContainerId id = 1;          // unique per container in the domain
+  std::string node_name = "node";
+  uint16_t data_port = 4500;          // same on every node; one container/node
+  uint64_t incarnation = 1;
+
+  // §4.1: map variables onto multicast "when the underlying network allows
+  // it"; false falls back to per-subscriber unicast (bench C2 compares).
+  bool use_multicast = true;
+
+  // Time after start() during which missing required functions do not yet
+  // raise the emergency procedure (providers may still be joining).
+  Duration requirement_grace = seconds(1.0);
+
+  Duration heartbeat_interval = milliseconds(100);
+  double liveness_factor = 3.5;       // silence > factor*interval = dead
+  // Manifest hellos are rebroadcast on this cadence so a lost initial
+  // announce (best-effort broadcast) heals within one period.
+  Duration announce_interval = milliseconds(500);
+  Duration health_check_interval = milliseconds(250);
+  Duration resubscribe_interval = milliseconds(200);
+
+  proto::ArqParams arq;
+  proto::MftpParams mftp;
+
+  // Modelled CPU cost of running one handler (SimExecutor only).
+  Duration handler_cost = microseconds(5);
+};
+
+struct ContainerStats {
+  // variables
+  uint64_t var_publishes = 0;
+  uint64_t var_samples_sent = 0;      // network sends (multicast counts 1)
+  uint64_t var_samples_received = 0;
+  uint64_t var_local_deliveries = 0;
+  uint64_t var_timeout_warnings = 0;
+  uint64_t var_snapshots_sent = 0;
+  // events
+  uint64_t events_published = 0;
+  uint64_t events_sent = 0;           // per-subscriber reliable sends
+  uint64_t events_delivered = 0;      // handed to local handlers
+  // rpc
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_served = 0;
+  uint64_t rpc_failovers = 0;
+  uint64_t rpc_failures = 0;
+  // files
+  uint64_t files_published = 0;
+  uint64_t file_completions = 0;      // local subscriptions completed
+  uint64_t file_local_bypasses = 0;
+  // infrastructure
+  uint64_t frames_received = 0;
+  uint64_t frames_dropped = 0;        // CRC/decode failures
+  uint64_t name_queries_sent = 0;
+  uint64_t emergencies = 0;
+};
+
+// Per-service traffic/usage accounting (§3 "resource management": the
+// container is the right place to centralize the management of the shared
+// resources of the node). One row per local service.
+struct ServiceUsage {
+  uint64_t var_publishes = 0;
+  uint64_t samples_delivered = 0;    // variable samples handed to handlers
+  uint64_t events_published = 0;
+  uint64_t events_delivered = 0;
+  uint64_t rpc_calls_issued = 0;
+  uint64_t rpc_calls_served = 0;
+  uint64_t files_published = 0;
+  uint64_t file_bytes_delivered = 0;
+};
+
+// "The programmed emergency procedure" hook (§4.3).
+using EmergencyHandler = std::function<void(const std::string& reason)>;
+
+class ServiceContainer {
+ public:
+  ServiceContainer(ContainerConfig config, transport::Transport& transport,
+                   sched::Executor& executor);
+  ~ServiceContainer();
+
+  ServiceContainer(const ServiceContainer&) = delete;
+  ServiceContainer& operator=(const ServiceContainer&) = delete;
+
+  // --- lifecycle ---
+  // Takes ownership. Must be called before start().
+  Status add_service(std::unique_ptr<Service> service);
+  Status start();
+  void stop();
+  bool running() const { return running_; }
+
+  Service* find_service(const std::string& name);
+
+  void set_emergency_handler(EmergencyHandler handler) {
+    emergency_ = std::move(handler);
+  }
+
+  // --- introspection ---
+  const ContainerConfig& config() const { return config_; }
+  const ContainerStats& stats() const { return stats_; }
+  // Per-service usage census (rows appear on first activity).
+  const std::map<std::string, ServiceUsage>& usage() const { return usage_; }
+  NameDirectory& directory() { return directory_; }
+  sched::Executor& executor() { return executor_; }
+  TimePoint now() const { return executor_.now(); }
+  // Containers currently believed alive (excluding self).
+  std::vector<proto::ContainerId> known_peers() const;
+
+  // ==== internal API used by Service / handles (not for applications) ====
+  StatusOr<VariableHandle> register_variable(Service& owner,
+                                             const std::string& name,
+                                             enc::TypePtr type,
+                                             VariableQoS qos);
+  Status publish_variable(const std::string& name, enc::Value value);
+  Status register_var_subscription(Service& owner, const std::string& name,
+                                   enc::TypePtr type, VariableHandler handler,
+                                   VariableTimeoutHandler on_timeout);
+  Status unregister_var_subscription(Service& owner, const std::string& name);
+  StatusOr<enc::Value> read_variable(const std::string& name) const;
+
+  StatusOr<EventHandle> register_event(Service& owner, const std::string& name,
+                                       enc::TypePtr type);
+  Status publish_event(const std::string& name, enc::Value value);
+  Status register_event_subscription(Service& owner, const std::string& name,
+                                     enc::TypePtr type, EventHandler handler,
+                                     EventQoS qos = {});
+  Status unregister_event_subscription(Service& owner,
+                                       const std::string& name);
+
+  Status register_function(Service& owner, const std::string& name,
+                           enc::TypePtr args_type, enc::TypePtr result_type,
+                           FunctionHandler handler);
+  void call_function(Service* caller, const std::string& function,
+                     enc::Value args, CallCallback callback,
+                     CallOptions options);
+  Status add_function_requirement(Service& owner, const std::string& function);
+
+  Status publish_file_resource(Service& owner, const std::string& name,
+                               Buffer content);
+  Status register_file_subscription(Service& owner, const std::string& name,
+                                    FileCompleteHandler on_done,
+                                    FileProgressHandler on_progress);
+  Status unregister_file_subscription(Service& owner,
+                                      const std::string& name);
+
+  void schedule_for_service(Duration delay, std::function<void()> fn,
+                            sched::Priority priority);
+
+ private:
+  // --- per-name provider/subscriber state ---
+  struct VarProvision {
+    Service* owner = nullptr;
+    std::string name;
+    uint32_t channel = 0;
+    enc::TypePtr type;
+    VariableQoS qos;
+    uint64_t seq = 0;
+    std::optional<enc::Value> last_value;
+    Buffer last_encoded;
+    TimePoint last_publish{};
+    std::set<proto::ContainerId> remote_subscribers;
+    sched::TaskTimerId period_timer = sched::kInvalidTaskTimer;
+  };
+
+  struct VarSubEntry {
+    Service* service = nullptr;
+    VariableHandler handler;
+    VariableTimeoutHandler on_timeout;
+  };
+
+  struct VarSubscription {
+    std::string name;
+    uint32_t channel = 0;
+    enc::TypePtr type;
+    std::vector<VarSubEntry> entries;
+    // provider binding
+    std::optional<ProviderRecord> provider;
+    bool announced = false;   // subscribe control delivered to provider
+    bool joined_group = false;
+    // cache
+    std::optional<enc::Value> last_value;
+    uint64_t last_seq = 0;
+    TimePoint last_recv{};
+    Duration validity = kDurationZero;  // learned from provider manifest
+    Duration deadline = kDurationZero;
+    bool got_any = false;
+    sched::TaskTimerId deadline_timer = sched::kInvalidTaskTimer;
+  };
+
+  struct EventProvision {
+    Service* owner = nullptr;
+    std::string name;
+    enc::TypePtr type;
+    uint64_t seq = 0;
+    std::set<proto::ContainerId> remote_subscribers;
+  };
+
+  struct EventSubEntry {
+    Service* service = nullptr;
+    EventHandler handler;
+  };
+
+  struct EventSubscription {
+    std::string name;
+    enc::TypePtr type;
+    std::vector<EventSubEntry> entries;
+    // Events may have redundant publishers; subscribe to all of them.
+    std::set<proto::ContainerId> announced_to;
+    // Ordered-delivery state, per publishing container (EventQoS).
+    EventQoS qos;
+    struct OrderState {
+      uint64_t next = 0;  // 0 = uninitialized (settling)
+      std::map<uint64_t, std::pair<enc::Value, EventInfo>> held;
+      sched::TaskTimerId flush_timer = sched::kInvalidTaskTimer;
+    };
+    std::map<proto::ContainerId, OrderState> order;
+  };
+
+  void ordered_deliver(EventSubscription& sub, proto::ContainerId from,
+                       enc::Value value, EventInfo info);
+  void ordered_flush(const std::string& name, proto::ContainerId from);
+
+  struct FunctionProvision {
+    Service* owner = nullptr;
+    std::string name;
+    enc::TypePtr args_type;
+    enc::TypePtr result_type;
+    FunctionHandler handler;
+  };
+
+  struct PendingCall {
+    uint64_t request_id = 0;
+    std::string function;
+    enc::Value args;
+    CallCallback callback;
+    CallOptions options;
+    proto::ContainerId target = proto::kInvalidContainer;
+    int failovers_left = 0;
+    std::set<proto::ContainerId> tried;
+    sched::TaskTimerId timer = sched::kInvalidTaskTimer;
+  };
+
+  struct FileProvision {
+    Service* owner = nullptr;
+    proto::FileMeta meta;
+    Buffer content;
+    uint64_t transfer_id = 0;
+    std::unique_ptr<proto::MftpPublisher> publisher;
+  };
+
+  struct FileSubEntry {
+    Service* service = nullptr;
+    FileCompleteHandler on_done;
+    FileProgressHandler on_progress;
+  };
+
+  struct FileSubscription {
+    std::string name;
+    std::vector<FileSubEntry> entries;
+    std::optional<ProviderRecord> provider;
+    bool announced = false;
+    bool joined_group = false;
+    std::unique_ptr<proto::MftpReceiver> receiver;
+    uint32_t completed_revision = 0;
+  };
+
+  struct Peer {
+    proto::ContainerId id = proto::kInvalidContainer;
+    transport::Address address;
+    std::string node_name;
+    uint64_t incarnation = 0;
+    uint64_t manifest_version = 0;  // newest applied for this incarnation
+    TimePoint last_heard{};
+    std::unique_ptr<proto::ArqSender> tx;
+    std::unique_ptr<proto::ArqReceiver> rx;
+  };
+
+  // --- wiring ---
+  void on_datagram(transport::Address from, BytesView data);
+  void process_frame(transport::Address from, Buffer frame);
+  sched::Priority priority_of(proto::MsgType type) const;
+
+  void send_frame(transport::Address to, proto::MsgType type,
+                  BytesView payload);
+  void broadcast_frame(proto::MsgType type, BytesView payload);
+  void multicast_frame(transport::GroupId group, proto::MsgType type,
+                       BytesView payload);
+  template <typename Msg>
+  void send_msg(transport::Address to, proto::MsgType type, const Msg& msg) {
+    ByteWriter w;
+    msg.encode(w);
+    send_frame(to, type, w.view());
+  }
+  template <typename Msg>
+  void broadcast_msg(proto::MsgType type, const Msg& msg) {
+    ByteWriter w;
+    msg.encode(w);
+    broadcast_frame(type, w.view());
+  }
+  template <typename Msg>
+  void multicast_msg(transport::GroupId group, proto::MsgType type,
+                     const Msg& msg) {
+    ByteWriter w;
+    msg.encode(w);
+    multicast_frame(group, type, w.view());
+  }
+
+  // --- membership / discovery ---
+  void announce(bool broadcast_to_all, transport::Address unicast_to = {});
+  proto::ContainerHelloMsg build_manifest() const;
+  void on_hello(proto::ContainerId from, transport::Address addr,
+                const proto::ContainerHelloMsg& msg);
+  void on_bye(proto::ContainerId from);
+  void on_heartbeat(proto::ContainerId from, transport::Address addr,
+                    const proto::HeartbeatMsg& msg);
+  void on_service_status(proto::ContainerId from,
+                         const proto::ServiceStatusMsg& msg);
+  void heartbeat_tick();
+  void health_tick();
+  void peer_lost(proto::ContainerId id, const std::string& why);
+  Peer* peer(proto::ContainerId id);
+  Peer& ensure_peer(proto::ContainerId id, transport::Address addr);
+  void manifest_changed();
+
+  // --- reliable link ---
+  void link_send(proto::ContainerId peer_id, proto::InnerType type,
+                 Buffer inner);
+  void send_control(proto::ContainerId peer_id, proto::MsgType type,
+                    BytesView payload);
+  void on_reliable_data(proto::ContainerId from,
+                        const proto::ReliableDataMsg& msg);
+  void on_reliable_ack(proto::ContainerId from,
+                       const proto::ReliableAckMsg& msg);
+  void deliver_inner(proto::ContainerId from, proto::InnerType type,
+                     BytesView inner);
+  void on_control(proto::ContainerId from, proto::MsgType type,
+                  ByteReader& r);
+
+  // --- variables ---
+  void on_var_subscribe(proto::ContainerId from,
+                        const proto::VarSubscribeMsg& msg);
+  void on_var_unsubscribe(proto::ContainerId from,
+                          const proto::VarUnsubscribeMsg& msg);
+  void on_var_sample(const proto::VarSampleMsg& msg);
+  void on_var_snapshot(const proto::VarSnapshotMsg& msg);
+  void on_var_snapshot_request(proto::ContainerId from,
+                               const proto::VarSnapshotRequestMsg& msg);
+  void send_sample(VarProvision& prov);
+  void send_snapshot(VarProvision& prov, proto::ContainerId to);
+  void deliver_sample_locally(VarSubscription& sub, const enc::Value& value,
+                              const SampleInfo& info);
+  void arm_deadline(VarSubscription& sub);
+  void period_tick(const std::string& name);
+
+  // --- events ---
+  void on_event_subscribe(proto::ContainerId from,
+                          const proto::EventSubscribeMsg& msg);
+  void on_event_unsubscribe(proto::ContainerId from,
+                            const proto::EventUnsubscribeMsg& msg);
+  void on_event_msg(proto::ContainerId from, const proto::EventMsg& msg);
+  void deliver_event_locally(EventSubscription& sub, const enc::Value& value,
+                             const EventInfo& info);
+
+  // --- rpc ---
+  void on_rpc_request(proto::ContainerId from,
+                      const proto::RpcRequestMsg& msg);
+  void on_rpc_response(proto::ContainerId from,
+                       const proto::RpcResponseMsg& msg);
+  void dispatch_call(PendingCall call);
+  void dispatch_call_attempt(uint64_t rid);
+  std::optional<ProviderRecord> pick_provider(const std::string& function,
+                                              const CallOptions& options,
+                                              const std::set<proto::ContainerId>& exclude);
+  void finish_call(uint64_t request_id, StatusOr<enc::Value> result);
+  void fail_over_call(uint64_t request_id, const std::string& why);
+  void check_function_requirements();
+
+  // --- files ---
+  void on_file_subscribe(proto::ContainerId from,
+                         const proto::FileSubscribeMsg& msg);
+  void on_file_unsubscribe(proto::ContainerId from,
+                           const proto::FileUnsubscribeMsg& msg);
+  void on_file_revision(proto::ContainerId from,
+                        const proto::FileRevisionMsg& msg);
+  void on_file_chunk(const proto::FileChunkMsg& msg);
+  void on_file_status_request(proto::ContainerId from,
+                              const proto::FileStatusRequestMsg& msg);
+  void on_file_ack(proto::ContainerId from, const proto::FileAckMsg& msg);
+  void on_file_nack(proto::ContainerId from, const proto::FileNackMsg& msg);
+  void start_file_receiver(FileSubscription& sub, uint64_t transfer_id,
+                           const proto::FileMeta& meta,
+                           transport::Address publisher_addr);
+  void bypass_deliver_file(FileSubscription& sub, const FileProvision& prov);
+
+  // --- subscription upkeep ---
+  void resubscribe_tick();
+  void try_bind_var_subscription(VarSubscription& sub);
+  void try_bind_event_subscription(EventSubscription& sub);
+  void try_bind_file_subscription(FileSubscription& sub);
+  void rebind_after_directory_change();
+  void on_name_query(proto::ContainerId from, transport::Address addr,
+                     const proto::NameQueryMsg& msg);
+  void on_name_reply(const proto::NameReplyMsg& msg);
+  void send_name_query(proto::ItemKind kind, const std::string& name);
+
+  void emergency(const std::string& reason);
+
+  // Runs a service-supplied handler, converting an escaped exception into
+  // a logged failure of that service (watchdog semantics: a crashing
+  // handler must not take the container down; §3 "watching for their
+  // correct operation").
+  template <typename Fn>
+  void guard(Service* service, const char* what, Fn&& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      handler_crashed(service, what, e.what());
+    } catch (...) {
+      handler_crashed(service, what, "unknown exception");
+    }
+  }
+  void handler_crashed(Service* service, const char* what,
+                       const std::string& why);
+
+  // --- data members ---
+  ContainerConfig config_;
+  transport::Transport& transport_;
+  sched::Executor& executor_;
+  bool running_ = false;
+  bool bound_ = false;
+  TimePoint started_at_{};
+  TimePoint last_announce_{};
+  uint64_t incarnation_ = 0;  // set on first start, bumped per restart
+  uint64_t manifest_version_ = 0;  // bumped per announce
+  bool announce_pending_ = false;  // coalesces same-instant manifest changes
+
+  std::vector<std::unique_ptr<Service>> services_;
+  std::map<std::string, proto::ServiceState> service_states_;
+
+  NameDirectory directory_;
+  std::map<proto::ContainerId, Peer> peers_;
+
+  std::map<std::string, VarProvision> var_provisions_;          // by name
+  std::unordered_map<uint32_t, std::string> provision_channels_;
+  std::map<std::string, VarSubscription> var_subs_;             // by name
+  std::unordered_map<uint32_t, std::string> sub_channels_;
+
+  std::map<std::string, EventProvision> event_provisions_;
+  std::map<std::string, EventSubscription> event_subs_;
+
+  std::map<std::string, FunctionProvision> functions_;
+  std::map<uint64_t, PendingCall> pending_calls_;
+  uint64_t next_request_id_ = 1;
+  std::map<std::string, size_t> rr_cursor_;  // round-robin per function
+  std::map<std::string, proto::ContainerId> static_binding_;
+  // function -> requiring services (for emergency warnings)
+  std::map<std::string, std::set<std::string>> required_functions_;
+  std::set<std::string> functions_in_emergency_;
+  bool requirements_check_pending_ = false;
+
+  std::map<std::string, FileProvision> file_provisions_;
+  // file name -> remote subscriber containers (survives re-publication).
+  std::map<std::string, std::set<proto::MftpPeer>> file_remote_subscribers_;
+  std::map<std::string, FileSubscription> file_subs_;
+  std::unordered_map<uint64_t, std::string> transfer_names_;  // id -> name
+  uint64_t next_transfer_seq_ = 1;
+  uint64_t heartbeat_seq_ = 0;
+
+  sched::TaskTimerId heartbeat_timer_ = sched::kInvalidTaskTimer;
+  sched::TaskTimerId health_timer_ = sched::kInvalidTaskTimer;
+  sched::TaskTimerId resub_timer_ = sched::kInvalidTaskTimer;
+
+  ServiceUsage& usage_of(const Service* service) {
+    return usage_[service ? service->name() : "<container>"];
+  }
+
+  EmergencyHandler emergency_;
+  ContainerStats stats_;
+  std::map<std::string, ServiceUsage> usage_;
+};
+
+}  // namespace marea::mw

@@ -1,0 +1,275 @@
+// Event primitive (paper §4.2): publish/subscribe with guaranteed
+// delivery over the per-peer reliable link, dispatched at the highest
+// fixed priority because "another important fact that has to be taken
+// into account is latency".
+#include "middleware/container.h"
+
+#include <algorithm>
+
+#include "encoding/codec.h"
+
+namespace marea::mw {
+
+StatusOr<EventHandle> ServiceContainer::register_event(
+    Service& owner, const std::string& name, enc::TypePtr type) {
+  if (!type) return invalid_argument_error("event type is null");
+  if (event_provisions_.count(name)) {
+    return already_exists_error("event '" + name +
+                                "' already provided in this container");
+  }
+  EventProvision prov;
+  prov.owner = &owner;
+  prov.name = name;
+  prov.type = std::move(type);
+  event_provisions_.emplace(name, std::move(prov));
+  manifest_changed();
+  return EventHandle(this, name);
+}
+
+Status ServiceContainer::publish_event(const std::string& name,
+                                       enc::Value value) {
+  auto it = event_provisions_.find(name);
+  if (it == event_provisions_.end()) {
+    return not_found_error("event '" + name + "' is not provided here");
+  }
+  EventProvision& prov = it->second;
+  if (Status s = enc::validate(value, *prov.type); !s.is_ok()) return s;
+  prov.seq++;
+  stats_.events_published++;
+  usage_of(prov.owner).events_published++;
+
+  // Local subscribers: direct dispatch at event priority.
+  auto sub_it = event_subs_.find(name);
+  if (sub_it != event_subs_.end()) {
+    EventInfo info;
+    info.seq = prov.seq;
+    info.publish_time = now();
+    info.latency = kDurationZero;
+    deliver_event_locally(sub_it->second, value, info);
+  }
+
+  if (prov.remote_subscribers.empty()) return Status::ok();
+  auto encoded = enc::encode_value(value, *prov.type);
+  if (!encoded.ok()) return encoded.status();
+  proto::EventMsg msg;
+  msg.name = name;
+  msg.pub_seq = prov.seq;
+  msg.pub_time_ns = now().ns;
+  msg.value = std::move(encoded).value();
+  ByteWriter w;
+  msg.encode(w);
+  Buffer inner = w.take();
+  for (proto::ContainerId sub : prov.remote_subscribers) {
+    stats_.events_sent++;
+    link_send(sub, proto::InnerType::kEvent, inner);
+  }
+  return Status::ok();
+}
+
+Status ServiceContainer::register_event_subscription(Service& owner,
+                                                     const std::string& name,
+                                                     enc::TypePtr type,
+                                                     EventHandler handler,
+                                                     EventQoS qos) {
+  if (!type) return invalid_argument_error("event type is null");
+  if (!handler) return invalid_argument_error("event handler empty");
+  auto it = event_subs_.find(name);
+  if (it == event_subs_.end()) {
+    EventSubscription sub;
+    sub.name = name;
+    sub.type = type;
+    sub.qos = qos;
+    it = event_subs_.emplace(name, std::move(sub)).first;
+  } else if (it->second.type->structural_hash() != type->structural_hash()) {
+    return invalid_argument_error(
+        "event '" + name + "' already subscribed with a different structure");
+  } else if (qos.ordered) {
+    // Strictest requested QoS wins for the shared container subscription.
+    it->second.qos.ordered = true;
+    if (qos.reorder_window < it->second.qos.reorder_window) {
+      it->second.qos.reorder_window = qos.reorder_window;
+    }
+  }
+  it->second.entries.push_back(EventSubEntry{&owner, std::move(handler)});
+  if (running_) try_bind_event_subscription(it->second);
+  return Status::ok();
+}
+
+Status ServiceContainer::unregister_event_subscription(
+    Service& owner, const std::string& name) {
+  auto it = event_subs_.find(name);
+  if (it == event_subs_.end()) {
+    return not_found_error("not subscribed to event '" + name + "'");
+  }
+  EventSubscription& sub = it->second;
+  size_t before = sub.entries.size();
+  sub.entries.erase(
+      std::remove_if(
+          sub.entries.begin(), sub.entries.end(),
+          [&](const EventSubEntry& e) { return e.service == &owner; }),
+      sub.entries.end());
+  if (sub.entries.size() == before) {
+    return not_found_error("service '" + owner.name() +
+                           "' is not subscribed to '" + name + "'");
+  }
+  if (!sub.entries.empty()) return Status::ok();
+
+  proto::EventUnsubscribeMsg msg;
+  msg.name = name;
+  ByteWriter w;
+  msg.encode(w);
+  for (proto::ContainerId provider : sub.announced_to) {
+    send_control(provider, proto::MsgType::kEventUnsubscribe, w.view());
+  }
+  event_subs_.erase(it);
+  return Status::ok();
+}
+
+void ServiceContainer::try_bind_event_subscription(EventSubscription& sub) {
+  // Events can have redundant publishers; subscribe to every usable one.
+  auto providers = directory_.providers(proto::ItemKind::kEvent, sub.name);
+  if (providers.empty() && !event_provisions_.count(sub.name)) {
+    send_name_query(proto::ItemKind::kEvent, sub.name);
+    return;
+  }
+  for (const auto& provider : providers) {
+    if (sub.announced_to.count(provider.container)) continue;
+    if (provider.schema_hash != 0 &&
+        provider.schema_hash != sub.type->structural_hash()) {
+      MAREA_LOG(kWarn, "events")
+          << "event '" << sub.name << "': schema mismatch with container "
+          << provider.container;
+      continue;
+    }
+    proto::EventSubscribeMsg msg;
+    msg.name = sub.name;
+    msg.schema_hash = sub.type->structural_hash();
+    ByteWriter w;
+    msg.encode(w);
+    send_control(provider.container, proto::MsgType::kEventSubscribe,
+                 w.view());
+    sub.announced_to.insert(provider.container);
+  }
+}
+
+void ServiceContainer::deliver_event_locally(EventSubscription& sub,
+                                             const enc::Value& value,
+                                             const EventInfo& info) {
+  for (auto& entry : sub.entries) {
+    stats_.events_delivered++;
+    usage_of(entry.service).events_delivered++;
+    guard(entry.service, "event handler",
+          [&] { entry.handler(value, info); });
+  }
+}
+
+void ServiceContainer::on_event_subscribe(
+    proto::ContainerId from, const proto::EventSubscribeMsg& msg) {
+  auto it = event_provisions_.find(msg.name);
+  if (it == event_provisions_.end()) return;
+  if (msg.schema_hash != it->second.type->structural_hash()) {
+    MAREA_LOG(kWarn, "events") << "refusing event subscriber " << from
+                               << " of '" << msg.name
+                               << "': schema mismatch";
+    return;
+  }
+  it->second.remote_subscribers.insert(from);
+}
+
+void ServiceContainer::on_event_unsubscribe(
+    proto::ContainerId from, const proto::EventUnsubscribeMsg& msg) {
+  auto it = event_provisions_.find(msg.name);
+  if (it != event_provisions_.end()) {
+    it->second.remote_subscribers.erase(from);
+  }
+}
+
+void ServiceContainer::on_event_msg(proto::ContainerId from,
+                                    const proto::EventMsg& msg) {
+  auto it = event_subs_.find(msg.name);
+  if (it == event_subs_.end()) return;
+  auto value = enc::decode_value(as_bytes_view(msg.value), *it->second.type);
+  if (!value.ok()) {
+    stats_.frames_dropped++;
+    return;
+  }
+  EventInfo info;
+  info.seq = msg.pub_seq;
+  info.publish_time = TimePoint{msg.pub_time_ns};
+  info.latency = now() - info.publish_time;
+  if (it->second.qos.ordered) {
+    ordered_deliver(it->second, from, std::move(*value), info);
+  } else {
+    deliver_event_locally(it->second, *value, info);
+  }
+}
+
+// --- ordered delivery (EventQoS) -------------------------------------------
+//
+// The reliable link guarantees exactly-once but not order. When a
+// subscription asks for ordering, arrivals that jump ahead of the next
+// expected publication seq are held until the gap fills or the reorder
+// window expires; a straggler arriving after its slot was flushed is
+// delivered late rather than dropped (delivery remains guaranteed).
+
+void ServiceContainer::ordered_deliver(EventSubscription& sub,
+                                       proto::ContainerId from,
+                                       enc::Value value, EventInfo info) {
+  auto& st = sub.order[from];
+  const uint64_t seq = info.seq;
+
+  // A fresh publisher's very first event (seq 1) has no possible
+  // predecessor: start the stream without the settling delay.
+  if (st.next == 0 && seq == 1) st.next = 1;
+
+  if (st.next != 0 && seq < st.next) {
+    // Straggler past its flushed slot: deliver immediately, out of order.
+    deliver_event_locally(sub, value, info);
+    return;
+  }
+  if (st.next != 0 && seq == st.next) {
+    deliver_event_locally(sub, value, info);
+    st.next = seq + 1;
+    // Drain any now-contiguous held events.
+    auto held_it = st.held.begin();
+    while (held_it != st.held.end() && held_it->first == st.next) {
+      deliver_event_locally(sub, held_it->second.first,
+                            held_it->second.second);
+      st.next = held_it->first + 1;
+      held_it = st.held.erase(held_it);
+    }
+    if (st.held.empty()) {
+      executor_.cancel(st.flush_timer);
+      st.flush_timer = sched::kInvalidTaskTimer;
+    }
+    return;
+  }
+
+  // Gap (or uninitialized stream): hold and arm the flush window.
+  st.held.emplace(seq, std::make_pair(std::move(value), info));
+  if (st.flush_timer == sched::kInvalidTaskTimer) {
+    std::string name = sub.name;
+    st.flush_timer = executor_.schedule(
+        sub.qos.reorder_window, sched::Priority::kEvent,
+        [this, name, from] { ordered_flush(name, from); });
+  }
+}
+
+void ServiceContainer::ordered_flush(const std::string& name,
+                                     proto::ContainerId from) {
+  auto it = event_subs_.find(name);
+  if (it == event_subs_.end()) return;
+  auto ord_it = it->second.order.find(from);
+  if (ord_it == it->second.order.end()) return;
+  auto& st = ord_it->second;
+  st.flush_timer = sched::kInvalidTaskTimer;
+  // The window expired with a gap outstanding: deliver everything held, in
+  // order, and move the horizon past it.
+  for (auto& [seq, pending] : st.held) {
+    deliver_event_locally(it->second, pending.first, pending.second);
+    st.next = seq + 1;
+  }
+  st.held.clear();
+}
+
+}  // namespace marea::mw

@@ -1,0 +1,338 @@
+// File transmission (paper §4.4): MFTP-like multicast bulk transfer with
+// revisions, late join, and the same-container bypass ("the transfer is
+// bypassed by the container as direct access to the resource").
+#include "middleware/container.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+
+namespace marea::mw {
+
+namespace {
+constexpr const char* kLog = "files";
+}
+
+Status ServiceContainer::publish_file_resource(Service& owner,
+                                               const std::string& name,
+                                               Buffer content) {
+  uint32_t revision = 1;
+  std::set<proto::MftpPeer> carried_subscribers;
+  auto it = file_provisions_.find(name);
+  if (it != file_provisions_.end()) {
+    if (it->second.owner != &owner) {
+      return already_exists_error("file '" + name +
+                                  "' is published by another service");
+    }
+    revision = it->second.meta.revision + 1;
+    // Current receivers follow the resource across revisions (§4.4
+    // "subscribers can also be notified of revision changes").
+    if (it->second.publisher) {
+      // The publisher tracks remote subscribers; carry them over.
+      carried_subscribers = file_remote_subscribers_[name];
+    }
+    transfer_names_.erase(it->second.transfer_id);
+  }
+
+  FileProvision prov;
+  prov.owner = &owner;
+  prov.meta.name = name;
+  prov.meta.revision = revision;
+  prov.meta.size = content.size();
+  prov.meta.chunk_size = config_.mftp.chunk_size;
+  prov.meta.content_crc = crc32(as_bytes_view(content));
+  prov.content = std::move(content);
+  prov.transfer_id =
+      (static_cast<uint64_t>(config_.id) << 32) | next_transfer_seq_++;
+  transfer_names_[prov.transfer_id] = name;
+
+  const uint32_t channel = proto::channel_of(name);
+  prov.publisher = std::make_unique<proto::MftpPublisher>(
+      executor_, config_.mftp, prov.transfer_id, prov.meta, prov.content,
+      [this, channel](const proto::FileChunkMsg& msg) {
+        multicast_msg(channel, proto::MsgType::kFileChunk, msg);
+      },
+      [this, channel](const proto::FileStatusRequestMsg& msg) {
+        multicast_msg(channel, proto::MsgType::kFileStatusRequest, msg);
+      });
+  prov.publisher->set_on_subscriber_done(
+      [this, name](proto::MftpPeer peer, const Status& s) {
+        if (!s.is_ok()) {
+          MAREA_LOG(kWarn, kLog)
+              << "file '" << name << "': subscriber " << peer
+              << " dropped: " << s.to_string();
+          file_remote_subscribers_[name].erase(
+              static_cast<proto::ContainerId>(peer));
+        }
+      });
+
+  uint64_t transfer_id = prov.transfer_id;
+  proto::FileMeta meta = prov.meta;
+
+  file_provisions_[name] = std::move(prov);
+  stats_.files_published++;
+  usage_of(&owner).files_published++;
+
+  // Local subscribers get the content directly (bypass).
+  if (auto sub_it = file_subs_.find(name); sub_it != file_subs_.end()) {
+    bypass_deliver_file(sub_it->second, file_provisions_[name]);
+  }
+
+  // Tell remote subscribers about the (new) revision and restart them.
+  if (!carried_subscribers.empty()) {
+    proto::FileRevisionMsg rev_msg;
+    rev_msg.transfer_id = transfer_id;
+    rev_msg.meta = meta;
+    ByteWriter w;
+    rev_msg.encode(w);
+    auto& publisher = *file_provisions_[name].publisher;
+    for (proto::MftpPeer peer_id : carried_subscribers) {
+      send_control(static_cast<proto::ContainerId>(peer_id),
+                   proto::MsgType::kFileRevision, w.view());
+      publisher.add_subscriber(peer_id);
+    }
+    publisher.start();  // push the whole new revision proactively
+  }
+
+  manifest_changed();
+  return Status::ok();
+}
+
+Status ServiceContainer::register_file_subscription(
+    Service& owner, const std::string& name, FileCompleteHandler on_done,
+    FileProgressHandler on_progress) {
+  if (!on_done) return invalid_argument_error("file handler empty");
+  auto it = file_subs_.find(name);
+  if (it == file_subs_.end()) {
+    FileSubscription sub;
+    sub.name = name;
+    it = file_subs_.emplace(name, std::move(sub)).first;
+  }
+  it->second.entries.push_back(
+      FileSubEntry{&owner, std::move(on_done), std::move(on_progress)});
+
+  // Same-container resource: hand over the bytes right away.
+  if (auto prov_it = file_provisions_.find(name);
+      prov_it != file_provisions_.end()) {
+    bypass_deliver_file(it->second, prov_it->second);
+    return Status::ok();
+  }
+  if (running_) try_bind_file_subscription(it->second);
+  return Status::ok();
+}
+
+Status ServiceContainer::unregister_file_subscription(
+    Service& owner, const std::string& name) {
+  auto it = file_subs_.find(name);
+  if (it == file_subs_.end()) {
+    return not_found_error("not subscribed to file '" + name + "'");
+  }
+  FileSubscription& sub = it->second;
+  size_t before = sub.entries.size();
+  sub.entries.erase(
+      std::remove_if(
+          sub.entries.begin(), sub.entries.end(),
+          [&](const FileSubEntry& e) { return e.service == &owner; }),
+      sub.entries.end());
+  if (sub.entries.size() == before) {
+    return not_found_error("service '" + owner.name() +
+                           "' is not subscribed to '" + name + "'");
+  }
+  if (!sub.entries.empty()) return Status::ok();
+
+  if (sub.joined_group) {
+    transport_.leave_group(proto::channel_of(name), config_.data_port);
+  }
+  if (sub.provider && sub.announced) {
+    proto::FileUnsubscribeMsg msg;
+    msg.name = name;
+    ByteWriter w;
+    msg.encode(w);
+    send_control(sub.provider->container, proto::MsgType::kFileUnsubscribe,
+                 w.view());
+  }
+  if (sub.receiver) transfer_names_.erase(sub.receiver->transfer_id());
+  file_subs_.erase(it);
+  return Status::ok();
+}
+
+void ServiceContainer::bypass_deliver_file(FileSubscription& sub,
+                                           const FileProvision& prov) {
+  stats_.file_local_bypasses++;
+  sub.completed_revision = prov.meta.revision;
+  proto::FileMeta meta = prov.meta;
+  // Post (not inline) so subscribe_file never reenters the service.
+  for (auto& entry : sub.entries) {
+    if (!entry.on_done) continue;
+    auto handler = entry.on_done;
+    Service* owner = entry.service;
+    const Buffer& content = prov.content;
+    usage_of(owner).file_bytes_delivered += prov.content.size();
+    executor_.post(
+        sched::Priority::kFileTransfer,
+        [this, owner, handler, meta, content] {
+          guard(owner, "file handler", [&] { handler(meta, content); });
+        },
+        config_.handler_cost);
+  }
+  stats_.file_completions++;
+}
+
+void ServiceContainer::try_bind_file_subscription(FileSubscription& sub) {
+  if (file_provisions_.count(sub.name)) return;
+  if (sub.announced && sub.provider) return;
+
+  auto provider = directory_.resolve(proto::ItemKind::kFile, sub.name);
+  if (!provider) {
+    send_name_query(proto::ItemKind::kFile, sub.name);
+    return;
+  }
+  sub.provider = *provider;
+
+  if (!sub.joined_group) {
+    Status s =
+        transport_.join_group(proto::channel_of(sub.name), config_.data_port);
+    sub.joined_group = s.is_ok() || s.code() == StatusCode::kAlreadyExists;
+  }
+
+  proto::FileSubscribeMsg msg;
+  msg.name = sub.name;
+  msg.revision_have = sub.completed_revision;
+  ByteWriter w;
+  msg.encode(w);
+  send_control(provider->container, proto::MsgType::kFileSubscribe, w.view());
+  sub.announced = true;
+}
+
+void ServiceContainer::on_file_subscribe(proto::ContainerId from,
+                                         const proto::FileSubscribeMsg& msg) {
+  auto it = file_provisions_.find(msg.name);
+  if (it == file_provisions_.end()) return;
+  FileProvision& prov = it->second;
+
+  // Always answer with the current revision's coordinates.
+  proto::FileRevisionMsg rev;
+  rev.transfer_id = prov.transfer_id;
+  rev.meta = prov.meta;
+  ByteWriter w;
+  rev.encode(w);
+  send_control(from, proto::MsgType::kFileRevision, w.view());
+
+  if (msg.revision_have == prov.meta.revision) return;  // already current
+  file_remote_subscribers_[msg.name].insert(from);
+  prov.publisher->add_subscriber(from);
+}
+
+void ServiceContainer::on_file_unsubscribe(
+    proto::ContainerId from, const proto::FileUnsubscribeMsg& msg) {
+  auto it = file_provisions_.find(msg.name);
+  if (it == file_provisions_.end()) return;
+  file_remote_subscribers_[msg.name].erase(from);
+  it->second.publisher->remove_subscriber(from);
+}
+
+void ServiceContainer::on_file_revision(proto::ContainerId from,
+                                        const proto::FileRevisionMsg& msg) {
+  (void)from;
+  auto it = file_subs_.find(msg.meta.name);
+  if (it == file_subs_.end()) return;
+  FileSubscription& sub = it->second;
+  if (sub.completed_revision >= msg.meta.revision) return;  // old news
+  if (sub.receiver && sub.receiver->transfer_id() == msg.transfer_id &&
+      sub.receiver->meta().revision == msg.meta.revision) {
+    return;  // already collecting this revision
+  }
+  if (!sub.provider) return;  // not bound (e.g. raced with peer loss)
+  start_file_receiver(sub, msg.transfer_id, msg.meta, sub.provider->address);
+}
+
+void ServiceContainer::start_file_receiver(FileSubscription& sub,
+                                           uint64_t transfer_id,
+                                           const proto::FileMeta& meta,
+                                           transport::Address publisher_addr) {
+  if (sub.receiver) transfer_names_.erase(sub.receiver->transfer_id());
+  std::string name = sub.name;
+  sub.receiver = std::make_unique<proto::MftpReceiver>(
+      transfer_id, meta,
+      [this, publisher_addr](const proto::FileAckMsg& ack) {
+        send_msg(publisher_addr, proto::MsgType::kFileAck, ack);
+      },
+      [this, publisher_addr](const proto::FileNackMsg& nack) {
+        send_msg(publisher_addr, proto::MsgType::kFileNack, nack);
+      });
+  transfer_names_[transfer_id] = name;
+
+  sub.receiver->set_on_progress([this, name](uint32_t have, uint32_t total) {
+    auto it = file_subs_.find(name);
+    if (it == file_subs_.end()) return;
+    for (auto& entry : it->second.entries) {
+      if (entry.on_progress) {
+        entry.on_progress(it->second.receiver->meta(), have, total);
+      }
+    }
+  });
+  auto on_complete = [this, name](const Buffer& content) {
+    auto it = file_subs_.find(name);
+    if (it == file_subs_.end()) return;
+    FileSubscription& s = it->second;
+    s.completed_revision = s.receiver->meta().revision;
+    stats_.file_completions++;
+    proto::FileMeta meta = s.receiver->meta();
+    MAREA_LOG(kInfo, kLog) << config_.node_name << " completed file '" << name
+                           << "' rev " << meta.revision << " ("
+                           << meta.size << " bytes)";
+    for (auto& entry : s.entries) {
+      if (!entry.on_done) continue;
+      auto handler = entry.on_done;
+      Service* owner = entry.service;
+      usage_of(owner).file_bytes_delivered += content.size();
+      executor_.post(
+          sched::Priority::kFileTransfer,
+          [this, owner, handler, meta, content] {
+            guard(owner, "file handler", [&] { handler(meta, content); });
+          },
+          config_.handler_cost);
+    }
+  };
+  sub.receiver->set_on_complete(on_complete);
+  // Zero-byte resources are complete on arrival of the metadata alone.
+  if (sub.receiver->complete()) on_complete(Buffer{});
+}
+
+void ServiceContainer::on_file_chunk(const proto::FileChunkMsg& msg) {
+  auto name_it = transfer_names_.find(msg.transfer_id);
+  if (name_it == transfer_names_.end()) return;
+  auto it = file_subs_.find(name_it->second);
+  if (it == file_subs_.end() || !it->second.receiver) return;
+  it->second.receiver->on_chunk(msg);
+}
+
+void ServiceContainer::on_file_status_request(
+    proto::ContainerId from, const proto::FileStatusRequestMsg& msg) {
+  (void)from;
+  auto name_it = transfer_names_.find(msg.transfer_id);
+  if (name_it == transfer_names_.end()) return;
+  auto it = file_subs_.find(name_it->second);
+  if (it == file_subs_.end() || !it->second.receiver) return;
+  it->second.receiver->on_status_request(msg);
+}
+
+void ServiceContainer::on_file_ack(proto::ContainerId from,
+                                   const proto::FileAckMsg& msg) {
+  auto name_it = transfer_names_.find(msg.transfer_id);
+  if (name_it == transfer_names_.end()) return;
+  auto it = file_provisions_.find(name_it->second);
+  if (it == file_provisions_.end() || !it->second.publisher) return;
+  it->second.publisher->on_ack(from, msg);
+}
+
+void ServiceContainer::on_file_nack(proto::ContainerId from,
+                                    const proto::FileNackMsg& msg) {
+  auto name_it = transfer_names_.find(msg.transfer_id);
+  if (name_it == transfer_names_.end()) return;
+  auto it = file_provisions_.find(name_it->second);
+  if (it == file_provisions_.end() || !it->second.publisher) return;
+  it->second.publisher->on_nack(from, msg);
+}
+
+}  // namespace marea::mw

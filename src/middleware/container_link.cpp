@@ -1,0 +1,166 @@
+// Reliable per-peer link: events, remote invocation and subscription
+// control ride a selective-repeat ARQ channel per container pair
+// (paper §4.2/§4.3: "UDP using a mechanism to acknowledge and resend lost
+// packets", "UDP plus retransmission at the middleware level").
+#include "middleware/container.h"
+
+namespace marea::mw {
+
+void ServiceContainer::link_send(proto::ContainerId peer_id,
+                                 proto::InnerType type, Buffer inner) {
+  Peer* p = peer(peer_id);
+  if (!p) {
+    MAREA_LOG(kWarn, "link") << "container " << config_.id
+                             << ": no peer " << peer_id << " for link send";
+    return;
+  }
+  if (!p->tx) {
+    transport::Address to = p->address;
+    p->tx = std::make_unique<proto::ArqSender>(
+        executor_, sched::Priority::kEvent, config_.arq,
+        [this, to](const proto::ReliableDataMsg& msg) {
+          ByteWriter w;
+          msg.encode(w);
+          send_frame(to, proto::MsgType::kReliableData, w.view());
+        });
+    p->tx->set_on_failed(
+        [this, peer_id](uint64_t, const Status&) {
+          // Repeated delivery failure == the peer is effectively gone.
+          executor_.post(sched::Priority::kBackground, [this, peer_id] {
+            if (peers_.count(peer_id)) peer_lost(peer_id, "link failure");
+          });
+        });
+  }
+  p->tx->send(type, std::move(inner));
+}
+
+void ServiceContainer::send_control(proto::ContainerId peer_id,
+                                    proto::MsgType type, BytesView payload) {
+  ByteWriter w(payload.size() + 1);
+  w.u8(static_cast<uint8_t>(type));
+  w.bytes(payload);
+  link_send(peer_id, proto::InnerType::kControl, w.take());
+}
+
+void ServiceContainer::on_reliable_data(proto::ContainerId from,
+                                        const proto::ReliableDataMsg& msg) {
+  Peer* pp = peer(from);
+  if (!pp) return;  // process_frame ensures the peer; defensive only
+  Peer& p = *pp;
+  if (!p.rx) {
+    transport::Address to = p.address;
+    p.rx = std::make_unique<proto::ArqReceiver>(
+        [this, to](const proto::ReliableAckMsg& ack) {
+          ByteWriter w;
+          ack.encode(w);
+          send_frame(to, proto::MsgType::kReliableAck, w.view());
+        },
+        [this, from](proto::InnerType type, BytesView inner) {
+          deliver_inner(from, type, inner);
+        });
+  }
+  p.rx->on_data(msg);
+}
+
+void ServiceContainer::on_reliable_ack(proto::ContainerId from,
+                                       const proto::ReliableAckMsg& msg) {
+  Peer* p = peer(from);
+  if (p && p->tx) p->tx->on_ack(msg);
+}
+
+void ServiceContainer::deliver_inner(proto::ContainerId from,
+                                     proto::InnerType type, BytesView inner) {
+  ByteReader r(inner);
+  switch (type) {
+    case proto::InnerType::kEvent: {
+      proto::EventMsg msg;
+      if (proto::EventMsg::decode(r, msg)) on_event_msg(from, msg);
+      break;
+    }
+    case proto::InnerType::kRpcRequest: {
+      proto::RpcRequestMsg msg;
+      if (proto::RpcRequestMsg::decode(r, msg)) on_rpc_request(from, msg);
+      break;
+    }
+    case proto::InnerType::kRpcResponse: {
+      proto::RpcResponseMsg msg;
+      if (proto::RpcResponseMsg::decode(r, msg)) on_rpc_response(from, msg);
+      break;
+    }
+    case proto::InnerType::kControl: {
+      uint8_t raw = r.u8();
+      if (!r.ok()) break;
+      on_control(from, static_cast<proto::MsgType>(raw), r);
+      break;
+    }
+  }
+}
+
+void ServiceContainer::on_control(proto::ContainerId from,
+                                  proto::MsgType type, ByteReader& r) {
+  using T = proto::MsgType;
+  switch (type) {
+    case T::kVarSubscribe: {
+      proto::VarSubscribeMsg msg;
+      if (proto::VarSubscribeMsg::decode(r, msg)) on_var_subscribe(from, msg);
+      break;
+    }
+    case T::kVarUnsubscribe: {
+      proto::VarUnsubscribeMsg msg;
+      if (proto::VarUnsubscribeMsg::decode(r, msg)) {
+        on_var_unsubscribe(from, msg);
+      }
+      break;
+    }
+    case T::kVarSnapshotRequest: {
+      proto::VarSnapshotRequestMsg msg;
+      if (proto::VarSnapshotRequestMsg::decode(r, msg)) {
+        on_var_snapshot_request(from, msg);
+      }
+      break;
+    }
+    case T::kVarSnapshot: {
+      proto::VarSnapshotMsg msg;
+      if (proto::VarSnapshotMsg::decode(r, msg)) on_var_snapshot(msg);
+      break;
+    }
+    case T::kEventSubscribe: {
+      proto::EventSubscribeMsg msg;
+      if (proto::EventSubscribeMsg::decode(r, msg)) {
+        on_event_subscribe(from, msg);
+      }
+      break;
+    }
+    case T::kEventUnsubscribe: {
+      proto::EventUnsubscribeMsg msg;
+      if (proto::EventUnsubscribeMsg::decode(r, msg)) {
+        on_event_unsubscribe(from, msg);
+      }
+      break;
+    }
+    case T::kFileSubscribe: {
+      proto::FileSubscribeMsg msg;
+      if (proto::FileSubscribeMsg::decode(r, msg)) {
+        on_file_subscribe(from, msg);
+      }
+      break;
+    }
+    case T::kFileUnsubscribe: {
+      proto::FileUnsubscribeMsg msg;
+      if (proto::FileUnsubscribeMsg::decode(r, msg)) {
+        on_file_unsubscribe(from, msg);
+      }
+      break;
+    }
+    case T::kFileRevision: {
+      proto::FileRevisionMsg msg;
+      if (proto::FileRevisionMsg::decode(r, msg)) on_file_revision(from, msg);
+      break;
+    }
+    default:
+      stats_.frames_dropped++;
+      break;
+  }
+}
+
+}  // namespace marea::mw

@@ -1,0 +1,92 @@
+// Name management (paper §3): directory cache upkeep, the query/reply
+// fallback path for cold lookups, and the periodic rebinding loop that
+// re-resolves orphaned subscriptions after provider changes.
+#include "middleware/container.h"
+
+namespace marea::mw {
+
+void ServiceContainer::on_name_query(proto::ContainerId from,
+                                     transport::Address addr,
+                                     const proto::NameQueryMsg& msg) {
+  ensure_peer(from, addr);
+  // Answer only if one of our local services provides the item.
+  bool provides = false;
+  std::string service;
+  switch (msg.kind) {
+    case proto::ItemKind::kVariable:
+      if (auto it = var_provisions_.find(msg.name);
+          it != var_provisions_.end()) {
+        provides = true;
+        service = it->second.owner->name();
+      }
+      break;
+    case proto::ItemKind::kEvent:
+      if (auto it = event_provisions_.find(msg.name);
+          it != event_provisions_.end()) {
+        provides = true;
+        service = it->second.owner->name();
+      }
+      break;
+    case proto::ItemKind::kFunction:
+      if (auto it = functions_.find(msg.name); it != functions_.end()) {
+        provides = true;
+        service = it->second.owner->name();
+      }
+      break;
+    case proto::ItemKind::kFile:
+      if (auto it = file_provisions_.find(msg.name);
+          it != file_provisions_.end()) {
+        provides = true;
+        service = it->second.owner->name();
+      }
+      break;
+  }
+  if (!provides) return;
+  proto::NameReplyMsg reply;
+  reply.query_id = msg.query_id;
+  reply.found = true;
+  reply.provider = config_.id;
+  reply.data_port = config_.data_port;
+  reply.service = service;
+  send_msg(addr, proto::MsgType::kNameReply, reply);
+}
+
+void ServiceContainer::on_name_reply(const proto::NameReplyMsg& msg) {
+  // The reply confirms a provider exists; the authoritative manifest
+  // arrives with the hello that ensure_peer provokes. Nothing else to do —
+  // the next resubscribe tick binds against the refreshed directory.
+  (void)msg;
+}
+
+void ServiceContainer::send_name_query(proto::ItemKind kind,
+                                       const std::string& name) {
+  proto::NameQueryMsg msg;
+  msg.query_id = next_request_id_++;
+  msg.kind = kind;
+  msg.name = name;
+  stats_.name_queries_sent++;
+  broadcast_msg(proto::MsgType::kNameQuery, msg);
+}
+
+void ServiceContainer::resubscribe_tick() {
+  if (!running_) return;
+  rebind_after_directory_change();
+  resub_timer_ =
+      executor_.schedule(config_.resubscribe_interval,
+                         sched::Priority::kBackground,
+                         [this] { resubscribe_tick(); });
+}
+
+void ServiceContainer::rebind_after_directory_change() {
+  for (auto& [name, sub] : var_subs_) try_bind_var_subscription(sub);
+  for (auto& [name, sub] : event_subs_) try_bind_event_subscription(sub);
+  for (auto& [name, sub] : file_subs_) try_bind_file_subscription(sub);
+}
+
+void ServiceContainer::schedule_for_service(Duration delay,
+                                            std::function<void()> fn,
+                                            sched::Priority priority) {
+  executor_.schedule(delay, priority, std::move(fn), config_.handler_cost);
+}
+
+}  // namespace marea::mw

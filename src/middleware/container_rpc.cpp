@@ -1,0 +1,329 @@
+// Remote invocation (paper §4.3): two-way point-to-point calls with the
+// server location abstracted by the middleware — static or load-balanced
+// dynamic binding, transparent failover to redundant providers, and the
+// "programmed emergency procedure" warning when no provider exists.
+#include "middleware/container.h"
+
+#include "encoding/codec.h"
+
+namespace marea::mw {
+
+namespace {
+constexpr const char* kLog = "rpc";
+constexpr Duration kNoProviderRetry = milliseconds(50);
+}  // namespace
+
+Status ServiceContainer::register_function(Service& owner,
+                                           const std::string& name,
+                                           enc::TypePtr args_type,
+                                           enc::TypePtr result_type,
+                                           FunctionHandler handler) {
+  if (!args_type || !result_type) {
+    return invalid_argument_error("function types are null");
+  }
+  if (!handler) return invalid_argument_error("function handler empty");
+  if (functions_.count(name)) {
+    return already_exists_error("function '" + name +
+                                "' already provided in this container");
+  }
+  FunctionProvision prov;
+  prov.owner = &owner;
+  prov.name = name;
+  prov.args_type = std::move(args_type);
+  prov.result_type = std::move(result_type);
+  prov.handler = std::move(handler);
+  functions_.emplace(name, std::move(prov));
+  manifest_changed();
+  return Status::ok();
+}
+
+Status ServiceContainer::add_function_requirement(Service& owner,
+                                                  const std::string& function) {
+  required_functions_[function].insert(owner.name());
+  if (running_) check_function_requirements();
+  // Report current availability so callers can gate their startup.
+  if (functions_.count(function)) return Status::ok();
+  if (!directory_.providers(proto::ItemKind::kFunction, function).empty()) {
+    return Status::ok();
+  }
+  return unavailable_error("function '" + function +
+                           "' has no provider (yet)");
+}
+
+void ServiceContainer::check_function_requirements() {
+  // During the join window, absence is expected — re-check once it closes.
+  if (running_ && now() - started_at_ < config_.requirement_grace) {
+    if (!requirements_check_pending_) {
+      requirements_check_pending_ = true;
+      executor_.schedule(config_.requirement_grace,
+                         sched::Priority::kBackground, [this] {
+                           requirements_check_pending_ = false;
+                           check_function_requirements();
+                         });
+    }
+    return;
+  }
+  for (const auto& [function, requirers] : required_functions_) {
+    bool available =
+        functions_.count(function) > 0 ||
+        !directory_.providers(proto::ItemKind::kFunction, function).empty();
+    bool was_emergency = functions_in_emergency_.count(function) > 0;
+    if (!available && !was_emergency && running_) {
+      functions_in_emergency_.insert(function);
+      std::string who;
+      for (const auto& s : requirers) {
+        if (!who.empty()) who += ",";
+        who += s;
+      }
+      emergency("required function '" + function +
+                "' has no provider (needed by " + who + ")");
+    } else if (available && was_emergency) {
+      functions_in_emergency_.erase(function);
+      MAREA_LOG(kInfo, kLog) << "function '" << function
+                             << "' available again";
+    }
+  }
+}
+
+void ServiceContainer::call_function(Service* caller,
+                                     const std::string& function,
+                                     enc::Value args, CallCallback callback,
+                                     CallOptions options) {
+  stats_.rpc_calls++;
+  usage_of(caller).rpc_calls_issued++;
+
+  // Same-container provider: bypass the network entirely.
+  if (auto it = functions_.find(function); it != functions_.end()) {
+    FunctionProvision* prov = &it->second;
+    executor_.post(
+        sched::Priority::kRpc,
+        [this, prov, args = std::move(args),
+         callback = std::move(callback)]() mutable {
+          stats_.rpc_served++;
+          usage_of(prov->owner).rpc_calls_served++;
+          StatusOr<enc::Value> result =
+              internal_error("function handler crashed");
+          guard(prov->owner, "function handler",
+                [&] { result = prov->handler(args); });
+          callback(std::move(result));
+        },
+        config_.handler_cost);
+    return;
+  }
+
+  PendingCall call;
+  call.request_id = next_request_id_++;
+  call.function = function;
+  call.args = std::move(args);
+  call.callback = std::move(callback);
+  call.options = options;
+  call.failovers_left =
+      options.binding == RpcBinding::kDynamic ? options.max_failovers : 0;
+  uint64_t rid = call.request_id;
+  pending_calls_.emplace(rid, std::move(call));
+
+  // Overall deadline regardless of retries/failovers.
+  auto deadline_it = pending_calls_.find(rid);
+  deadline_it->second.timer = executor_.schedule(
+      options.timeout, sched::Priority::kRpc, [this, rid] {
+        fail_over_call(rid, "call timeout");
+      });
+
+  dispatch_call_attempt(rid);
+}
+
+void ServiceContainer::dispatch_call(PendingCall call) {
+  // Retained for interface compatibility; routing happens per attempt.
+  uint64_t rid = call.request_id;
+  pending_calls_.emplace(rid, std::move(call));
+  dispatch_call_attempt(rid);
+}
+
+std::optional<ProviderRecord> ServiceContainer::pick_provider(
+    const std::string& function, const CallOptions& options,
+    const std::set<proto::ContainerId>& exclude) {
+  auto providers = directory_.providers(proto::ItemKind::kFunction, function);
+  std::vector<ProviderRecord> usable;
+  for (const auto& p : providers) {
+    if (!exclude.count(p.container)) usable.push_back(p);
+  }
+  if (usable.empty()) return std::nullopt;
+
+  if (options.binding == RpcBinding::kStatic) {
+    // Pin the first choice and keep using it (§4.3 "static allocations …
+    // are useful in critical services").
+    auto it = static_binding_.find(function);
+    if (it != static_binding_.end()) {
+      for (const auto& p : usable) {
+        if (p.container == it->second) return p;
+      }
+      return std::nullopt;  // pinned provider gone: static binding fails
+    }
+    static_binding_[function] = usable.front().container;
+    return usable.front();
+  }
+
+  // Dynamic: round-robin across redundant providers (§4.3 "load balancing
+  // techniques are used").
+  size_t& cursor = rr_cursor_[function];
+  const ProviderRecord& chosen = usable[cursor % usable.size()];
+  cursor++;
+  return chosen;
+}
+
+void ServiceContainer::dispatch_call_attempt(uint64_t rid) {
+  auto it = pending_calls_.find(rid);
+  if (it == pending_calls_.end()) return;
+  PendingCall& call = it->second;
+
+  auto provider = pick_provider(call.function, call.options, call.tried);
+  if (!provider) {
+    // No provider (yet): providers may still be joining — retry until the
+    // call deadline fires.
+    MAREA_LOG(kTrace, kLog) << "call " << rid << " '" << call.function
+                            << "': no provider yet ("
+                            << directory_
+                                   .providers(proto::ItemKind::kFunction,
+                                              call.function)
+                                   .size()
+                            << " records)";
+    call.target = proto::kInvalidContainer;
+    executor_.schedule(kNoProviderRetry, sched::Priority::kRpc,
+                       [this, rid] { dispatch_call_attempt(rid); });
+    return;
+  }
+
+  call.target = provider->container;
+  proto::RpcRequestMsg msg;
+  msg.request_id = rid;
+  msg.function = call.function;
+  msg.args = enc::encode_tagged(call.args);
+  ByteWriter w;
+  msg.encode(w);
+  link_send(provider->container, proto::InnerType::kRpcRequest, w.take());
+}
+
+void ServiceContainer::fail_over_call(uint64_t request_id,
+                                      const std::string& why) {
+  auto it = pending_calls_.find(request_id);
+  if (it == pending_calls_.end()) return;
+  PendingCall& call = it->second;
+
+  if (why == "call timeout") {
+    // The overall deadline expired: report failure now.
+    finish_call(request_id,
+                timeout_error("call '" + call.function + "' timed out"));
+    return;
+  }
+
+  if (call.target != proto::kInvalidContainer) {
+    call.tried.insert(call.target);
+    call.target = proto::kInvalidContainer;
+  }
+  if (call.failovers_left-- > 0) {
+    stats_.rpc_failovers++;
+    MAREA_LOG(kInfo, kLog) << "failing over call '" << call.function << "' ("
+                           << why << ")";
+    dispatch_call_attempt(request_id);
+    return;
+  }
+  finish_call(request_id, unavailable_error("call '" + call.function +
+                                            "' failed: " + why));
+}
+
+void ServiceContainer::finish_call(uint64_t request_id,
+                                   StatusOr<enc::Value> result) {
+  auto it = pending_calls_.find(request_id);
+  if (it == pending_calls_.end()) return;
+  executor_.cancel(it->second.timer);
+  CallCallback callback = std::move(it->second.callback);
+  if (!result.ok()) {
+    stats_.rpc_failures++;
+    MAREA_LOG(kDebug, kLog) << "call '" << it->second.function << "' (id "
+                            << request_id << ", target " << it->second.target
+                            << ") failed: " << result.status().to_string();
+  }
+  pending_calls_.erase(it);
+  callback(std::move(result));
+}
+
+void ServiceContainer::on_rpc_request(proto::ContainerId from,
+                                      const proto::RpcRequestMsg& msg) {
+  proto::RpcResponseMsg resp;
+  resp.request_id = msg.request_id;
+
+  auto it = functions_.find(msg.function);
+  if (it == functions_.end()) {
+    resp.status_code = static_cast<uint8_t>(StatusCode::kNotFound);
+    resp.error = "function '" + msg.function + "' not provided here";
+    ByteWriter w;
+    resp.encode(w);
+    link_send(from, proto::InnerType::kRpcResponse, w.take());
+    return;
+  }
+
+  auto args = enc::decode_tagged(as_bytes_view(msg.args));
+  if (!args.ok()) {
+    resp.status_code = static_cast<uint8_t>(StatusCode::kDataLoss);
+    resp.error = "arguments failed to decode";
+    ByteWriter w;
+    resp.encode(w);
+    link_send(from, proto::InnerType::kRpcResponse, w.take());
+    return;
+  }
+
+  // Run the service's handler at RPC priority, then respond.
+  FunctionProvision* prov = &it->second;
+  executor_.post(
+      sched::Priority::kRpc,
+      [this, from, request_id = msg.request_id, prov,
+       args = std::move(args).value()]() mutable {
+        stats_.rpc_served++;
+        usage_of(prov->owner).rpc_calls_served++;
+        StatusOr<enc::Value> result =
+            internal_error("function handler crashed");
+        guard(prov->owner, "function handler",
+              [&] { result = prov->handler(args); });
+        proto::RpcResponseMsg out;
+        out.request_id = request_id;
+        if (result.ok()) {
+          out.status_code = static_cast<uint8_t>(StatusCode::kOk);
+          out.result = enc::encode_tagged(*result);
+        } else {
+          out.status_code = static_cast<uint8_t>(result.status().code());
+          out.error = result.status().message();
+        }
+        ByteWriter w;
+        out.encode(w);
+        link_send(from, proto::InnerType::kRpcResponse, w.take());
+      },
+      config_.handler_cost);
+}
+
+void ServiceContainer::on_rpc_response(proto::ContainerId from,
+                                       const proto::RpcResponseMsg& msg) {
+  auto it = pending_calls_.find(msg.request_id);
+  if (it == pending_calls_.end()) return;
+  if (it->second.target != from) return;  // stale reply from a failed-over peer
+
+  if (msg.status_code != static_cast<uint8_t>(StatusCode::kOk)) {
+    Status error(static_cast<StatusCode>(msg.status_code), msg.error);
+    // A provider that answered "not found"/"unavailable" is a candidate
+    // for failover; application-level errors are final.
+    if (error.code() == StatusCode::kNotFound ||
+        error.code() == StatusCode::kUnavailable) {
+      fail_over_call(msg.request_id, "provider error: " + error.to_string());
+      return;
+    }
+    finish_call(msg.request_id, error);
+    return;
+  }
+  auto result = enc::decode_tagged(as_bytes_view(msg.result));
+  if (!result.ok()) {
+    finish_call(msg.request_id, result.status());
+    return;
+  }
+  finish_call(msg.request_id, std::move(result).value());
+}
+
+}  // namespace marea::mw

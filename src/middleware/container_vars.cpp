@@ -1,0 +1,383 @@
+// Variable primitive (paper §4.1): best-effort pub/sub samples over
+// multicast when available, validity QoS, timeout warnings, and the
+// guaranteed initial snapshot.
+#include "middleware/container.h"
+
+#include <algorithm>
+
+#include "encoding/codec.h"
+
+namespace marea::mw {
+
+namespace {
+constexpr const char* kLog = "vars";
+}
+
+StatusOr<VariableHandle> ServiceContainer::register_variable(
+    Service& owner, const std::string& name, enc::TypePtr type,
+    VariableQoS qos) {
+  if (!type) return invalid_argument_error("variable type is null");
+  if (var_provisions_.count(name)) {
+    return already_exists_error("variable '" + name +
+                                "' already provided in this container");
+  }
+  VarProvision prov;
+  prov.owner = &owner;
+  prov.name = name;
+  prov.channel = proto::channel_of(name);
+  prov.type = std::move(type);
+  prov.qos = qos;
+  provision_channels_[prov.channel] = name;
+  auto [it, ok] = var_provisions_.emplace(name, std::move(prov));
+  (void)ok;
+
+  if (qos.period.ns > 0) {
+    it->second.period_timer = executor_.schedule(
+        qos.period, sched::Priority::kVariable,
+        [this, name] { period_tick(name); });
+  }
+  manifest_changed();
+  return VariableHandle(this, name);
+}
+
+Status ServiceContainer::publish_variable(const std::string& name,
+                                          enc::Value value) {
+  auto it = var_provisions_.find(name);
+  if (it == var_provisions_.end()) {
+    return not_found_error("variable '" + name + "' is not provided here");
+  }
+  VarProvision& prov = it->second;
+  if (Status s = enc::validate(value, *prov.type); !s.is_ok()) return s;
+  prov.last_value = std::move(value);
+  stats_.var_publishes++;
+  usage_of(prov.owner).var_publishes++;
+  send_sample(prov);
+  return Status::ok();
+}
+
+void ServiceContainer::send_sample(VarProvision& prov) {
+  if (!prov.last_value) return;
+  prov.seq++;
+  prov.last_publish = now();
+  auto encoded = enc::encode_value(*prov.last_value, *prov.type);
+  if (!encoded.ok()) return;  // validated at publish; defensive
+  prov.last_encoded = std::move(encoded).value();
+
+  // Local subscribers first: same-container delivery never touches the
+  // network (§3 "local message delivery").
+  auto sub_it = var_subs_.find(prov.name);
+  if (sub_it != var_subs_.end()) {
+    SampleInfo info;
+    info.seq = prov.seq;
+    info.publish_time = prov.last_publish;
+    info.latency = kDurationZero;
+    deliver_sample_locally(sub_it->second, *prov.last_value, info);
+  }
+
+  if (prov.remote_subscribers.empty()) return;
+  proto::VarSampleMsg msg;
+  msg.channel = prov.channel;
+  msg.seq = prov.seq;
+  msg.pub_time_ns = prov.last_publish.ns;
+  msg.value = prov.last_encoded;
+  if (config_.use_multicast) {
+    // One packet reaches every subscriber (§4.1 bandwidth optimization).
+    multicast_msg(prov.channel, proto::MsgType::kVarSample, msg);
+    stats_.var_samples_sent++;
+  } else {
+    for (proto::ContainerId sub : prov.remote_subscribers) {
+      if (Peer* p = peer(sub)) {
+        send_msg(p->address, proto::MsgType::kVarSample, msg);
+        stats_.var_samples_sent++;
+      }
+    }
+  }
+}
+
+void ServiceContainer::period_tick(const std::string& name) {
+  auto it = var_provisions_.find(name);
+  if (it == var_provisions_.end() || !running_) return;
+  VarProvision& prov = it->second;
+  // Republish the last value on cadence ("sent at regular intervals") —
+  // but only if the service hasn't already published within the period.
+  if (prov.last_value && now() - prov.last_publish >= prov.qos.period) {
+    send_sample(prov);
+  }
+  prov.period_timer = executor_.schedule(prov.qos.period,
+                                         sched::Priority::kVariable,
+                                         [this, name] { period_tick(name); });
+}
+
+Status ServiceContainer::register_var_subscription(
+    Service& owner, const std::string& name, enc::TypePtr type,
+    VariableHandler handler, VariableTimeoutHandler on_timeout) {
+  if (!type) return invalid_argument_error("subscription type is null");
+  if (!handler) return invalid_argument_error("subscription handler empty");
+
+  auto it = var_subs_.find(name);
+  if (it == var_subs_.end()) {
+    VarSubscription sub;
+    sub.name = name;
+    sub.channel = proto::channel_of(name);
+    sub.type = type;
+    sub_channels_[sub.channel] = name;
+    it = var_subs_.emplace(name, std::move(sub)).first;
+  } else if (it->second.type->structural_hash() != type->structural_hash()) {
+    return invalid_argument_error(
+        "variable '" + name +
+        "' already subscribed with a different structure");
+  }
+  it->second.entries.push_back(
+      VarSubEntry{&owner, std::move(handler), std::move(on_timeout)});
+
+  if (running_) try_bind_var_subscription(it->second);
+
+  // Same-container provider: deliver the snapshot immediately (§4.1
+  // guaranteed initial value, via the local bypass).
+  auto prov_it = var_provisions_.find(name);
+  if (prov_it != var_provisions_.end() && prov_it->second.last_value) {
+    VarProvision& prov = prov_it->second;
+    VarSubscription& sub = it->second;
+    enc::Value value = *prov.last_value;
+    SampleInfo info;
+    info.seq = prov.seq;
+    info.publish_time = prov.last_publish;
+    info.from_snapshot = true;
+    executor_.post(sched::Priority::kVariable,
+                   [this, name, value = std::move(value), info] {
+                     auto sit = var_subs_.find(name);
+                     if (sit != var_subs_.end()) {
+                       deliver_sample_locally(sit->second, value, info);
+                     }
+                   },
+                   config_.handler_cost);
+    (void)sub;
+  }
+  return Status::ok();
+}
+
+Status ServiceContainer::unregister_var_subscription(Service& owner,
+                                                     const std::string& name) {
+  auto it = var_subs_.find(name);
+  if (it == var_subs_.end()) {
+    return not_found_error("not subscribed to variable '" + name + "'");
+  }
+  VarSubscription& sub = it->second;
+  size_t before = sub.entries.size();
+  sub.entries.erase(
+      std::remove_if(sub.entries.begin(), sub.entries.end(),
+                     [&](const VarSubEntry& e) { return e.service == &owner; }),
+      sub.entries.end());
+  if (sub.entries.size() == before) {
+    return not_found_error("service '" + owner.name() +
+                           "' is not subscribed to '" + name + "'");
+  }
+  if (!sub.entries.empty()) return Status::ok();
+
+  // Last local subscriber gone: tear the container-level subscription down.
+  executor_.cancel(sub.deadline_timer);
+  if (sub.joined_group) {
+    transport_.leave_group(sub.channel, config_.data_port);
+  }
+  if (sub.provider && sub.announced) {
+    proto::VarUnsubscribeMsg msg;
+    msg.name = name;
+    ByteWriter w;
+    msg.encode(w);
+    send_control(sub.provider->container, proto::MsgType::kVarUnsubscribe,
+                 w.view());
+  }
+  sub_channels_.erase(sub.channel);
+  var_subs_.erase(it);
+  return Status::ok();
+}
+
+void ServiceContainer::try_bind_var_subscription(VarSubscription& sub) {
+  if (var_provisions_.count(sub.name)) return;  // local provider: no network
+  if (sub.announced && sub.provider) return;
+
+  auto provider = directory_.resolve(proto::ItemKind::kVariable, sub.name);
+  if (!provider) {
+    send_name_query(proto::ItemKind::kVariable, sub.name);
+    return;
+  }
+  if (provider->schema_hash != 0 &&
+      provider->schema_hash != sub.type->structural_hash()) {
+    MAREA_LOG(kWarn, kLog) << "variable '" << sub.name
+                           << "': schema mismatch with provider, not binding";
+    return;
+  }
+  sub.provider = *provider;
+  sub.validity = Duration{provider->validity_ns};
+  VariableQoS provider_qos;
+  provider_qos.period = Duration{provider->period_ns};
+  provider_qos.validity = Duration{provider->validity_ns};
+  sub.deadline = provider_qos.effective_deadline();
+
+  if (config_.use_multicast && !sub.joined_group) {
+    Status s = transport_.join_group(sub.channel, config_.data_port);
+    sub.joined_group = s.is_ok() || s.code() == StatusCode::kAlreadyExists;
+  }
+
+  proto::VarSubscribeMsg msg;
+  msg.name = sub.name;
+  msg.schema_hash = sub.type->structural_hash();
+  ByteWriter w;
+  msg.encode(w);
+  send_control(provider->container, proto::MsgType::kVarSubscribe, w.view());
+  sub.announced = true;
+  arm_deadline(sub);
+}
+
+void ServiceContainer::arm_deadline(VarSubscription& sub) {
+  if (sub.deadline.ns <= 0) return;
+  executor_.cancel(sub.deadline_timer);
+  std::string name = sub.name;
+  sub.deadline_timer = executor_.schedule(
+      sub.deadline, sched::Priority::kVariable, [this, name] {
+        auto it = var_subs_.find(name);
+        if (it == var_subs_.end() || !running_) return;
+        VarSubscription& s = it->second;
+        if (!s.got_any) {
+          // Nothing has flowed yet (provider may still be starting): the
+          // warning is for streams that stop, not ones that never began.
+          arm_deadline(s);
+          return;
+        }
+        Duration silence = now() - s.last_recv;
+        if (silence >= s.deadline) {
+          // §4.1: "the service container will warn of this timeout
+          // circumstance to the affected services".
+          stats_.var_timeout_warnings++;
+          for (auto& entry : s.entries) {
+            if (entry.on_timeout) {
+              guard(entry.service, "variable timeout handler",
+                    [&] { entry.on_timeout(silence); });
+            }
+          }
+        }
+        arm_deadline(s);
+      });
+}
+
+void ServiceContainer::deliver_sample_locally(VarSubscription& sub,
+                                              const enc::Value& value,
+                                              const SampleInfo& info) {
+  sub.last_value = value;
+  sub.last_seq = info.seq;
+  sub.last_recv = now();
+  sub.got_any = true;
+  for (auto& entry : sub.entries) {
+    stats_.var_local_deliveries++;
+    usage_of(entry.service).samples_delivered++;
+    guard(entry.service, "variable handler",
+          [&] { entry.handler(value, info); });
+  }
+}
+
+void ServiceContainer::on_var_subscribe(proto::ContainerId from,
+                                        const proto::VarSubscribeMsg& msg) {
+  auto it = var_provisions_.find(msg.name);
+  if (it == var_provisions_.end()) return;
+  VarProvision& prov = it->second;
+  if (msg.schema_hash != prov.type->structural_hash()) {
+    MAREA_LOG(kWarn, kLog) << "refusing subscriber " << from << " of '"
+                           << msg.name << "': schema mismatch";
+    return;
+  }
+  prov.remote_subscribers.insert(from);
+  send_snapshot(prov, from);
+}
+
+void ServiceContainer::on_var_unsubscribe(
+    proto::ContainerId from, const proto::VarUnsubscribeMsg& msg) {
+  auto it = var_provisions_.find(msg.name);
+  if (it != var_provisions_.end()) it->second.remote_subscribers.erase(from);
+}
+
+void ServiceContainer::send_snapshot(VarProvision& prov,
+                                     proto::ContainerId to) {
+  // The "mechanism that guarantees an initial exact value" (§4.1): the
+  // snapshot rides the reliable control channel.
+  proto::VarSnapshotMsg msg;
+  msg.name = prov.name;
+  msg.seq = prov.seq;
+  msg.pub_time_ns = prov.last_publish.ns;
+  msg.has_value = prov.last_value.has_value();
+  if (prov.last_value) msg.value = prov.last_encoded;
+  ByteWriter w;
+  msg.encode(w);
+  send_control(to, proto::MsgType::kVarSnapshot, w.view());
+  stats_.var_snapshots_sent++;
+}
+
+void ServiceContainer::on_var_snapshot_request(
+    proto::ContainerId from, const proto::VarSnapshotRequestMsg& msg) {
+  auto it = var_provisions_.find(msg.name);
+  if (it != var_provisions_.end()) send_snapshot(it->second, from);
+}
+
+void ServiceContainer::on_var_snapshot(const proto::VarSnapshotMsg& msg) {
+  auto it = var_subs_.find(msg.name);
+  if (it == var_subs_.end()) return;
+  VarSubscription& sub = it->second;
+  if (sub.got_any || !msg.has_value) return;  // live data already flowing
+  auto value = enc::decode_value(as_bytes_view(msg.value), *sub.type);
+  if (!value.ok()) return;
+  stats_.var_samples_received++;
+  SampleInfo info;
+  info.seq = msg.seq;
+  info.publish_time = TimePoint{msg.pub_time_ns};
+  info.latency = now() - info.publish_time;
+  info.from_snapshot = true;
+  deliver_sample_locally(sub, *value, info);
+}
+
+void ServiceContainer::on_var_sample(const proto::VarSampleMsg& msg) {
+  auto ch_it = sub_channels_.find(msg.channel);
+  if (ch_it == sub_channels_.end()) return;  // multicast overhearing
+  auto it = var_subs_.find(ch_it->second);
+  if (it == var_subs_.end()) return;
+  VarSubscription& sub = it->second;
+  // Best-effort streams may reorder: drop anything not newer than the
+  // freshest sample we have.
+  if (sub.got_any && msg.seq <= sub.last_seq) return;
+  auto value = enc::decode_value(as_bytes_view(msg.value), *sub.type);
+  if (!value.ok()) {
+    stats_.frames_dropped++;
+    return;
+  }
+  stats_.var_samples_received++;
+  SampleInfo info;
+  info.seq = msg.seq;
+  info.publish_time = TimePoint{msg.pub_time_ns};
+  info.latency = now() - info.publish_time;
+  deliver_sample_locally(sub, *value, info);
+}
+
+StatusOr<enc::Value> ServiceContainer::read_variable(
+    const std::string& name) const {
+  // Prefer our own provision's value (provider-side read).
+  if (auto it = var_provisions_.find(name); it != var_provisions_.end()) {
+    if (!it->second.last_value) {
+      return not_found_error("variable '" + name + "' has no value yet");
+    }
+    return *it->second.last_value;
+  }
+  auto it = var_subs_.find(name);
+  if (it == var_subs_.end()) {
+    return not_found_error("not subscribed to variable '" + name + "'");
+  }
+  const VarSubscription& sub = it->second;
+  if (!sub.got_any || !sub.last_value) {
+    return not_found_error("variable '" + name + "' has no value yet");
+  }
+  // §4.1: previous values remain readable "as long as they are still
+  // valid".
+  if (sub.validity.ns > 0 && now() - sub.last_recv > sub.validity) {
+    return timeout_error("variable '" + name + "' value expired");
+  }
+  return *sub.last_value;
+}
+
+}  // namespace marea::mw

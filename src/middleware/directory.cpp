@@ -1,0 +1,127 @@
+#include "middleware/directory.h"
+
+#include <algorithm>
+
+namespace marea::mw {
+
+std::string NameDirectory::key(proto::ItemKind kind, const std::string& name) {
+  return std::string(proto::item_kind_name(kind)) + "/" + name;
+}
+
+void NameDirectory::apply_hello(proto::ContainerId container,
+                                transport::Address addr,
+                                const proto::ContainerHelloMsg& hello,
+                                TimePoint now) {
+  // A hello replaces prior knowledge about its sender.
+  (void)drop_container_quietly(container);
+  for (const auto& svc : hello.services) {
+    for (const auto& item : svc.items) {
+      ProviderRecord rec;
+      rec.container = container;
+      rec.address = transport::Address{addr.host, hello.data_port};
+      rec.service = svc.name;
+      rec.kind = item.kind;
+      rec.schema_hash = item.schema_hash;
+      rec.period_ns = item.period_ns;
+      rec.validity_ns = item.validity_ns;
+      rec.state = svc.state;
+      rec.learned_at = now;
+      records_[key(item.kind, item.name)].push_back(rec);
+    }
+  }
+}
+
+void NameDirectory::apply_service_status(proto::ContainerId container,
+                                         const proto::ServiceStatusMsg& msg) {
+  for (auto& [k, providers] : records_) {
+    for (auto& rec : providers) {
+      if (rec.container == container && rec.service == msg.service) {
+        rec.state = msg.state;
+      }
+    }
+  }
+}
+
+void NameDirectory::insert(proto::ItemKind kind, const std::string& name,
+                           const ProviderRecord& record) {
+  auto& providers = records_[key(kind, name)];
+  for (auto& existing : providers) {
+    if (existing.container == record.container &&
+        existing.service == record.service) {
+      existing = record;
+      return;
+    }
+  }
+  providers.push_back(record);
+}
+
+std::vector<std::string> NameDirectory::drop_container(
+    proto::ContainerId container) {
+  return drop_container_quietly(container);
+}
+
+std::vector<std::string> NameDirectory::drop_container_quietly(
+    proto::ContainerId container) {
+  std::vector<std::string> affected;
+  for (auto it = records_.begin(); it != records_.end();) {
+    auto& providers = it->second;
+    size_t before = providers.size();
+    providers.erase(
+        std::remove_if(providers.begin(), providers.end(),
+                       [&](const ProviderRecord& r) {
+                         return r.container == container;
+                       }),
+        providers.end());
+    if (providers.size() != before) {
+      stats_.invalidations += before - providers.size();
+      affected.push_back(it->first);
+    }
+    if (providers.empty()) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
+}
+
+std::vector<ProviderRecord> NameDirectory::providers(
+    proto::ItemKind kind, const std::string& name) const {
+  auto it = records_.find(key(kind, name));
+  if (it == records_.end()) return {};
+  std::vector<ProviderRecord> usable;
+  for (const auto& rec : it->second) {
+    if (rec.usable()) usable.push_back(rec);
+  }
+  return usable;
+}
+
+std::optional<ProviderRecord> NameDirectory::resolve(
+    proto::ItemKind kind, const std::string& name) {
+  auto list = providers(kind, name);
+  if (list.empty()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  return list.front();
+}
+
+bool NameDirectory::provides(proto::ContainerId container,
+                             proto::ItemKind kind,
+                             const std::string& name) const {
+  auto it = records_.find(key(kind, name));
+  if (it == records_.end()) return false;
+  for (const auto& rec : it->second) {
+    if (rec.container == container) return true;
+  }
+  return false;
+}
+
+size_t NameDirectory::record_count() const {
+  size_t n = 0;
+  for (const auto& [k, v] : records_) n += v.size();
+  return n;
+}
+
+}  // namespace marea::mw

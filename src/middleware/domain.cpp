@@ -1,0 +1,48 @@
+#include "middleware/domain.h"
+
+namespace marea::mw {
+
+SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link)
+    : net_(sim_, Rng(seed), default_link) {}
+
+ServiceContainer& SimDomain::add_node(const std::string& name,
+                                      ContainerConfig overrides) {
+  auto node = std::make_unique<Node>();
+  node->node = net_.add_node(name);
+  node->transport =
+      std::make_unique<transport::SimTransport>(net_, node->node);
+  node->executor = std::make_unique<sched::SimExecutor>(sim_);
+
+  ContainerConfig config = overrides;
+  config.id = static_cast<proto::ContainerId>(nodes_.size() + 1);
+  config.node_name = name;
+  node->container = std::make_unique<ServiceContainer>(
+      config, *node->transport, *node->executor);
+
+  nodes_.push_back(std::move(node));
+  return *nodes_.back()->container;
+}
+
+void SimDomain::start_all() {
+  for (auto& node : nodes_) {
+    Status s = node->container->start();
+    if (!s.is_ok()) {
+      MAREA_LOG(kError, "domain")
+          << "container on " << node->container->config().node_name
+          << " failed to start: " << s.to_string();
+    }
+  }
+}
+
+void SimDomain::stop_all() {
+  for (auto& node : nodes_) node->container->stop();
+}
+
+void SimDomain::kill_node(size_t index) {
+  // Hard power-off: the node stops sending and receiving; peers detect it
+  // via heartbeat silence.
+  net_.set_node_up(nodes_[index]->node, false);
+  nodes_[index]->container->stop();
+}
+
+}  // namespace marea::mw

@@ -1,0 +1,59 @@
+// Quality-of-service descriptors for the communication primitives
+// (paper §4.1: "the provider service can specify the variable validity as
+// a quality of service parameter"; §4.3: static vs dynamic call binding).
+#pragma once
+
+#include "util/time.h"
+
+namespace marea::mw {
+
+struct VariableQoS {
+  // Publication period. > 0: the container republishes the last value on
+  // this cadence even when the service does not push a new one ("sent at
+  // regular intervals"); 0: publish only on explicit push ("each time a
+  // substantial change in its value occurs").
+  Duration period = kDurationZero;
+  // How long a received value stays usable ("subscribed services can
+  // receive previous values as long as they are still valid").
+  Duration validity = milliseconds(500);
+  // Subscriber-side silence threshold before the container warns the
+  // service ("the service container will warn of this timeout
+  // circumstance"). Zero derives 3x period (or validity when aperiodic).
+  Duration deadline = kDurationZero;
+
+  Duration effective_deadline() const {
+    if (deadline.ns > 0) return deadline;
+    if (period.ns > 0) return period * 3;
+    return validity;
+  }
+};
+
+struct EventQoS {
+  // When true, the container delivers one publisher's events to this
+  // subscriber in publication order: out-of-order arrivals (the reliable
+  // link retransmits and does not reorder-protect) are held until the gap
+  // fills or `reorder_window` elapses. Delivery stays guaranteed — an
+  // event arriving after its slot was flushed is delivered immediately,
+  // out of order, rather than dropped.
+  bool ordered = false;
+  Duration reorder_window = milliseconds(200);
+};
+
+// Remote invocation binding policy (§4.3).
+enum class RpcBinding {
+  // "Static allocations of the client-server relationships are useful in
+  // critical services": pin to one provider; fail (emergency) if it dies.
+  kStatic,
+  // "runtime information can be used to redirect calls": pick the best
+  // provider per call, fail over on provider loss.
+  kDynamic,
+};
+
+struct CallOptions {
+  Duration timeout = milliseconds(500);
+  RpcBinding binding = RpcBinding::kDynamic;
+  // Extra providers to try after a failure before giving up (dynamic only).
+  int max_failovers = 2;
+};
+
+}  // namespace marea::mw

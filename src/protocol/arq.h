@@ -1,0 +1,129 @@
+// Application-layer selective-repeat ARQ: the reliable link under events
+// and remote invocation (paper §4.2: "a mechanism to acknowledge and
+// resend lost packets … more efficient for event messages than the
+// generic case provided by the TCP stack").
+//
+// Why it beats the TCP model at its own game (bench C3 measures this):
+//   * per-message delivery — a lost message never head-of-line-blocks the
+//     ones behind it;
+//   * the receiver acks every arrival with its full received-set, so one
+//     gap is visible immediately and retransmitted after 2 "skips"
+//     (dup-ack analogue) instead of waiting for a coarse RTO;
+//   * sequences are message-granular: no byte-stream bookkeeping.
+// Delivery is dedup'd but NOT reordered: arrival order is delivery order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "protocol/messages.h"
+#include "sched/executor.h"
+#include "util/status.h"
+
+namespace marea::proto {
+
+struct ArqParams {
+  Duration initial_rto = milliseconds(50);
+  Duration max_rto = milliseconds(800);
+  int max_retries = 12;
+  size_t window = 64;       // max unacked messages in flight
+  int skip_threshold = 2;   // acks seen past a gap before fast retransmit
+};
+
+struct ArqSenderStats {
+  uint64_t messages_accepted = 0;
+  uint64_t frames_sent = 0;     // first transmissions + retransmits
+  uint64_t retransmits = 0;
+  uint64_t fast_retransmits = 0;
+  uint64_t delivered = 0;       // acked
+  uint64_t failed = 0;          // gave up after max_retries
+};
+
+class ArqSender {
+ public:
+  // `send_fn` puts one ReliableDataMsg on the wire (unreliably).
+  using SendFn = std::function<void(const ReliableDataMsg&)>;
+  using DeliveredFn = std::function<void(uint64_t seq)>;
+  using FailedFn = std::function<void(uint64_t seq, const Status&)>;
+
+  ArqSender(sched::Executor& executor, sched::Priority priority,
+            ArqParams params, SendFn send_fn);
+  ~ArqSender();
+
+  ArqSender(const ArqSender&) = delete;
+  ArqSender& operator=(const ArqSender&) = delete;
+
+  void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+  void set_on_failed(FailedFn fn) { on_failed_ = std::move(fn); }
+
+  // Queues one message for guaranteed delivery; returns its sequence.
+  uint64_t send(InnerType inner_type, Buffer inner);
+
+  void on_ack(const ReliableAckMsg& ack);
+
+  size_t in_flight() const { return outstanding_.size(); }
+  size_t queued() const { return pending_.size(); }
+  const ArqSenderStats& stats() const { return stats_; }
+
+ private:
+  struct Outstanding {
+    ReliableDataMsg msg;
+    int retries = 0;
+    int skips = 0;  // acks seen that exclude this seq
+    Duration rto;
+    sched::TaskTimerId timer = sched::kInvalidTaskTimer;
+  };
+
+  bool is_acked(const ReliableAckMsg& ack, uint64_t seq) const;
+  void transmit(Outstanding& out, bool retransmit);
+  void arm_timer(uint64_t seq);
+  void on_timeout(uint64_t seq);
+  void fail(uint64_t seq, const Status& status);
+  void pump_pending();
+
+  sched::Executor& executor_;
+  sched::Priority priority_;
+  ArqParams params_;
+  SendFn send_fn_;
+  DeliveredFn on_delivered_;
+  FailedFn on_failed_;
+
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::deque<ReliableDataMsg> pending_;  // waiting for window space
+  ArqSenderStats stats_;
+};
+
+struct ArqReceiverStats {
+  uint64_t frames_received = 0;
+  uint64_t delivered = 0;
+  uint64_t duplicates = 0;
+  uint64_t acks_sent = 0;
+};
+
+class ArqReceiver {
+ public:
+  using AckFn = std::function<void(const ReliableAckMsg&)>;
+  using DeliverFn = std::function<void(InnerType type, BytesView inner)>;
+
+  ArqReceiver(AckFn ack_fn, DeliverFn deliver_fn)
+      : ack_fn_(std::move(ack_fn)), deliver_fn_(std::move(deliver_fn)) {}
+
+  void on_data(const ReliableDataMsg& msg);
+
+  uint64_t floor() const { return floor_; }
+  const ArqReceiverStats& stats() const { return stats_; }
+
+ private:
+  void send_ack();
+
+  AckFn ack_fn_;
+  DeliverFn deliver_fn_;
+  uint64_t floor_ = 0;  // all seqs < floor received
+  RunSet above_;        // received seqs as offsets from floor_
+  ArqReceiverStats stats_;
+};
+
+}  // namespace marea::proto

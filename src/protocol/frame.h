@@ -1,0 +1,74 @@
+// PEPt *Protocol* subsystem, outermost layer: every datagram the
+// middleware puts on the wire is one Frame — a fixed header denoting the
+// intent of the message (paper §6: "Protocol frames the encoded data to
+// denote the intent of the message"), the payload, and a trailing CRC-32.
+//
+// Header layout (little endian):
+//   magic   u16  0x4D41 ("MA")
+//   version u8   kProtocolVersion
+//   type    u8   MsgType — see messages.h
+//   source  u32  sending container id
+//   [payload]
+//   crc     u32  CRC-32 over everything before it
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace marea::proto {
+
+constexpr uint16_t kFrameMagic = 0x4D41;
+constexpr uint8_t kProtocolVersion = 1;
+constexpr size_t kFrameOverhead = 2 + 1 + 1 + 4 + 4;  // header + crc
+
+using ContainerId = uint32_t;
+constexpr ContainerId kInvalidContainer = 0;
+
+enum class MsgType : uint8_t {
+  // --- discovery & membership (broadcast, best effort) ---
+  kContainerHello = 1,   // manifest of a container's services
+  kContainerBye = 2,     // orderly shutdown
+  kHeartbeat = 3,        // liveness beacon
+  kServiceStatus = 4,    // one service changed state
+  // --- name service (unicast) ---
+  kNameQuery = 10,
+  kNameReply = 11,
+  // --- variables (best effort; multicast when available) ---
+  kVarSubscribe = 20,
+  kVarUnsubscribe = 21,
+  kVarSample = 22,
+  kVarSnapshotRequest = 23,  // "guaranteed initial exact value" machinery
+  kVarSnapshot = 24,
+  // --- events (control only; data rides the reliable link) ---
+  kEventSubscribe = 25,
+  kEventUnsubscribe = 26,
+  // --- reliable link (events + rpc ride on this ARQ) ---
+  kReliableData = 30,
+  kReliableAck = 31,
+  // --- file transfer (MFTP-like, §4.4) ---
+  kFileSubscribe = 40,
+  kFileUnsubscribe = 41,
+  kFileChunk = 42,        // multicast
+  kFileStatusRequest = 43,
+  kFileAck = 44,
+  kFileNack = 45,         // carries compressed missing-chunk list
+  kFileRevision = 46,     // resource changed revision
+};
+
+const char* msg_type_name(MsgType t);
+
+struct FrameHeader {
+  MsgType type = MsgType::kHeartbeat;
+  ContainerId source = kInvalidContainer;
+};
+
+// Wraps `payload` in a frame.
+Buffer seal_frame(FrameHeader header, BytesView payload);
+
+// Validates magic/version/CRC and splits header from payload (payload view
+// aliases `frame`). kDataLoss on any corruption.
+StatusOr<FrameHeader> open_frame(BytesView frame, BytesView* payload);
+
+}  // namespace marea::proto

@@ -1,0 +1,334 @@
+// Wire message catalogue: the payload structures carried inside frames.
+// Each message provides encode(ByteWriter&) and a total decode() that
+// returns false on malformed input. Data-plane values (samples, events,
+// RPC args) travel as opaque blobs already encoded by the PEPt Encoding
+// layer; these structs are the Protocol layer's framing around them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol/frame.h"
+#include "util/bytes.h"
+#include "util/rle.h"
+
+namespace marea::proto {
+
+// ---------------------------------------------------------------------------
+// Discovery & membership
+// ---------------------------------------------------------------------------
+
+enum class ItemKind : uint8_t {
+  kVariable = 0,
+  kEvent = 1,
+  kFunction = 2,
+  kFile = 3,
+};
+const char* item_kind_name(ItemKind kind);
+
+enum class ServiceState : uint8_t {
+  kStopped = 0,
+  kStarting = 1,
+  kRunning = 2,
+  kDegraded = 3,
+  kFailed = 4,
+};
+const char* service_state_name(ServiceState state);
+
+// One variable/event/function/file a service provides.
+struct ProvidedItem {
+  ItemKind kind = ItemKind::kVariable;
+  std::string name;        // global dotted name, e.g. "gps.position"
+  uint32_t schema_hash = 0;
+  int64_t period_ns = 0;   // variables: publication period (0 = on change)
+  int64_t validity_ns = 0; // variables: QoS validity window
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ProvidedItem& out);
+  friend bool operator==(const ProvidedItem&, const ProvidedItem&) = default;
+};
+
+struct ServiceInfo {
+  std::string name;
+  ServiceState state = ServiceState::kStopped;
+  std::vector<ProvidedItem> items;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ServiceInfo& out);
+  friend bool operator==(const ServiceInfo&, const ServiceInfo&) = default;
+};
+
+// Broadcast on join and on any manifest change; also the reply to a probe.
+struct ContainerHelloMsg {
+  uint64_t incarnation = 0;  // increases across restarts
+  // Monotonic within an incarnation: receivers drop reordered stale
+  // manifests (best-effort broadcasts may arrive out of order).
+  uint64_t manifest_version = 0;
+  uint16_t data_port = 0;    // where this container receives everything
+  std::string node_name;
+  std::vector<ServiceInfo> services;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ContainerHelloMsg& out);
+};
+
+struct ContainerByeMsg {
+  void encode(ByteWriter&) const {}
+  static bool decode(ByteReader&, ContainerByeMsg&) { return true; }
+};
+
+struct HeartbeatMsg {
+  uint64_t incarnation = 0;
+  uint64_t seq = 0;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, HeartbeatMsg& out);
+};
+
+// One service changed state (paper §3: the container notifies the rest of
+// the containers about changes in the services status).
+struct ServiceStatusMsg {
+  std::string service;
+  ServiceState state = ServiceState::kStopped;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ServiceStatusMsg& out);
+};
+
+// ---------------------------------------------------------------------------
+// Name service
+// ---------------------------------------------------------------------------
+
+struct NameQueryMsg {
+  uint64_t query_id = 0;
+  ItemKind kind = ItemKind::kVariable;
+  std::string name;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, NameQueryMsg& out);
+};
+
+struct NameReplyMsg {
+  uint64_t query_id = 0;
+  bool found = false;
+  ContainerId provider = kInvalidContainer;
+  uint16_t data_port = 0;
+  std::string service;  // providing service name
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, NameReplyMsg& out);
+};
+
+// ---------------------------------------------------------------------------
+// Variables (§4.1)
+// ---------------------------------------------------------------------------
+
+struct VarSubscribeMsg {
+  std::string name;
+  uint32_t schema_hash = 0;  // provider refuses mismatched structures
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, VarSubscribeMsg& out);
+};
+
+struct VarUnsubscribeMsg {
+  std::string name;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, VarUnsubscribeMsg& out);
+};
+
+// Best-effort sample. `channel` is crc32(name): compact on the wire; the
+// receiver resolves it against its subscription table (name travels only
+// in subscribe/announce messages).
+struct VarSampleMsg {
+  uint32_t channel = 0;
+  uint64_t seq = 0;
+  int64_t pub_time_ns = 0;
+  Buffer value;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, VarSampleMsg& out);
+};
+
+struct VarSnapshotRequestMsg {
+  std::string name;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, VarSnapshotRequestMsg& out);
+};
+
+// Unicast "initial exact value" (§4.1); carries the name so it is
+// unambiguous even before the subscriber sees any announce.
+struct VarSnapshotMsg {
+  std::string name;
+  uint64_t seq = 0;
+  int64_t pub_time_ns = 0;
+  bool has_value = false;  // publisher may not have produced one yet
+  Buffer value;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, VarSnapshotMsg& out);
+};
+
+// ---------------------------------------------------------------------------
+// Reliable link (events §4.2 and remote invocation §4.3 ride on this)
+// ---------------------------------------------------------------------------
+
+enum class InnerType : uint8_t {
+  kEvent = 1,
+  kRpcRequest = 2,
+  kRpcResponse = 3,
+  // Subscription control wrapped for guaranteed delivery: the inner blob is
+  // one byte of MsgType followed by that message's payload. Lost subscribe
+  // requests would otherwise strand a service silently.
+  kControl = 4,
+};
+
+// Event subscriptions reuse the variable subscribe shape.
+using EventSubscribeMsg = VarSubscribeMsg;
+using EventUnsubscribeMsg = VarUnsubscribeMsg;
+
+struct ReliableDataMsg {
+  uint64_t seq = 0;
+  InnerType inner_type = InnerType::kEvent;
+  Buffer inner;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ReliableDataMsg& out);
+};
+
+// Receiver state advertisement: everything below `floor` received, plus
+// the (compressed) set of sequences received above it.
+struct ReliableAckMsg {
+  uint64_t floor = 0;
+  RunSet above;  // offsets relative to floor
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, ReliableAckMsg& out);
+};
+
+struct EventMsg {
+  std::string name;
+  uint64_t pub_seq = 0;
+  int64_t pub_time_ns = 0;
+  Buffer value;  // empty when the event has meaning by itself (§4.2)
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, EventMsg& out);
+};
+
+struct RpcRequestMsg {
+  uint64_t request_id = 0;
+  std::string function;
+  Buffer args;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, RpcRequestMsg& out);
+};
+
+struct RpcResponseMsg {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;  // StatusCode as u8
+  std::string error;
+  Buffer result;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, RpcResponseMsg& out);
+};
+
+// ---------------------------------------------------------------------------
+// File transfer (§4.4, MFTP-like)
+// ---------------------------------------------------------------------------
+
+struct FileMeta {
+  std::string name;
+  uint32_t revision = 0;
+  uint64_t size = 0;
+  uint32_t chunk_size = 0;
+  uint32_t content_crc = 0;
+
+  uint32_t chunk_count() const {
+    if (chunk_size == 0) return 0;
+    return static_cast<uint32_t>((size + chunk_size - 1) / chunk_size);
+  }
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileMeta& out);
+  friend bool operator==(const FileMeta&, const FileMeta&) = default;
+};
+
+struct FileSubscribeMsg {
+  std::string name;
+  uint32_t revision_have = 0;  // 0 = none
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileSubscribeMsg& out);
+};
+
+struct FileUnsubscribeMsg {
+  std::string name;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileUnsubscribeMsg& out);
+};
+
+// Announce phase / revision change notice: carries the metadata every
+// participant needs ("total size, the number of chunks and the revision").
+struct FileRevisionMsg {
+  uint64_t transfer_id = 0;
+  FileMeta meta;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileRevisionMsg& out);
+};
+
+struct FileChunkMsg {
+  uint64_t transfer_id = 0;
+  uint32_t revision = 0;
+  uint32_t index = 0;
+  Buffer data;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileChunkMsg& out);
+};
+
+struct FileStatusRequestMsg {
+  uint64_t transfer_id = 0;
+  uint32_t revision = 0;
+  uint32_t round = 0;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileStatusRequestMsg& out);
+};
+
+struct FileAckMsg {
+  uint64_t transfer_id = 0;
+  uint32_t revision = 0;
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileAckMsg& out);
+};
+
+struct FileNackMsg {
+  uint64_t transfer_id = 0;
+  uint32_t revision = 0;
+  RunSet missing;  // compressed list of lacked chunks (§4.4)
+
+  void encode(ByteWriter& w) const;
+  static bool decode(ByteReader& r, FileNackMsg& out);
+};
+
+// Convenience: encode a payload struct and seal it in a frame.
+template <typename Msg>
+Buffer make_frame(MsgType type, ContainerId source, const Msg& msg) {
+  ByteWriter w;
+  msg.encode(w);
+  return seal_frame(FrameHeader{type, source}, w.view());
+}
+
+// Channel id for a named variable/event stream.
+uint32_t channel_of(const std::string& name);
+
+}  // namespace marea::proto

@@ -1,0 +1,291 @@
+#include "protocol/mftp.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace marea::proto {
+
+// ---------------------------------------------------------------------------
+// MftpPublisher
+// ---------------------------------------------------------------------------
+
+MftpPublisher::MftpPublisher(sched::Executor& executor, MftpParams params,
+                             uint64_t transfer_id, FileMeta meta,
+                             Buffer content, ChunkSendFn send_chunk,
+                             StatusSendFn send_status)
+    : executor_(executor),
+      params_(params),
+      transfer_id_(transfer_id),
+      meta_(std::move(meta)),
+      content_(std::move(content)),
+      send_chunk_(std::move(send_chunk)),
+      send_status_(std::move(send_status)) {
+  assert(send_chunk_ && send_status_);
+  assert(meta_.size == content_.size());
+  assert(meta_.chunk_size > 0);
+}
+
+MftpPublisher::~MftpPublisher() { executor_.cancel(timer_); }
+
+void MftpPublisher::add_subscriber(MftpPeer peer) {
+  auto [it, inserted] = subscribers_.insert(peer);
+  (void)it;
+  if (!inserted) return;
+  if (state_ == State::kIdle) {
+    // Ask the newcomer what it needs rather than blindly resending all.
+    begin_status_phase();
+  }
+  // Mid-transfer joiners are picked up at the next completion poll.
+}
+
+void MftpPublisher::remove_subscriber(MftpPeer peer) {
+  subscribers_.erase(peer);
+  awaiting_.erase(peer);
+  if (state_ == State::kAwaitingStatus && awaiting_.empty()) resolve_round();
+}
+
+void MftpPublisher::start() {
+  if (subscribers_.empty()) return;
+  round_ = 0;
+  RunSet all;
+  if (meta_.chunk_count() > 0) all.insert_run(0, meta_.chunk_count());
+  begin_sending(std::move(all));
+}
+
+void MftpPublisher::begin_sending(RunSet chunks) {
+  executor_.cancel(timer_);
+  timer_ = sched::kInvalidTaskTimer;
+  state_ = State::kSending;
+  to_send_ = std::move(chunks);
+  send_list_ = to_send_.to_indices();
+  send_cursor_ = 0;
+  stats_.rounds++;
+  if (send_list_.empty()) {
+    begin_status_phase();
+    return;
+  }
+  send_next_chunk();
+}
+
+void MftpPublisher::send_next_chunk() {
+  if (state_ != State::kSending) return;
+  if (send_cursor_ >= send_list_.size()) {
+    begin_status_phase();
+    return;
+  }
+  uint32_t index = send_list_[send_cursor_++];
+  uint64_t offset = static_cast<uint64_t>(index) * meta_.chunk_size;
+  uint64_t len = std::min<uint64_t>(meta_.chunk_size, meta_.size - offset);
+
+  FileChunkMsg msg;
+  msg.transfer_id = transfer_id_;
+  msg.revision = meta_.revision;
+  msg.index = index;
+  msg.data.assign(content_.begin() + static_cast<std::ptrdiff_t>(offset),
+                  content_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  stats_.chunks_sent++;
+  stats_.payload_bytes_sent += msg.data.size();
+  if (round_ > 0) stats_.chunk_retransmits++;
+  send_chunk_(msg);
+
+  timer_ = executor_.schedule(params_.chunk_interval,
+                              sched::Priority::kFileTransfer,
+                              [this] { send_next_chunk(); });
+}
+
+void MftpPublisher::begin_status_phase() {
+  executor_.cancel(timer_);
+  timer_ = sched::kInvalidTaskTimer;
+  if (subscribers_.empty()) {
+    state_ = State::kIdle;
+    if (on_idle_) on_idle_();
+    return;
+  }
+  if (round_ >= static_cast<uint32_t>(params_.max_rounds)) {
+    // Out of patience: fail everyone still subscribed.
+    auto remaining = subscribers_;
+    for (MftpPeer peer : remaining) {
+      stats_.dropped_subscribers++;
+      finish_peer(peer, timeout_error("MFTP exceeded max rounds"));
+    }
+    state_ = State::kIdle;
+    if (on_idle_) on_idle_();
+    return;
+  }
+  state_ = State::kAwaitingStatus;
+  awaiting_ = subscribers_;
+  next_round_ = RunSet{};
+  status_retries_ = 0;
+  send_status_request();
+}
+
+void MftpPublisher::send_status_request() {
+  FileStatusRequestMsg msg;
+  msg.transfer_id = transfer_id_;
+  msg.revision = meta_.revision;
+  msg.round = round_;
+  stats_.status_requests++;
+  send_status_(msg);
+  timer_ = executor_.schedule(params_.status_timeout,
+                              sched::Priority::kFileTransfer,
+                              [this] { on_status_timeout(); });
+}
+
+void MftpPublisher::on_status_timeout() {
+  timer_ = sched::kInvalidTaskTimer;
+  if (state_ != State::kAwaitingStatus) return;
+  if (awaiting_.empty()) {
+    resolve_round();
+    return;
+  }
+  if (++status_retries_ > params_.max_status_retries) {
+    // Drop unresponsive subscribers and move on with the rest.
+    auto unresponsive = awaiting_;
+    for (MftpPeer peer : unresponsive) {
+      stats_.dropped_subscribers++;
+      finish_peer(peer, unavailable_error("subscriber unresponsive"));
+    }
+    awaiting_.clear();
+    if (state_ == State::kAwaitingStatus) resolve_round();
+    return;
+  }
+  send_status_request();
+}
+
+void MftpPublisher::on_ack(MftpPeer peer, const FileAckMsg& msg) {
+  if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
+    return;
+  }
+  if (!subscribers_.count(peer)) return;
+  stats_.completions++;
+  finish_peer(peer, Status::ok());
+  if (state_ == State::kAwaitingStatus && awaiting_.empty()) resolve_round();
+}
+
+void MftpPublisher::on_nack(MftpPeer peer, const FileNackMsg& msg) {
+  if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
+    return;
+  }
+  if (!subscribers_.count(peer)) return;
+  if (state_ != State::kAwaitingStatus) {
+    // A NACK outside a poll (e.g. right after late subscribe) still counts:
+    // fold it into the next round.
+    for (const auto& run : msg.missing.runs()) {
+      next_round_.insert_run(run.first, run.count);
+    }
+    return;
+  }
+  awaiting_.erase(peer);
+  for (const auto& run : msg.missing.runs()) {
+    next_round_.insert_run(run.first, run.count);
+  }
+  if (awaiting_.empty()) resolve_round();
+}
+
+void MftpPublisher::finish_peer(MftpPeer peer, const Status& status) {
+  subscribers_.erase(peer);
+  awaiting_.erase(peer);
+  if (on_subscriber_done_) on_subscriber_done_(peer, status);
+}
+
+void MftpPublisher::resolve_round() {
+  executor_.cancel(timer_);
+  timer_ = sched::kInvalidTaskTimer;
+  round_++;
+  if (subscribers_.empty()) {
+    state_ = State::kIdle;
+    if (on_idle_) on_idle_();
+    return;
+  }
+  if (!next_round_.empty()) {
+    // Clamp to valid chunk range (defensive against hostile NACKs).
+    RunSet valid;
+    uint32_t total = meta_.chunk_count();
+    for (const auto& run : next_round_.runs()) {
+      if (run.first >= total) continue;
+      uint32_t count = std::min(run.count, total - run.first);
+      valid.insert_run(run.first, count);
+    }
+    begin_sending(std::move(valid));
+    return;
+  }
+  // Nothing to resend but subscribers remain (e.g. a late joiner was added
+  // after the poll snapshot): poll again.
+  begin_status_phase();
+}
+
+// ---------------------------------------------------------------------------
+// MftpReceiver
+// ---------------------------------------------------------------------------
+
+MftpReceiver::MftpReceiver(uint64_t transfer_id, FileMeta meta,
+                           AckSendFn send_ack, NackSendFn send_nack)
+    : transfer_id_(transfer_id),
+      meta_(std::move(meta)),
+      send_ack_(std::move(send_ack)),
+      send_nack_(std::move(send_nack)) {
+  assert(send_ack_ && send_nack_);
+  data_.resize(meta_.size);
+  if (meta_.chunk_count() == 0) complete_ = true;  // empty file
+}
+
+void MftpReceiver::on_chunk(const FileChunkMsg& msg) {
+  if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
+    return;
+  }
+  uint32_t total = meta_.chunk_count();
+  if (msg.index >= total) return;
+  stats_.chunks_received++;
+  if (have_.contains(msg.index)) {
+    stats_.duplicate_chunks++;
+    return;
+  }
+  uint64_t offset = static_cast<uint64_t>(msg.index) * meta_.chunk_size;
+  uint64_t expect =
+      std::min<uint64_t>(meta_.chunk_size, meta_.size - offset);
+  if (msg.data.size() != expect) return;  // malformed
+  std::copy(msg.data.begin(), msg.data.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset));
+  have_.insert(msg.index);
+  stats_.payload_bytes_received += msg.data.size();
+  if (on_progress_) on_progress_(chunks_have(), total);
+
+  if (!complete_ && have_.cardinality() == total) {
+    if (crc32(as_bytes_view(data_)) != meta_.content_crc) {
+      // Corrupt reassembly: discard everything and let the completion
+      // poll fetch it again.
+      MAREA_LOG(kWarn, "mftp") << "content CRC mismatch for '" << meta_.name
+                               << "' rev " << meta_.revision
+                               << "; restarting collection";
+      have_ = RunSet{};
+      return;
+    }
+    complete_ = true;
+    if (on_complete_) on_complete_(data_);
+  }
+}
+
+void MftpReceiver::on_status_request(const FileStatusRequestMsg& msg) {
+  if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
+    return;
+  }
+  if (complete_) {
+    FileAckMsg ack;
+    ack.transfer_id = transfer_id_;
+    ack.revision = meta_.revision;
+    stats_.acks_sent++;
+    send_ack_(ack);
+    return;
+  }
+  FileNackMsg nack;
+  nack.transfer_id = transfer_id_;
+  nack.revision = meta_.revision;
+  nack.missing = missing_of(have_, meta_.chunk_count());
+  stats_.nacks_sent++;
+  send_nack_(nack);
+}
+
+}  // namespace marea::proto

@@ -1,0 +1,177 @@
+// Multicast file transfer, loosely based on Starburst MFTP (paper §4.4).
+//
+// Three overlapping phases per transfer:
+//   announce   — the middleware announces the resource; interested peers
+//                subscribe (handled a layer up; this file is the transfer
+//                engine);
+//   transfer   — the publisher multicasts numbered chunks, paced at
+//                kFileTransfer priority;
+//   completion — the publisher polls subscribers; ACK removes a receiver,
+//                NACK carries a run-length-compressed list of lacked
+//                chunks; the union of NACKs seeds the next round, and the
+//                process iterates "until the subscribers list is empty".
+//
+// Late join is free: a subscriber attached mid-transfer collects what it
+// hears, then NACKs the prefix it missed at the next completion poll.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "protocol/messages.h"
+#include "sched/executor.h"
+#include "util/rle.h"
+#include "util/status.h"
+
+namespace marea::proto {
+
+struct MftpParams {
+  uint32_t chunk_size = 1024;
+  // Pacing gap between chunk transmissions (also yields the CPU so
+  // latency-critical primitives stay responsive — bench C9).
+  Duration chunk_interval = microseconds(100);
+  Duration status_timeout = milliseconds(60);
+  int max_status_retries = 5;  // per completion round
+  int max_rounds = 64;
+};
+
+// Opaque peer identity supplied by the middleware (container id).
+using MftpPeer = uint64_t;
+
+struct MftpPublisherStats {
+  uint64_t chunks_sent = 0;
+  uint64_t chunk_retransmits = 0;  // chunks sent in round > 0
+  uint64_t payload_bytes_sent = 0;
+  uint64_t status_requests = 0;
+  uint64_t rounds = 0;
+  uint64_t completions = 0;
+  uint64_t dropped_subscribers = 0;  // unresponsive or out of rounds
+};
+
+class MftpPublisher {
+ public:
+  // Multicasts one chunk to the group.
+  using ChunkSendFn = std::function<void(const FileChunkMsg&)>;
+  // Multicasts a completion poll.
+  using StatusSendFn = std::function<void(const FileStatusRequestMsg&)>;
+  using SubscriberDoneFn = std::function<void(MftpPeer, const Status&)>;
+  using IdleFn = std::function<void()>;
+
+  MftpPublisher(sched::Executor& executor, MftpParams params,
+                uint64_t transfer_id, FileMeta meta, Buffer content,
+                ChunkSendFn send_chunk, StatusSendFn send_status);
+  ~MftpPublisher();
+
+  MftpPublisher(const MftpPublisher&) = delete;
+  MftpPublisher& operator=(const MftpPublisher&) = delete;
+
+  void set_on_subscriber_done(SubscriberDoneFn fn) {
+    on_subscriber_done_ = std::move(fn);
+  }
+  void set_on_idle(IdleFn fn) { on_idle_ = std::move(fn); }
+
+  const FileMeta& meta() const { return meta_; }
+  uint64_t transfer_id() const { return transfer_id_; }
+  const Buffer& content() const { return content_; }
+
+  // Adds a subscriber. If the transfer is idle it starts a completion poll
+  // (the subscriber NACKs what it needs — which is everything for a fresh
+  // joiner, or just the tail for a resumed one).
+  void add_subscriber(MftpPeer peer);
+  void remove_subscriber(MftpPeer peer);
+
+  // Starts a full transfer round to the current subscribers.
+  void start();
+
+  void on_ack(MftpPeer peer, const FileAckMsg& msg);
+  void on_nack(MftpPeer peer, const FileNackMsg& msg);
+
+  bool idle() const { return state_ == State::kIdle; }
+  size_t subscriber_count() const { return subscribers_.size(); }
+  const MftpPublisherStats& stats() const { return stats_; }
+
+ private:
+  enum class State { kIdle, kSending, kAwaitingStatus };
+
+  void begin_sending(RunSet chunks);
+  void send_next_chunk();
+  void begin_status_phase();
+  void send_status_request();
+  void on_status_timeout();
+  void resolve_round();
+  void finish_peer(MftpPeer peer, const Status& status);
+
+  sched::Executor& executor_;
+  MftpParams params_;
+  uint64_t transfer_id_;
+  FileMeta meta_;
+  Buffer content_;
+  ChunkSendFn send_chunk_;
+  StatusSendFn send_status_;
+  SubscriberDoneFn on_subscriber_done_;
+  IdleFn on_idle_;
+
+  State state_ = State::kIdle;
+  std::set<MftpPeer> subscribers_;
+  std::set<MftpPeer> awaiting_;   // not yet responded this poll
+  RunSet to_send_;
+  std::vector<uint32_t> send_list_;  // flattened to_send_, cursor below
+  size_t send_cursor_ = 0;
+  RunSet next_round_;
+  uint32_t round_ = 0;
+  int status_retries_ = 0;
+  sched::TaskTimerId timer_ = sched::kInvalidTaskTimer;
+  MftpPublisherStats stats_;
+};
+
+struct MftpReceiverStats {
+  uint64_t chunks_received = 0;
+  uint64_t duplicate_chunks = 0;
+  uint64_t payload_bytes_received = 0;
+  uint64_t acks_sent = 0;
+  uint64_t nacks_sent = 0;
+};
+
+class MftpReceiver {
+ public:
+  // Unicast a control message (ACK/NACK) back to the publisher.
+  using AckSendFn = std::function<void(const FileAckMsg&)>;
+  using NackSendFn = std::function<void(const FileNackMsg&)>;
+  using ProgressFn = std::function<void(uint32_t have, uint32_t total)>;
+  using CompleteFn = std::function<void(const Buffer& content)>;
+
+  MftpReceiver(uint64_t transfer_id, FileMeta meta, AckSendFn send_ack,
+               NackSendFn send_nack);
+
+  void set_on_progress(ProgressFn fn) { on_progress_ = std::move(fn); }
+  void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
+
+  const FileMeta& meta() const { return meta_; }
+  uint64_t transfer_id() const { return transfer_id_; }
+  bool complete() const { return complete_; }
+  uint32_t chunks_have() const {
+    return static_cast<uint32_t>(have_.cardinality());
+  }
+
+  void on_chunk(const FileChunkMsg& msg);
+  void on_status_request(const FileStatusRequestMsg& msg);
+
+  const MftpReceiverStats& stats() const { return stats_; }
+
+ private:
+  uint64_t transfer_id_;
+  FileMeta meta_;
+  AckSendFn send_ack_;
+  NackSendFn send_nack_;
+  ProgressFn on_progress_;
+  CompleteFn on_complete_;
+
+  Buffer data_;
+  RunSet have_;
+  bool complete_ = false;
+  MftpReceiverStats stats_;
+};
+
+}  // namespace marea::proto

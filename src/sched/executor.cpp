@@ -1,0 +1,16 @@
+#include "sched/executor.h"
+
+namespace marea::sched {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kEvent: return "event";
+    case Priority::kRpc: return "rpc";
+    case Priority::kVariable: return "variable";
+    case Priority::kFileTransfer: return "file";
+    case Priority::kBackground: return "background";
+  }
+  return "?";
+}
+
+}  // namespace marea::sched

@@ -1,0 +1,119 @@
+#include "sched/sim_executor.h"
+
+#include <cassert>
+
+namespace marea::sched {
+
+void SimExecutor::post(Priority priority, Task task, Duration cost) {
+  assert(task);
+  Queued q{std::move(task), cost, sim_.now(), next_seq_++, priority};
+  if (fifo_) {
+    fifo_queue_.push_back(std::move(q));
+  } else {
+    queues_[static_cast<size_t>(priority)].push_back(std::move(q));
+  }
+  if (!busy_) dispatch();
+}
+
+TaskTimerId SimExecutor::schedule(Duration delay, Priority priority,
+                                  Task task, Duration cost) {
+  return sim_.after(delay,
+                    [this, priority, task = std::move(task), cost]() mutable {
+                      post(priority, std::move(task), cost);
+                    });
+}
+
+void SimExecutor::cancel(TaskTimerId id) { sim_.cancel(id); }
+
+bool SimExecutor::in_reserved_slot(TimePoint t, Priority p,
+                                   Duration cost) const {
+  return next_allowed_start(t, p, cost) > t;
+}
+
+TimePoint SimExecutor::next_allowed_start(TimePoint t, Priority p,
+                                          Duration cost) const {
+  if (slot_period_.ns <= 0 || p == Priority::kEvent) return t;
+  // Reserved windows are [k*period, k*period + width). A non-event task
+  // occupying [t, t+cost) must not intersect one — unless it could never
+  // fit between windows, in which case it runs right after a window.
+  const int64_t period = slot_period_.ns;
+  const int64_t width = slot_width_.ns;
+  const bool never_fits = cost.ns > period - width;
+  int64_t k = t.ns / period;  // window at or before t
+  for (int attempt = 0; attempt < 3; ++attempt, ++k) {
+    int64_t wstart = k * period;
+    int64_t wend = wstart + width;
+    int64_t start = t.ns;
+    if (start < wend && start + cost.ns > wstart) {
+      // Overlaps window k: earliest conflict-free start is wend …
+      if (never_fits) return TimePoint{wend};
+      t = TimePoint{wend};
+      continue;  // … but re-check against window k+1
+    }
+    if (start + cost.ns <= wstart || start >= wend) {
+      // Check the *next* window too when the task spans past it.
+      int64_t nstart = (k + 1) * period;
+      if (start >= wend && start + cost.ns > nstart && !never_fits) {
+        t = TimePoint{nstart + width};
+        continue;
+      }
+      return t;
+    }
+  }
+  return t;
+}
+
+void SimExecutor::dispatch() {
+  if (busy_) return;
+
+  std::deque<Queued>* source = nullptr;
+  TimePoint now = sim_.now();
+  TimePoint earliest{INT64_MAX};
+
+  if (fifo_) {
+    if (fifo_queue_.empty()) return;
+    source = &fifo_queue_;
+    Queued& head = fifo_queue_.front();
+    TimePoint allowed = next_allowed_start(now, head.priority, head.cost);
+    if (allowed > now) {
+      sim_.at(allowed, [this] { dispatch(); });
+      return;
+    }
+  } else {
+    for (auto& queue : queues_) {
+      if (queue.empty()) continue;
+      Queued& head = queue.front();
+      TimePoint allowed = next_allowed_start(now, head.priority, head.cost);
+      if (allowed <= now) {
+        source = &queue;
+        break;
+      }
+      if (allowed < earliest) earliest = allowed;
+    }
+    if (!source) {
+      if (earliest.ns != INT64_MAX) {
+        sim_.at(earliest, [this] { dispatch(); });
+      }
+      return;
+    }
+  }
+
+  Queued task = std::move(source->front());
+  source->pop_front();
+
+  size_t pri = static_cast<size_t>(task.priority);
+  Duration wait = now - task.enqueued;
+  stats_.tasks_run++;
+  stats_.count[pri]++;
+  stats_.total_wait[pri] = stats_.total_wait[pri] + wait;
+  if (wait > stats_.max_wait[pri]) stats_.max_wait[pri] = wait;
+
+  busy_ = true;
+  sim_.after(task.cost, [this, fn = std::move(task.task)]() {
+    fn();
+    busy_ = false;
+    dispatch();
+  });
+}
+
+}  // namespace marea::sched

@@ -1,0 +1,64 @@
+#include "util/logging.h"
+#include "services/camera_service.h"
+
+namespace marea::services {
+
+CameraService::CameraService(CameraConfig config)
+    : Service("camera"), config_(std::move(config)) {
+  if (!config_.targets_at) {
+    config_.targets_at = [](uint32_t k) { return (k * 7 + 3) % 5; };
+  }
+}
+
+Status CameraService::on_start() {
+  Status s = provide_function<CameraSetup, Ack>(
+      "camera.setup",
+      [this](const CameraSetup& req) { return setup(req); });
+  if (!s.is_ok()) return s;
+
+  return subscribe_event<TakePhotoCmd>(
+      "mission.take_photo",
+      [this](const TakePhotoCmd& cmd, const mw::EventInfo&) {
+        on_trigger(cmd);
+      });
+}
+
+StatusOr<Ack> CameraService::setup(const CameraSetup& req) {
+  if (req.width == 0 || req.height == 0 || req.width > 4096 ||
+      req.height > 4096) {
+    return invalid_argument_error("camera.setup: bad resolution");
+  }
+  setup_ = req;
+  configured_ = true;
+  MAREA_LOG(kInfo, "camera") << "configured: " << req.width << "x"
+                             << req.height << " prefix '"
+                             << req.resource_prefix << "'";
+  Ack ack;
+  ack.ok = true;
+  ack.detail = "camera ready";
+  return ack;
+}
+
+void CameraService::on_trigger(const TakePhotoCmd& cmd) {
+  if (!configured_) {
+    MAREA_LOG(kWarn, "camera") << "trigger before camera.setup; ignoring";
+    return;
+  }
+  // Model the shutter/readout delay, then publish the image.
+  schedule(config_.shutter_time, [this, cmd] {
+    SceneParams scene;
+    scene.width = static_cast<uint16_t>(setup_.width);
+    scene.height = static_cast<uint16_t>(setup_.height);
+    scene.targets = config_.targets_at(photos_);
+    scene.seed = config_.scene_seed + cmd.waypoint_index;
+    Image img = render_scene(scene);
+    ++photos_;
+    MAREA_LOG(kInfo, "camera") << "photo " << photos_ << " at wp "
+                               << cmd.waypoint_index << " -> '"
+                               << cmd.resource << "' (" << scene.targets
+                               << " targets)";
+    (void)publish_file(cmd.resource, img.serialize());
+  });
+}
+
+}  // namespace marea::services

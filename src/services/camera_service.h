@@ -1,0 +1,40 @@
+// Camera payload service (paper §5): configured via remote invocation
+// ("the MC instructs the camera to prepare itself"), triggered by the
+// mission.take_photo event, publishes each captured image as a file
+// resource that fans out over the multicast file-transfer primitive.
+#pragma once
+
+#include "middleware/service.h"
+#include "services/image.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+struct CameraConfig {
+  // Ground truth generator: number of targets visible at photo k.
+  // Default: (k * 7 + 3) % 5 targets.
+  std::function<uint32_t(uint32_t photo_index)> targets_at;
+  uint64_t scene_seed = 99;
+  Duration shutter_time = milliseconds(30);  // capture + readout latency
+};
+
+class CameraService final : public mw::Service {
+ public:
+  explicit CameraService(CameraConfig config = {});
+
+  Status on_start() override;
+
+  uint32_t photos_taken() const { return photos_; }
+  bool configured() const { return configured_; }
+
+ private:
+  StatusOr<Ack> setup(const CameraSetup& req);
+  void on_trigger(const TakePhotoCmd& cmd);
+
+  CameraConfig config_;
+  CameraSetup setup_{};
+  bool configured_ = false;
+  uint32_t photos_ = 0;
+};
+
+}  // namespace marea::services

@@ -1,0 +1,95 @@
+#include "util/logging.h"
+#include "services/gps_service.h"
+
+namespace marea::services {
+
+GpsService::GpsService(fdm::FlightPlan plan, fdm::GeoPoint start,
+                       double heading_deg, GpsConfig config,
+                       fdm::FdmConfig fdm_config)
+    : Service("gps"),
+      config_(config),
+      fdm_config_(fdm_config),
+      follower_(std::move(plan), start, heading_deg, fdm_config,
+                config.loop_plan) {}
+
+Status GpsService::on_start() {
+  mw::VariableQoS qos;
+  qos.period = config_.sample_period;
+  qos.validity = config_.validity;
+  auto position = provide_variable<GpsFix>("gps.position", qos);
+  if (!position.ok()) return position.status();
+  position_ = *position;
+
+  auto waypoint = provide_event<WaypointReached>("gps.waypoint");
+  if (!waypoint.ok()) return waypoint.status();
+  waypoint_event_ = *waypoint;
+
+  if (!config_.plan_upload_resource.empty()) {
+    Status s = subscribe_file(
+        config_.plan_upload_resource,
+        [this](const proto::FileMeta& meta, const Buffer& content) {
+          on_plan_upload(meta, content);
+        });
+    if (!s.is_ok()) return s;
+  }
+
+  running_ = true;
+  schedule(config_.sample_period, [this] { tick(); },
+           sched::Priority::kVariable);
+  return Status::ok();
+}
+
+void GpsService::on_plan_upload(const proto::FileMeta& meta,
+                                const Buffer& content) {
+  auto plan = fdm::FlightPlan::parse(
+      std::string(content.begin(), content.end()));
+  if (!plan.ok()) {
+    MAREA_LOG(kError, "gps") << "rejected uploaded plan rev "
+                             << meta.revision << ": "
+                             << plan.status().to_string();
+    return;
+  }
+  // Hot swap: continue from the current aircraft state onto the new plan.
+  const auto& state = follower_.state();
+  follower_ = fdm::PlanFollower(std::move(plan).value(), state.position,
+                                state.heading_deg, fdm_config_,
+                                config_.loop_plan);
+  ++plans_accepted_;
+  MAREA_LOG(kInfo, "gps") << "re-tasked with uploaded plan rev "
+                          << meta.revision << " ("
+                          << follower_.plan().size() << " waypoints)";
+}
+
+void GpsService::on_stop() { running_ = false; }
+
+void GpsService::tick() {
+  if (!running_) return;
+
+  int reached = follower_.step(config_.sim_step_s * config_.time_scale);
+
+  const auto& state = follower_.state();
+  GpsFix fix;
+  fix.lat_deg = state.position.lat_deg;
+  fix.lon_deg = state.position.lon_deg;
+  fix.alt_m = state.position.alt_m;
+  fix.heading_deg = state.heading_deg;
+  fix.speed_mps = state.speed_mps;
+  fix.time_ns = now().ns;
+  (void)position_.publish(fix);
+  ++samples_;
+
+  if (reached >= 0) {
+    const auto& wp = follower_.plan().at(static_cast<size_t>(reached));
+    WaypointReached evt;
+    evt.index = static_cast<uint32_t>(reached);
+    evt.lat_deg = wp.position.lat_deg;
+    evt.lon_deg = wp.position.lon_deg;
+    evt.action = wp.action;
+    (void)waypoint_event_.publish(evt);
+  }
+
+  schedule(config_.sample_period, [this] { tick(); },
+           sched::Priority::kVariable);
+}
+
+}  // namespace marea::services

@@ -1,0 +1,56 @@
+// GPS / FCS service (paper §5: "the starting service is the GPS which
+// generates the position variable containing the geographic coordinates").
+// Owns the flight-dynamics model, flies the flight plan like the paper's
+// Flight Computer System, publishes `gps.position` at the configured rate
+// and raises a `gps.waypoint` event at each capture.
+#pragma once
+
+#include <memory>
+
+#include "fdm/dynamics.h"
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+struct GpsConfig {
+  Duration sample_period = milliseconds(100);  // 10 Hz position stream
+  Duration validity = milliseconds(400);
+  double sim_step_s = 0.1;   // flight model integration step per sample
+  double time_scale = 1.0;   // >1 flies the plan faster than real time
+  bool loop_plan = false;
+  // §4.4: "configuration files … to be uploaded to the service
+  // containers" — when set, the FCS subscribes to this file resource and
+  // hot-swaps its flight plan on every revision (in-flight re-tasking).
+  std::string plan_upload_resource = "mission.plan";
+};
+
+class GpsService final : public mw::Service {
+ public:
+  GpsService(fdm::FlightPlan plan, fdm::GeoPoint start, double heading_deg,
+             GpsConfig config = {}, fdm::FdmConfig fdm_config = {});
+
+  Status on_start() override;
+  void on_stop() override;
+
+  const fdm::AircraftState& aircraft() const { return follower_.state(); }
+  uint64_t samples_published() const { return samples_; }
+  bool plan_finished() const { return follower_.finished(); }
+  uint32_t plans_accepted() const { return plans_accepted_; }
+  const fdm::FlightPlan& active_plan() const { return follower_.plan(); }
+
+ private:
+  void tick();
+  void on_plan_upload(const proto::FileMeta& meta, const Buffer& content);
+
+  GpsConfig config_;
+  fdm::FdmConfig fdm_config_;
+  fdm::PlanFollower follower_;
+  mw::VariableHandle position_;
+  mw::EventHandle waypoint_event_;
+  uint64_t samples_ = 0;
+  uint32_t plans_accepted_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace marea::services

@@ -1,0 +1,87 @@
+#include "util/logging.h"
+#include "services/ground_station.h"
+
+#include <cstdio>
+
+namespace marea::services {
+
+GroundStation::GroundStation(std::function<void(const std::string&)> terminal)
+    : Service("ground_station"), terminal_(std::move(terminal)) {}
+
+Status GroundStation::on_start() {
+  Status s = subscribe_variable<GpsFix>(
+      "gps.position",
+      [this](const GpsFix& fix, const mw::SampleInfo& info) {
+        ++position_updates_;
+        last_fix_ = fix;
+        if (position_updates_ % 10 == 1) {  // avoid flooding the terminal
+          char buf[160];
+          snprintf(buf, sizeof buf,
+                   "POS  %9.5f %9.5f  alt %6.1fm  hdg %5.1f  spd %4.1fm/s"
+                   "  (lat %.2fms%s)",
+                   fix.lat_deg, fix.lon_deg, fix.alt_m, fix.heading_deg,
+                   fix.speed_mps, info.latency.millis(),
+                   info.from_snapshot ? ", snapshot" : "");
+          show(buf);
+        }
+      },
+      [this](Duration silence) {
+        ++gps_timeouts_;
+        show("WARN gps.position silent for " + to_string(silence));
+      });
+  if (!s.is_ok()) return s;
+
+  s = subscribe_variable<MissionStatus>(
+      "mission.status",
+      [this](const MissionStatus& st, const mw::SampleInfo&) {
+        ++status_updates_;
+        last_status_ = st;
+        show("STAT phase=" + st.phase + " wp=" +
+             std::to_string(st.next_waypoint) + " photos=" +
+             std::to_string(st.photos_taken) + " detections=" +
+             std::to_string(st.detections));
+      });
+  if (!s.is_ok()) return s;
+
+  s = subscribe_event<MissionAlert>(
+      "mission.alert",
+      [this](const MissionAlert& alert, const mw::EventInfo& info) {
+        alerts_.push_back(alert);
+        show("ALRT [" + alert.kind + "] " + alert.detail + " (lat " +
+             to_string(info.latency) + ")");
+      });
+  if (!s.is_ok()) return s;
+
+  return subscribe_event<Detection>(
+      "vision.detection",
+      [this](const Detection& det, const mw::EventInfo&) {
+        ++detections_;
+        show("DTCT '" + det.resource + "' features=" +
+             std::to_string(det.features));
+      });
+}
+
+void GroundStation::send_command(const std::string& action,
+                                 const std::string& reason) {
+  MissionCommand cmd;
+  cmd.action = action;
+  cmd.reason = reason;
+  show("CMD  -> " + action);
+  call<MissionCommand, Ack>(
+      "mission.command", cmd, [this, action](StatusOr<Ack> ack) {
+        if (ack.ok() && ack->ok) {
+          ++commands_acked_;
+          show("CMD  <- " + action + " acknowledged: " + ack->detail);
+        } else {
+          show("CMD  <- " + action + " FAILED: " +
+               (ack.ok() ? ack->detail : ack.status().to_string()));
+        }
+      });
+}
+
+void GroundStation::show(const std::string& line) {
+  MAREA_LOG(kInfo, "ground") << line;
+  if (terminal_) terminal_(line);
+}
+
+}  // namespace marea::services

@@ -1,0 +1,54 @@
+// Ground Station service (paper §5: "the station where the operator
+// checks and controls the UAV operation. In this simple use case, the
+// ground station basically shows the subscribed variables and events in a
+// terminal"). Subscribes to the mission's variables and events, keeps
+// counters for tests/benches, and optionally prints to a terminal sink.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+class GroundStation final : public mw::Service {
+ public:
+  // `terminal` receives one formatted line per update; empty = log only.
+  explicit GroundStation(
+      std::function<void(const std::string& line)> terminal = {});
+
+  Status on_start() override;
+
+  // Operator action: issue a mission command ("pause"/"resume"/"abort")
+  // through the remote-invocation primitive. The result line is shown on
+  // the terminal when it arrives.
+  void send_command(const std::string& action, const std::string& reason = "");
+  uint64_t commands_acked() const { return commands_acked_; }
+
+  uint64_t position_updates() const { return position_updates_; }
+  uint64_t status_updates() const { return status_updates_; }
+  uint64_t alerts() const { return alerts_.size(); }
+  uint64_t detections() const { return detections_; }
+  uint64_t gps_timeouts() const { return gps_timeouts_; }
+  const std::vector<MissionAlert>& alert_log() const { return alerts_; }
+  const GpsFix& last_fix() const { return last_fix_; }
+  const MissionStatus& last_status() const { return last_status_; }
+
+ private:
+  void show(const std::string& line);
+
+  std::function<void(const std::string&)> terminal_;
+  uint64_t position_updates_ = 0;
+  uint64_t status_updates_ = 0;
+  uint64_t detections_ = 0;
+  uint64_t gps_timeouts_ = 0;
+  uint64_t commands_acked_ = 0;
+  std::vector<MissionAlert> alerts_;
+  GpsFix last_fix_;
+  MissionStatus last_status_;
+};
+
+}  // namespace marea::services

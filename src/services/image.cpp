@@ -1,0 +1,159 @@
+#include "services/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace marea::services {
+
+namespace {
+constexpr uint8_t kMagic[4] = {'I', 'M', 'G', '1'};
+}
+
+Buffer Image::serialize() const {
+  ByteWriter w(8 + pixels.size());
+  w.bytes(BytesView(kMagic, 4));
+  w.u16(width);
+  w.u16(height);
+  w.bytes(as_bytes_view(pixels));
+  return w.take();
+}
+
+StatusOr<Image> Image::deserialize(BytesView data) {
+  ByteReader r(data);
+  BytesView magic = r.bytes(4);
+  if (!r.ok() || !std::equal(magic.begin(), magic.end(), kMagic)) {
+    return data_loss_error("not an IMG1 image");
+  }
+  Image img;
+  img.width = r.u16();
+  img.height = r.u16();
+  size_t expect = static_cast<size_t>(img.width) * img.height;
+  BytesView px = r.bytes(expect);
+  if (!r.ok() || !r.at_end()) return data_loss_error("truncated image");
+  img.pixels = to_buffer(px);
+  return img;
+}
+
+Image render_scene(const SceneParams& params) {
+  Image img;
+  img.width = params.width;
+  img.height = params.height;
+  img.pixels.resize(static_cast<size_t>(params.width) * params.height);
+
+  Rng rng(params.seed);
+  // Smooth background: two low-frequency sinusoids, mid-gray.
+  const double fx = rng.uniform_real(1.0, 3.0);
+  const double fy = rng.uniform_real(1.0, 3.0);
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      double u = static_cast<double>(x) / params.width;
+      double v = static_cast<double>(y) / params.height;
+      double base = 90 + 40 * std::sin(fx * 6.28 * u) *
+                             std::cos(fy * 6.28 * v);
+      base += rng.uniform_real(-params.noise_amplitude,
+                               params.noise_amplitude);
+      img.pixels[static_cast<size_t>(y) * params.width + x] =
+          static_cast<uint8_t>(std::clamp(base, 0.0, 179.0));
+    }
+  }
+
+  // Bright circular targets, kept off the borders and apart from each
+  // other so the detector's answer is unambiguous.
+  const int radius = std::max(3, params.width / 42);
+  std::vector<std::pair<int, int>> centers;
+  for (uint32_t t = 0; t < params.targets; ++t) {
+    int cx = 0;
+    int cy = 0;
+    // Rejection-sample a center at least 3 radii from earlier targets
+    // (bounded attempts keep rendering total even in crowded scenes).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      cx = static_cast<int>(
+          rng.uniform(radius * 3u,
+                      static_cast<uint32_t>(params.width - radius * 3)));
+      cy = static_cast<int>(
+          rng.uniform(radius * 3u,
+                      static_cast<uint32_t>(params.height - radius * 3)));
+      bool clear = true;
+      for (auto [px, py] : centers) {
+        int dx = px - cx;
+        int dy = py - cy;
+        if (dx * dx + dy * dy < 9 * radius * radius) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) break;
+    }
+    centers.emplace_back(cx, cy);
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        if (dx * dx + dy * dy > radius * radius) continue;
+        int x = cx + dx;
+        int y = cy + dy;
+        if (x < 0 || y < 0 || x >= params.width || y >= params.height) {
+          continue;
+        }
+        double fall =
+            1.0 - std::sqrt(static_cast<double>(dx * dx + dy * dy)) /
+                      (radius + 1.0);
+        uint8_t& px =
+            img.pixels[static_cast<size_t>(y) * params.width + x];
+        px = static_cast<uint8_t>(
+            std::max<int>(px, 215 + static_cast<int>(40 * fall)));
+      }
+    }
+  }
+  return img;
+}
+
+DetectionResult detect_features(const Image& image,
+                                const DetectionParams& params) {
+  DetectionResult result;
+  const int w = image.width;
+  const int h = image.height;
+  if (w == 0 || h == 0) return result;
+
+  std::vector<uint8_t> mask(static_cast<size_t>(w) * h, 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (image.pixels[i] >= params.threshold) {
+      mask[i] = 1;
+      result.bright_px++;
+    }
+  }
+
+  // Iterative flood fill (4-connectivity) sized-filtered into features.
+  std::vector<int32_t> stack;
+  uint64_t blob_px_total = 0;
+  for (int start = 0; start < w * h; ++start) {
+    if (mask[static_cast<size_t>(start)] != 1) continue;
+    uint32_t size = 0;
+    stack.push_back(start);
+    mask[static_cast<size_t>(start)] = 2;
+    while (!stack.empty()) {
+      int p = stack.back();
+      stack.pop_back();
+      ++size;
+      int x = p % w;
+      int y = p / w;
+      const int neighbors[4] = {p - 1, p + 1, p - w, p + w};
+      const bool valid[4] = {x > 0, x < w - 1, y > 0, y < h - 1};
+      for (int k = 0; k < 4; ++k) {
+        if (valid[k] && mask[static_cast<size_t>(neighbors[k])] == 1) {
+          mask[static_cast<size_t>(neighbors[k])] = 2;
+          stack.push_back(neighbors[k]);
+        }
+      }
+    }
+    if (size >= params.min_blob_px) {
+      result.features++;
+      blob_px_total += size;
+    }
+  }
+  result.score = result.features
+                     ? static_cast<double>(blob_px_total) / result.features
+                     : 0.0;
+  return result;
+}
+
+}  // namespace marea::services

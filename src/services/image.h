@@ -1,0 +1,57 @@
+// Synthetic imagery + detection pipeline: the stand-in for the paper's
+// camera payload and "on-board FPGA based system" (§5). The camera
+// renders a deterministic grayscale scene with a known number of bright
+// targets; the vision stage recovers them with a threshold + connected
+// components pass — so tests can assert detection correctness end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace marea::services {
+
+struct Image {
+  uint16_t width = 0;
+  uint16_t height = 0;
+  Buffer pixels;  // row-major grayscale, width*height bytes
+
+  uint8_t at(int x, int y) const {
+    return pixels[static_cast<size_t>(y) * width + static_cast<size_t>(x)];
+  }
+
+  // Wire form: magic "IMG1", u16 width, u16 height, pixels.
+  Buffer serialize() const;
+  static StatusOr<Image> deserialize(BytesView data);
+};
+
+struct SceneParams {
+  uint16_t width = 256;
+  uint16_t height = 256;
+  uint32_t targets = 0;        // bright blobs to embed
+  double noise_amplitude = 12; // uniform noise added to the background
+  uint64_t seed = 1;
+};
+
+// Renders terrain-like background (smooth gradient + noise) with
+// `targets` bright circular blobs at seeded-random positions.
+Image render_scene(const SceneParams& params);
+
+struct DetectionParams {
+  uint8_t threshold = 200;
+  uint32_t min_blob_px = 12;
+};
+
+struct DetectionResult {
+  uint32_t features = 0;   // connected bright components >= min_blob_px
+  uint32_t bright_px = 0;  // total pixels over threshold
+  double score = 0.0;      // mean blob size in pixels
+};
+
+// Threshold + 4-connected component labeling (the "FPGA pipeline").
+DetectionResult detect_features(const Image& image,
+                                const DetectionParams& params);
+
+}  // namespace marea::services

@@ -1,0 +1,137 @@
+// Shared message vocabulary of the avionics services (the §5 scenario).
+// Every struct is MAREA_REFLECTed: the same definition yields the wire
+// schema, the dynamic Value conversion, and the typed service API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "encoding/typed.h"
+
+namespace marea::services {
+
+// gps.position — high-rate best-effort variable (Fig 3: "the position is a
+// high rate changing data and the consumer services can lost some values
+// without problem").
+struct GpsFix {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+  double heading_deg = 0.0;
+  double speed_mps = 0.0;
+  int64_t time_ns = 0;
+};
+
+// gps.waypoint — event raised when the FCS captures a waypoint.
+struct WaypointReached {
+  uint32_t index = 0;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  std::string action;
+};
+
+// mission.take_photo — event from mission control to the camera.
+struct TakePhotoCmd {
+  uint32_t waypoint_index = 0;
+  std::string resource;  // file resource name the image will be published as
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// camera.setup(CameraSetup) -> Ack — remote invocation (Fig 3: "the MC
+// instructs the camera to prepare itself to take photos and publish them
+// with the specified name").
+struct CameraSetup {
+  std::string resource_prefix;
+  uint32_t width = 256;
+  uint32_t height = 256;
+};
+
+// storage.store(StoreRequest) -> Ack — instructs the storage service to
+// persist a published file resource under a directory.
+struct StoreRequest {
+  std::string resource;
+  std::string directory;
+};
+
+// storage.record(RecordRequest) -> Ack — asks storage to log a variable's
+// samples (Fig 3: "it is told to store the photos and the GPS positions").
+struct RecordRequest {
+  std::string variable;
+  std::string directory;
+};
+
+// vision.process(ProcessRequest) -> Ack — tells the processing module to
+// analyse a file resource as it arrives.
+struct ProcessRequest {
+  std::string resource;
+  uint32_t threshold = 200;   // pixel intensity threshold
+  uint32_t min_blob_px = 12;  // minimum connected-component size
+  uint32_t alert_features = 1;  // raise vision.detection at >= this count
+};
+
+struct Ack {
+  bool ok = false;
+  std::string detail;
+};
+
+// vision.detection — event raised when the "pre-programmed
+// characteristics" are found in an image.
+struct Detection {
+  std::string resource;
+  uint32_t features = 0;
+  double score = 0.0;
+};
+
+// mission.status — low-rate variable summarizing mission progress.
+struct MissionStatus {
+  std::string phase;          // "init", "flying", "done"
+  uint32_t next_waypoint = 0;
+  uint32_t photos_taken = 0;
+  uint32_t detections = 0;
+};
+
+// mission.alert — event from mission control to the ground station.
+struct MissionAlert {
+  std::string kind;  // "detection", "emergency", ...
+  std::string detail;
+};
+
+// mission.command(MissionCommand) -> Ack — operator control from the
+// ground station (§5: "the station where the operator checks and controls
+// the UAV operation"). Actions: "pause", "resume", "abort".
+struct MissionCommand {
+  std::string action;
+  std::string reason;
+};
+
+// storage.list(ListRequest) -> ListReply
+struct ListRequest {
+  std::string directory;
+};
+struct ListReply {
+  std::vector<std::string> paths;
+  uint64_t total_bytes = 0;
+};
+
+}  // namespace marea::services
+
+MAREA_REFLECT(marea::services::GpsFix, lat_deg, lon_deg, alt_m, heading_deg,
+              speed_mps, time_ns)
+MAREA_REFLECT(marea::services::WaypointReached, index, lat_deg, lon_deg,
+              action)
+MAREA_REFLECT(marea::services::TakePhotoCmd, waypoint_index, resource,
+              lat_deg, lon_deg)
+MAREA_REFLECT(marea::services::CameraSetup, resource_prefix, width, height)
+MAREA_REFLECT(marea::services::StoreRequest, resource, directory)
+MAREA_REFLECT(marea::services::RecordRequest, variable, directory)
+MAREA_REFLECT(marea::services::ProcessRequest, resource, threshold,
+              min_blob_px, alert_features)
+MAREA_REFLECT(marea::services::Ack, ok, detail)
+MAREA_REFLECT(marea::services::Detection, resource, features, score)
+MAREA_REFLECT(marea::services::MissionStatus, phase, next_waypoint,
+              photos_taken, detections)
+MAREA_REFLECT(marea::services::MissionAlert, kind, detail)
+MAREA_REFLECT(marea::services::MissionCommand, action, reason)
+MAREA_REFLECT(marea::services::ListRequest, directory)
+MAREA_REFLECT(marea::services::ListReply, paths, total_bytes)

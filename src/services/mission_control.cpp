@@ -1,0 +1,209 @@
+#include "util/logging.h"
+#include "services/mission_control.h"
+
+namespace marea::services {
+
+namespace {
+constexpr const char* kLog = "mission";
+}
+
+MissionControl::MissionControl(fdm::FlightPlan plan,
+                               MissionControlConfig config)
+    : Service("mission_control"),
+      plan_(std::move(plan)),
+      config_(std::move(config)) {}
+
+Status MissionControl::on_start() {
+  running_ = true;
+  status_.phase = "init";
+
+  auto status_var = provide_variable<MissionStatus>(
+      "mission.status", {.period = config_.status_period,
+                         .validity = config_.status_period * 3});
+  if (!status_var.ok()) return status_var.status();
+  status_var_ = *status_var;
+
+  auto photo = provide_event<TakePhotoCmd>("mission.take_photo");
+  if (!photo.ok()) return photo.status();
+  photo_event_ = *photo;
+
+  auto alert = provide_event<MissionAlert>("mission.alert");
+  if (!alert.ok()) return alert.status();
+  alert_event_ = *alert;
+
+  // §4.3: declare the functions this mission cannot run without; the
+  // middleware fires the emergency procedure if they ever lose all
+  // providers.
+  (void)require_function("camera.setup");
+  (void)require_function("storage.store");
+  (void)require_function("vision.process");
+
+  // Consume the position stream with a staleness warning.
+  Status s = subscribe_variable<GpsFix>(
+      "gps.position",
+      [this](const GpsFix&, const mw::SampleInfo&) {
+        position_fresh_ = true;
+      },
+      [this](Duration silence) {
+        position_fresh_ = false;
+        MAREA_LOG(kWarn, kLog) << "gps.position silent for "
+                               << to_string(silence);
+        MissionAlert alertmsg;
+        alertmsg.kind = "gps-timeout";
+        alertmsg.detail = "no position for " + to_string(silence);
+        (void)alert_event_.publish(alertmsg);
+      });
+  if (!s.is_ok()) return s;
+
+  s = subscribe_event<WaypointReached>(
+      "gps.waypoint", [this](const WaypointReached& evt,
+                             const mw::EventInfo&) { on_waypoint(evt); });
+  if (!s.is_ok()) return s;
+
+  s = subscribe_event<Detection>(
+      "vision.detection",
+      [this](const Detection& det, const mw::EventInfo&) {
+        on_detection(det);
+      });
+  if (!s.is_ok()) return s;
+
+  // Operator control surface (remote invocation from the ground station).
+  s = provide_function<MissionCommand, Ack>(
+      "mission.command",
+      [this](const MissionCommand& cmd) { return on_command(cmd); });
+  if (!s.is_ok()) return s;
+
+  publish_status();
+  initialize_payload();
+  return Status::ok();
+}
+
+StatusOr<Ack> MissionControl::on_command(const MissionCommand& cmd) {
+  Ack ack;
+  if (cmd.action == "pause") {
+    paused_ = true;
+    ack.ok = true;
+    ack.detail = "photo triggering paused";
+  } else if (cmd.action == "resume") {
+    if (aborted_) return failed_precondition_error("mission aborted");
+    paused_ = false;
+    ack.ok = true;
+    ack.detail = "photo triggering resumed";
+  } else if (cmd.action == "abort") {
+    aborted_ = true;
+    paused_ = true;
+    status_.phase = "aborted";
+    MissionAlert alertmsg;
+    alertmsg.kind = "abort";
+    alertmsg.detail = cmd.reason.empty() ? "operator abort" : cmd.reason;
+    (void)alert_event_.publish(alertmsg);
+    ack.ok = true;
+    ack.detail = "mission aborted";
+  } else {
+    return invalid_argument_error("unknown mission command '" + cmd.action +
+                                  "'");
+  }
+  MAREA_LOG(kInfo, kLog) << "operator command: " << cmd.action << " ("
+                         << ack.detail << ")";
+  publish_status();
+  return ack;
+}
+
+void MissionControl::on_stop() { running_ = false; }
+
+void MissionControl::initialize_payload() {
+  if (!running_) return;
+  // Remote-invocation initialization (Fig 3). Providers may still be
+  // joining the network: retry until all three ack.
+  init_done_ = 0;
+
+  CameraSetup cam;
+  cam.resource_prefix = config_.photo_prefix;
+  cam.width = config_.image_width;
+  cam.height = config_.image_height;
+  call<CameraSetup, Ack>("camera.setup", cam, [this](StatusOr<Ack> ack) {
+    if (ack.ok() && ack->ok) {
+      ++init_done_;
+      MAREA_LOG(kInfo, kLog) << "camera ready: " << ack->detail;
+      if (initialized()) {
+        status_.phase = "flying";
+        publish_status();
+      }
+    } else {
+      MAREA_LOG(kWarn, kLog) << "camera.setup failed: "
+                             << (ack.ok() ? ack->detail
+                                          : ack.status().to_string());
+      schedule(config_.init_retry, [this] { initialize_payload(); });
+    }
+  });
+
+  // Tell storage to keep the whole photo stream and the GPS track.
+  for (uint32_t i = 0; i < static_cast<uint32_t>(plan_.size()); ++i) {
+    if (plan_.at(i).action != "photo") continue;
+    StoreRequest store;
+    store.resource = config_.photo_prefix + "." + std::to_string(i);
+    store.directory = "photos";
+    call<StoreRequest, Ack>("storage.store", store, [](StatusOr<Ack>) {});
+    ProcessRequest proc;
+    proc.resource = store.resource;
+    proc.threshold = config_.detection_threshold;
+    call<ProcessRequest, Ack>("vision.process", proc, [](StatusOr<Ack>) {});
+  }
+  RecordRequest rec;
+  rec.variable = "gps.position";
+  rec.directory = "track";
+  call<RecordRequest, Ack>("storage.record", rec,
+                           [this](StatusOr<Ack> ack) {
+                             if (ack.value_or(Ack{}).ok) ++init_done_;
+                           });
+  ProcessRequest probe;  // confirm vision is reachable
+  probe.resource = config_.photo_prefix + ".0";
+  probe.threshold = config_.detection_threshold;
+  call<ProcessRequest, Ack>("vision.process", probe,
+                            [this](StatusOr<Ack> ack) {
+                              if (ack.value_or(Ack{}).ok) ++init_done_;
+                            });
+}
+
+void MissionControl::on_waypoint(const WaypointReached& evt) {
+  status_.next_waypoint = evt.index + 1;
+  if (evt.action == "photo" && !paused_) {
+    TakePhotoCmd cmd;
+    cmd.waypoint_index = evt.index;
+    cmd.resource = config_.photo_prefix + "." + std::to_string(evt.index);
+    cmd.lat_deg = evt.lat_deg;
+    cmd.lon_deg = evt.lon_deg;
+    status_.photos_taken++;
+    MAREA_LOG(kInfo, kLog) << "waypoint " << evt.index
+                           << ": commanding photo '" << cmd.resource << "'";
+    (void)photo_event_.publish(cmd);
+  }
+  if (status_.next_waypoint >= plan_.size() && !aborted_) {
+    status_.phase = "done";
+    MissionAlert alertmsg;
+    alertmsg.kind = "mission-complete";
+    alertmsg.detail = std::to_string(status_.photos_taken) + " photos, " +
+                      std::to_string(status_.detections) + " detections";
+    (void)alert_event_.publish(alertmsg);
+  }
+  publish_status();
+}
+
+void MissionControl::on_detection(const Detection& det) {
+  status_.detections++;
+  MAREA_LOG(kInfo, kLog) << "detection in '" << det.resource << "': "
+                         << det.features << " features (score "
+                         << det.score << ")";
+  MissionAlert alertmsg;
+  alertmsg.kind = "detection";
+  alertmsg.detail = det.resource + ": " + std::to_string(det.features) +
+                    " features";
+  (void)alert_event_.publish(alertmsg);
+  publish_status();
+}
+
+void MissionControl::publish_status() {
+  (void)status_var_.publish(status_);
+}
+
+}  // namespace marea::services

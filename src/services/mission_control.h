@@ -1,0 +1,68 @@
+// Mission Control (paper §5): "a service that monitors the status of the
+// mission and following a provided flight plan orchestrates the rest of
+// services to autonomously accomplish the mission."
+//
+// Orchestration per Fig 3, exercising all four primitives:
+//   * consumes the gps.position variable and the gps.waypoint event;
+//   * initializes camera/storage/vision with remote invocations
+//     ("all these initialization have remote call semantics");
+//   * raises mission.take_photo events at photo waypoints;
+//   * the photo fans out via the file-transfer primitive to storage and
+//     vision, whose vision.detection event loops back here;
+//   * publishes the mission.status variable and mission.alert events for
+//     the ground station.
+#pragma once
+
+#include "fdm/flight_plan.h"
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+struct MissionControlConfig {
+  std::string photo_prefix = "photo";
+  uint32_t image_width = 192;
+  uint32_t image_height = 192;
+  uint32_t detection_threshold = 200;
+  Duration init_retry = milliseconds(300);
+  Duration status_period = milliseconds(500);
+};
+
+class MissionControl final : public mw::Service {
+ public:
+  explicit MissionControl(fdm::FlightPlan plan,
+                          MissionControlConfig config = {});
+
+  Status on_start() override;
+  void on_stop() override;
+
+  const MissionStatus& status() const { return status_; }
+  bool initialized() const { return init_done_ == 3; }
+  uint32_t photos_commanded() const { return status_.photos_taken; }
+  uint32_t detections_seen() const { return status_.detections; }
+  bool paused() const { return paused_; }
+  bool aborted() const { return aborted_; }
+
+ private:
+  void initialize_payload();
+  void on_waypoint(const WaypointReached& evt);
+  void on_detection(const Detection& det);
+  StatusOr<Ack> on_command(const MissionCommand& cmd);
+  void publish_status();
+
+  fdm::FlightPlan plan_;
+  MissionControlConfig config_;
+
+  mw::VariableHandle status_var_;
+  mw::EventHandle photo_event_;
+  mw::EventHandle alert_event_;
+
+  MissionStatus status_;
+  int init_done_ = 0;  // camera + storage + vision acks received
+  bool running_ = false;
+  bool position_fresh_ = false;
+  bool paused_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace marea::services

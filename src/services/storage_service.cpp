@@ -1,0 +1,91 @@
+#include "util/logging.h"
+#include "services/storage_service.h"
+
+#include <cstdio>
+
+namespace marea::services {
+
+StorageService::StorageService(uint64_t quota_bytes)
+    : Service("storage"), fs_(quota_bytes) {}
+
+Status StorageService::on_start() {
+  Status s = provide_function<StoreRequest, Ack>(
+      "storage.store", [this](const StoreRequest& req) { return store(req); });
+  if (!s.is_ok()) return s;
+  s = provide_function<RecordRequest, Ack>(
+      "storage.record",
+      [this](const RecordRequest& req) { return record(req); });
+  if (!s.is_ok()) return s;
+  return provide_function<ListRequest, ListReply>(
+      "storage.list", [this](const ListRequest& req) { return list(req); });
+}
+
+StatusOr<Ack> StorageService::store(const StoreRequest& req) {
+  if (req.resource.empty()) {
+    return invalid_argument_error("storage.store: empty resource");
+  }
+  std::string dir = req.directory.empty() ? "photos" : req.directory;
+  if (!stored_resources_.count(req.resource)) {
+    stored_resources_.insert(req.resource);
+    Status s = subscribe_file(
+        req.resource,
+        [this, dir](const proto::FileMeta& meta, const Buffer& content) {
+          std::string path = dir + "/" + meta.name + ".r" +
+                             std::to_string(meta.revision);
+          Status ws = fs_.write(path, content);
+          if (ws.is_ok()) {
+            ++files_stored_;
+            MAREA_LOG(kInfo, "storage")
+                << "stored '" << path << "' (" << content.size()
+                << " bytes)";
+          } else {
+            MAREA_LOG(kError, "storage")
+                << "failed to store '" << path << "': " << ws.to_string();
+          }
+        });
+    if (!s.is_ok()) return s;
+  }
+  Ack ack;
+  ack.ok = true;
+  ack.detail = "storing " + req.resource + " under " + dir;
+  return ack;
+}
+
+StatusOr<Ack> StorageService::record(const RecordRequest& req) {
+  if (req.variable.empty()) {
+    return invalid_argument_error("storage.record: empty variable");
+  }
+  std::string dir = req.directory.empty() ? "track" : req.directory;
+  if (!recorded_variables_.count(req.variable)) {
+    recorded_variables_.insert(req.variable);
+    std::string variable = req.variable;
+    Status s = subscribe_variable(
+        variable, enc::descriptor_of<GpsFix>(),
+        [this, dir, variable](const enc::Value& v, const mw::SampleInfo&) {
+          // Append a CSV-ish line per sample.
+          std::string path = dir + "/" + variable + ".log";
+          Buffer existing;
+          if (auto r = fs_.read(path); r.ok()) existing = std::move(*r);
+          std::string line = v.to_string() + "\n";
+          existing.insert(existing.end(), line.begin(), line.end());
+          (void)fs_.write(path, std::move(existing));
+          ++samples_recorded_;
+        });
+    if (!s.is_ok()) return s;
+  }
+  Ack ack;
+  ack.ok = true;
+  ack.detail = "recording " + req.variable;
+  return ack;
+}
+
+StatusOr<ListReply> StorageService::list(const ListRequest& req) {
+  ListReply reply;
+  for (const auto& info : fs_.list(req.directory)) {
+    reply.paths.push_back(info.path);
+    reply.total_bytes += info.size;
+  }
+  return reply;
+}
+
+}  // namespace marea::services

@@ -1,0 +1,42 @@
+// Storage service (paper §5): "a generic service that provides storage
+// and retrieval of data by providing access to an inner file system. It is
+// told to store the photos and the GPS positions by the MC."
+//
+// Remote API:
+//   storage.store(StoreRequest)   — subscribe to a file resource and
+//                                   persist every revision
+//   storage.record(RecordRequest) — log a variable's samples to a file
+//   storage.list(ListRequest)     — enumerate stored files
+#pragma once
+
+#include <set>
+
+#include "memfs/memfs.h"
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+class StorageService final : public mw::Service {
+ public:
+  explicit StorageService(uint64_t quota_bytes = 0);
+
+  Status on_start() override;
+
+  const memfs::MemFs& fs() const { return fs_; }
+  uint64_t files_stored() const { return files_stored_; }
+  uint64_t samples_recorded() const { return samples_recorded_; }
+
+ private:
+  StatusOr<Ack> store(const StoreRequest& req);
+  StatusOr<Ack> record(const RecordRequest& req);
+  StatusOr<ListReply> list(const ListRequest& req);
+
+  memfs::MemFs fs_;
+  std::set<std::string> stored_resources_;
+  std::set<std::string> recorded_variables_;
+  uint64_t files_stored_ = 0;
+  uint64_t samples_recorded_ = 0;
+};
+
+}  // namespace marea::services

@@ -1,0 +1,55 @@
+#include "services/telemetry_service.h"
+
+namespace marea::services {
+
+Buffer encode_telemetry(const TelemetryPacket& pkt) {
+  ByteWriter w(44);
+  w.u32(kTelemetryMagic);
+  w.u32(kTelemetryVersion);
+  w.f64(pkt.lat_deg);
+  w.f64(pkt.lon_deg);
+  w.f32(pkt.alt_m);
+  w.f32(pkt.heading_deg);
+  w.f32(pkt.speed_mps);
+  w.f32(pkt.vertical_mps);
+  w.u64(pkt.time_ns);
+  return w.take();
+}
+
+StatusOr<TelemetryPacket> decode_telemetry(BytesView data) {
+  ByteReader r(data);
+  if (r.u32() != kTelemetryMagic) return data_loss_error("bad magic");
+  if (r.u32() != kTelemetryVersion) return data_loss_error("bad version");
+  TelemetryPacket pkt;
+  pkt.lat_deg = r.f64();
+  pkt.lon_deg = r.f64();
+  pkt.alt_m = r.f32();
+  pkt.heading_deg = r.f32();
+  pkt.speed_mps = r.f32();
+  pkt.vertical_mps = r.f32();
+  pkt.time_ns = r.u64();
+  if (!r.ok() || !r.at_end()) return data_loss_error("truncated packet");
+  return pkt;
+}
+
+TelemetryService::TelemetryService(Sink sink)
+    : Service("telemetry"), sink_(std::move(sink)) {}
+
+Status TelemetryService::on_start() {
+  return subscribe_variable<GpsFix>(
+      "gps.position", [this](const GpsFix& fix, const mw::SampleInfo&) {
+        TelemetryPacket pkt;
+        pkt.lat_deg = fix.lat_deg;
+        pkt.lon_deg = fix.lon_deg;
+        pkt.alt_m = static_cast<float>(fix.alt_m);
+        pkt.heading_deg = static_cast<float>(fix.heading_deg);
+        pkt.speed_mps = static_cast<float>(fix.speed_mps);
+        pkt.vertical_mps = 0.0f;
+        pkt.time_ns = static_cast<uint64_t>(fix.time_ns);
+        Buffer packet = encode_telemetry(pkt);
+        ++packets_;
+        if (sink_) sink_(as_bytes_view(packet));
+      });
+}
+
+}  // namespace marea::services

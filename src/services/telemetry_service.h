@@ -1,0 +1,57 @@
+// Telemetry bridge (paper §6: "the telemetry interface with FlightGear
+// simulator has been done by a person without previous knowledge of the
+// architecture in only 2 days"). Subscribes to gps.position and emits
+// FlightGear-net-style fixed-layout binary packets to an external sink —
+// the adapter surface a visualization tool would consume.
+//
+// Packet layout (little-endian, 48 bytes):
+//   u32  magic   0x46474E54 ("FGNT")
+//   u32  version 1
+//   f64  latitude_deg
+//   f64  longitude_deg
+//   f32  altitude_m
+//   f32  heading_deg
+//   f32  speed_mps
+//   f32  vertical_mps (always 0 from GpsFix)
+//   u64  sim_time_ns
+#pragma once
+
+#include <functional>
+
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+constexpr uint32_t kTelemetryMagic = 0x46474E54;
+constexpr uint32_t kTelemetryVersion = 1;
+
+struct TelemetryPacket {
+  double lat_deg = 0;
+  double lon_deg = 0;
+  float alt_m = 0;
+  float heading_deg = 0;
+  float speed_mps = 0;
+  float vertical_mps = 0;
+  uint64_t time_ns = 0;
+};
+
+Buffer encode_telemetry(const TelemetryPacket& pkt);
+StatusOr<TelemetryPacket> decode_telemetry(BytesView data);
+
+class TelemetryService final : public mw::Service {
+ public:
+  using Sink = std::function<void(BytesView packet)>;
+
+  explicit TelemetryService(Sink sink);
+
+  Status on_start() override;
+
+  uint64_t packets_sent() const { return packets_; }
+
+ private:
+  Sink sink_;
+  uint64_t packets_ = 0;
+};
+
+}  // namespace marea::services

@@ -1,0 +1,67 @@
+#include "util/logging.h"
+#include "services/vision_service.h"
+
+namespace marea::services {
+
+Status VisionService::on_start() {
+  auto event = provide_event<Detection>("vision.detection");
+  if (!event.ok()) return event.status();
+  detection_event_ = *event;
+
+  return provide_function<ProcessRequest, Ack>(
+      "vision.process",
+      [this](const ProcessRequest& req) { return process(req); });
+}
+
+StatusOr<Ack> VisionService::process(const ProcessRequest& req) {
+  if (req.resource.empty()) {
+    return invalid_argument_error("vision.process: empty resource");
+  }
+  if (!watched_.count(req.resource)) {
+    watched_[req.resource] = req;
+    std::string resource = req.resource;
+    Status s = subscribe_file(
+        resource,
+        [this, resource](const proto::FileMeta& meta, const Buffer& content) {
+          auto it = watched_.find(resource);
+          if (it != watched_.end()) analyse(it->second, meta, content);
+        });
+    if (!s.is_ok()) return s;
+  } else {
+    watched_[req.resource] = req;  // refresh parameters
+  }
+  Ack ack;
+  ack.ok = true;
+  ack.detail = "processing " + req.resource;
+  return ack;
+}
+
+void VisionService::analyse(const ProcessRequest& req,
+                            const proto::FileMeta& meta,
+                            const Buffer& content) {
+  auto img = Image::deserialize(as_bytes_view(content));
+  if (!img.ok()) {
+    MAREA_LOG(kWarn, "vision") << "resource '" << meta.name
+                               << "' is not an image: "
+                               << img.status().to_string();
+    return;
+  }
+  DetectionParams params;
+  params.threshold = static_cast<uint8_t>(req.threshold);
+  params.min_blob_px = req.min_blob_px;
+  DetectionResult result = detect_features(*img, params);
+  ++processed_;
+  MAREA_LOG(kInfo, "vision") << "analysed '" << meta.name << "' rev "
+                             << meta.revision << ": " << result.features
+                             << " features";
+  if (result.features >= req.alert_features) {
+    Detection det;
+    det.resource = meta.name;
+    det.features = result.features;
+    det.score = result.score;
+    ++detections_;
+    (void)detection_event_.publish(det);
+  }
+}
+
+}  // namespace marea::services

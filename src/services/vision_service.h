@@ -1,0 +1,36 @@
+// Video/image processing service (paper §5): the on-board "FPGA based
+// system" that analyses published photos. Configured via remote
+// invocation (vision.process), consumes images through the file-transfer
+// primitive, raises a vision.detection event when the pre-programmed
+// characteristics appear.
+#pragma once
+
+#include <map>
+
+#include "middleware/service.h"
+#include "services/image.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+class VisionService final : public mw::Service {
+ public:
+  VisionService() : Service("vision") {}
+
+  Status on_start() override;
+
+  uint32_t images_processed() const { return processed_; }
+  uint32_t detections_raised() const { return detections_; }
+
+ private:
+  StatusOr<Ack> process(const ProcessRequest& req);
+  void analyse(const ProcessRequest& req, const proto::FileMeta& meta,
+               const Buffer& content);
+
+  mw::EventHandle detection_event_;
+  std::map<std::string, ProcessRequest> watched_;  // resource -> params
+  uint32_t processed_ = 0;
+  uint32_t detections_ = 0;
+};
+
+}  // namespace marea::services

@@ -1,0 +1,224 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace marea::sim {
+
+namespace {
+constexpr Duration kLocalDeliveryLatency = microseconds(5);
+}
+
+SimNetwork::SimNetwork(Simulator& sim, Rng rng, LinkParams default_link)
+    : sim_(sim), rng_(rng), default_link_(default_link) {}
+
+NodeId SimNetwork::add_node(std::string name) {
+  Node n;
+  n.name = std::move(name);
+  n.egress_bps = default_link_.rate_bps;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::set_node_rate(NodeId id, double bps) {
+  nodes_.at(id).egress_bps = bps;
+}
+
+const std::string& SimNetwork::node_name(NodeId id) const {
+  return nodes_.at(id).name;
+}
+
+void SimNetwork::set_link(NodeId a, NodeId b, LinkParams p) {
+  links_[{a, b}] = p;
+}
+
+LinkParams SimNetwork::link(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::set_node_up(NodeId id, bool up) { nodes_.at(id).up = up; }
+bool SimNetwork::node_up(NodeId id) const { return nodes_.at(id).up; }
+
+Status SimNetwork::bind(Endpoint ep, RecvHandler handler) {
+  if (ep.node >= nodes_.size()) {
+    return invalid_argument_error("bind: unknown node");
+  }
+  if (!handler) return invalid_argument_error("bind: empty handler");
+  auto [it, inserted] = bindings_.emplace(ep, std::move(handler));
+  (void)it;
+  if (!inserted) return already_exists_error("bind: endpoint in use");
+  return Status::ok();
+}
+
+void SimNetwork::unbind(Endpoint ep) { bindings_.erase(ep); }
+
+Status SimNetwork::join_group(GroupId group, Endpoint member) {
+  auto& members = groups_[group];
+  if (std::find(members.begin(), members.end(), member) != members.end()) {
+    return already_exists_error("join_group: already a member");
+  }
+  members.push_back(member);
+  return Status::ok();
+}
+
+void SimNetwork::leave_group(GroupId group, Endpoint member) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  auto& members = it->second;
+  members.erase(std::remove(members.begin(), members.end(), member),
+                members.end());
+  if (members.empty()) groups_.erase(it);
+}
+
+Duration SimNetwork::serialization_delay(NodeId node, size_t bytes) const {
+  double bps = nodes_[node].egress_bps;
+  if (bps <= 0) return kDurationZero;
+  return seconds(static_cast<double>(bytes) * 8.0 / bps);
+}
+
+Status SimNetwork::send(Endpoint from, Endpoint to, BytesView data) {
+  if (from.node >= nodes_.size() || to.node >= nodes_.size()) {
+    return invalid_argument_error("send: unknown node");
+  }
+  if (data.size() > mtu_) {
+    return invalid_argument_error("send: datagram exceeds MTU");
+  }
+  if (!nodes_[from.node].up) return unavailable_error("send: node down");
+
+  if (from.node == to.node) {
+    // Local delivery: bypasses the wire entirely.
+    total_.local_packets++;
+    total_.local_bytes += data.size();
+    nodes_[from.node].stats.local_packets++;
+    nodes_[from.node].stats.local_bytes += data.size();
+    Buffer copy = to_buffer(data);
+    sim_.after(kLocalDeliveryLatency,
+               [this, from, to, copy = std::move(copy)]() mutable {
+                 deliver(from, to, std::move(copy));
+               });
+    return Status::ok();
+  }
+  return transmit(from, {to}, data, /*multicast=*/false);
+}
+
+Status SimNetwork::send_multicast(Endpoint from, GroupId group,
+                                  BytesView data) {
+  if (from.node >= nodes_.size()) {
+    return invalid_argument_error("send_multicast: unknown node");
+  }
+  if (data.size() > mtu_) {
+    return invalid_argument_error("send_multicast: datagram exceeds MTU");
+  }
+  if (!nodes_[from.node].up) {
+    return unavailable_error("send_multicast: node down");
+  }
+  std::vector<Endpoint> dests;
+  if (auto it = groups_.find(group); it != groups_.end()) {
+    for (Endpoint member : it->second) {
+      if (member != from) dests.push_back(member);
+    }
+  }
+  if (dests.empty()) {
+    total_.packets_unroutable++;
+    return Status::ok();  // multicast with no listeners is not an error
+  }
+  return transmit(from, std::move(dests), data, /*multicast=*/true);
+}
+
+Status SimNetwork::send_broadcast(Endpoint from, uint16_t port,
+                                  BytesView data) {
+  if (from.node >= nodes_.size()) {
+    return invalid_argument_error("send_broadcast: unknown node");
+  }
+  if (data.size() > mtu_) {
+    return invalid_argument_error("send_broadcast: datagram exceeds MTU");
+  }
+  if (!nodes_[from.node].up) {
+    return unavailable_error("send_broadcast: node down");
+  }
+  std::vector<Endpoint> dests;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (n == from.node) continue;
+    dests.push_back(Endpoint{n, port});
+  }
+  if (dests.empty()) return Status::ok();
+  return transmit(from, std::move(dests), data, /*multicast=*/true);
+}
+
+Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
+                            BytesView data, bool multicast) {
+  Node& src = nodes_[from.node];
+
+  // Egress serialization: the packet leaves the NIC when the serializer is
+  // free; multicast pays this once regardless of fan-out.
+  TimePoint start = std::max(sim_.now(), src.egress_free);
+  Duration ser = serialization_delay(from.node, data.size());
+  TimePoint on_wire = start + ser;
+  src.egress_free = on_wire;
+
+  total_.packets_sent++;
+  total_.bytes_sent += data.size();
+  src.stats.packets_sent++;
+  src.stats.bytes_sent += data.size();
+  (void)multicast;
+
+  Buffer payload = to_buffer(data);
+  for (Endpoint dst : dests) {
+    if (dst.node == from.node) {
+      // Multicast member co-located with the sender: local delivery.
+      total_.local_packets++;
+      total_.local_bytes += payload.size();
+      sim_.after(kLocalDeliveryLatency, [this, from, dst, payload]() {
+        deliver(from, dst, payload);
+      });
+      continue;
+    }
+    LinkParams lp = link(from.node, dst.node);
+    if (rng_.bernoulli(lp.loss)) {
+      total_.packets_dropped++;
+      nodes_[dst.node].stats.packets_dropped++;
+      continue;
+    }
+    Duration prop = lp.latency;
+    if (lp.jitter.ns > 0) {
+      prop = prop + Duration{static_cast<int64_t>(
+                        rng_.next_double() *
+                        static_cast<double>(lp.jitter.ns))};
+    }
+    TimePoint arrival = on_wire + prop;
+    sim_.at(arrival, [this, from, dst, payload]() {
+      deliver(from, dst, payload);
+    });
+  }
+  return Status::ok();
+}
+
+void SimNetwork::deliver(Endpoint from, Endpoint to, Buffer data) {
+  if (!nodes_[to.node].up) {
+    total_.packets_unroutable++;
+    return;
+  }
+  auto it = bindings_.find(to);
+  if (it == bindings_.end()) {
+    total_.packets_unroutable++;
+    nodes_[to.node].stats.packets_unroutable++;
+    return;
+  }
+  total_.packets_delivered++;
+  total_.bytes_delivered += data.size();
+  nodes_[to.node].stats.packets_delivered++;
+  nodes_[to.node].stats.bytes_delivered += data.size();
+  it->second(from, as_bytes_view(data));
+}
+
+const TrafficStats& SimNetwork::node_stats(NodeId id) const {
+  return nodes_.at(id).stats;
+}
+
+void SimNetwork::reset_stats() {
+  total_ = TrafficStats{};
+  for (auto& n : nodes_) n.stats = TrafficStats{};
+}
+
+}  // namespace marea::sim

@@ -1,0 +1,149 @@
+// Simulated datagram network: the laptop substitute for the UAV's onboard
+// Ethernet/radio segment (see DESIGN.md §2).
+//
+// Model
+//  * Nodes are endpoints of a shared segment; each directed node pair has
+//    link parameters (propagation latency, jitter, random loss, rate).
+//  * Each node has one egress serializer: packets queue and pay
+//    size*8/rate_bps of serialization delay — so bulk transfers genuinely
+//    contend with latency-critical traffic, which bench C9 relies on.
+//  * Multicast/broadcast pay egress serialization ONCE and fan out at the
+//    receivers — the §4.1 bandwidth claim under test in bench C2/C4.
+//  * Unicast between ports of the same node is a local delivery: tiny fixed
+//    latency, not counted as wire traffic (the §4.4 bypass baseline).
+//  * Per-node and global byte/packet accounting, loss injection, node
+//    up/down and partitions for failover experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace marea::sim {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  uint16_t port = 0;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  size_t operator()(const Endpoint& e) const {
+    return (static_cast<size_t>(e.node) << 16) ^ e.port;
+  }
+};
+
+using GroupId = uint32_t;  // multicast group address
+
+struct LinkParams {
+  Duration latency = microseconds(200);  // one-way propagation
+  Duration jitter = kDurationZero;       // uniform [0, jitter] added
+  double loss = 0.0;                     // independent drop probability
+  double rate_bps = 100e6;               // egress rate; 0 = infinite
+};
+
+struct TrafficStats {
+  uint64_t packets_sent = 0;      // handed to the wire (post-queue)
+  uint64_t bytes_sent = 0;        // wire bytes (multicast counted once)
+  uint64_t packets_delivered = 0; // arrived at a bound receiver
+  uint64_t bytes_delivered = 0;
+  uint64_t packets_dropped = 0;   // lost in transit
+  uint64_t packets_unroutable = 0;  // no receiver bound / node down
+  uint64_t local_packets = 0;     // same-node deliveries (no wire)
+  uint64_t local_bytes = 0;
+};
+
+class SimNetwork {
+ public:
+  using RecvHandler =
+      std::function<void(Endpoint from, BytesView data)>;
+
+  SimNetwork(Simulator& sim, Rng rng, LinkParams default_link = {});
+
+  // --- topology -----------------------------------------------------------
+  NodeId add_node(std::string name);
+  const std::string& node_name(NodeId id) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  void set_default_link(LinkParams p) { default_link_ = p; }
+  // Directed override a -> b.
+  void set_link(NodeId a, NodeId b, LinkParams p);
+  // Symmetric convenience.
+  void set_link_symmetric(NodeId a, NodeId b, LinkParams p) {
+    set_link(a, b, p);
+    set_link(b, a, p);
+  }
+  LinkParams link(NodeId a, NodeId b) const;
+
+  // Egress serialization rate of one node's NIC (default: default_link rate
+  // at add_node time).
+  void set_node_rate(NodeId id, double bps);
+
+  // A down node neither sends nor receives (failover experiments).
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const;
+
+  // Maximum datagram payload; larger sends fail with InvalidArgument.
+  void set_mtu(size_t mtu) { mtu_ = mtu; }
+  size_t mtu() const { return mtu_; }
+
+  // --- binding ------------------------------------------------------------
+  Status bind(Endpoint ep, RecvHandler handler);
+  void unbind(Endpoint ep);
+  Status join_group(GroupId group, Endpoint member);
+  void leave_group(GroupId group, Endpoint member);
+
+  // --- sending ------------------------------------------------------------
+  Status send(Endpoint from, Endpoint to, BytesView data);
+  // One egress serialization; delivered to every member bound to `group`
+  // (including members on the sender's node, delivered locally) except the
+  // sending endpoint itself.
+  Status send_multicast(Endpoint from, GroupId group, BytesView data);
+  // Delivered to `port` on every up node except the sender's.
+  Status send_broadcast(Endpoint from, uint16_t port, BytesView data);
+
+  // --- accounting ---------------------------------------------------------
+  const TrafficStats& stats() const { return total_; }
+  const TrafficStats& node_stats(NodeId id) const;
+  void reset_stats();
+
+ private:
+  struct Node {
+    std::string name;
+    bool up = true;
+    double egress_bps = 100e6;
+    TimePoint egress_free{0};  // when the serializer becomes idle
+    TrafficStats stats;
+  };
+
+  // Queues one wire transmission from `from.node`, fanning out to `dests`.
+  Status transmit(Endpoint from, std::vector<Endpoint> dests, BytesView data,
+                  bool multicast);
+  void deliver(Endpoint from, Endpoint to, Buffer data);
+  Duration serialization_delay(NodeId node, size_t bytes) const;
+
+  Simulator& sim_;
+  Rng rng_;
+  LinkParams default_link_;
+  size_t mtu_ = 65507;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  std::unordered_map<Endpoint, RecvHandler, EndpointHash> bindings_;
+  std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
+  TrafficStats total_;
+};
+
+}  // namespace marea::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulator: a virtual clock plus an ordered event queue.
+//
+// The whole middleware stack is written against Clock/Executor seams, so a
+// multi-node avionics network runs deterministically in one process on
+// virtual time. Ties at the same instant run in scheduling order (stable),
+// which keeps replays bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace marea::sim {
+
+using EventFn = std::function<void()>;
+using TimerId = uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Simulator final : public Clock {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const override { return now_; }
+
+  // Schedules `fn` at absolute time `t` (clamped to now). Returns an id
+  // usable with cancel().
+  TimerId at(TimePoint t, EventFn fn);
+  TimerId after(Duration d, EventFn fn) { return at(now_ + d, std::move(fn)); }
+  // Schedules immediately after currently-queued same-time events.
+  TimerId post(EventFn fn) { return at(now_, std::move(fn)); }
+
+  // Cancels a pending event. Safe to call with ids that already fired.
+  void cancel(TimerId id);
+
+  // Runs the next event; returns false if the queue is empty.
+  bool step();
+  // Runs all events with time <= t, then sets now to t.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+  // Runs until the queue is empty (or safety_cap events executed).
+  void run(uint64_t safety_cap = UINT64_MAX);
+
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    uint64_t seq;  // tie-break: FIFO within the same instant
+    TimerId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return b.time < a.time;
+      return b.seq < a.seq;
+    }
+  };
+
+  bool pop_one();
+
+  TimePoint now_{0};
+  uint64_t next_seq_ = 1;
+  TimerId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace marea::sim

@@ -1,0 +1,34 @@
+// Transport implementation over the simulated network. One instance per
+// simulated node; all instances share the SimNetwork and therefore the
+// virtual clock, losses and bandwidth model.
+#pragma once
+
+#include "sim/network.h"
+#include "transport/transport.h"
+
+namespace marea::transport {
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::SimNetwork& net, sim::NodeId node)
+      : net_(net), node_(node) {}
+
+  HostId local_host() const override { return node_; }
+  size_t mtu() const override { return net_.mtu(); }
+
+  Status bind(uint16_t port, RecvHandler handler) override;
+  void unbind(uint16_t port) override;
+  Status send(uint16_t src_port, Address dst, BytesView data) override;
+  Status join_group(GroupId group, uint16_t port) override;
+  void leave_group(GroupId group, uint16_t port) override;
+  Status send_multicast(uint16_t src_port, GroupId group,
+                        BytesView data) override;
+  Status send_broadcast(uint16_t src_port, uint16_t dst_port,
+                        BytesView data) override;
+
+ private:
+  sim::SimNetwork& net_;
+  sim::NodeId node_;
+};
+
+}  // namespace marea::transport

@@ -1,0 +1,109 @@
+// A faithful-enough TCP model used as the *baseline* in the event
+// reliability experiment (paper §4.2: the middleware's app-layer
+// acknowledge/resend "is more efficient for event messages than the
+// generic case provided by the TCP stack").
+//
+// What is modelled (the properties that matter for that claim):
+//   * a single ordered byte stream — a lost segment head-of-line blocks
+//     every later message until retransmitted;
+//   * cumulative ACKs, duplicate-ACK fast retransmit, and a coarse
+//     retransmission timeout with exponential backoff;
+//   * a fixed flow-control window.
+// What is not: congestion control dynamics, SACK, Nagle. Those would only
+// help or hurt both sides of the comparison equally at avionics scales.
+//
+// The connection is symmetric (both ends may send); messages are varint
+// length-prefixed on the stream and delivered whole, in order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/simulator.h"
+#include "transport/transport.h"
+#include "util/time.h"
+
+namespace marea::transport {
+
+struct TcpParams {
+  size_t mss = 1400;               // max payload bytes per segment
+  size_t window_bytes = 64 * 1024; // flow-control window
+  Duration initial_rto = milliseconds(200);
+  Duration max_rto = seconds(2.0);
+  int dupack_threshold = 3;
+};
+
+struct TcpStats {
+  uint64_t segments_sent = 0;
+  uint64_t bytes_sent = 0;          // wire bytes incl. headers
+  uint64_t retransmits = 0;
+  uint64_t rto_fires = 0;
+  uint64_t fast_retransmits = 0;
+  uint64_t messages_delivered = 0;
+};
+
+// One endpoint of a modelled connection. Create one on each side with
+// mirrored (local_port, peer) and the same params.
+class TcpModelEndpoint {
+ public:
+  using MessageHandler = std::function<void(BytesView message)>;
+
+  TcpModelEndpoint(sim::Simulator& sim, Transport& transport,
+                   uint16_t local_port, Address peer, TcpParams params,
+                   MessageHandler on_message);
+  ~TcpModelEndpoint();
+
+  TcpModelEndpoint(const TcpModelEndpoint&) = delete;
+  TcpModelEndpoint& operator=(const TcpModelEndpoint&) = delete;
+
+  // Queues a whole message onto the stream. Never blocks; bytes beyond the
+  // window wait in the local send buffer.
+  Status send_message(BytesView message);
+
+  const TcpStats& stats() const { return stats_; }
+  // Bytes accepted but not yet acknowledged by the peer.
+  size_t unacked_bytes() const { return send_buffer_.size(); }
+
+ private:
+  static constexpr uint8_t kFlagData = 1;
+  static constexpr uint8_t kFlagAck = 2;
+  // flags u8 + seq u64 + ack u64 (a stand-in for the 20-byte TCP header
+  // plus IP; close enough for byte accounting).
+  static constexpr size_t kHeaderBytes = 17;
+
+  void on_datagram(Address from, BytesView data);
+  void pump_send();                   // transmit what the window allows
+  void send_segment(uint64_t seq, size_t len, bool retransmit);
+  void send_pure_ack();
+  void arm_rto();
+  void on_rto();
+  void deliver_in_order();
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  uint16_t local_port_;
+  Address peer_;
+  TcpParams params_;
+  MessageHandler on_message_;
+
+  // --- send side ---
+  // Stream bytes [snd_una_, snd_una_ + send_buffer_.size()).
+  std::deque<uint8_t> send_buffer_;
+  uint64_t snd_una_ = 0;   // oldest unacked stream offset
+  uint64_t snd_nxt_ = 0;   // next offset to transmit
+  Duration rto_;
+  sim::TimerId rto_timer_ = sim::kInvalidTimer;
+  int dupacks_ = 0;
+  uint64_t last_ack_seen_ = 0;
+
+  // --- receive side ---
+  uint64_t rcv_nxt_ = 0;  // next expected stream offset
+  std::map<uint64_t, Buffer> ooo_;  // out-of-order segments by seq
+  Buffer assembled_;      // in-order stream awaiting message framing
+
+  TcpStats stats_;
+};
+
+}  // namespace marea::transport

@@ -1,0 +1,9 @@
+#include "transport/transport.h"
+
+namespace marea::transport {
+
+std::string to_string(const Address& a) {
+  return std::to_string(a.host) + ":" + std::to_string(a.port);
+}
+
+}  // namespace marea::transport

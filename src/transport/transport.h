@@ -1,0 +1,65 @@
+// PEPt *Transport* subsystem: moves frames between nodes (paper §6).
+//
+// A Transport is an unreliable datagram endpoint factory for one node:
+// the middleware's protocol layer builds everything else (reliability,
+// ordering, bulk transfer) on top. Implementations:
+//   * SimTransport — deterministic simulated network (tests/benches)
+//   * UdpTransport — real POSIX UDP sockets (live demo)
+// The TCP-model stream (tcp_model.h) is a separate baseline used by the
+// event-reliability experiment, not part of this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace marea::transport {
+
+// Host identifier: simulated NodeId, or IPv4 address for real UDP.
+using HostId = uint32_t;
+using GroupId = uint32_t;  // multicast group
+
+struct Address {
+  HostId host = 0;
+  uint16_t port = 0;
+
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+struct AddressHash {
+  size_t operator()(const Address& a) const {
+    return (static_cast<size_t>(a.host) << 16) ^ a.port;
+  }
+};
+
+std::string to_string(const Address& a);
+
+class Transport {
+ public:
+  using RecvHandler = std::function<void(Address from, BytesView data)>;
+
+  virtual ~Transport() = default;
+
+  virtual HostId local_host() const = 0;
+  virtual size_t mtu() const = 0;
+
+  // Binds `port` on this node; `handler` runs on the transport's dispatch
+  // context (the simulator loop, or the UDP receive thread).
+  virtual Status bind(uint16_t port, RecvHandler handler) = 0;
+  virtual void unbind(uint16_t port) = 0;
+
+  virtual Status send(uint16_t src_port, Address dst, BytesView data) = 0;
+
+  virtual Status join_group(GroupId group, uint16_t port) = 0;
+  virtual void leave_group(GroupId group, uint16_t port) = 0;
+  virtual Status send_multicast(uint16_t src_port, GroupId group,
+                                BytesView data) = 0;
+  // Delivered to dst_port on every other reachable node.
+  virtual Status send_broadcast(uint16_t src_port, uint16_t dst_port,
+                                BytesView data) = 0;
+};
+
+}  // namespace marea::transport

@@ -1,0 +1,311 @@
+#include "transport/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace marea::transport {
+
+namespace {
+
+sockaddr_in make_addr(HostId host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(host);
+  return addr;
+}
+
+in_addr_t group_ip(GroupId group) {
+  // 239.77.x.y — organization-local scope.
+  return htonl(0xEF4D0000u | (group & 0xFFFFu));
+}
+
+}  // namespace
+
+HostId ipv4_host(const std::string& dotted) {
+  in_addr addr{};
+  if (inet_pton(AF_INET, dotted.c_str(), &addr) != 1) return 0;
+  return ntohl(addr.s_addr);
+}
+
+std::string host_to_ipv4(HostId host) {
+  in_addr addr{};
+  addr.s_addr = htonl(host);
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr, buf, sizeof buf);
+  return buf;
+}
+
+UdpTransport::UdpTransport(const std::string& local_ip)
+    : local_host_(ipv4_host(local_ip)) {
+  if (local_host_ == 0) {
+    throw std::runtime_error("UdpTransport: bad local ip " + local_ip);
+  }
+  if (pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("UdpTransport: pipe() failed");
+  }
+  fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  running_ = true;
+  poller_ = std::thread([this] { poll_loop(); });
+}
+
+UdpTransport::~UdpTransport() {
+  running_ = false;
+  wake_poller();
+  if (poller_.joinable()) poller_.join();
+  std::lock_guard lock(mutex_);
+  for (auto& [key, sock] : sockets_) {
+    if (sock.fd >= 0) close(sock.fd);
+  }
+  sockets_.clear();
+  if (send_fd_ >= 0) close(send_fd_);
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+}
+
+void UdpTransport::set_peers(std::vector<HostId> peers) {
+  std::lock_guard lock(mutex_);
+  peers_ = std::move(peers);
+}
+
+void UdpTransport::wake_poller() {
+  char byte = 1;
+  ssize_t n = write(wake_pipe_[1], &byte, 1);
+  (void)n;
+}
+
+int UdpTransport::send_fd() {
+  if (send_fd_ < 0) {
+    send_fd_ = socket(AF_INET, SOCK_DGRAM, 0);
+    if (send_fd_ >= 0) {
+      sockaddr_in addr = make_addr(local_host_, 0);
+      if (::bind(send_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof addr) != 0) {
+        close(send_fd_);
+        send_fd_ = -1;
+      } else {
+        int loop = 1;
+        setsockopt(send_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop,
+                   sizeof loop);
+        in_addr ifaddr{};
+        ifaddr.s_addr = htonl(local_host_);
+        setsockopt(send_fd_, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr,
+                   sizeof ifaddr);
+      }
+    }
+  }
+  return send_fd_;
+}
+
+Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
+                                 bool multicast, GroupId group) {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return internal_error("socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef SO_REUSEPORT
+  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+#endif
+  sockaddr_in addr =
+      multicast ? make_addr(INADDR_ANY, port) : make_addr(local_host_, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd);
+    return internal_error("bind() failed for port " + std::to_string(port));
+  }
+  if (multicast) {
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = group_ip(group);
+    mreq.imr_interface.s_addr = htonl(local_host_);
+    if (setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) !=
+        0) {
+      close(fd);
+      return internal_error("IP_ADD_MEMBERSHIP failed");
+    }
+  } else {
+    // Unicast sockets double as multicast senders (send_multicast prefers
+    // the src_port-bound socket): configure their egress interface.
+    int loop = 1;
+    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
+    in_addr ifaddr{};
+    ifaddr.s_addr = htonl(local_host_);
+    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof ifaddr);
+  }
+  uint64_t key = multicast ? ((1ull << 32) | group) : port;
+  {
+    std::lock_guard lock(mutex_);
+    if (sockets_.count(key)) {
+      close(fd);
+      return already_exists_error("port/group already bound");
+    }
+    sockets_[key] = Socket{fd, port, multicast, group, std::move(handler)};
+  }
+  wake_poller();
+  return Status::ok();
+}
+
+Status UdpTransport::bind(uint16_t port, RecvHandler handler) {
+  if (!handler) return invalid_argument_error("bind: empty handler");
+  return open_socket(port, std::move(handler), false, 0);
+}
+
+void UdpTransport::unbind(uint16_t port) {
+  close_socket_locked(port, false, 0);
+}
+
+void UdpTransport::close_socket_locked(uint16_t port, bool multicast,
+                                       GroupId group) {
+  std::lock_guard lock(mutex_);
+  uint64_t key = multicast ? ((1ull << 32) | group) : port;
+  auto it = sockets_.find(key);
+  if (it == sockets_.end()) return;
+  close(it->second.fd);
+  sockets_.erase(it);
+  wake_poller();
+}
+
+Status UdpTransport::send(uint16_t src_port, Address dst, BytesView data) {
+  std::lock_guard lock(mutex_);
+  // Prefer the socket bound to src_port so the peer sees a stable,
+  // reply-able source address; fall back to the shared send socket.
+  int fd = -1;
+  if (auto it = sockets_.find(src_port); it != sockets_.end()) {
+    fd = it->second.fd;
+  } else {
+    fd = send_fd();
+  }
+  if (fd < 0) return internal_error("no send socket");
+  sockaddr_in addr = make_addr(dst.host, dst.port);
+  ssize_t n = sendto(fd, data.data(), data.size(), 0,
+                     reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (n < 0) return unavailable_error("sendto failed");
+  return Status::ok();
+}
+
+Status UdpTransport::join_group(GroupId group, uint16_t port) {
+  // Deliveries for the group are handed to the handler of the member's
+  // already-bound unicast port; the group socket itself binds the canonical
+  // multicast UDP port.
+  RecvHandler handler;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sockets_.find(port);
+    if (it == sockets_.end()) {
+      return failed_precondition_error(
+          "join_group: bind the member port first");
+    }
+    handler = it->second.handler;
+  }
+  return open_socket(multicast_port(group), std::move(handler), true, group);
+}
+
+void UdpTransport::leave_group(GroupId group, uint16_t port) {
+  (void)port;
+  close_socket_locked(0, true, group);
+}
+
+Status UdpTransport::send_multicast(uint16_t src_port, GroupId group,
+                                    BytesView data) {
+  std::lock_guard lock(mutex_);
+  int fd = -1;
+  if (auto it = sockets_.find(src_port); it != sockets_.end()) {
+    fd = it->second.fd;
+  } else {
+    fd = send_fd();
+  }
+  if (fd < 0) return internal_error("no send socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(multicast_port(group));
+  addr.sin_addr.s_addr = group_ip(group);
+  ssize_t n = sendto(fd, data.data(), data.size(), 0,
+                     reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (n < 0) return unavailable_error("multicast sendto failed");
+  return Status::ok();
+}
+
+Status UdpTransport::send_broadcast(uint16_t src_port, uint16_t dst_port,
+                                    BytesView data) {
+  std::vector<HostId> peers;
+  {
+    std::lock_guard lock(mutex_);
+    peers = peers_;
+  }
+  Status last = Status::ok();
+  for (HostId peer : peers) {
+    if (peer == local_host_) continue;
+    Status s = send(src_port, Address{peer, dst_port}, data);
+    if (!s.is_ok()) last = s;
+  }
+  return last;
+}
+
+void UdpTransport::poll_loop() {
+  std::vector<pollfd> fds;
+  std::vector<const Socket*> socks;
+  Buffer buf(65536);
+  while (running_) {
+    fds.clear();
+    socks.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard lock(mutex_);
+      for (auto& [key, sock] : sockets_) {
+        fds.push_back(pollfd{sock.fd, POLLIN, 0});
+        socks.push_back(&sock);
+      }
+    }
+    int rc = poll(fds.data(), fds.size(), 100);
+    if (rc <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+    }
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      sockaddr_in from{};
+      socklen_t from_len = sizeof from;
+      ssize_t n =
+          recvfrom(fds[i].fd, buf.data(), buf.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n <= 0) continue;
+      RecvHandler handler;
+      uint16_t local_port = 0;
+      GroupId group = 0;
+      bool is_multicast = false;
+      {
+        // The socket map may have changed; find the entry by fd.
+        std::lock_guard lock(mutex_);
+        for (auto& [key, sock] : sockets_) {
+          if (sock.fd == fds[i].fd) {
+            handler = sock.handler;
+            local_port = sock.port;
+            group = sock.group;
+            is_multicast = sock.is_multicast;
+            break;
+          }
+        }
+      }
+      Address src{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+      if (is_multicast) {
+        if (src.host == local_host_) continue;  // our own loopback copy
+        (void)group;
+        (void)local_port;
+      }
+      if (handler) {
+        handler(src, BytesView(buf.data(), static_cast<size_t>(n)));
+      }
+    }
+  }
+}
+
+}  // namespace marea::transport

@@ -1,0 +1,88 @@
+// Real POSIX UDP transport: the same Transport interface over loopback (or
+// a LAN), used by the live demo to show the stack runs on an actual kernel
+// network path, not only in simulation.
+//
+// Mapping of the abstract interface onto IP:
+//   * HostId is an IPv4 address in host byte order. Run several "nodes" in
+//     one process by giving each transport its own loopback alias
+//     (127.0.0.1, 127.0.0.2, ...).
+//   * Logical ports are UDP ports, bound on the node's address.
+//   * Multicast group G maps to IP group 239.77.x.y (x.y = G) on the
+//     canonical UDP port `multicast_port(G)`; every joiner must pass that
+//     port (the middleware follows this convention).
+//   * Broadcast iterates a configured peer list (UDP broadcast on loopback
+//     aliases is not routable, and avionics LANs enumerate nodes anyway).
+//
+// All sockets are served by one poll() thread; receive handlers run on it.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace marea::transport {
+
+// Parses dotted-quad to HostId (host byte order). Returns 0 on error.
+HostId ipv4_host(const std::string& dotted);
+std::string host_to_ipv4(HostId host);
+
+inline uint16_t multicast_port(GroupId group) {
+  return static_cast<uint16_t>(30000 + (group % 20000));
+}
+
+class UdpTransport final : public Transport {
+ public:
+  // `local_ip` e.g. "127.0.0.1". Throws std::runtime_error if the dispatch
+  // machinery cannot start.
+  explicit UdpTransport(const std::string& local_ip);
+  ~UdpTransport() override;
+
+  // Nodes reachable via send_broadcast.
+  void set_peers(std::vector<HostId> peers);
+
+  HostId local_host() const override { return local_host_; }
+  size_t mtu() const override { return 65507; }
+
+  Status bind(uint16_t port, RecvHandler handler) override;
+  void unbind(uint16_t port) override;
+  Status send(uint16_t src_port, Address dst, BytesView data) override;
+  Status join_group(GroupId group, uint16_t port) override;
+  void leave_group(GroupId group, uint16_t port) override;
+  Status send_multicast(uint16_t src_port, GroupId group,
+                        BytesView data) override;
+  Status send_broadcast(uint16_t src_port, uint16_t dst_port,
+                        BytesView data) override;
+
+ private:
+  struct Socket {
+    int fd = -1;
+    uint16_t port = 0;
+    bool is_multicast = false;
+    GroupId group = 0;
+    RecvHandler handler;
+  };
+
+  Status open_socket(uint16_t port, RecvHandler handler, bool multicast,
+                     GroupId group);
+  void close_socket_locked(uint16_t port, bool multicast, GroupId group);
+  void poll_loop();
+  void wake_poller();
+  int send_fd();  // lazily created unbound socket for sending
+
+  HostId local_host_;
+  std::vector<HostId> peers_;
+
+  std::mutex mutex_;  // guards sockets_ and poller wakeup pipe state
+  // key: port for unicast sockets; (1<<32)|group for multicast sockets.
+  std::unordered_map<uint64_t, Socket> sockets_;
+  int wake_pipe_[2] = {-1, -1};
+  int send_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread poller_;
+};
+
+}  // namespace marea::transport

@@ -1,0 +1,19 @@
+#include "util/bytes.h"
+
+namespace marea {
+
+std::string to_hex(BytesView data, size_t max_bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  out.reserve(n * 3);
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+}  // namespace marea

@@ -1,0 +1,32 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace marea {
+namespace {
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32(BytesView data, uint32_t seed) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace marea

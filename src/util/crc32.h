@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the frame integrity
+// check and for schema/content hashes where a stable 32-bit digest is enough.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace marea {
+
+uint32_t crc32(BytesView data, uint32_t seed = 0);
+
+}  // namespace marea

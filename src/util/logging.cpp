@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace marea {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+void default_sink(LogLevel level, const std::string& component,
+                  const std::string& message) {
+  fprintf(stderr, "[%-5s] %-18s %s\n", log_level_name(level),
+          component.c_str(), message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+}
+
+}  // namespace marea

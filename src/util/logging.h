@@ -1,0 +1,50 @@
+// Minimal leveled, thread-safe logger. Services and middleware log through
+// MAREA_LOG so examples can raise/lower verbosity and tests can capture.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace marea {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+// Global log configuration. Defaults: kInfo to stderr.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void set_log_sink(LogSink sink);  // empty sink restores stderr output
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace marea
+
+#define MAREA_LOG(level, component)                       \
+  if (::marea::LogLevel::level < ::marea::log_level()) {  \
+  } else                                                  \
+    ::marea::detail::LogLine(::marea::LogLevel::level, (component))

@@ -1,0 +1,63 @@
+// Deterministic PRNG (xoshiro256** seeded via splitmix64). Every stochastic
+// component (link loss, jitter, workload generators) takes an explicit Rng
+// so whole simulations replay bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace marea {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 to spread the seed over the full state.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t uniform(uint64_t lo, uint64_t hi) {
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  // Uniform in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + next_double() * (hi - lo);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Derive an independent stream (e.g. one per link) reproducibly.
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace marea

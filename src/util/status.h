@@ -1,0 +1,137 @@
+// Status / StatusOr: lightweight recoverable-error channel for runtime
+// faults (network loss, missing provider, decode failure). Programming
+// errors use assertions/exceptions instead, per the C++ Core Guidelines.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace marea {
+
+enum class StatusCode {
+  kOk = 0,
+  kUnavailable,      // no provider / endpoint unreachable
+  kTimeout,          // deadline or validity expired
+  kNotFound,         // unknown name, resource, or revision
+  kAlreadyExists,    // duplicate registration
+  kInvalidArgument,  // caller error detectable at runtime
+  kDataLoss,         // CRC mismatch, truncated frame
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,          // operation cancelled (e.g. container stopping)
+  kUnimplemented,
+  kInternal,
+};
+
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+// Convenience constructors, mirroring absl style.
+inline Status unavailable_error(std::string m) {
+  return Status(StatusCode::kUnavailable, std::move(m));
+}
+inline Status timeout_error(std::string m) {
+  return Status(StatusCode::kTimeout, std::move(m));
+}
+inline Status not_found_error(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status already_exists_error(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status invalid_argument_error(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status data_loss_error(std::string m) {
+  return Status(StatusCode::kDataLoss, std::move(m));
+}
+inline Status failed_precondition_error(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status resource_exhausted_error(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status aborted_error(std::string m) {
+  return Status(StatusCode::kAborted, std::move(m));
+}
+inline Status unimplemented_error(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status internal_error(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+
+// Value-or-error. `value()` asserts on error in debug builds; callers are
+// expected to check `ok()` first on fallible paths.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.is_ok() && "use StatusOr(T) for the OK case");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace marea

@@ -1,0 +1,111 @@
+// Time types shared by the simulator and the real-time scheduler.
+//
+// The middleware never calls a wall clock directly: it asks its Clock, so
+// the whole stack runs identically on virtual (simulated) time and on
+// steady_clock time. Durations/instants are nanoseconds in int64, which
+// covers ~292 years of mission time.
+#pragma once
+
+#include <chrono>
+#include <type_traits>
+#include <cstdint>
+#include <string>
+
+namespace marea {
+
+// Monotonic time since an arbitrary epoch (simulation start / process start).
+struct TimePoint {
+  int64_t ns = 0;
+
+  friend auto operator<=>(const TimePoint&, const TimePoint&) = default;
+};
+
+struct Duration {
+  int64_t ns = 0;
+
+  friend auto operator<=>(const Duration&, const Duration&) = default;
+
+  double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  double millis() const { return static_cast<double>(ns) * 1e-6; }
+  double micros() const { return static_cast<double>(ns) * 1e-3; }
+};
+
+constexpr Duration nanoseconds(int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(int64_t n) { return Duration{n * 1000}; }
+constexpr Duration milliseconds(int64_t n) { return Duration{n * 1000000}; }
+constexpr Duration seconds(double s) {
+  return Duration{static_cast<int64_t>(s * 1e9)};
+}
+
+constexpr Duration kDurationZero{0};
+// Sentinel for "no deadline".
+constexpr Duration kDurationInfinite{INT64_MAX};
+
+inline TimePoint operator+(TimePoint t, Duration d) {
+  return TimePoint{t.ns + d.ns};
+}
+inline TimePoint operator-(TimePoint t, Duration d) {
+  return TimePoint{t.ns - d.ns};
+}
+inline Duration operator-(TimePoint a, TimePoint b) {
+  return Duration{a.ns - b.ns};
+}
+inline Duration operator+(Duration a, Duration b) {
+  return Duration{a.ns + b.ns};
+}
+inline Duration operator-(Duration a, Duration b) {
+  return Duration{a.ns - b.ns};
+}
+template <typename T>
+  requires std::is_integral_v<T>
+Duration operator*(Duration a, T k) {
+  return Duration{a.ns * static_cast<int64_t>(k)};
+}
+template <typename T>
+  requires std::is_floating_point_v<T>
+Duration operator*(Duration a, T k) {
+  return Duration{
+      static_cast<int64_t>(static_cast<double>(a.ns) * static_cast<double>(k))};
+}
+inline Duration operator/(Duration a, int64_t k) { return Duration{a.ns / k}; }
+
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+// Source of "now". Implementations: sim::Simulator (virtual time) and
+// SteadyClock (std::chrono::steady_clock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override {
+    auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return TimePoint{
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count()};
+  }
+};
+
+inline std::string to_string(Duration d) {
+  char buf[64];
+  if (d.ns == INT64_MAX) return "inf";
+  if (d.ns >= 1000000000 || d.ns <= -1000000000) {
+    snprintf(buf, sizeof buf, "%.3fs", d.seconds());
+  } else if (d.ns >= 1000000 || d.ns <= -1000000) {
+    snprintf(buf, sizeof buf, "%.3fms", d.millis());
+  } else if (d.ns >= 1000 || d.ns <= -1000) {
+    snprintf(buf, sizeof buf, "%.3fus", d.micros());
+  } else {
+    snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.ns));
+  }
+  return buf;
+}
+
+inline std::string to_string(TimePoint t) {
+  return to_string(Duration{t.ns}) + "@";
+}
+
+}  // namespace marea

@@ -1,0 +1,187 @@
+// NameDirectory unit tests: manifest application, redundancy ordering,
+// status updates, invalidation, and the hit/miss accounting bench C8
+// relies on.
+#include <gtest/gtest.h>
+
+#include "middleware/directory.h"
+
+namespace marea::mw {
+namespace {
+
+proto::ContainerHelloMsg manifest(
+    uint16_t port,
+    std::vector<std::pair<std::string, std::vector<proto::ProvidedItem>>>
+        services) {
+  proto::ContainerHelloMsg hello;
+  hello.incarnation = 1;
+  hello.data_port = port;
+  for (auto& [name, items] : services) {
+    proto::ServiceInfo svc;
+    svc.name = name;
+    svc.state = proto::ServiceState::kRunning;
+    svc.items = items;
+    hello.services.push_back(std::move(svc));
+  }
+  return hello;
+}
+
+proto::ProvidedItem item(proto::ItemKind kind, const std::string& name,
+                         uint32_t hash = 1) {
+  proto::ProvidedItem it;
+  it.kind = kind;
+  it.name = name;
+  it.schema_hash = hash;
+  return it;
+}
+
+TEST(DirectoryTest, HelloPopulatesRecords) {
+  NameDirectory dir;
+  dir.apply_hello(
+      7, transport::Address{10, 999},
+      manifest(4500, {{"gps",
+                       {item(proto::ItemKind::kVariable, "gps.position"),
+                        item(proto::ItemKind::kEvent, "gps.waypoint")}}}),
+      TimePoint{5});
+  auto rec = dir.resolve(proto::ItemKind::kVariable, "gps.position");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->container, 7u);
+  EXPECT_EQ(rec->address.host, 10u);
+  EXPECT_EQ(rec->address.port, 4500);  // manifest's data_port, not source
+  EXPECT_EQ(rec->service, "gps");
+  EXPECT_TRUE(dir.provides(7, proto::ItemKind::kEvent, "gps.waypoint"));
+  EXPECT_FALSE(dir.provides(7, proto::ItemKind::kEvent, "gps.position"));
+}
+
+TEST(DirectoryTest, KindsAreSeparateNamespaces) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"svc",
+                       {item(proto::ItemKind::kVariable, "x"),
+                        item(proto::ItemKind::kFunction, "x")}}}),
+      TimePoint{});
+  EXPECT_TRUE(dir.resolve(proto::ItemKind::kVariable, "x").has_value());
+  EXPECT_TRUE(dir.resolve(proto::ItemKind::kFunction, "x").has_value());
+  EXPECT_FALSE(dir.resolve(proto::ItemKind::kEvent, "x").has_value());
+}
+
+TEST(DirectoryTest, ReHelloReplacesPriorKnowledge) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"a", {item(proto::ItemKind::kVariable, "old")}}}),
+      TimePoint{});
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"a", {item(proto::ItemKind::kVariable, "new")}}}),
+      TimePoint{});
+  EXPECT_FALSE(dir.resolve(proto::ItemKind::kVariable, "old").has_value());
+  EXPECT_TRUE(dir.resolve(proto::ItemKind::kVariable, "new").has_value());
+  EXPECT_EQ(dir.record_count(), 1u);
+}
+
+TEST(DirectoryTest, RedundantProvidersAllListed) {
+  NameDirectory dir;
+  for (proto::ContainerId c = 1; c <= 3; ++c) {
+    dir.apply_hello(
+        c, transport::Address{c, 1},
+        manifest(4500,
+                 {{"echo", {item(proto::ItemKind::kFunction, "f")}}}),
+        TimePoint{});
+  }
+  auto providers = dir.providers(proto::ItemKind::kFunction, "f");
+  ASSERT_EQ(providers.size(), 3u);
+}
+
+TEST(DirectoryTest, StatusUpdateMasksFailedProvider) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"gps", {item(proto::ItemKind::kVariable, "v")}}}),
+      TimePoint{});
+  proto::ServiceStatusMsg failed;
+  failed.service = "gps";
+  failed.state = proto::ServiceState::kFailed;
+  dir.apply_service_status(1, failed);
+  EXPECT_TRUE(dir.providers(proto::ItemKind::kVariable, "v").empty());
+
+  // Recovery re-lists it.
+  failed.state = proto::ServiceState::kRunning;
+  dir.apply_service_status(1, failed);
+  EXPECT_FALSE(dir.providers(proto::ItemKind::kVariable, "v").empty());
+}
+
+TEST(DirectoryTest, DegradedStillUsable) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"gps", {item(proto::ItemKind::kVariable, "v")}}}),
+      TimePoint{});
+  proto::ServiceStatusMsg st;
+  st.service = "gps";
+  st.state = proto::ServiceState::kDegraded;
+  dir.apply_service_status(1, st);
+  EXPECT_EQ(dir.providers(proto::ItemKind::kVariable, "v").size(), 1u);
+}
+
+TEST(DirectoryTest, DropContainerInvalidatesAndReports) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"a",
+                       {item(proto::ItemKind::kVariable, "shared"),
+                        item(proto::ItemKind::kVariable, "only1")}}}),
+      TimePoint{});
+  dir.apply_hello(
+      2, transport::Address{2, 1},
+      manifest(4500, {{"b", {item(proto::ItemKind::kVariable, "shared")}}}),
+      TimePoint{});
+  auto affected = dir.drop_container(1);
+  EXPECT_EQ(affected.size(), 2u);  // shared + only1 lost a provider
+  EXPECT_EQ(dir.providers(proto::ItemKind::kVariable, "shared").size(), 1u);
+  EXPECT_TRUE(dir.providers(proto::ItemKind::kVariable, "only1").empty());
+  EXPECT_EQ(dir.stats().invalidations, 2u);
+}
+
+TEST(DirectoryTest, HitMissAccounting) {
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500, {{"a", {item(proto::ItemKind::kVariable, "v")}}}),
+      TimePoint{});
+  (void)dir.resolve(proto::ItemKind::kVariable, "v");
+  (void)dir.resolve(proto::ItemKind::kVariable, "v");
+  (void)dir.resolve(proto::ItemKind::kVariable, "missing");
+  EXPECT_EQ(dir.stats().hits, 2u);
+  EXPECT_EQ(dir.stats().misses, 1u);
+  dir.reset_stats();
+  EXPECT_EQ(dir.stats().hits, 0u);
+}
+
+TEST(DirectoryTest, InsertFromReplyUpsertsRecord) {
+  NameDirectory dir;
+  ProviderRecord rec;
+  rec.container = 9;
+  rec.address = transport::Address{9, 4500};
+  rec.service = "svc";
+  rec.kind = proto::ItemKind::kFile;
+  dir.insert(proto::ItemKind::kFile, "res", rec);
+  dir.insert(proto::ItemKind::kFile, "res", rec);  // idempotent upsert
+  EXPECT_EQ(dir.providers(proto::ItemKind::kFile, "res").size(), 1u);
+}
+
+TEST(DirectoryTest, QualifiedKeysDoNotCollide) {
+  // "variable/x" vs service names containing slashes must not alias.
+  NameDirectory dir;
+  dir.apply_hello(
+      1, transport::Address{1, 1},
+      manifest(4500,
+               {{"a", {item(proto::ItemKind::kVariable, "event/x")}}}),
+      TimePoint{});
+  EXPECT_TRUE(
+      dir.resolve(proto::ItemKind::kVariable, "event/x").has_value());
+  EXPECT_FALSE(dir.resolve(proto::ItemKind::kEvent, "x").has_value());
+}
+
+}  // namespace
+}  // namespace marea::mw

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "fdm/dynamics.h"
+#include "fdm/flight_plan.h"
+#include "fdm/geodesy.h"
+
+namespace marea::fdm {
+namespace {
+
+// --- geodesy -------------------------------------------------------------------
+
+TEST(GeodesyTest, WrapHeading) {
+  EXPECT_DOUBLE_EQ(wrap_heading(0), 0);
+  EXPECT_DOUBLE_EQ(wrap_heading(370), 10);
+  EXPECT_DOUBLE_EQ(wrap_heading(-10), 350);
+  EXPECT_DOUBLE_EQ(wrap_heading(720), 0);
+}
+
+TEST(GeodesyTest, HeadingDelta) {
+  EXPECT_DOUBLE_EQ(heading_delta(10, 20), 10);
+  EXPECT_DOUBLE_EQ(heading_delta(350, 10), 20);
+  EXPECT_DOUBLE_EQ(heading_delta(10, 350), -20);
+  EXPECT_DOUBLE_EQ(heading_delta(0, 180), 180);
+}
+
+TEST(GeodesyTest, DistanceKnownValue) {
+  // Barcelona -> Madrid is ~505 km.
+  GeoPoint bcn{41.3874, 2.1686, 0};
+  GeoPoint mad{40.4168, -3.7038, 0};
+  EXPECT_NEAR(ground_distance_m(bcn, mad), 505000, 5000);
+  EXPECT_NEAR(ground_distance_m(bcn, bcn), 0, 1e-6);
+}
+
+TEST(GeodesyTest, SlantIncludesAltitude) {
+  GeoPoint a{41, 2, 0};
+  GeoPoint b = a;
+  b.alt_m = 300;
+  EXPECT_NEAR(slant_distance_m(a, b), 300, 1e-6);
+}
+
+TEST(GeodesyTest, BearingCardinalDirections) {
+  GeoPoint origin{41.0, 2.0, 0};
+  EXPECT_NEAR(bearing_deg(origin, offset(origin, 0, 1000)), 0, 0.5);
+  EXPECT_NEAR(bearing_deg(origin, offset(origin, 90, 1000)), 90, 0.5);
+  EXPECT_NEAR(bearing_deg(origin, offset(origin, 180, 1000)), 180, 0.5);
+  EXPECT_NEAR(bearing_deg(origin, offset(origin, 270, 1000)), 270, 0.5);
+}
+
+TEST(GeodesyTest, OffsetRoundTripsThroughDistance) {
+  GeoPoint origin{41.275, 1.986, 100};
+  for (double bearing : {0.0, 45.0, 133.0, 271.0}) {
+    GeoPoint p = offset(origin, bearing, 2500);
+    EXPECT_NEAR(ground_distance_m(origin, p), 2500, 1.0) << bearing;
+    EXPECT_NEAR(bearing_deg(origin, p), bearing, 0.2) << bearing;
+    EXPECT_DOUBLE_EQ(p.alt_m, 100);
+  }
+}
+
+// --- flight plan ------------------------------------------------------------------
+
+TEST(FlightPlanTest, ParseValidPlan) {
+  auto plan = FlightPlan::parse(
+      "# comment line\n"
+      "WP 41.275 1.986 120 22 photo\n"
+      "WP 41.280 1.990 120 22\n"
+      "\n"
+      "WP 41.285 1.994 150 25 land # trailing comment\n");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ(plan->at(0).action, "photo");
+  EXPECT_EQ(plan->at(1).action, "");
+  EXPECT_EQ(plan->at(2).action, "land");
+  EXPECT_DOUBLE_EQ(plan->at(2).speed_mps, 25);
+}
+
+TEST(FlightPlanTest, ParseErrors) {
+  EXPECT_FALSE(FlightPlan::parse("").ok());
+  EXPECT_FALSE(FlightPlan::parse("XX 1 2 3 4\n").ok());
+  EXPECT_FALSE(FlightPlan::parse("WP 1 2\n").ok());
+  EXPECT_FALSE(FlightPlan::parse("WP 95 2 100 20\n").ok());   // lat range
+  EXPECT_FALSE(FlightPlan::parse("WP 41 200 100 20\n").ok()); // lon range
+  EXPECT_FALSE(FlightPlan::parse("WP 41 2 100 0\n").ok());    // speed
+}
+
+TEST(FlightPlanTest, TextRoundTrip) {
+  auto plan = FlightPlan::parse("WP 41.275000 1.986000 120.0 22.0 photo\n");
+  ASSERT_TRUE(plan.ok());
+  auto again = FlightPlan::parse(plan->to_text());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->at(0), plan->at(0));
+}
+
+TEST(FlightPlanTest, SurveyGridShape) {
+  GeoPoint corner{41.275, 1.986, 0};
+  FlightPlan plan = FlightPlan::survey_grid(corner, 90, 1000, 200, 3, 120,
+                                            20, "photo");
+  ASSERT_EQ(plan.size(), 6u);  // 2 waypoints per leg
+  // Leg 1 end is ~1000m east of leg 1 start.
+  EXPECT_NEAR(ground_distance_m(plan.at(0).position, plan.at(1).position),
+              1000, 2);
+  // Next leg is offset ~200m south (heading+90).
+  EXPECT_NEAR(ground_distance_m(plan.at(1).position, plan.at(2).position),
+              200, 2);
+  EXPECT_GT(plan.total_distance_m(), 3000);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan.at(i).position.alt_m, 120);
+    EXPECT_EQ(plan.at(i).action, "photo");
+  }
+}
+
+// --- dynamics --------------------------------------------------------------------
+
+TEST(DynamicsTest, ReachesWaypointAhead) {
+  GeoPoint start{41.275, 1.986, 100};
+  FlightDynamics fdm(start, 0.0);
+  Waypoint wp;
+  wp.position = offset(start, 0, 2000);
+  wp.position.alt_m = 100;
+  wp.speed_mps = 20;
+  fdm.set_target(wp);
+  bool arrived = false;
+  for (int i = 0; i < 300 && !arrived; ++i) {
+    arrived = fdm.step(1.0);
+  }
+  EXPECT_TRUE(arrived);
+  EXPECT_FALSE(fdm.has_target());
+  EXPECT_NEAR(fdm.state().speed_mps, 20, 0.5);
+}
+
+TEST(DynamicsTest, TurnsAtLimitedRate) {
+  GeoPoint start{41.275, 1.986, 100};
+  FdmConfig cfg;
+  cfg.turn_rate_dps = 10;
+  FlightDynamics fdm(start, 0.0, cfg);
+  Waypoint wp;
+  wp.position = offset(start, 90, 5000);  // due east
+  wp.speed_mps = 20;
+  fdm.set_target(wp);
+  fdm.step(1.0);
+  EXPECT_NEAR(fdm.state().heading_deg, 10, 1e-6);  // only 10 deg/s
+  fdm.step(1.0);
+  EXPECT_NEAR(fdm.state().heading_deg, 20, 1e-6);
+}
+
+TEST(DynamicsTest, ClimbsAtLimitedRate) {
+  GeoPoint start{41.275, 1.986, 100};
+  FdmConfig cfg;
+  cfg.climb_rate_mps = 2;
+  FlightDynamics fdm(start, 0.0, cfg);
+  Waypoint wp;
+  wp.position = offset(start, 0, 10000);
+  wp.position.alt_m = 200;
+  wp.speed_mps = 20;
+  fdm.set_target(wp);
+  fdm.step(1.0);
+  EXPECT_NEAR(fdm.state().position.alt_m, 102, 1e-9);
+  EXPECT_NEAR(fdm.state().vertical_mps, 2, 1e-9);
+}
+
+TEST(DynamicsTest, WindDriftsAircraft) {
+  GeoPoint start{41.275, 1.986, 100};
+  FdmConfig cfg;
+  cfg.wind_speed_mps = 5;
+  cfg.wind_from_deg = 270;  // wind from the west -> drift east
+  FlightDynamics fdm(start, 0.0, cfg);
+  // No target, no airspeed: pure drift.
+  for (int i = 0; i < 10; ++i) fdm.step(1.0);
+  EXPECT_GT(fdm.state().position.lon_deg, start.lon_deg);
+  EXPECT_NEAR(ground_distance_m(start, fdm.state().position), 50, 1);
+}
+
+TEST(PlanFollowerTest, VisitsWaypointsInOrder) {
+  GeoPoint start{41.275, 1.986, 100};
+  std::vector<Waypoint> wps;
+  for (int i = 1; i <= 3; ++i) {
+    Waypoint wp;
+    wp.position = offset(start, 90, 600.0 * i);
+    wp.position.alt_m = 100;
+    wp.speed_mps = 25;
+    wps.push_back(wp);
+  }
+  PlanFollower follower(FlightPlan(wps), start, 90);
+  std::vector<int> reached;
+  for (int i = 0; i < 500 && !follower.finished(); ++i) {
+    int r = follower.step(0.5);
+    if (r >= 0) reached.push_back(r);
+  }
+  EXPECT_EQ(reached, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(follower.finished());
+}
+
+TEST(PlanFollowerTest, LoopModeRestarts) {
+  GeoPoint start{41.275, 1.986, 100};
+  std::vector<Waypoint> wps;
+  Waypoint a;
+  a.position = offset(start, 0, 400);
+  a.speed_mps = 30;
+  Waypoint b;
+  b.position = start;
+  b.speed_mps = 30;
+  wps = {a, b};
+  PlanFollower follower(FlightPlan(wps), start, 0, FdmConfig{}, /*loop=*/true);
+  int captures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (follower.step(0.5) >= 0) ++captures;
+  }
+  EXPECT_GT(captures, 4);  // went around the loop repeatedly
+  EXPECT_FALSE(follower.finished());
+}
+
+}  // namespace
+}  // namespace marea::fdm

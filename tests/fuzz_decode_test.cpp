@@ -1,0 +1,192 @@
+// Decoder hardening: every wire decoder must be total — random garbage,
+// truncations and bit flips may fail, but must never crash, hang, or
+// allocate absurd amounts. Seeded pseudo-fuzz (deterministic, so a failure
+// reproduces), parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include "encoding/codec.h"
+#include "encoding/type.h"
+#include "protocol/frame.h"
+#include "protocol/messages.h"
+#include "services/image.h"
+#include "services/telemetry_service.h"
+#include "util/rle.h"
+#include "util/rng.h"
+
+namespace marea {
+namespace {
+
+Buffer random_bytes(Rng& rng, size_t max_len) {
+  Buffer b(rng.uniform(0, max_len));
+  for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+  return b;
+}
+
+// Exercise every decoder against one blob; assert only "no crash".
+void feed_all_decoders(BytesView data) {
+  {
+    ByteReader r(data);
+    proto::ContainerHelloMsg m;
+    (void)proto::ContainerHelloMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::VarSampleMsg m;
+    (void)proto::VarSampleMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::ReliableDataMsg m;
+    (void)proto::ReliableDataMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::ReliableAckMsg m;
+    (void)proto::ReliableAckMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::FileChunkMsg m;
+    (void)proto::FileChunkMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::FileNackMsg m;
+    (void)proto::FileNackMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    proto::RpcRequestMsg m;
+    (void)proto::RpcRequestMsg::decode(r, m);
+  }
+  {
+    ByteReader r(data);
+    RunSet s;
+    (void)RunSet::decode(r, s);
+  }
+  (void)proto::open_frame(data, nullptr);
+  (void)enc::decode_tagged(data);
+  {
+    ByteReader r(data);
+    (void)enc::TypeDescriptor::decode(r);
+  }
+  auto pos_type = enc::TypeDescriptor::struct_of(
+      "P", {{"lat", enc::f64_type()},
+            {"tags", enc::TypeDescriptor::array_of(enc::string_type())}});
+  (void)enc::decode_value(data, *pos_type);
+  (void)services::Image::deserialize(data);
+  (void)services::decode_telemetry(data);
+}
+
+class FuzzDecodeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDecodeTest, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Buffer blob = random_bytes(rng, 512);
+    feed_all_decoders(as_bytes_view(blob));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzDecodeTest, MutatedValidFramesNeverCrash) {
+  Rng rng(GetParam() ^ 0xF00D);
+  // Start from valid frames of several types, then flip bits / truncate.
+  std::vector<Buffer> seeds;
+  {
+    proto::ContainerHelloMsg hello;
+    hello.incarnation = 1;
+    hello.data_port = 4500;
+    hello.node_name = "x";
+    proto::ServiceInfo svc;
+    svc.name = "s";
+    svc.items.push_back(proto::ProvidedItem{proto::ItemKind::kVariable,
+                                            "v", 1, 2, 3});
+    hello.services.push_back(svc);
+    seeds.push_back(
+        proto::make_frame(proto::MsgType::kContainerHello, 1, hello));
+  }
+  {
+    proto::VarSampleMsg sample;
+    sample.channel = 7;
+    sample.seq = 9;
+    sample.value = Buffer(64, 0xAA);
+    seeds.push_back(proto::make_frame(proto::MsgType::kVarSample, 1, sample));
+  }
+  {
+    proto::FileNackMsg nack;
+    nack.transfer_id = 5;
+    nack.revision = 1;
+    nack.missing.insert_run(0, 100);
+    nack.missing.insert_run(500, 32);
+    seeds.push_back(proto::make_frame(proto::MsgType::kFileNack, 1, nack));
+  }
+
+  for (int round = 0; round < 300; ++round) {
+    Buffer mutated = seeds[rng.uniform(0, seeds.size() - 1)];
+    int flips = static_cast<int>(rng.uniform(1, 8));
+    for (int f = 0; f < flips && !mutated.empty(); ++f) {
+      mutated[rng.uniform(0, mutated.size() - 1)] ^=
+          static_cast<uint8_t>(1u << rng.uniform(0, 7));
+    }
+    if (rng.bernoulli(0.3) && !mutated.empty()) {
+      mutated.resize(rng.uniform(0, mutated.size() - 1));
+    }
+    // The frame layer sees it first (CRC normally rejects)...
+    BytesView payload;
+    auto header = proto::open_frame(as_bytes_view(mutated), &payload);
+    // ...but decoders must hold up even if fed directly.
+    feed_all_decoders(as_bytes_view(mutated));
+    if (header.ok()) feed_all_decoders(payload);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzDecodeTest, TaggedValueRoundTripUnderRandomShapes) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  // Generate random Values, encode, decode, compare (structural fuzz).
+  std::function<enc::Value(int)> gen = [&](int depth) -> enc::Value {
+    uint64_t pick = rng.uniform(0, depth > 3 ? 5 : 7);
+    switch (pick) {
+      case 0: return enc::Value::of_bool(rng.bernoulli(0.5));
+      case 1: return enc::Value::of_int(static_cast<int64_t>(rng.next_u64()));
+      case 2: return enc::Value::of_uint(rng.next_u64());
+      case 3: return enc::Value::of_double(rng.uniform_real(-1e9, 1e9));
+      case 4: {
+        std::string s;
+        for (uint64_t i = rng.uniform(0, 12); i > 0; --i) {
+          s.push_back(static_cast<char>(rng.uniform(32, 126)));
+        }
+        return enc::Value::of_string(std::move(s));
+      }
+      case 5: {
+        Buffer b(rng.uniform(0, 16));
+        for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+        return enc::Value::of_bytes(std::move(b));
+      }
+      case 6: {
+        enc::ValueList list;
+        for (uint64_t i = rng.uniform(0, 4); i > 0; --i) {
+          list.push_back(gen(depth + 1));
+        }
+        return enc::Value::of_list(std::move(list));
+      }
+      default:
+        return enc::Value::of_union(
+            static_cast<uint32_t>(rng.uniform(0, 3)), gen(depth + 1));
+    }
+  };
+  for (int i = 0; i < 200; ++i) {
+    enc::Value v = gen(0);
+    Buffer wire = enc::encode_tagged(v);
+    auto back = enc::decode_tagged(as_bytes_view(wire));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest,
+                         ::testing::Values(1, 7, 42, 1234, 987654321));
+
+}  // namespace
+}  // namespace marea

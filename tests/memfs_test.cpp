@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "memfs/memfs.h"
+
+namespace marea::memfs {
+namespace {
+
+Buffer bytes(const std::string& s) {
+  return Buffer(s.begin(), s.end());
+}
+
+TEST(MemFsTest, WriteReadRoundTrip) {
+  MemFs fs;
+  ASSERT_TRUE(fs.write("photos/a.img", bytes("hello")).is_ok());
+  auto r = fs.read("photos/a.img");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, bytes("hello"));
+  EXPECT_TRUE(fs.exists("photos/a.img"));
+  EXPECT_FALSE(fs.exists("photos/b.img"));
+}
+
+TEST(MemFsTest, PathNormalization) {
+  MemFs fs;
+  ASSERT_TRUE(fs.write("/a//b/c.txt", bytes("x")).is_ok());
+  EXPECT_TRUE(fs.exists("a/b/c.txt"));
+  EXPECT_TRUE(fs.exists("/a/b/c.txt/"));
+  EXPECT_EQ(MemFs::normalize("//x///y//"), "x/y");
+  EXPECT_EQ(MemFs::normalize("../etc/passwd"), "");  // traversal rejected
+  EXPECT_EQ(MemFs::normalize("a/./b"), "");
+}
+
+TEST(MemFsTest, InvalidPathRejected) {
+  MemFs fs;
+  EXPECT_FALSE(fs.write("../escape", bytes("x")).is_ok());
+  EXPECT_FALSE(fs.read("").ok());
+}
+
+TEST(MemFsTest, RevisionsBumpOnOverwrite) {
+  MemFs fs;
+  (void)fs.write("f", bytes("v1"));
+  (void)fs.write("f", bytes("v2"));
+  auto info = fs.stat("f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->revision, 2u);
+  EXPECT_EQ(info->size, 2u);
+  EXPECT_EQ(*fs.read("f"), bytes("v2"));
+}
+
+TEST(MemFsTest, RemoveFreesSpace) {
+  MemFs fs;
+  (void)fs.write("f", bytes("12345"));
+  EXPECT_EQ(fs.total_bytes(), 5u);
+  ASSERT_TRUE(fs.remove("f").is_ok());
+  EXPECT_EQ(fs.total_bytes(), 0u);
+  EXPECT_FALSE(fs.exists("f"));
+  EXPECT_EQ(fs.remove("f").code(), StatusCode::kNotFound);
+}
+
+TEST(MemFsTest, QuotaEnforced) {
+  MemFs fs(10);
+  ASSERT_TRUE(fs.write("a", bytes("12345")).is_ok());
+  ASSERT_TRUE(fs.write("b", bytes("12345")).is_ok());
+  EXPECT_EQ(fs.write("c", bytes("1")).code(),
+            StatusCode::kResourceExhausted);
+  // Replacing an existing file within quota is fine.
+  ASSERT_TRUE(fs.write("a", bytes("123")).is_ok());
+  ASSERT_TRUE(fs.write("c", bytes("12")).is_ok());
+  EXPECT_EQ(fs.total_bytes(), 10u);
+}
+
+TEST(MemFsTest, QuotaRejectionLeavesOldContent) {
+  MemFs fs(6);
+  ASSERT_TRUE(fs.write("a", bytes("123")).is_ok());
+  EXPECT_FALSE(fs.write("a", bytes("1234567890")).is_ok());
+  EXPECT_EQ(*fs.read("a"), bytes("123"));
+}
+
+TEST(MemFsTest, ListByDirectory) {
+  MemFs fs;
+  (void)fs.write("photos/a", bytes("1"));
+  (void)fs.write("photos/b", bytes("22"));
+  (void)fs.write("track/log", bytes("333"));
+  auto photos = fs.list("photos");
+  ASSERT_EQ(photos.size(), 2u);
+  EXPECT_EQ(photos[0].path, "photos/a");
+  EXPECT_EQ(photos[1].path, "photos/b");
+  auto all = fs.list();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(fs.list("nothere").size(), 0u);
+  // Prefix must respect segment boundaries: "photo" != "photos".
+  EXPECT_EQ(fs.list("photo").size(), 0u);
+  EXPECT_EQ(fs.file_count(), 3u);
+}
+
+}  // namespace
+}  // namespace marea::memfs

@@ -1,0 +1,203 @@
+// Subscription lifecycle: unsubscribe for all three subscription kinds —
+// per-service entry removal, provider-side cleanup, and wire silence after
+// the last local subscriber leaves.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+
+namespace marea::mw {
+namespace {
+
+struct Num {
+  int32_t v = 0;
+};
+
+}  // namespace
+}  // namespace marea::mw
+
+MAREA_REFLECT(marea::mw::Num, v)
+
+namespace marea::mw {
+namespace {
+
+class Producer final : public Service {
+ public:
+  Producer() : Service("producer") {}
+  Status on_start() override {
+    auto v = provide_variable<Num>("n.var", {.validity = seconds(5.0)});
+    if (!v.ok()) return v.status();
+    var_ = *v;
+    auto e = provide_event<Num>("n.event");
+    if (!e.ok()) return e.status();
+    event_ = *e;
+    return Status::ok();
+  }
+  void emit(int n) {
+    Num x;
+    x.v = n;
+    (void)var_.publish(x);
+    (void)event_.publish(x);
+  }
+  void emit_var_only(int n) {
+    Num x;
+    x.v = n;
+    (void)var_.publish(x);
+  }
+
+ private:
+  VariableHandle var_;
+  EventHandle event_;
+};
+
+class Consumer final : public Service {
+ public:
+  explicit Consumer(std::string name) : Service(std::move(name)) {}
+  Status on_start() override {
+    Status s = subscribe_variable<Num>(
+        "n.var", [this](const Num&, const SampleInfo&) { ++var_got; });
+    if (!s.is_ok()) return s;
+    return subscribe_event<Num>(
+        "n.event", [this](const Num&, const EventInfo&) { ++event_got; });
+  }
+  Status drop_var() { return unsubscribe_variable("n.var"); }
+  Status drop_event() { return unsubscribe_event("n.event"); }
+  Status drop_event_named(const std::string& name) {
+    return unsubscribe_event(name);
+  }
+  int var_got = 0;
+  int event_got = 0;
+};
+
+struct World {
+  SimDomain domain{91};
+  Producer* producer = nullptr;
+  Consumer* c1 = nullptr;
+  Consumer* c2 = nullptr;
+
+  World() {
+    auto& n1 = domain.add_node("pub");
+    auto p = std::make_unique<Producer>();
+    producer = p.get();
+    (void)n1.add_service(std::move(p));
+    auto& n2 = domain.add_node("subs");
+    auto a = std::make_unique<Consumer>("c1");
+    c1 = a.get();
+    (void)n2.add_service(std::move(a));
+    auto b = std::make_unique<Consumer>("c2");
+    c2 = b.get();
+    (void)n2.add_service(std::move(b));
+    domain.start_all();
+    domain.run_for(milliseconds(500));
+  }
+};
+
+TEST(UnsubscribeTest, VariableEntryRemovalIsPerService) {
+  World w;
+  w.producer->emit(1);
+  w.domain.run_for(milliseconds(100));
+  EXPECT_EQ(w.c1->var_got, 1);
+  EXPECT_EQ(w.c2->var_got, 1);
+
+  ASSERT_TRUE(w.c1->drop_var().is_ok());
+  w.producer->emit(2);
+  w.domain.run_for(milliseconds(100));
+  EXPECT_EQ(w.c1->var_got, 1);  // no longer delivered
+  EXPECT_EQ(w.c2->var_got, 2);  // unaffected
+}
+
+TEST(UnsubscribeTest, LastVariableSubscriberSilencesTheWire) {
+  World w;
+  w.producer->emit(1);
+  w.domain.run_for(milliseconds(100));
+  ASSERT_TRUE(w.c1->drop_var().is_ok());
+  ASSERT_TRUE(w.c2->drop_var().is_ok());
+  w.domain.run_for(milliseconds(300));  // unsubscribe control propagates
+
+  w.domain.network().reset_stats();
+  // Idle baseline over the same horizon as the sample burst below.
+  w.domain.run_for(milliseconds(300));
+  uint64_t idle = w.domain.network().stats().bytes_sent;
+  w.domain.network().reset_stats();
+  for (int i = 0; i < 50; ++i) w.producer->emit_var_only(10 + i);
+  w.domain.run_for(milliseconds(300));
+  uint64_t with_publishing = w.domain.network().stats().bytes_sent;
+  // Publishing with zero subscribers adds nothing beyond background
+  // chatter (heartbeats/hellos fluctuate slightly).
+  EXPECT_LT(with_publishing, idle + idle / 2 + 200);
+  EXPECT_EQ(w.c1->var_got + w.c2->var_got, 2);
+}
+
+TEST(UnsubscribeTest, EventUnsubscribeStopsDelivery) {
+  World w;
+  w.producer->emit(1);
+  w.domain.run_for(milliseconds(100));
+  EXPECT_EQ(w.c1->event_got, 1);
+
+  ASSERT_TRUE(w.c1->drop_event().is_ok());
+  ASSERT_TRUE(w.c2->drop_event().is_ok());
+  w.domain.run_for(milliseconds(300));
+  w.producer->emit(2);
+  w.domain.run_for(milliseconds(200));
+  EXPECT_EQ(w.c1->event_got, 1);
+  EXPECT_EQ(w.c2->event_got, 1);
+  // The provider actually dropped the remote subscriber container (both
+  // consumers share one node, so event #1 cost a single reliable send and
+  // event #2 cost none).
+  EXPECT_EQ(w.domain.container(0).stats().events_sent, 1u);
+}
+
+TEST(UnsubscribeTest, ErrorsOnUnknownOrForeignSubscription) {
+  World w;
+  EXPECT_EQ(w.c1->drop_var().code(), StatusCode::kOk);
+  EXPECT_EQ(w.c1->drop_var().code(), StatusCode::kNotFound);  // already gone
+  Status s = w.c1->drop_event_named("never.subscribed");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(UnsubscribeTest, FileUnsubscribeStopsRevisionFollowing) {
+  SimDomain domain(92);
+  class Pub final : public Service {
+   public:
+    Pub() : Service("fpub") {}
+    Status on_start() override { return Status::ok(); }
+    void publish(uint8_t fill) {
+      (void)publish_file("doc", Buffer(4000, fill));
+    }
+  };
+  class Sub final : public Service {
+   public:
+    Sub() : Service("fsub") {}
+    Status on_start() override {
+      return subscribe_file(
+          "doc", [this](const proto::FileMeta&, const Buffer&) { ++done; });
+    }
+    Status drop() { return unsubscribe_file("doc"); }
+    int done = 0;
+  };
+  auto& n1 = domain.add_node("pub");
+  auto pub = std::make_unique<Pub>();
+  auto* pub_ptr = pub.get();
+  (void)n1.add_service(std::move(pub));
+  auto& n2 = domain.add_node("sub");
+  auto sub = std::make_unique<Sub>();
+  auto* sub_ptr = sub.get();
+  (void)n2.add_service(std::move(sub));
+  domain.start_all();
+  domain.run_for(milliseconds(300));
+
+  pub_ptr->publish(1);
+  domain.run_for(seconds(2.0));
+  EXPECT_EQ(sub_ptr->done, 1);
+
+  ASSERT_TRUE(sub_ptr->drop().is_ok());
+  domain.run_for(milliseconds(300));
+  pub_ptr->publish(2);  // new revision
+  domain.run_for(seconds(2.0));
+  EXPECT_EQ(sub_ptr->done, 1);  // not delivered anymore
+}
+
+}  // namespace
+}  // namespace marea::mw

@@ -1,0 +1,107 @@
+// Whole-mission property sweep: the Fig 3 mission must reach the same
+// functional outcome for any (seed, loss, topology-jitter) combination —
+// the middleware's guarantees, not luck, carry the mission.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "middleware/domain.h"
+#include "services/camera_service.h"
+#include "services/gps_service.h"
+#include "services/ground_station.h"
+#include "services/mission_control.h"
+#include "services/storage_service.h"
+#include "services/vision_service.h"
+
+namespace marea::mw {
+namespace {
+
+using namespace marea::services;
+
+struct MissionParams {
+  uint64_t seed;
+  double loss;
+  Duration jitter;
+};
+
+class MissionPropertyTest : public ::testing::TestWithParam<MissionParams> {};
+
+TEST_P(MissionPropertyTest, CompletesWithExactOutcomes) {
+  set_log_level(LogLevel::kError);
+  const MissionParams params = GetParam();
+
+  SimDomain domain(params.seed);
+  sim::LinkParams link;
+  link.loss = params.loss;
+  link.jitter = params.jitter;
+  domain.network().set_default_link(link);
+
+  fdm::GeoPoint home{41.275, 1.986, 0.0};
+  fdm::FlightPlan plan = fdm::FlightPlan::survey_grid(
+      fdm::offset(home, 30.0, 300.0), 90.0, 400.0, 150.0, 2, 100.0, 24.0,
+      "photo");
+  GpsConfig gps_cfg;
+  gps_cfg.time_scale = 20.0;
+
+  auto& fcs = domain.add_node("fcs");
+  auto gps = std::make_unique<GpsService>(plan, home, 30.0, gps_cfg);
+  (void)fcs.add_service(std::move(gps));
+
+  auto& mission = domain.add_node("mission");
+  MissionControlConfig mc_cfg;
+  mc_cfg.image_width = 96;
+  mc_cfg.image_height = 96;
+  auto mc = std::make_unique<MissionControl>(plan, mc_cfg);
+  auto* mc_ptr = mc.get();
+  (void)mission.add_service(std::move(mc));
+
+  auto& payload = domain.add_node("payload");
+  auto camera = std::make_unique<CameraService>();
+  auto* camera_ptr = camera.get();
+  (void)payload.add_service(std::move(camera));
+  auto vision = std::make_unique<VisionService>();
+  auto* vision_ptr = vision.get();
+  (void)payload.add_service(std::move(vision));
+
+  auto& st = domain.add_node("storage");
+  auto storage = std::make_unique<StorageService>();
+  auto* storage_ptr = storage.get();
+  (void)st.add_service(std::move(storage));
+
+  auto& ground = domain.add_node("ground");
+  auto gs = std::make_unique<GroundStation>();
+  auto* gs_ptr = gs.get();
+  (void)ground.add_service(std::move(gs));
+
+  domain.start_all();
+  domain.run_for(seconds(200.0));
+
+  // Functional invariants — exact, loss or no loss:
+  EXPECT_EQ(mc_ptr->status().phase, "done") << "seed=" << params.seed;
+  EXPECT_EQ(camera_ptr->photos_taken(), 4u);
+  EXPECT_EQ(vision_ptr->images_processed(), 4u);
+  EXPECT_EQ(vision_ptr->detections_raised(), 3u);  // deterministic scenes
+  EXPECT_EQ(storage_ptr->files_stored(), 4u);
+  EXPECT_EQ(gs_ptr->detections(), 3u);
+  // Best-effort stream: most (not necessarily all) samples arrive.
+  EXPECT_GT(gs_ptr->position_updates(), 500u);
+  domain.stop_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLinks, MissionPropertyTest,
+    ::testing::Values(
+        MissionParams{101, 0.0, kDurationZero},
+        MissionParams{202, 0.0, milliseconds(2)},
+        MissionParams{303, 0.02, kDurationZero},
+        MissionParams{404, 0.05, milliseconds(1)},
+        MissionParams{505, 0.10, kDurationZero},
+        MissionParams{606, 0.10, milliseconds(3)}),
+    [](const ::testing::TestParamInfo<MissionParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100)) +
+             "_jit" + std::to_string(info.param.jitter.ns / 1000000);
+    });
+
+}  // namespace
+}  // namespace marea::mw

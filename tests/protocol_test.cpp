@@ -1,0 +1,278 @@
+// Frame + message catalogue tests (the Protocol layer's wire grammar).
+#include <gtest/gtest.h>
+
+#include "protocol/frame.h"
+#include "protocol/messages.h"
+
+namespace marea::proto {
+namespace {
+
+TEST(FrameTest, SealOpenRoundTrip) {
+  Buffer payload = {1, 2, 3, 4};
+  Buffer frame = seal_frame(FrameHeader{MsgType::kVarSample, 42},
+                            as_bytes_view(payload));
+  EXPECT_EQ(frame.size(), payload.size() + kFrameOverhead);
+  BytesView body;
+  auto header = open_frame(as_bytes_view(frame), &body);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, MsgType::kVarSample);
+  EXPECT_EQ(header->source, 42u);
+  EXPECT_EQ(to_buffer(body), payload);
+}
+
+TEST(FrameTest, EmptyPayload) {
+  Buffer frame = seal_frame(FrameHeader{MsgType::kHeartbeat, 1}, {});
+  BytesView body;
+  ASSERT_TRUE(open_frame(as_bytes_view(frame), &body).ok());
+  EXPECT_TRUE(body.empty());
+}
+
+TEST(FrameTest, CorruptionDetected) {
+  Buffer payload = {1, 2, 3, 4};
+  Buffer frame = seal_frame(FrameHeader{MsgType::kEventSubscribe, 7},
+                            as_bytes_view(payload));
+  for (size_t i = 0; i < frame.size(); ++i) {
+    Buffer bad = frame;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(open_frame(as_bytes_view(bad), nullptr).ok()) << i;
+  }
+}
+
+TEST(FrameTest, TruncationDetected) {
+  Buffer frame =
+      seal_frame(FrameHeader{MsgType::kFileChunk, 3}, Buffer(64, 9));
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(open_frame(BytesView(frame.data(), n), nullptr).ok()) << n;
+  }
+}
+
+TEST(FrameTest, EveryTypeHasName) {
+  for (MsgType t : {MsgType::kContainerHello, MsgType::kContainerBye,
+                    MsgType::kHeartbeat, MsgType::kServiceStatus,
+                    MsgType::kNameQuery, MsgType::kNameReply,
+                    MsgType::kVarSubscribe, MsgType::kVarUnsubscribe,
+                    MsgType::kVarSample, MsgType::kVarSnapshotRequest,
+                    MsgType::kVarSnapshot, MsgType::kEventSubscribe,
+                    MsgType::kEventUnsubscribe, MsgType::kReliableData,
+                    MsgType::kReliableAck, MsgType::kFileSubscribe,
+                    MsgType::kFileUnsubscribe, MsgType::kFileChunk,
+                    MsgType::kFileStatusRequest, MsgType::kFileAck,
+                    MsgType::kFileNack, MsgType::kFileRevision}) {
+    EXPECT_STRNE(msg_type_name(t), "?");
+  }
+}
+
+// Round-trip helper for message structs.
+template <typename Msg>
+Msg round_trip(const Msg& in) {
+  ByteWriter w;
+  in.encode(w);
+  ByteReader r(w.view());
+  Msg out;
+  EXPECT_TRUE(Msg::decode(r, out));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+  return out;
+}
+
+TEST(MessagesTest, ContainerHelloRoundTrip) {
+  ContainerHelloMsg msg;
+  msg.incarnation = 3;
+  msg.data_port = 4500;
+  msg.node_name = "fcs";
+  ServiceInfo svc;
+  svc.name = "gps";
+  svc.state = ServiceState::kRunning;
+  svc.items.push_back(ProvidedItem{ItemKind::kVariable, "gps.position",
+                                   0xABCD, 100000000, 400000000});
+  svc.items.push_back(ProvidedItem{ItemKind::kEvent, "gps.waypoint", 0x1234,
+                                   0, 0});
+  msg.services.push_back(svc);
+
+  ContainerHelloMsg out = round_trip(msg);
+  EXPECT_EQ(out.incarnation, 3u);
+  EXPECT_EQ(out.node_name, "fcs");
+  ASSERT_EQ(out.services.size(), 1u);
+  EXPECT_EQ(out.services[0], svc);
+}
+
+TEST(MessagesTest, HeartbeatAndStatus) {
+  HeartbeatMsg hb;
+  hb.incarnation = 7;
+  hb.seq = 999;
+  HeartbeatMsg hb2 = round_trip(hb);
+  EXPECT_EQ(hb2.seq, 999u);
+
+  ServiceStatusMsg st;
+  st.service = "camera";
+  st.state = ServiceState::kFailed;
+  ServiceStatusMsg st2 = round_trip(st);
+  EXPECT_EQ(st2.service, "camera");
+  EXPECT_EQ(st2.state, ServiceState::kFailed);
+}
+
+TEST(MessagesTest, NameQueryReply) {
+  NameQueryMsg q;
+  q.query_id = 5;
+  q.kind = ItemKind::kFunction;
+  q.name = "camera.setup";
+  NameQueryMsg q2 = round_trip(q);
+  EXPECT_EQ(q2.kind, ItemKind::kFunction);
+  EXPECT_EQ(q2.name, "camera.setup");
+
+  NameReplyMsg rep;
+  rep.query_id = 5;
+  rep.found = true;
+  rep.provider = 9;
+  rep.data_port = 4500;
+  rep.service = "camera";
+  NameReplyMsg rep2 = round_trip(rep);
+  EXPECT_TRUE(rep2.found);
+  EXPECT_EQ(rep2.provider, 9u);
+}
+
+TEST(MessagesTest, VarMessages) {
+  VarSampleMsg s;
+  s.channel = channel_of("gps.position");
+  s.seq = 77;
+  s.pub_time_ns = -5;  // negative survives zigzag
+  s.value = {1, 2, 3};
+  VarSampleMsg s2 = round_trip(s);
+  EXPECT_EQ(s2.channel, s.channel);
+  EXPECT_EQ(s2.pub_time_ns, -5);
+  EXPECT_EQ(s2.value, s.value);
+
+  VarSnapshotMsg snap;
+  snap.name = "gps.position";
+  snap.has_value = true;
+  snap.value = {9};
+  VarSnapshotMsg snap2 = round_trip(snap);
+  EXPECT_TRUE(snap2.has_value);
+  EXPECT_EQ(snap2.name, "gps.position");
+}
+
+TEST(MessagesTest, ReliableLinkMessages) {
+  ReliableDataMsg d;
+  d.seq = 123456789;
+  d.inner_type = InnerType::kRpcRequest;
+  d.inner = {5, 6};
+  ReliableDataMsg d2 = round_trip(d);
+  EXPECT_EQ(d2.seq, d.seq);
+  EXPECT_EQ(d2.inner_type, InnerType::kRpcRequest);
+
+  ReliableAckMsg a;
+  a.floor = 10;
+  a.above.insert_run(2, 3);
+  ReliableAckMsg a2 = round_trip(a);
+  EXPECT_EQ(a2.floor, 10u);
+  EXPECT_TRUE(a2.above.contains(3));
+
+  ByteWriter bad;
+  bad.varint(1);
+  bad.u8(99);  // invalid inner type
+  bad.blob({});
+  ByteReader r(bad.view());
+  ReliableDataMsg out;
+  EXPECT_FALSE(ReliableDataMsg::decode(r, out));
+}
+
+TEST(MessagesTest, EventAndRpc) {
+  EventMsg e;
+  e.name = "mission.take_photo";
+  e.pub_seq = 3;
+  e.pub_time_ns = 1000;
+  e.value = {1};
+  EventMsg e2 = round_trip(e);
+  EXPECT_EQ(e2.name, e.name);
+
+  RpcRequestMsg req;
+  req.request_id = 88;
+  req.function = "storage.store";
+  req.args = {2, 3};
+  RpcRequestMsg req2 = round_trip(req);
+  EXPECT_EQ(req2.function, "storage.store");
+
+  RpcResponseMsg resp;
+  resp.request_id = 88;
+  resp.status_code = 4;
+  resp.error = "nope";
+  RpcResponseMsg resp2 = round_trip(resp);
+  EXPECT_EQ(resp2.error, "nope");
+}
+
+TEST(MessagesTest, FileMessages) {
+  FileMeta meta;
+  meta.name = "photo.1";
+  meta.revision = 2;
+  meta.size = 10000;
+  meta.chunk_size = 1024;
+  meta.content_crc = 0xFEEDFACE;
+  EXPECT_EQ(meta.chunk_count(), 10u);
+  FileMeta meta2 = round_trip(meta);
+  EXPECT_EQ(meta2, meta);
+
+  FileMeta exact;
+  exact.size = 2048;
+  exact.chunk_size = 1024;
+  EXPECT_EQ(exact.chunk_count(), 2u);
+  FileMeta empty;
+  empty.chunk_size = 1024;
+  EXPECT_EQ(empty.chunk_count(), 0u);
+
+  FileRevisionMsg rev;
+  rev.transfer_id = 0x100000002ull;
+  rev.meta = meta;
+  FileRevisionMsg rev2 = round_trip(rev);
+  EXPECT_EQ(rev2.transfer_id, rev.transfer_id);
+  EXPECT_EQ(rev2.meta, meta);
+
+  FileChunkMsg chunk;
+  chunk.transfer_id = 7;
+  chunk.revision = 2;
+  chunk.index = 5;
+  chunk.data = Buffer(100, 0xAA);
+  FileChunkMsg chunk2 = round_trip(chunk);
+  EXPECT_EQ(chunk2.index, 5u);
+  EXPECT_EQ(chunk2.data.size(), 100u);
+
+  FileNackMsg nack;
+  nack.transfer_id = 7;
+  nack.revision = 2;
+  nack.missing.insert_run(10, 20);
+  FileNackMsg nack2 = round_trip(nack);
+  EXPECT_EQ(nack2.missing.cardinality(), 20u);
+}
+
+TEST(MessagesTest, ChannelOfIsStable) {
+  EXPECT_EQ(channel_of("gps.position"), channel_of("gps.position"));
+  EXPECT_NE(channel_of("gps.position"), channel_of("gps.position2"));
+}
+
+TEST(MessagesTest, MakeFrameComposes) {
+  HeartbeatMsg hb;
+  hb.incarnation = 1;
+  hb.seq = 2;
+  Buffer frame = make_frame(MsgType::kHeartbeat, 5, hb);
+  BytesView body;
+  auto header = open_frame(as_bytes_view(frame), &body);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->source, 5u);
+  ByteReader r(body);
+  HeartbeatMsg out;
+  ASSERT_TRUE(HeartbeatMsg::decode(r, out));
+  EXPECT_EQ(out.seq, 2u);
+}
+
+TEST(MessagesTest, HelloDecodeRejectsHugeCounts) {
+  ByteWriter w;
+  w.varint(1);       // incarnation
+  w.u16(1);          // port
+  w.str("n");
+  w.varint(100000);  // absurd service count
+  ByteReader r(w.view());
+  ContainerHelloMsg out;
+  EXPECT_FALSE(ContainerHelloMsg::decode(r, out));
+}
+
+}  // namespace
+}  // namespace marea::proto

@@ -1,0 +1,152 @@
+// Avionics service building blocks: synthetic imagery + detection (the
+// FPGA-pipeline substitute) and the FlightGear-style telemetry codec.
+#include <gtest/gtest.h>
+
+#include "services/image.h"
+#include "services/telemetry_service.h"
+
+namespace marea::services {
+namespace {
+
+// --- image pipeline --------------------------------------------------------------
+
+TEST(ImageTest, SerializeRoundTrip) {
+  SceneParams params;
+  params.width = 64;
+  params.height = 48;
+  params.targets = 2;
+  Image img = render_scene(params);
+  Buffer wire = img.serialize();
+  auto back = Image::deserialize(as_bytes_view(wire));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width, 64);
+  EXPECT_EQ(back->height, 48);
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(ImageTest, DeserializeRejectsGarbage) {
+  Buffer junk = {1, 2, 3};
+  EXPECT_FALSE(Image::deserialize(as_bytes_view(junk)).ok());
+  SceneParams params;
+  params.width = 8;
+  params.height = 8;
+  Buffer wire = render_scene(params).serialize();
+  wire.resize(wire.size() - 5);  // truncated pixels
+  EXPECT_FALSE(Image::deserialize(as_bytes_view(wire)).ok());
+  wire.push_back(0);  // wrong size again
+  EXPECT_FALSE(Image::deserialize(as_bytes_view(wire)).ok());
+}
+
+TEST(ImageTest, RenderingIsDeterministic) {
+  SceneParams params;
+  params.targets = 3;
+  params.seed = 77;
+  Image a = render_scene(params);
+  Image b = render_scene(params);
+  EXPECT_EQ(a.pixels, b.pixels);
+  params.seed = 78;
+  Image c = render_scene(params);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+// The core vision property: the detector recovers exactly the number of
+// embedded targets, across target counts and seeds.
+class DetectionSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(DetectionSweep, RecoversEmbeddedTargetCount) {
+  auto [targets, seed] = GetParam();
+  SceneParams scene;
+  scene.width = 192;
+  scene.height = 192;
+  scene.targets = targets;
+  scene.seed = seed;
+  Image img = render_scene(scene);
+  DetectionResult result = detect_features(img, DetectionParams{});
+  EXPECT_EQ(result.features, targets);
+  if (targets > 0) {
+    EXPECT_GT(result.score, 10.0);  // blobs are substantial
+    EXPECT_GT(result.bright_px, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAndSeeds, DetectionSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 4u, 7u),
+                       ::testing::Values(1u, 99u, 12345u)));
+
+TEST(ImageTest, DetectionThresholdFiltersBackground) {
+  SceneParams scene;
+  scene.targets = 0;
+  scene.noise_amplitude = 30;
+  Image img = render_scene(scene);
+  DetectionResult result = detect_features(img, DetectionParams{});
+  EXPECT_EQ(result.features, 0u);  // background never crosses 200
+}
+
+TEST(ImageTest, MinBlobSizeFiltersSpeckles) {
+  // A single bright pixel is not a feature.
+  Image img;
+  img.width = 32;
+  img.height = 32;
+  img.pixels.assign(32 * 32, 0);
+  img.pixels[5 * 32 + 5] = 255;
+  DetectionParams params;
+  params.min_blob_px = 2;
+  EXPECT_EQ(detect_features(img, params).features, 0u);
+  params.min_blob_px = 1;
+  EXPECT_EQ(detect_features(img, params).features, 1u);
+}
+
+TEST(ImageTest, ConnectedComponentsSeparatedDiagonally) {
+  // Two pixels touching only diagonally = two components (4-connectivity).
+  Image img;
+  img.width = 8;
+  img.height = 8;
+  img.pixels.assign(64, 0);
+  img.pixels[0] = 255;         // (0,0)
+  img.pixels[1 * 8 + 1] = 255; // (1,1)
+  DetectionParams params;
+  params.min_blob_px = 1;
+  EXPECT_EQ(detect_features(img, params).features, 2u);
+}
+
+TEST(ImageTest, EmptyImageSafe) {
+  Image img;
+  EXPECT_EQ(detect_features(img, DetectionParams{}).features, 0u);
+}
+
+// --- telemetry codec ---------------------------------------------------------------
+
+TEST(TelemetryTest, EncodeDecodeRoundTrip) {
+  TelemetryPacket pkt;
+  pkt.lat_deg = 41.2751234;
+  pkt.lon_deg = 1.9865678;
+  pkt.alt_m = 120.5f;
+  pkt.heading_deg = 271.25f;
+  pkt.speed_mps = 22.5f;
+  pkt.vertical_mps = -1.5f;
+  pkt.time_ns = 123456789;
+  Buffer wire = encode_telemetry(pkt);
+  EXPECT_EQ(wire.size(), 48u);
+  auto back = decode_telemetry(as_bytes_view(wire));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->lat_deg, pkt.lat_deg);
+  EXPECT_DOUBLE_EQ(back->lon_deg, pkt.lon_deg);
+  EXPECT_FLOAT_EQ(back->alt_m, pkt.alt_m);
+  EXPECT_FLOAT_EQ(back->heading_deg, pkt.heading_deg);
+  EXPECT_EQ(back->time_ns, pkt.time_ns);
+}
+
+TEST(TelemetryTest, RejectsBadMagicAndTruncation) {
+  TelemetryPacket pkt;
+  Buffer wire = encode_telemetry(pkt);
+  Buffer bad = wire;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decode_telemetry(as_bytes_view(bad)).ok());
+  wire.pop_back();
+  EXPECT_FALSE(decode_telemetry(as_bytes_view(wire)).ok());
+}
+
+}  // namespace
+}  // namespace marea::services

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace marea::sim {
+namespace {
+
+// --- Simulator ----------------------------------------------------------------
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(TimePoint{300}, [&] { order.push_back(3); });
+  sim.at(TimePoint{100}, [&] { order.push_back(1); });
+  sim.at(TimePoint{200}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, 300);
+}
+
+TEST(SimulatorTest, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(TimePoint{100}, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  TimerId id = sim.after(milliseconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint{5000});
+  EXPECT_EQ(sim.now().ns, 5000);
+}
+
+TEST(SimulatorTest, RunUntilExecutesOnlyDueEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.at(TimePoint{100}, [&] { ++count; });
+  sim.at(TimePoint{200}, [&] { ++count; });
+  sim.run_until(TimePoint{150});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now().ns, 150);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.after(microseconds(10), recurse);
+  };
+  sim.post(recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now().ns, 9 * 10000);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.run_until(TimePoint{1000});
+  bool ran = false;
+  sim.at(TimePoint{1}, [&] { ran = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now().ns, 1000);
+}
+
+TEST(SimulatorTest, SafetyCapStopsRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.post(forever); };
+  sim.post(forever);
+  sim.run(/*safety_cap=*/100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+// --- SimNetwork -----------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, Rng(1), LinkParams{}) {
+    a_ = net_.add_node("a");
+    b_ = net_.add_node("b");
+    c_ = net_.add_node("c");
+  }
+
+  Buffer payload(size_t n = 10) { return Buffer(n, 0x42); }
+
+  Simulator sim_;
+  SimNetwork net_;
+  NodeId a_, b_, c_;
+};
+
+TEST_F(NetworkTest, UnicastDeliversWithLatency) {
+  LinkParams lp;
+  lp.latency = milliseconds(2);
+  net_.set_link(a_, b_, lp);
+  net_.set_node_rate(a_, 0);  // no serialization delay
+
+  TimePoint arrival{-1};
+  ASSERT_TRUE(net_.bind(Endpoint{b_, 1},
+                        [&](Endpoint from, BytesView data) {
+                          arrival = sim_.now();
+                          EXPECT_EQ(from, (Endpoint{a_, 9}));
+                          EXPECT_EQ(data.size(), 10u);
+                        })
+                  .is_ok());
+  ASSERT_TRUE(
+      net_.send(Endpoint{a_, 9}, Endpoint{b_, 1}, as_bytes_view(payload()))
+          .is_ok());
+  sim_.run();
+  EXPECT_EQ(arrival.ns, milliseconds(2).ns);
+}
+
+TEST_F(NetworkTest, SerializationDelayDependsOnSize) {
+  // 1 Mbps: 1000 bytes = 8 ms on the wire.
+  net_.set_node_rate(a_, 1e6);
+  TimePoint arrival{-1};
+  (void)net_.bind(Endpoint{b_, 1},
+                  [&](Endpoint, BytesView) { arrival = sim_.now(); });
+  (void)net_.send(Endpoint{a_, 9}, Endpoint{b_, 1},
+                  as_bytes_view(payload(1000)));
+  sim_.run();
+  EXPECT_EQ(arrival.ns, (milliseconds(8) + microseconds(200)).ns);
+}
+
+TEST_F(NetworkTest, EgressQueueSerializesBackToBackSends) {
+  net_.set_node_rate(a_, 1e6);
+  std::vector<TimePoint> arrivals;
+  (void)net_.bind(Endpoint{b_, 1},
+                  [&](Endpoint, BytesView) { arrivals.push_back(sim_.now()); });
+  for (int i = 0; i < 3; ++i) {
+    (void)net_.send(Endpoint{a_, 9}, Endpoint{b_, 1},
+                    as_bytes_view(payload(1000)));
+  }
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each packet leaves 8ms after the previous one.
+  EXPECT_EQ((arrivals[1] - arrivals[0]).ns, milliseconds(8).ns);
+  EXPECT_EQ((arrivals[2] - arrivals[1]).ns, milliseconds(8).ns);
+}
+
+TEST_F(NetworkTest, MulticastFanOutCountsWireBytesOnce) {
+  GroupId group = 77;
+  int deliveries = 0;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.bind(Endpoint{c_, 1}, [&](Endpoint, BytesView) { ++deliveries; });
+  ASSERT_TRUE(net_.join_group(group, Endpoint{b_, 1}).is_ok());
+  ASSERT_TRUE(net_.join_group(group, Endpoint{c_, 1}).is_ok());
+
+  ASSERT_TRUE(net_.send_multicast(Endpoint{a_, 9}, group,
+                                  as_bytes_view(payload(100)))
+                  .is_ok());
+  sim_.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(net_.stats().packets_sent, 1u);   // one wire transmission
+  EXPECT_EQ(net_.stats().bytes_sent, 100u);   // counted once
+  EXPECT_EQ(net_.stats().packets_delivered, 2u);
+}
+
+TEST_F(NetworkTest, MulticastSkipsSenderEndpoint) {
+  GroupId group = 5;
+  int self_deliveries = 0;
+  (void)net_.bind(Endpoint{a_, 9},
+                  [&](Endpoint, BytesView) { ++self_deliveries; });
+  (void)net_.join_group(group, Endpoint{a_, 9});
+  (void)net_.send_multicast(Endpoint{a_, 9}, group, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(self_deliveries, 0);
+}
+
+TEST_F(NetworkTest, MulticastToCoLocatedMemberIsLocalDelivery) {
+  GroupId group = 6;
+  int deliveries = 0;
+  (void)net_.bind(Endpoint{a_, 2}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.join_group(group, Endpoint{a_, 2});
+  (void)net_.bind(Endpoint{b_, 2}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.join_group(group, Endpoint{b_, 2});
+  (void)net_.send_multicast(Endpoint{a_, 9}, group, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(net_.stats().local_packets, 1u);  // a:2 reached locally
+}
+
+TEST_F(NetworkTest, BroadcastReachesAllOtherNodes) {
+  int deliveries = 0;
+  (void)net_.bind(Endpoint{b_, 4}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.bind(Endpoint{c_, 4}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.bind(Endpoint{a_, 4}, [&](Endpoint, BytesView) { ++deliveries; });
+  (void)net_.send_broadcast(Endpoint{a_, 4}, 4, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(deliveries, 2);  // not back to the sender's node
+}
+
+TEST_F(NetworkTest, LossDropsApproximatelyAtConfiguredRate) {
+  LinkParams lossy;
+  lossy.loss = 0.3;
+  lossy.rate_bps = 0;
+  net_.set_link(a_, b_, lossy);
+  int delivered = 0;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) { ++delivered; });
+  const int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) {
+    (void)net_.send(Endpoint{a_, 1}, Endpoint{b_, 1}, as_bytes_view(payload()));
+  }
+  sim_.run();
+  EXPECT_NEAR(delivered, kSends * 0.7, kSends * 0.05);
+  EXPECT_EQ(net_.stats().packets_dropped,
+            static_cast<uint64_t>(kSends - delivered));
+}
+
+TEST_F(NetworkTest, SameNodeDeliveryBypassesWire) {
+  int delivered = 0;
+  (void)net_.bind(Endpoint{a_, 2}, [&](Endpoint, BytesView) { ++delivered; });
+  (void)net_.send(Endpoint{a_, 1}, Endpoint{a_, 2}, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_.stats().packets_sent, 0u);
+  EXPECT_EQ(net_.stats().local_packets, 1u);
+}
+
+TEST_F(NetworkTest, DownNodeNeitherSendsNorReceives) {
+  int delivered = 0;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) { ++delivered; });
+  net_.set_node_up(b_, false);
+  (void)net_.send(Endpoint{a_, 1}, Endpoint{b_, 1}, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+
+  net_.set_node_up(a_, false);
+  Status s = net_.send(Endpoint{a_, 1}, Endpoint{c_, 1},
+                       as_bytes_view(payload()));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetworkTest, PacketInFlightToNodeThatDiesIsLost) {
+  int delivered = 0;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) { ++delivered; });
+  (void)net_.send(Endpoint{a_, 1}, Endpoint{b_, 1}, as_bytes_view(payload()));
+  net_.set_node_up(b_, false);  // dies before arrival
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST_F(NetworkTest, MtuEnforced) {
+  net_.set_mtu(100);
+  Status s = net_.send(Endpoint{a_, 1}, Endpoint{b_, 1},
+                       as_bytes_view(payload(101)));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(net_.send(Endpoint{a_, 1}, Endpoint{b_, 1},
+                        as_bytes_view(payload(100)))
+                  .is_ok());
+}
+
+TEST_F(NetworkTest, DoubleBindRejected) {
+  ASSERT_TRUE(net_.bind(Endpoint{a_, 1}, [](Endpoint, BytesView) {}).is_ok());
+  EXPECT_EQ(net_.bind(Endpoint{a_, 1}, [](Endpoint, BytesView) {}).code(),
+            StatusCode::kAlreadyExists);
+  net_.unbind(Endpoint{a_, 1});
+  EXPECT_TRUE(net_.bind(Endpoint{a_, 1}, [](Endpoint, BytesView) {}).is_ok());
+}
+
+TEST_F(NetworkTest, UnroutablePacketsCounted) {
+  (void)net_.send(Endpoint{a_, 1}, Endpoint{b_, 55}, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(net_.stats().packets_unroutable, 1u);
+}
+
+TEST_F(NetworkTest, LeaveGroupStopsDelivery) {
+  GroupId group = 9;
+  int delivered = 0;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) { ++delivered; });
+  (void)net_.join_group(group, Endpoint{b_, 1});
+  (void)net_.send_multicast(Endpoint{a_, 1}, group, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(delivered, 1);
+  net_.leave_group(group, Endpoint{b_, 1});
+  (void)net_.send_multicast(Endpoint{a_, 1}, group, as_bytes_view(payload()));
+  sim_.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, JitterStaysWithinBounds) {
+  LinkParams lp;
+  lp.latency = milliseconds(1);
+  lp.jitter = milliseconds(1);
+  net_.set_link(a_, b_, lp);
+  net_.set_node_rate(a_, 0);
+  std::vector<int64_t> arrivals;
+  (void)net_.bind(Endpoint{b_, 1}, [&](Endpoint, BytesView) {
+    arrivals.push_back(sim_.now().ns);
+  });
+  TimePoint base = sim_.now();
+  for (int i = 0; i < 200; ++i) {
+    (void)net_.send(Endpoint{a_, 1}, Endpoint{b_, 1}, as_bytes_view(payload()));
+  }
+  sim_.run();
+  for (int64_t t : arrivals) {
+    EXPECT_GE(t - base.ns, milliseconds(1).ns);
+    EXPECT_LE(t - base.ns, milliseconds(2).ns);
+  }
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  auto run_once = [](uint64_t seed) {
+    Simulator sim;
+    SimNetwork net(sim, Rng(seed), LinkParams{.loss = 0.5});
+    NodeId a = net.add_node("a");
+    NodeId b = net.add_node("b");
+    int delivered = 0;
+    (void)net.bind(Endpoint{b, 1}, [&](Endpoint, BytesView) { ++delivered; });
+    Buffer p(8, 1);
+    for (int i = 0; i < 100; ++i) {
+      (void)net.send(Endpoint{a, 1}, Endpoint{b, 1}, as_bytes_view(p));
+    }
+    sim.run();
+    return delivered;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace marea::sim
