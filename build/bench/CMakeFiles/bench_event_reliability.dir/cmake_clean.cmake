@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_reliability.dir/bench_event_reliability.cpp.o"
+  "CMakeFiles/bench_event_reliability.dir/bench_event_reliability.cpp.o.d"
+  "bench_event_reliability"
+  "bench_event_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_bypass.dir/bench_local_bypass.cpp.o"
+  "CMakeFiles/bench_local_bypass.dir/bench_local_bypass.cpp.o.d"
+  "bench_local_bypass"
+  "bench_local_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

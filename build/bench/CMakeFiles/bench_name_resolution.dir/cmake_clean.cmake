@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_name_resolution.dir/bench_name_resolution.cpp.o"
+  "CMakeFiles/bench_name_resolution.dir/bench_name_resolution.cpp.o.d"
+  "bench_name_resolution"
+  "bench_name_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_name_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_primitives_latency.dir/bench_primitives_latency.cpp.o"
+  "CMakeFiles/bench_primitives_latency.dir/bench_primitives_latency.cpp.o.d"
+  "bench_primitives_latency"
+  "bench_primitives_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_primitives_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

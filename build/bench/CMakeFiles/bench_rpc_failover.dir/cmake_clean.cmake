@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_failover.dir/bench_rpc_failover.cpp.o"
+  "CMakeFiles/bench_rpc_failover.dir/bench_rpc_failover.cpp.o.d"
+  "bench_rpc_failover"
+  "bench_rpc_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

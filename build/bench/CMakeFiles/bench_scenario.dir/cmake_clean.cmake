@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario.dir/bench_scenario.cpp.o"
+  "CMakeFiles/bench_scenario.dir/bench_scenario.cpp.o.d"
+  "bench_scenario"
+  "bench_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

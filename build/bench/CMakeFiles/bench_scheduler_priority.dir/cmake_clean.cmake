@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_priority.dir/bench_scheduler_priority.cpp.o"
+  "CMakeFiles/bench_scheduler_priority.dir/bench_scheduler_priority.cpp.o.d"
+  "bench_scheduler_priority"
+  "bench_scheduler_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variable_fanout.dir/bench_variable_fanout.cpp.o"
+  "CMakeFiles/bench_variable_fanout.dir/bench_variable_fanout.cpp.o.d"
+  "bench_variable_fanout"
+  "bench_variable_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variable_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

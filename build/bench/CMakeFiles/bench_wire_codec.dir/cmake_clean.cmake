@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_codec.dir/bench_wire_codec.cpp.o"
+  "CMakeFiles/bench_wire_codec.dir/bench_wire_codec.cpp.o.d"
+  "bench_wire_codec"
+  "bench_wire_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_mission.dir/failover_mission.cpp.o"
+  "CMakeFiles/failover_mission.dir/failover_mission.cpp.o.d"
+  "failover_mission"
+  "failover_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_mission.dir/image_mission.cpp.o"
+  "CMakeFiles/image_mission.dir/image_mission.cpp.o.d"
+  "image_mission"
+  "image_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_udp_demo.dir/live_udp_demo.cpp.o"
+  "CMakeFiles/live_udp_demo.dir/live_udp_demo.cpp.o.d"
+  "live_udp_demo"
+  "live_udp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_udp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replan_mission.dir/replan_mission.cpp.o"
+  "CMakeFiles/replan_mission.dir/replan_mission.cpp.o.d"
+  "replan_mission"
+  "replan_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replan_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_bridge.dir/telemetry_bridge.cpp.o"
+  "CMakeFiles/telemetry_bridge.dir/telemetry_bridge.cpp.o.d"
+  "telemetry_bridge"
+  "telemetry_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

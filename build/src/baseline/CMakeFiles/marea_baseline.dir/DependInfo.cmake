@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/client_server.cpp" "src/baseline/CMakeFiles/marea_baseline.dir/client_server.cpp.o" "gcc" "src/baseline/CMakeFiles/marea_baseline.dir/client_server.cpp.o.d"
+  "/root/repo/src/baseline/point_to_point.cpp" "src/baseline/CMakeFiles/marea_baseline.dir/point_to_point.cpp.o" "gcc" "src/baseline/CMakeFiles/marea_baseline.dir/point_to_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/marea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_baseline.dir/client_server.cpp.o"
+  "CMakeFiles/marea_baseline.dir/client_server.cpp.o.d"
+  "CMakeFiles/marea_baseline.dir/point_to_point.cpp.o"
+  "CMakeFiles/marea_baseline.dir/point_to_point.cpp.o.d"
+  "libmarea_baseline.a"
+  "libmarea_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_encoding.dir/codec.cpp.o"
+  "CMakeFiles/marea_encoding.dir/codec.cpp.o.d"
+  "CMakeFiles/marea_encoding.dir/schema.cpp.o"
+  "CMakeFiles/marea_encoding.dir/schema.cpp.o.d"
+  "CMakeFiles/marea_encoding.dir/type.cpp.o"
+  "CMakeFiles/marea_encoding.dir/type.cpp.o.d"
+  "CMakeFiles/marea_encoding.dir/value.cpp.o"
+  "CMakeFiles/marea_encoding.dir/value.cpp.o.d"
+  "libmarea_encoding.a"
+  "libmarea_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

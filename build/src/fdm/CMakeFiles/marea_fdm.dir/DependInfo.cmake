@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdm/dynamics.cpp" "src/fdm/CMakeFiles/marea_fdm.dir/dynamics.cpp.o" "gcc" "src/fdm/CMakeFiles/marea_fdm.dir/dynamics.cpp.o.d"
+  "/root/repo/src/fdm/flight_plan.cpp" "src/fdm/CMakeFiles/marea_fdm.dir/flight_plan.cpp.o" "gcc" "src/fdm/CMakeFiles/marea_fdm.dir/flight_plan.cpp.o.d"
+  "/root/repo/src/fdm/geodesy.cpp" "src/fdm/CMakeFiles/marea_fdm.dir/geodesy.cpp.o" "gcc" "src/fdm/CMakeFiles/marea_fdm.dir/geodesy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

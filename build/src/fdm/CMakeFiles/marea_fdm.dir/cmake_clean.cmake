@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_fdm.dir/dynamics.cpp.o"
+  "CMakeFiles/marea_fdm.dir/dynamics.cpp.o.d"
+  "CMakeFiles/marea_fdm.dir/flight_plan.cpp.o"
+  "CMakeFiles/marea_fdm.dir/flight_plan.cpp.o.d"
+  "CMakeFiles/marea_fdm.dir/geodesy.cpp.o"
+  "CMakeFiles/marea_fdm.dir/geodesy.cpp.o.d"
+  "libmarea_fdm.a"
+  "libmarea_fdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_fdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_memfs.dir/memfs.cpp.o"
+  "CMakeFiles/marea_memfs.dir/memfs.cpp.o.d"
+  "libmarea_memfs.a"
+  "libmarea_memfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_memfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/container.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container.cpp.o.d"
+  "/root/repo/src/middleware/container_events.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_events.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_events.cpp.o.d"
+  "/root/repo/src/middleware/container_files.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_files.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_files.cpp.o.d"
+  "/root/repo/src/middleware/container_link.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_link.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_link.cpp.o.d"
+  "/root/repo/src/middleware/container_names.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_names.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_names.cpp.o.d"
+  "/root/repo/src/middleware/container_rpc.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_rpc.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_rpc.cpp.o.d"
+  "/root/repo/src/middleware/container_vars.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/container_vars.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/container_vars.cpp.o.d"
+  "/root/repo/src/middleware/directory.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/directory.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/directory.cpp.o.d"
+  "/root/repo/src/middleware/domain.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/domain.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/domain.cpp.o.d"
+  "/root/repo/src/middleware/service.cpp" "src/middleware/CMakeFiles/marea_middleware.dir/service.cpp.o" "gcc" "src/middleware/CMakeFiles/marea_middleware.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/marea_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/marea_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/marea_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/marea_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

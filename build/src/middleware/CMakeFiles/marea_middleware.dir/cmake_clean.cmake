@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_middleware.dir/container.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_events.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_events.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_files.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_files.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_link.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_link.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_names.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_names.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_rpc.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_rpc.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/container_vars.cpp.o"
+  "CMakeFiles/marea_middleware.dir/container_vars.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/directory.cpp.o"
+  "CMakeFiles/marea_middleware.dir/directory.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/domain.cpp.o"
+  "CMakeFiles/marea_middleware.dir/domain.cpp.o.d"
+  "CMakeFiles/marea_middleware.dir/service.cpp.o"
+  "CMakeFiles/marea_middleware.dir/service.cpp.o.d"
+  "libmarea_middleware.a"
+  "libmarea_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

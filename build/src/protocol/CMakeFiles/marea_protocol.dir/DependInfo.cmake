@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/arq.cpp" "src/protocol/CMakeFiles/marea_protocol.dir/arq.cpp.o" "gcc" "src/protocol/CMakeFiles/marea_protocol.dir/arq.cpp.o.d"
+  "/root/repo/src/protocol/frame.cpp" "src/protocol/CMakeFiles/marea_protocol.dir/frame.cpp.o" "gcc" "src/protocol/CMakeFiles/marea_protocol.dir/frame.cpp.o.d"
+  "/root/repo/src/protocol/messages.cpp" "src/protocol/CMakeFiles/marea_protocol.dir/messages.cpp.o" "gcc" "src/protocol/CMakeFiles/marea_protocol.dir/messages.cpp.o.d"
+  "/root/repo/src/protocol/mftp.cpp" "src/protocol/CMakeFiles/marea_protocol.dir/mftp.cpp.o" "gcc" "src/protocol/CMakeFiles/marea_protocol.dir/mftp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/marea_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/marea_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/marea_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_protocol.dir/arq.cpp.o"
+  "CMakeFiles/marea_protocol.dir/arq.cpp.o.d"
+  "CMakeFiles/marea_protocol.dir/frame.cpp.o"
+  "CMakeFiles/marea_protocol.dir/frame.cpp.o.d"
+  "CMakeFiles/marea_protocol.dir/messages.cpp.o"
+  "CMakeFiles/marea_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/marea_protocol.dir/mftp.cpp.o"
+  "CMakeFiles/marea_protocol.dir/mftp.cpp.o.d"
+  "libmarea_protocol.a"
+  "libmarea_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

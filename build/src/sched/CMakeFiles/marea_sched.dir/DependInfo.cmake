@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/executor.cpp" "src/sched/CMakeFiles/marea_sched.dir/executor.cpp.o" "gcc" "src/sched/CMakeFiles/marea_sched.dir/executor.cpp.o.d"
+  "/root/repo/src/sched/sim_executor.cpp" "src/sched/CMakeFiles/marea_sched.dir/sim_executor.cpp.o" "gcc" "src/sched/CMakeFiles/marea_sched.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/sched/thread_pool.cpp" "src/sched/CMakeFiles/marea_sched.dir/thread_pool.cpp.o" "gcc" "src/sched/CMakeFiles/marea_sched.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_sched.dir/executor.cpp.o"
+  "CMakeFiles/marea_sched.dir/executor.cpp.o.d"
+  "CMakeFiles/marea_sched.dir/sim_executor.cpp.o"
+  "CMakeFiles/marea_sched.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/marea_sched.dir/thread_pool.cpp.o"
+  "CMakeFiles/marea_sched.dir/thread_pool.cpp.o.d"
+  "libmarea_sched.a"
+  "libmarea_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_services.dir/camera_service.cpp.o"
+  "CMakeFiles/marea_services.dir/camera_service.cpp.o.d"
+  "CMakeFiles/marea_services.dir/gps_service.cpp.o"
+  "CMakeFiles/marea_services.dir/gps_service.cpp.o.d"
+  "CMakeFiles/marea_services.dir/ground_station.cpp.o"
+  "CMakeFiles/marea_services.dir/ground_station.cpp.o.d"
+  "CMakeFiles/marea_services.dir/image.cpp.o"
+  "CMakeFiles/marea_services.dir/image.cpp.o.d"
+  "CMakeFiles/marea_services.dir/mission_control.cpp.o"
+  "CMakeFiles/marea_services.dir/mission_control.cpp.o.d"
+  "CMakeFiles/marea_services.dir/storage_service.cpp.o"
+  "CMakeFiles/marea_services.dir/storage_service.cpp.o.d"
+  "CMakeFiles/marea_services.dir/telemetry_service.cpp.o"
+  "CMakeFiles/marea_services.dir/telemetry_service.cpp.o.d"
+  "CMakeFiles/marea_services.dir/vision_service.cpp.o"
+  "CMakeFiles/marea_services.dir/vision_service.cpp.o.d"
+  "libmarea_services.a"
+  "libmarea_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

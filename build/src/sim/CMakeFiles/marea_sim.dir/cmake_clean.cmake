@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_sim.dir/network.cpp.o"
+  "CMakeFiles/marea_sim.dir/network.cpp.o.d"
+  "CMakeFiles/marea_sim.dir/simulator.cpp.o"
+  "CMakeFiles/marea_sim.dir/simulator.cpp.o.d"
+  "libmarea_sim.a"
+  "libmarea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

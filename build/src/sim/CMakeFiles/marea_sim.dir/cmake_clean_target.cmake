@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmarea_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_transport.dir/sim_transport.cpp.o"
+  "CMakeFiles/marea_transport.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/marea_transport.dir/tcp_model.cpp.o"
+  "CMakeFiles/marea_transport.dir/tcp_model.cpp.o.d"
+  "CMakeFiles/marea_transport.dir/transport.cpp.o"
+  "CMakeFiles/marea_transport.dir/transport.cpp.o.d"
+  "CMakeFiles/marea_transport.dir/udp_transport.cpp.o"
+  "CMakeFiles/marea_transport.dir/udp_transport.cpp.o.d"
+  "libmarea_transport.a"
+  "libmarea_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

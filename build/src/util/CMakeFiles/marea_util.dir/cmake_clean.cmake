@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marea_util.dir/bytes.cpp.o"
+  "CMakeFiles/marea_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/marea_util.dir/crc32.cpp.o"
+  "CMakeFiles/marea_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/marea_util.dir/logging.cpp.o"
+  "CMakeFiles/marea_util.dir/logging.cpp.o.d"
+  "CMakeFiles/marea_util.dir/rle.cpp.o"
+  "CMakeFiles/marea_util.dir/rle.cpp.o.d"
+  "CMakeFiles/marea_util.dir/status.cpp.o"
+  "CMakeFiles/marea_util.dir/status.cpp.o.d"
+  "libmarea_util.a"
+  "libmarea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

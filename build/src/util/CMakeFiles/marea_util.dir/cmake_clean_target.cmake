@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmarea_util.a"
+)

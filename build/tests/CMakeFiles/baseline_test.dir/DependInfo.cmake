@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/marea_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/marea_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/marea_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdm/CMakeFiles/marea_fdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memfs/CMakeFiles/marea_memfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/marea_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/marea_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/marea_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/marea_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/marea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

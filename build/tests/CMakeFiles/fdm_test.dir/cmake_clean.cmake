@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdm_test.dir/fdm_test.cpp.o"
+  "CMakeFiles/fdm_test.dir/fdm_test.cpp.o.d"
+  "fdm_test"
+  "fdm_test.pdb"
+  "fdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

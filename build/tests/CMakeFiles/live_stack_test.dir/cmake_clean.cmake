@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_stack_test.dir/live_stack_test.cpp.o"
+  "CMakeFiles/live_stack_test.dir/live_stack_test.cpp.o.d"
+  "live_stack_test"
+  "live_stack_test.pdb"
+  "live_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mftp_test.dir/mftp_test.cpp.o"
+  "CMakeFiles/mftp_test.dir/mftp_test.cpp.o.d"
+  "mftp_test"
+  "mftp_test.pdb"
+  "mftp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mftp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_files_test.dir/middleware_files_test.cpp.o"
+  "CMakeFiles/middleware_files_test.dir/middleware_files_test.cpp.o.d"
+  "middleware_files_test"
+  "middleware_files_test.pdb"
+  "middleware_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_integration_test.dir/middleware_integration_test.cpp.o"
+  "CMakeFiles/middleware_integration_test.dir/middleware_integration_test.cpp.o.d"
+  "middleware_integration_test"
+  "middleware_integration_test.pdb"
+  "middleware_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_ordered_events_test.dir/middleware_ordered_events_test.cpp.o"
+  "CMakeFiles/middleware_ordered_events_test.dir/middleware_ordered_events_test.cpp.o.d"
+  "middleware_ordered_events_test"
+  "middleware_ordered_events_test.pdb"
+  "middleware_ordered_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_ordered_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

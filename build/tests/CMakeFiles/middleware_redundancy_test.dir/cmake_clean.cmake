@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_redundancy_test.dir/middleware_redundancy_test.cpp.o"
+  "CMakeFiles/middleware_redundancy_test.dir/middleware_redundancy_test.cpp.o.d"
+  "middleware_redundancy_test"
+  "middleware_redundancy_test.pdb"
+  "middleware_redundancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_robustness_test.dir/middleware_robustness_test.cpp.o"
+  "CMakeFiles/middleware_robustness_test.dir/middleware_robustness_test.cpp.o.d"
+  "middleware_robustness_test"
+  "middleware_robustness_test.pdb"
+  "middleware_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

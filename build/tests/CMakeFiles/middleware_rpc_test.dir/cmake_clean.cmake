@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_rpc_test.dir/middleware_rpc_test.cpp.o"
+  "CMakeFiles/middleware_rpc_test.dir/middleware_rpc_test.cpp.o.d"
+  "middleware_rpc_test"
+  "middleware_rpc_test.pdb"
+  "middleware_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

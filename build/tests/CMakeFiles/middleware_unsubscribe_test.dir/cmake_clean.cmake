@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_unsubscribe_test.dir/middleware_unsubscribe_test.cpp.o"
+  "CMakeFiles/middleware_unsubscribe_test.dir/middleware_unsubscribe_test.cpp.o.d"
+  "middleware_unsubscribe_test"
+  "middleware_unsubscribe_test.pdb"
+  "middleware_unsubscribe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_unsubscribe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

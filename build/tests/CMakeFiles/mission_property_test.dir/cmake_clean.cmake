@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_property_test.dir/mission_property_test.cpp.o"
+  "CMakeFiles/mission_property_test.dir/mission_property_test.cpp.o.d"
+  "mission_property_test"
+  "mission_property_test.pdb"
+  "mission_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pept_plugin_test.dir/pept_plugin_test.cpp.o"
+  "CMakeFiles/pept_plugin_test.dir/pept_plugin_test.cpp.o.d"
+  "pept_plugin_test"
+  "pept_plugin_test.pdb"
+  "pept_plugin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pept_plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

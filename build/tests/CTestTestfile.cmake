@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/arq_test[1]_include.cmake")
+include("/root/repo/build/tests/mftp_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_vars_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_events_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_files_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fdm_test[1]_include.cmake")
+include("/root/repo/build/tests/memfs_test[1]_include.cmake")
+include("/root/repo/build/tests/services_test[1]_include.cmake")
+include("/root/repo/build/tests/pept_plugin_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_unsubscribe_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_test[1]_include.cmake")
+include("/root/repo/build/tests/mission_property_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_ordered_events_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_redundancy_test[1]_include.cmake")
+include("/root/repo/build/tests/live_stack_test[1]_include.cmake")

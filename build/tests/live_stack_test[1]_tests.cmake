@@ -1,0 +1,3 @@
+add_test([=[LiveStackTest.AllPrimitivesOverRealUdpAndThreads]=]  /root/repo/build/tests/live_stack_test [==[--gtest_filter=LiveStackTest.AllPrimitivesOverRealUdpAndThreads]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LiveStackTest.AllPrimitivesOverRealUdpAndThreads]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  live_stack_test_TESTS LiveStackTest.AllPrimitivesOverRealUdpAndThreads)
