@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate, twice: a plain build+test pass, then the same suite under
+# AddressSanitizer + UBSan (-DMAREA_SANITIZE=ON). The chaos soak drives
+# the middleware through loss bursts, partitions, and crash/restart
+# cycles, so a sanitized run of the suite is the cheapest way to catch
+# lifetime bugs in the recovery paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== sanitized build + ctest (ASan+UBSan) =="
+cmake -B build-asan -S . -DMAREA_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+
+echo "check.sh: all green"

@@ -470,6 +470,11 @@ ServiceContainer::Peer* ServiceContainer::peer(proto::ContainerId id) {
 void ServiceContainer::on_hello(proto::ContainerId from,
                                 transport::Address addr,
                                 const proto::ContainerHelloMsg& msg) {
+  // A reordered hello from a dead incarnation must not clobber the live
+  // peer state; a newer incarnation invalidates everything we held about
+  // the peer (directory entries, bound subscriptions, ARQ channels) so
+  // the rebuild below starts from a clean slate.
+  if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer& peer = ensure_peer(from, transport::Address{addr.host, msg.data_port});
   // A hello is authoritative for the peer's data endpoint (earlier frames
   // may have arrived from an ephemeral source port on real transports).
@@ -502,11 +507,30 @@ void ServiceContainer::on_bye(proto::ContainerId from) {
 void ServiceContainer::on_heartbeat(proto::ContainerId from,
                                     transport::Address addr,
                                     const proto::HeartbeatMsg& msg) {
+  // Heartbeats are best-effort broadcasts and reorder freely: a stale one
+  // from the previous incarnation must be ignored, not treated as a
+  // restart (which would kill a perfectly live peer).
+  if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer& peer = ensure_peer(from, addr);
-  if (peer.incarnation != 0 && msg.incarnation != peer.incarnation) {
-    // Peer restarted between heartbeats.
-    peer_lost(from, "incarnation change");
+  if (peer.incarnation == 0) peer.incarnation = msg.incarnation;
+}
+
+bool ServiceContainer::check_peer_incarnation(proto::ContainerId from,
+                                              uint64_t incarnation) {
+  if (incarnation == 0) return true;  // unstamped (pre-incarnation sender)
+  auto it = peers_.find(from);
+  if (it == peers_.end()) return true;  // no state to protect yet
+  Peer& p = it->second;
+  if (p.incarnation == 0) {
+    p.incarnation = incarnation;
+    return true;
   }
+  if (incarnation == p.incarnation) return true;
+  if (incarnation < p.incarnation) return false;  // replay from a dead life
+  // The peer restarted: everything bound to the old incarnation —
+  // directory records, subscriptions, ARQ sequence state — is now invalid.
+  peer_lost(from, "incarnation change");
+  return true;
 }
 
 void ServiceContainer::on_service_status(proto::ContainerId from,
@@ -591,10 +615,25 @@ void ServiceContainer::peer_lost(proto::ContainerId id,
     if (sub.provider && sub.provider->container == id) {
       sub.provider.reset();
       sub.announced = false;
+      // The next provider (or this one's next incarnation) starts a fresh
+      // sequence stream; keeping the old watermark would gate real samples.
+      sub.last_seq = 0;
+      sub.got_any = false;
     }
   }
   for (auto& [name, sub] : event_subs_) {
     sub.announced_to.erase(id);
+    // Ordered-delivery state for the dead publisher: the gaps the held
+    // events were waiting on can never fill now, so drain them — in
+    // order — then forget the expected-next sequence, which restarts at 1
+    // if the publisher comes back.
+    if (auto os = sub.order.find(id); os != sub.order.end()) {
+      executor_.cancel(os->second.flush_timer);
+      for (auto& [seq, pending] : os->second.held) {
+        deliver_event_locally(sub, pending.first, pending.second);
+      }
+      sub.order.erase(os);
+    }
   }
   for (auto& [name, sub] : file_subs_) {
     if (sub.provider && sub.provider->container == id) {
@@ -604,6 +643,11 @@ void ServiceContainer::peer_lost(proto::ContainerId id,
         transfer_names_.erase(sub.receiver->transfer_id());
         sub.receiver.reset();
       }
+      // Revision numbers are per provider incarnation: a restarted (or
+      // replacement) publisher counts from 1 again, and a high watermark
+      // from the old life would make us ignore its content forever. The
+      // cost is at most one redundant re-fetch of data we already have.
+      sub.completed_revision = 0;
     }
   }
   // Publishers drop the dead subscriber.

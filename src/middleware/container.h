@@ -85,6 +85,7 @@ struct ContainerStats {
   uint64_t events_published = 0;
   uint64_t events_sent = 0;           // per-subscriber reliable sends
   uint64_t events_delivered = 0;      // handed to local handlers
+  uint64_t events_dropped_late = 0;   // ordered QoS: below the stream horizon
   // rpc
   uint64_t rpc_calls = 0;
   uint64_t rpc_served = 0;
@@ -150,6 +151,9 @@ class ServiceContainer {
   TimePoint now() const { return executor_.now(); }
   // Containers currently believed alive (excluding self).
   std::vector<proto::ContainerId> known_peers() const;
+  // Current incarnation: set on first start(), bumped on every restart.
+  // Peers discard state belonging to older incarnations.
+  uint64_t incarnation() const { return incarnation_; }
 
   // ==== internal API used by Service / handles (not for applications) ====
   StatusOr<VariableHandle> register_variable(Service& owner,
@@ -363,6 +367,11 @@ class ServiceContainer {
   void heartbeat_tick();
   void health_tick();
   void peer_lost(proto::ContainerId id, const std::string& why);
+  // Validates the incarnation stamped on a frame from `from` against the
+  // peer record. Returns false when the frame is a stale replay from a
+  // dead incarnation (drop it). A *newer* incarnation invalidates the
+  // whole peer (peer_lost) and returns true so hello handling can rebuild.
+  bool check_peer_incarnation(proto::ContainerId from, uint64_t incarnation);
   Peer* peer(proto::ContainerId id);
   Peer& ensure_peer(proto::ContainerId id, transport::Address addr);
   void manifest_changed();

@@ -208,9 +208,13 @@ void ServiceContainer::on_event_msg(proto::ContainerId from,
 //
 // The reliable link guarantees exactly-once but not order. When a
 // subscription asks for ordering, arrivals that jump ahead of the next
-// expected publication seq are held until the gap fills or the reorder
-// window expires; a straggler arriving after its slot was flushed is
-// delivered late rather than dropped (delivery remains guaranteed).
+// expected publication seq are held until the gap fills. Once a stream is
+// initialized, a gap is *guaranteed* to fill — the ARQ link retransmits
+// until delivery or peer loss — so holding never strands events and order
+// is never violated, no matter how long a loss burst delays the missing
+// seq. The reorder window only bounds the settling delay at stream start
+// (a mid-stream joiner has unknowable predecessors); if the publisher is
+// lost, whatever is held is delivered, in order, at eviction time.
 
 void ServiceContainer::ordered_deliver(EventSubscription& sub,
                                        proto::ContainerId from,
@@ -223,8 +227,11 @@ void ServiceContainer::ordered_deliver(EventSubscription& sub,
   if (st.next == 0 && seq == 1) st.next = 1;
 
   if (st.next != 0 && seq < st.next) {
-    // Straggler past its flushed slot: deliver immediately, out of order.
-    deliver_event_locally(sub, value, info);
+    // Below the horizon: only reachable through a settling-flush that
+    // started the stream above this seq. The exactly-once link never
+    // hands us a true duplicate, but order can no longer be honored for
+    // it; drop rather than deliver out of order.
+    stats_.events_dropped_late++;
     return;
   }
   if (st.next != 0 && seq == st.next) {
@@ -245,9 +252,11 @@ void ServiceContainer::ordered_deliver(EventSubscription& sub,
     return;
   }
 
-  // Gap (or uninitialized stream): hold and arm the flush window.
+  // Gap or uninitialized stream: hold. The flush window is only armed for
+  // the uninitialized case — an initialized stream's gap fills via ARQ
+  // retransmission (or the publisher dies and eviction drains us).
   st.held.emplace(seq, std::make_pair(std::move(value), info));
-  if (st.flush_timer == sched::kInvalidTaskTimer) {
+  if (st.next == 0 && st.flush_timer == sched::kInvalidTaskTimer) {
     std::string name = sub.name;
     st.flush_timer = executor_.schedule(
         sub.qos.reorder_window, sched::Priority::kEvent,
@@ -263,8 +272,10 @@ void ServiceContainer::ordered_flush(const std::string& name,
   if (ord_it == it->second.order.end()) return;
   auto& st = ord_it->second;
   st.flush_timer = sched::kInvalidTaskTimer;
-  // The window expired with a gap outstanding: deliver everything held, in
-  // order, and move the horizon past it.
+  if (st.next != 0) return;  // initialized: the gap will fill, keep holding
+  // Settling window expired on a mid-stream join: whatever arrived first
+  // defines the start of the stream. Deliver it in order and set the
+  // horizon; earlier publications predate our subscription.
   for (auto& [seq, pending] : st.held) {
     deliver_event_locally(it->second, pending.first, pending.second);
     st.next = seq + 1;

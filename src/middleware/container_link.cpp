@@ -19,8 +19,12 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
     p->tx = std::make_unique<proto::ArqSender>(
         executor_, sched::Priority::kEvent, config_.arq,
         [this, to](const proto::ReliableDataMsg& msg) {
+          // Stamp at send time, not queue time: a frame retransmitted
+          // across our own restart must not carry the old incarnation.
+          proto::ReliableDataMsg stamped = msg;
+          stamped.incarnation = incarnation_;
           ByteWriter w;
-          msg.encode(w);
+          stamped.encode(w);
           send_frame(to, proto::MsgType::kReliableData, w.view());
         });
     p->tx->set_on_failed(
@@ -44,15 +48,21 @@ void ServiceContainer::send_control(proto::ContainerId peer_id,
 
 void ServiceContainer::on_reliable_data(proto::ContainerId from,
                                         const proto::ReliableDataMsg& msg) {
+  // A frame from a dead incarnation would replay old sequence numbers
+  // into a fresh receiver and deliver duplicates; a newer incarnation
+  // tears the peer down (ARQ retransmission re-establishes it cleanly).
+  if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer* pp = peer(from);
-  if (!pp) return;  // process_frame ensures the peer; defensive only
+  if (!pp) return;  // peer invalidated above or never ensured; drop
   Peer& p = *pp;
   if (!p.rx) {
     transport::Address to = p.address;
     p.rx = std::make_unique<proto::ArqReceiver>(
         [this, to](const proto::ReliableAckMsg& ack) {
+          proto::ReliableAckMsg stamped = ack;
+          stamped.incarnation = incarnation_;
           ByteWriter w;
-          ack.encode(w);
+          stamped.encode(w);
           send_frame(to, proto::MsgType::kReliableAck, w.view());
         },
         [this, from](proto::InnerType type, BytesView inner) {
@@ -64,6 +74,9 @@ void ServiceContainer::on_reliable_data(proto::ContainerId from,
 
 void ServiceContainer::on_reliable_ack(proto::ContainerId from,
                                        const proto::ReliableAckMsg& msg) {
+  // An ack replayed from the acker's previous incarnation must not
+  // confirm data we queued for its current one.
+  if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer* p = peer(from);
   if (p && p->tx) p->tx->on_ack(msg);
 }

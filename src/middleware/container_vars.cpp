@@ -369,7 +369,9 @@ StatusOr<enc::Value> ServiceContainer::read_variable(
     return not_found_error("not subscribed to variable '" + name + "'");
   }
   const VarSubscription& sub = it->second;
-  if (!sub.got_any || !sub.last_value) {
+  // Gate on the cache, not got_any: a provider failover resets the
+  // sequence watermark but the last value stays readable while valid.
+  if (!sub.last_value) {
     return not_found_error("variable '" + name + "' has no value yet");
   }
   // §4.1: previous values remain readable "as long as they are still

@@ -45,4 +45,33 @@ void SimDomain::kill_node(size_t index) {
   nodes_[index]->container->stop();
 }
 
+void SimDomain::restart_node(size_t index) {
+  net_.set_node_up(nodes_[index]->node, true);
+  Status s = nodes_[index]->container->start();
+  if (!s.is_ok()) {
+    MAREA_LOG(kError, "domain")
+        << "container on " << nodes_[index]->container->config().node_name
+        << " failed to restart: " << s.to_string();
+  }
+}
+
+sim::ChaosHooks SimDomain::chaos_hooks() {
+  auto index_of = [this](sim::NodeId id) -> size_t {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->node == id) return i;
+    }
+    return SIZE_MAX;
+  };
+  sim::ChaosHooks hooks;
+  hooks.crash_node = [this, index_of](sim::NodeId id) {
+    size_t i = index_of(id);
+    if (i != SIZE_MAX) kill_node(i);
+  };
+  hooks.restart_node = [this, index_of](sim::NodeId id) {
+    size_t i = index_of(id);
+    if (i != SIZE_MAX) restart_node(i);
+  };
+  return hooks;
+}
+
 }  // namespace marea::mw

@@ -17,6 +17,7 @@
 
 #include "middleware/container.h"
 #include "sched/sim_executor.h"
+#include "sim/chaos.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "transport/sim_transport.h"
@@ -50,6 +51,13 @@ class SimDomain {
 
   // Convenience for failover experiments.
   void kill_node(size_t index);
+  // Brings a killed node back: NIC up, container restarted as a fresh
+  // incarnation (re-announces; peers discard the old incarnation's state).
+  void restart_node(size_t index);
+
+  // Crash/restart wiring for a ChaosController over this domain's
+  // network. The hooks accept sim::NodeIds, as the chaos layer does.
+  sim::ChaosHooks chaos_hooks();
 
  private:
   struct Node {

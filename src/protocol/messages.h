@@ -191,6 +191,10 @@ using EventSubscribeMsg = VarSubscribeMsg;
 using EventUnsubscribeMsg = VarUnsubscribeMsg;
 
 struct ReliableDataMsg {
+  // Sender container incarnation: ARQ sequence numbers restart from 1 in
+  // every incarnation, so a receiver must discard frames stamped with a
+  // dead incarnation or risk replaying them as fresh data. 0 = unstamped.
+  uint64_t incarnation = 0;
   uint64_t seq = 0;
   InnerType inner_type = InnerType::kEvent;
   Buffer inner;
@@ -202,6 +206,9 @@ struct ReliableDataMsg {
 // Receiver state advertisement: everything below `floor` received, plus
 // the (compressed) set of sequences received above it.
 struct ReliableAckMsg {
+  // Acker's incarnation: a stale ack from a dead incarnation must not
+  // confirm (and thereby cancel retransmission of) new-incarnation data.
+  uint64_t incarnation = 0;
   uint64_t floor = 0;
   RunSet above;  // offsets relative to floor
 

@@ -1,0 +1,229 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace marea::sim {
+
+const char* to_string(ChaosEvent::Kind k) {
+  switch (k) {
+    case ChaosEvent::Kind::kDegrade: return "degrade";
+    case ChaosEvent::Kind::kRestore: return "restore";
+    case ChaosEvent::Kind::kPartition: return "partition";
+    case ChaosEvent::Kind::kHeal: return "heal";
+    case ChaosEvent::Kind::kCrash: return "crash";
+    case ChaosEvent::Kind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+ChaosPlan& ChaosPlan::degrade(TimePoint at, NodeId a, NodeId b,
+                              LinkFaults f) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kDegrade;
+  ev.a = a;
+  ev.b = b;
+  ev.faults = f;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::restore(TimePoint at, NodeId a, NodeId b) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kRestore;
+  ev.a = a;
+  ev.b = b;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::partition(TimePoint at, std::vector<NodeId> side_a,
+                                std::vector<NodeId> side_b) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kPartition;
+  ev.side_a = std::move(side_a);
+  ev.side_b = std::move(side_b);
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::heal(TimePoint at) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kHeal;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::crash(TimePoint at, NodeId n) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kCrash;
+  ev.a = n;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::restart(TimePoint at, NodeId n) {
+  ChaosEvent ev;
+  ev.at = at;
+  ev.kind = ChaosEvent::Kind::kRestart;
+  ev.a = n;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+void ChaosPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChaosEvent& x, const ChaosEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+ChaosPlan ChaosPlan::random(Rng& rng, const ChaosPlanOptions& opt) {
+  ChaosPlan plan;
+  if (opt.node_count < 2 || opt.episodes == 0 ||
+      opt.end.ns <= opt.start.ns) {
+    return plan;
+  }
+
+  enum EpisodeKind { kEpDegrade, kEpPartition, kEpCrash };
+  std::vector<EpisodeKind> menu;
+  if (opt.allow_degrade) menu.push_back(kEpDegrade);
+  if (opt.allow_partition && opt.node_count >= 2) {
+    menu.push_back(kEpPartition);
+  }
+  if (!opt.crashable.empty()) menu.push_back(kEpCrash);
+  if (menu.empty()) return plan;
+
+  const int64_t slot = (opt.end.ns - opt.start.ns) /
+                       static_cast<int64_t>(opt.episodes);
+  for (size_t e = 0; e < opt.episodes; ++e) {
+    const int64_t slot_begin = opt.start.ns + slot * static_cast<int64_t>(e);
+    // Start somewhere in the first half of the slot and end strictly
+    // inside it: every episode is lifted before the next one begins, so
+    // partitions never stack and the system has a window to reconverge.
+    const int64_t begin =
+        slot_begin + static_cast<int64_t>(rng.next_double() * 0.5 *
+                                          static_cast<double>(slot));
+    const int64_t max_len = slot_begin + slot - begin;
+    const int64_t len = std::max<int64_t>(
+        max_len / 4,
+        static_cast<int64_t>(rng.next_double() * 0.9 *
+                             static_cast<double>(max_len)));
+    const TimePoint t_on{begin};
+    const TimePoint t_off{begin + len};
+
+    switch (menu[rng.uniform(0, menu.size() - 1)]) {
+      case kEpDegrade: {
+        NodeId a = static_cast<NodeId>(rng.uniform(0, opt.node_count - 1));
+        NodeId b = static_cast<NodeId>(rng.uniform(0, opt.node_count - 2));
+        if (b >= a) b++;  // distinct pair, uniform
+        LinkFaults f;
+        f.p_good_bad = rng.uniform_real(0.05, 0.3);
+        f.p_bad_good = rng.uniform_real(0.1, 0.5);
+        f.loss_bad = rng.uniform_real(0.5, 0.95);
+        f.duplicate = rng.bernoulli(0.5) ? rng.uniform_real(0.01, 0.1) : 0.0;
+        f.reorder = rng.bernoulli(0.5) ? rng.uniform_real(0.01, 0.15) : 0.0;
+        f.reorder_delay = milliseconds(static_cast<int64_t>(
+            rng.uniform(1, 5)));
+        f.corrupt = rng.bernoulli(0.5) ? rng.uniform_real(0.01, 0.05) : 0.0;
+        plan.degrade(t_on, a, b, f).restore(t_off, a, b);
+        break;
+      }
+      case kEpPartition: {
+        // Random nonempty split: node i goes to side A iff bit i is set.
+        std::vector<NodeId> side_a, side_b;
+        do {
+          side_a.clear();
+          side_b.clear();
+          for (NodeId n = 0; n < opt.node_count; ++n) {
+            (rng.bernoulli(0.5) ? side_a : side_b).push_back(n);
+          }
+        } while (side_a.empty() || side_b.empty());
+        plan.partition(t_on, std::move(side_a), std::move(side_b))
+            .heal(t_off);
+        break;
+      }
+      case kEpCrash: {
+        NodeId victim = opt.crashable[rng.uniform(0, opt.crashable.size() - 1)];
+        plan.crash(t_on, victim).restart(t_off, victim);
+        break;
+      }
+    }
+  }
+  plan.sort();
+  return plan;
+}
+
+ChaosController::ChaosController(Simulator& sim, SimNetwork& net,
+                                 ChaosHooks hooks)
+    : sim_(sim), net_(net), hooks_(std::move(hooks)) {}
+
+Status ChaosController::execute(const ChaosPlan& plan) {
+  for (const ChaosEvent& ev : plan.events) {
+    if (ev.at < sim_.now()) {
+      return invalid_argument_error("chaos: event scheduled in the past");
+    }
+    if ((ev.kind == ChaosEvent::Kind::kCrash && !hooks_.crash_node) ||
+        (ev.kind == ChaosEvent::Kind::kRestart && !hooks_.restart_node)) {
+      return invalid_argument_error("chaos: crash/restart without hooks");
+    }
+  }
+  for (const ChaosEvent& ev : plan.events) {
+    sim_.at(ev.at, [this, ev]() { apply(ev); });
+  }
+  return Status::ok();
+}
+
+void ChaosController::apply(const ChaosEvent& ev) {
+  char line[160];
+  switch (ev.kind) {
+    case ChaosEvent::Kind::kDegrade:
+      net_.set_link_faults_symmetric(ev.a, ev.b, ev.faults);
+      snprintf(line, sizeof line, "%s degrade %u<->%u ge=%.2f dup=%.2f "
+               "ro=%.2f cor=%.2f",
+               to_string(ev.at).c_str(), ev.a, ev.b, ev.faults.p_good_bad,
+               ev.faults.duplicate, ev.faults.reorder, ev.faults.corrupt);
+      break;
+    case ChaosEvent::Kind::kRestore:
+      net_.clear_link_faults(ev.a, ev.b);
+      net_.clear_link_faults(ev.b, ev.a);
+      snprintf(line, sizeof line, "%s restore %u<->%u",
+               to_string(ev.at).c_str(), ev.a, ev.b);
+      break;
+    case ChaosEvent::Kind::kPartition: {
+      net_.partition(ev.side_a, ev.side_b);
+      std::string sides;
+      for (NodeId n : ev.side_a) sides += std::to_string(n) + ",";
+      sides += "|";
+      for (NodeId n : ev.side_b) sides += "," + std::to_string(n);
+      snprintf(line, sizeof line, "%s partition %s",
+               to_string(ev.at).c_str(), sides.c_str());
+      break;
+    }
+    case ChaosEvent::Kind::kHeal:
+      net_.heal();
+      snprintf(line, sizeof line, "%s heal", to_string(ev.at).c_str());
+      break;
+    case ChaosEvent::Kind::kCrash:
+      hooks_.crash_node(ev.a);
+      snprintf(line, sizeof line, "%s crash node %u",
+               to_string(ev.at).c_str(), ev.a);
+      break;
+    case ChaosEvent::Kind::kRestart:
+      hooks_.restart_node(ev.a);
+      snprintf(line, sizeof line, "%s restart node %u",
+               to_string(ev.at).c_str(), ev.a);
+      break;
+  }
+  MAREA_LOG(kDebug, "chaos") << line;
+  trace_.push_back(line);
+}
+
+}  // namespace marea::sim

@@ -1,0 +1,111 @@
+// Scripted, seeded chaos timelines against a SimNetwork (DESIGN.md §8).
+//
+// A ChaosPlan is a plain list of timestamped fault episodes — link
+// degradation windows, partitions and heals, node crash/restart — built
+// either explicitly (regression scenarios) or from a seeded Rng
+// (`ChaosPlan::random`, soak scenarios). A ChaosController schedules the
+// plan on the simulator and applies each event, keeping a deterministic
+// human-readable trace: same seed, same plan, same trace.
+//
+// The sim layer knows nothing about containers, so crash/restart are
+// delegated through ChaosHooks; SimDomain::chaos_hooks() supplies the
+// standard wiring (net down + container stop, net up + container start).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace marea::sim {
+
+// Callbacks into the layer that owns per-node processes. crash must take
+// the node's network interface down and kill the process; restart must
+// bring the interface back and start a fresh process incarnation.
+struct ChaosHooks {
+  std::function<void(NodeId)> crash_node;
+  std::function<void(NodeId)> restart_node;
+};
+
+struct ChaosEvent {
+  enum class Kind : uint8_t {
+    kDegrade,    // symmetric LinkFaults overlay on link a<->b
+    kRestore,    // remove the overlay from a<->b
+    kPartition,  // bidirectional partition side_a | side_b
+    kHeal,       // remove all partitions
+    kCrash,      // ChaosHooks::crash_node(a)
+    kRestart,    // ChaosHooks::restart_node(a)
+  };
+
+  TimePoint at;
+  Kind kind = Kind::kDegrade;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  LinkFaults faults;                 // kDegrade only
+  std::vector<NodeId> side_a;       // kPartition only
+  std::vector<NodeId> side_b;
+};
+
+const char* to_string(ChaosEvent::Kind k);
+
+// Parameters for ChaosPlan::random. The horizon is sliced into `episodes`
+// equal slots; each slot hosts one randomly chosen, fully contained
+// episode (degrade window, partition+heal, or crash+restart), so episodes
+// never overlap and every fault injected is also lifted before the end.
+struct ChaosPlanOptions {
+  size_t node_count = 0;             // required: nodes are [0, node_count)
+  TimePoint start{0};
+  TimePoint end{0};                  // required: end.ns > start.ns
+  size_t episodes = 5;
+  // Nodes eligible for crash/restart episodes; empty disables them.
+  std::vector<NodeId> crashable;
+  bool allow_partition = true;
+  bool allow_degrade = true;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosEvent> events;
+
+  // Builder API for explicit scenarios; all return *this for chaining.
+  ChaosPlan& degrade(TimePoint at, NodeId a, NodeId b, LinkFaults f);
+  ChaosPlan& restore(TimePoint at, NodeId a, NodeId b);
+  ChaosPlan& partition(TimePoint at, std::vector<NodeId> side_a,
+                       std::vector<NodeId> side_b);
+  ChaosPlan& heal(TimePoint at);
+  ChaosPlan& crash(TimePoint at, NodeId n);
+  ChaosPlan& restart(TimePoint at, NodeId n);
+
+  // Stable sort by timestamp (builders may append out of order).
+  void sort();
+
+  // Seeded random plan; deterministic for a given (rng state, options).
+  static ChaosPlan random(Rng& rng, const ChaosPlanOptions& opt);
+};
+
+class ChaosController {
+ public:
+  ChaosController(Simulator& sim, SimNetwork& net, ChaosHooks hooks);
+
+  // Schedules every event of the plan on the simulator. May be called
+  // more than once (plans accumulate). Events in the past are rejected.
+  Status execute(const ChaosPlan& plan);
+
+  // One line per applied event, in application order. Deterministic.
+  const std::vector<std::string>& trace() const { return trace_; }
+  size_t events_applied() const { return trace_.size(); }
+
+ private:
+  void apply(const ChaosEvent& ev);
+
+  Simulator& sim_;
+  SimNetwork& net_;
+  ChaosHooks hooks_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace marea::sim

@@ -37,8 +37,62 @@ LinkParams SimNetwork::link(NodeId a, NodeId b) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
-void SimNetwork::set_node_up(NodeId id, bool up) { nodes_.at(id).up = up; }
+void SimNetwork::set_node_up(NodeId id, bool up) {
+  Node& node = nodes_.at(id);
+  if (node.up == up) return;
+  node.up = up;
+  if (!up) {
+    // Anything already in flight toward this node captured the previous
+    // epoch and is discarded on arrival — a powered-off NIC receives
+    // nothing, even packets that left the sender before the failure.
+    node.up_epoch++;
+    // A dead node also falls out of its multicast groups (the switch
+    // stops forwarding); park them for a consistent restore.
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      auto& members = it->second;
+      for (auto m = members.begin(); m != members.end();) {
+        if (m->node == id) {
+          node.parked_groups.emplace_back(it->first, *m);
+          m = members.erase(m);
+        } else {
+          ++m;
+        }
+      }
+      it = members.empty() ? groups_.erase(it) : std::next(it);
+    }
+  } else {
+    for (const auto& [group, member] : node.parked_groups) {
+      auto& members = groups_[group];
+      if (std::find(members.begin(), members.end(), member) ==
+          members.end()) {
+        members.push_back(member);
+      }
+    }
+    node.parked_groups.clear();
+  }
+}
 bool SimNetwork::node_up(NodeId id) const { return nodes_.at(id).up; }
+
+void SimNetwork::set_link_faults(NodeId a, NodeId b, LinkFaults f) {
+  faults_[{a, b}] = FaultState{f, false};
+}
+
+void SimNetwork::clear_link_faults(NodeId a, NodeId b) {
+  faults_.erase({a, b});
+}
+
+void SimNetwork::clear_all_faults() { faults_.clear(); }
+
+void SimNetwork::partition(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  for (NodeId x : a) {
+    for (NodeId y : b) {
+      if (x != y) blocked_.insert(ordered_pair(x, y));
+    }
+  }
+}
+
+void SimNetwork::heal() { blocked_.clear(); }
 
 Status SimNetwork::bind(Endpoint ep, RecvHandler handler) {
   if (ep.node >= nodes_.size()) {
@@ -63,6 +117,13 @@ Status SimNetwork::join_group(GroupId group, Endpoint member) {
 }
 
 void SimNetwork::leave_group(GroupId group, Endpoint member) {
+  // The membership may be parked while the node is down.
+  if (member.node < nodes_.size()) {
+    auto& parked = nodes_[member.node].parked_groups;
+    parked.erase(std::remove(parked.begin(), parked.end(),
+                             std::make_pair(group, member)),
+                 parked.end());
+  }
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
   auto& members = it->second;
@@ -93,9 +154,10 @@ Status SimNetwork::send(Endpoint from, Endpoint to, BytesView data) {
     nodes_[from.node].stats.local_packets++;
     nodes_[from.node].stats.local_bytes += data.size();
     Buffer copy = to_buffer(data);
+    uint64_t epoch = nodes_[to.node].up_epoch;
     sim_.after(kLocalDeliveryLatency,
-               [this, from, to, copy = std::move(copy)]() mutable {
-                 deliver(from, to, std::move(copy));
+               [this, from, to, epoch, copy = std::move(copy)]() mutable {
+                 deliver(from, to, std::move(copy), epoch);
                });
     return Status::ok();
   }
@@ -169,9 +231,15 @@ Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
       // Multicast member co-located with the sender: local delivery.
       total_.local_packets++;
       total_.local_bytes += payload.size();
-      sim_.after(kLocalDeliveryLatency, [this, from, dst, payload]() {
-        deliver(from, dst, payload);
+      uint64_t epoch = nodes_[dst.node].up_epoch;
+      sim_.after(kLocalDeliveryLatency, [this, from, dst, epoch, payload]() {
+        deliver(from, dst, payload, epoch);
       });
+      continue;
+    }
+    if (blocked_.count(ordered_pair(from.node, dst.node))) {
+      total_.packets_partitioned++;
+      nodes_[dst.node].stats.packets_partitioned++;
       continue;
     }
     LinkParams lp = link(from.node, dst.node);
@@ -180,23 +248,78 @@ Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
       nodes_[dst.node].stats.packets_dropped++;
       continue;
     }
-    Duration prop = lp.latency;
+    Buffer copy = payload;
+    Duration extra = kDurationZero;
+    int copies = 1;
+    if (!apply_faults(from.node, dst.node, copy, extra, copies)) {
+      total_.packets_dropped++;
+      nodes_[dst.node].stats.packets_dropped++;
+      continue;
+    }
+    Duration prop = lp.latency + extra;
     if (lp.jitter.ns > 0) {
       prop = prop + Duration{static_cast<int64_t>(
                         rng_.next_double() *
                         static_cast<double>(lp.jitter.ns))};
     }
-    TimePoint arrival = on_wire + prop;
-    sim_.at(arrival, [this, from, dst, payload]() {
-      deliver(from, dst, payload);
-    });
+    uint64_t epoch = nodes_[dst.node].up_epoch;
+    for (int c = 0; c < copies; ++c) {
+      // Duplicates trail the original slightly so they genuinely reorder
+      // against traffic behind them.
+      TimePoint arrival = on_wire + prop + kLocalDeliveryLatency * c;
+      sim_.at(arrival, [this, from, dst, epoch, copy]() {
+        deliver(from, dst, copy, epoch);
+      });
+    }
   }
   return Status::ok();
 }
 
-void SimNetwork::deliver(Endpoint from, Endpoint to, Buffer data) {
+bool SimNetwork::apply_faults(NodeId from, NodeId to, Buffer& data,
+                              Duration& extra_delay, int& copies) {
+  auto it = faults_.find({from, to});
+  if (it == faults_.end()) return true;
+  FaultState& st = it->second;
+  const LinkFaults& f = st.faults;
+  if (f.p_good_bad > 0) {
+    // Advance the Gilbert–Elliott channel one step per packet.
+    if (st.in_bad_state) {
+      if (rng_.bernoulli(f.p_bad_good)) st.in_bad_state = false;
+    } else if (rng_.bernoulli(f.p_good_bad)) {
+      st.in_bad_state = true;
+    }
+    if (rng_.bernoulli(st.in_bad_state ? f.loss_bad : f.loss_good)) {
+      return false;
+    }
+  }
+  if (f.corrupt > 0 && rng_.bernoulli(f.corrupt) && !data.empty()) {
+    data[rng_.uniform(0, data.size() - 1)] ^=
+        static_cast<uint8_t>(1u << rng_.uniform(0, 7));
+    total_.packets_corrupted++;
+  }
+  if (f.reorder > 0 && rng_.bernoulli(f.reorder)) {
+    extra_delay = f.reorder_delay;
+    total_.packets_reordered++;
+  }
+  if (f.duplicate > 0 && rng_.bernoulli(f.duplicate)) {
+    copies = 2;
+    total_.packets_duplicated++;
+  }
+  return true;
+}
+
+void SimNetwork::deliver(Endpoint from, Endpoint to, Buffer data,
+                         uint64_t dest_epoch) {
+  if (nodes_[to.node].up_epoch != dest_epoch) {
+    // The destination went down (and possibly came back) while this packet
+    // was in flight: it was lost on the dead NIC.
+    total_.packets_stale_dropped++;
+    nodes_[to.node].stats.packets_stale_dropped++;
+    return;
+  }
   if (!nodes_[to.node].up) {
     total_.packets_unroutable++;
+    nodes_[to.node].stats.packets_unroutable++;
     return;
   }
   auto it = bindings_.find(to);

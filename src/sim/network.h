@@ -13,11 +13,15 @@
 //    latency, not counted as wire traffic (the §4.4 bypass baseline).
 //  * Per-node and global byte/packet accounting, loss injection, node
 //    up/down and partitions for failover experiments.
+//  * Fault model per directed link (chaos experiments): Gilbert–Elliott
+//    bursty loss, duplication, reordering, payload corruption (caught by
+//    the frame CRC), plus first-class bidirectional partitions.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +59,31 @@ struct LinkParams {
   double rate_bps = 100e6;               // egress rate; 0 = infinite
 };
 
+// Degraded-radio fault model for one directed link, layered on top of the
+// independent LinkParams.loss. All probabilities are per packet.
+struct LinkFaults {
+  // Gilbert–Elliott two-state loss: the link flips between a good and a
+  // bad (burst) state with the given transition probabilities, and drops
+  // with the state's loss rate. p_good_bad == 0 disables the model.
+  double p_good_bad = 0.0;
+  double p_bad_good = 0.25;
+  double loss_good = 0.0;
+  double loss_bad = 0.9;
+  // An extra copy of the packet is delivered (duplicated ACK/retransmit
+  // interactions are a classic ARQ hazard).
+  double duplicate = 0.0;
+  // The packet is held back by `reorder_delay`, letting later packets
+  // overtake it.
+  double reorder = 0.0;
+  Duration reorder_delay = milliseconds(2);
+  // One payload byte is flipped in transit; the frame CRC must catch it.
+  double corrupt = 0.0;
+
+  bool any() const {
+    return p_good_bad > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
 struct TrafficStats {
   uint64_t packets_sent = 0;      // handed to the wire (post-queue)
   uint64_t bytes_sent = 0;        // wire bytes (multicast counted once)
@@ -64,6 +93,11 @@ struct TrafficStats {
   uint64_t packets_unroutable = 0;  // no receiver bound / node down
   uint64_t local_packets = 0;     // same-node deliveries (no wire)
   uint64_t local_bytes = 0;
+  uint64_t packets_partitioned = 0; // blocked by an active partition
+  uint64_t packets_duplicated = 0;  // extra copies injected
+  uint64_t packets_reordered = 0;   // held back by the reorder fault
+  uint64_t packets_corrupted = 0;   // delivered with a flipped byte
+  uint64_t packets_stale_dropped = 0;  // in flight when the dest went down
 };
 
 class SimNetwork {
@@ -92,9 +126,31 @@ class SimNetwork {
   // at add_node time).
   void set_node_rate(NodeId id, double bps);
 
-  // A down node neither sends nor receives (failover experiments).
+  // A down node neither sends nor receives; packets already in flight
+  // toward it when it goes down are dropped (they would hit a dead NIC).
+  // Its multicast group memberships are parked and restored on the next
+  // set_node_up(true).
   void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const;
+
+  // --- fault injection ----------------------------------------------------
+  // Directed fault overlay a -> b; replaces any previous faults on the pair.
+  void set_link_faults(NodeId a, NodeId b, LinkFaults f);
+  void set_link_faults_symmetric(NodeId a, NodeId b, LinkFaults f) {
+    set_link_faults(a, b, f);
+    set_link_faults(b, a, f);
+  }
+  // Removes the overlay (GE state included) from a -> b.
+  void clear_link_faults(NodeId a, NodeId b);
+  void clear_all_faults();
+
+  // Bidirectional partition: no packet crosses between a member of `a` and
+  // a member of `b` until healed. Partitions stack; heal() removes all.
+  void partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  void heal();
+  bool partitioned(NodeId a, NodeId b) const {
+    return blocked_.count(ordered_pair(a, b)) > 0;
+  }
 
   // Maximum datagram payload; larger sends fail with InvalidArgument.
   void set_mtu(size_t mtu) { mtu_ = mtu; }
@@ -126,14 +182,32 @@ class SimNetwork {
     bool up = true;
     double egress_bps = 100e6;
     TimePoint egress_free{0};  // when the serializer becomes idle
+    // Bumped every time the node goes down: in-flight packets captured an
+    // older epoch and are dropped on arrival.
+    uint64_t up_epoch = 0;
+    // Group memberships parked while the node is down.
+    std::vector<std::pair<GroupId, Endpoint>> parked_groups;
     TrafficStats stats;
   };
+
+  struct FaultState {
+    LinkFaults faults;
+    bool in_bad_state = false;  // Gilbert–Elliott channel state
+  };
+
+  static std::pair<NodeId, NodeId> ordered_pair(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   // Queues one wire transmission from `from.node`, fanning out to `dests`.
   Status transmit(Endpoint from, std::vector<Endpoint> dests, BytesView data,
                   bool multicast);
-  void deliver(Endpoint from, Endpoint to, Buffer data);
+  void deliver(Endpoint from, Endpoint to, Buffer data, uint64_t dest_epoch);
   Duration serialization_delay(NodeId node, size_t bytes) const;
+  // Applies the fault overlay for from -> to; returns false when the
+  // packet is lost. May corrupt `data` or adjust `extra_delay`/`copies`.
+  bool apply_faults(NodeId from, NodeId to, Buffer& data,
+                    Duration& extra_delay, int& copies);
 
   Simulator& sim_;
   Rng rng_;
@@ -141,6 +215,8 @@ class SimNetwork {
   size_t mtu_ = 65507;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  std::map<std::pair<NodeId, NodeId>, FaultState> faults_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;  // unordered node pairs
   std::unordered_map<Endpoint, RecvHandler, EndpointHash> bindings_;
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
   TrafficStats total_;

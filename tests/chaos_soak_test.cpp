@@ -1,0 +1,460 @@
+// Chaos soak: seeded random fault timelines (bursty loss, duplication,
+// reordering, corruption, partitions, node crash/restart) against a live
+// four-node deployment, with continuous invariant checking:
+//   * variable sequence monotonicity per publisher generation
+//   * ordered event delivery: no duplicate, no reordering, ever
+//   * no RPC double-completion
+//   * file content CRC intact across publisher death and handoff
+//   * emergencies stop once providers are back past the grace period
+// Every scenario is deterministic: same seed, same trace.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+#include "sim/chaos.h"
+#include "util/crc32.h"
+
+namespace marea::mw {
+namespace {
+
+struct SoakMsg {
+  int64_t gen = 0;  // publisher incarnation counter (bumped per on_start)
+  int64_t n = 0;    // monotonic within one generation
+};
+
+}  // namespace
+}  // namespace marea::mw
+
+MAREA_REFLECT(marea::mw::SoakMsg, gen, n)
+
+namespace marea::mw {
+namespace {
+
+Buffer soak_file_content(uint64_t key) {
+  Buffer b(32 * 1024);
+  Rng rng(key * 0x9E3779B97F4A7C15ull + 1);
+  for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(key >> (8 * i));
+  }
+  return b;
+}
+
+uint64_t soak_file_key(const Buffer& content) {
+  uint64_t key = 0;
+  for (int i = 0; i < 8; ++i) {
+    key |= static_cast<uint64_t>(content[i]) << (8 * i);
+  }
+  return key;
+}
+
+void hash_mix(uint64_t& h, int64_t gen, int64_t n) {
+  h ^= static_cast<uint64_t>(gen) * 1000003ull + static_cast<uint64_t>(n);
+  h *= 1099511628211ull;
+}
+
+class SoakPublisher final : public Service {
+ public:
+  SoakPublisher() : Service("soak_pub") {}
+
+  Status on_start() override {
+    ++gen_;
+    n_ = 0;
+    live_ = true;
+    auto v = provide_variable<SoakMsg>(
+        "soak.var", {.period = milliseconds(50), .validity = seconds(2.0)});
+    if (!v.ok()) return v.status();
+    var_ = *v;
+    auto e = provide_event<SoakMsg>("soak.event");
+    if (!e.ok()) return e.status();
+    event_ = *e;
+    return provide_function(
+        "soak.echo", enc::bytes_type(), enc::bytes_type(),
+        [](const enc::Value& args) -> StatusOr<enc::Value> { return args; });
+  }
+  void on_stop() override { live_ = false; }
+
+  void tick() {
+    if (!live_) return;
+    ++n_;
+    SoakMsg m;
+    m.gen = gen_;
+    m.n = n_;
+    (void)var_.publish(m);
+    (void)event_.publish(m);
+  }
+
+  void publish_next_file() {
+    if (!live_) return;
+    ++file_key_;
+    Buffer b = soak_file_content(file_key_);
+    crcs_[file_key_] = crc32(as_bytes_view(b));
+    (void)publish_file("soak.file", std::move(b));
+  }
+
+  bool live() const { return live_; }
+  int64_t generation() const { return gen_; }
+  const std::map<uint64_t, uint32_t>& published_crcs() const { return crcs_; }
+
+ private:
+  VariableHandle var_;
+  EventHandle event_;
+  bool live_ = false;
+  int64_t gen_ = 0;
+  int64_t n_ = 0;
+  uint64_t file_key_ = 0;
+  std::map<uint64_t, uint32_t> crcs_;  // file key -> content CRC
+};
+
+// Second provider of soak.echo so RPC gets real failover choices and an
+// emergency needs BOTH providers gone.
+class BackupEcho final : public Service {
+ public:
+  BackupEcho() : Service("backup_echo") {}
+  Status on_start() override {
+    return provide_function(
+        "soak.echo", enc::bytes_type(), enc::bytes_type(),
+        [](const enc::Value& args) -> StatusOr<enc::Value> { return args; });
+  }
+};
+
+class SoakAuditor final : public Service {
+ public:
+  SoakAuditor(std::string name, const SoakPublisher* pub)
+      : Service(std::move(name)), pub_(pub) {}
+
+  Status on_start() override {
+    Status s = subscribe_variable<SoakMsg>(
+        "soak.var",
+        [this](const SoakMsg& m, const SampleInfo& info) { on_var(m, info); });
+    if (!s.is_ok()) return s;
+    s = subscribe_event<SoakMsg>(
+        "soak.event",
+        [this](const SoakMsg& m, const EventInfo&) { on_event(m); },
+        {.ordered = true});
+    if (!s.is_ok()) return s;
+    s = subscribe_file("soak.file",
+                       [this](const proto::FileMeta& meta,
+                              const Buffer& content) { on_file(meta, content); });
+    if (!s.is_ok()) return s;
+    return require_function("soak.echo");
+  }
+
+  void fire_rpc() {
+    uint64_t token = ++next_token_;
+    Buffer b(8);
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<uint8_t>(token >> (8 * i));
+    }
+    call(
+        "soak.echo", enc::Value::of_bytes(std::move(b)),
+        [this, token](StatusOr<enc::Value> result) {
+          (void)result;
+          // Any completion — success, timeout, failover exhaustion — must
+          // happen exactly once per request.
+          if (++completions_[token] > 1) {
+            violate("rpc token " + std::to_string(token) +
+                    " completed more than once");
+          }
+        },
+        {.timeout = milliseconds(300)});
+  }
+
+  int64_t var_count() const { return var_count_; }
+  int64_t event_count() const { return ev_count_; }
+  int64_t file_count() const { return file_count_; }
+  int64_t event_gaps() const { return ev_gaps_; }
+  uint64_t var_hash() const { return var_hash_; }
+  uint64_t event_hash() const { return ev_hash_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  void violate(std::string what) {
+    if (violations_.size() < 32) violations_.push_back(std::move(what));
+  }
+
+  void on_var(const SoakMsg& m, const SampleInfo& info) {
+    ++var_count_;
+    hash_mix(var_hash_, m.gen, m.n);
+    // Wire sequence: strictly increasing within a generation — duplicated
+    // or reordered packets must never reach the handler twice.
+    uint64_t& last_seq = last_var_seq_[m.gen];
+    if (last_seq != 0 && info.seq <= last_seq) {
+      violate("var wire-seq regression gen=" + std::to_string(m.gen) +
+              " seq=" + std::to_string(info.seq) + " after " +
+              std::to_string(last_seq));
+    }
+    last_seq = std::max(last_seq, info.seq);
+    // Payload: non-decreasing within a generation (the period-republish
+    // QoS legitimately re-delivers the latest value, never an older one).
+    int64_t& last = last_var_[m.gen];
+    if (m.n < last) {
+      violate("var payload regression gen=" + std::to_string(m.gen) + " n=" +
+              std::to_string(m.n) + " after " + std::to_string(last));
+    }
+    last = std::max(last, m.n);
+  }
+
+  void on_event(const SoakMsg& m) {
+    ++ev_count_;
+    hash_mix(ev_hash_, m.gen, m.n);
+    int64_t& last = last_ev_[m.gen];
+    // Ordered QoS: strictly increasing per publisher generation. Gaps can
+    // only come from windows where the publisher had (legitimately)
+    // dropped us as a subscriber; duplicates or reordering, never.
+    if (m.n <= last) {
+      violate("ordered event dup/reorder gen=" + std::to_string(m.gen) +
+              " n=" + std::to_string(m.n) + " after " + std::to_string(last));
+    } else if (last != 0 && m.n != last + 1) {
+      ++ev_gaps_;
+    }
+    last = std::max(last, m.n);
+  }
+
+  void on_file(const proto::FileMeta& meta, const Buffer& content) {
+    ++file_count_;
+    if (content.size() < 8) {
+      violate("file rev " + std::to_string(meta.revision) + " truncated");
+      return;
+    }
+    uint64_t key = soak_file_key(content);
+    auto it = pub_->published_crcs().find(key);
+    if (it == pub_->published_crcs().end()) {
+      violate("file with unknown key " + std::to_string(key));
+      return;
+    }
+    if (crc32(as_bytes_view(content)) != it->second) {
+      violate("file content CRC mismatch for key " + std::to_string(key));
+    }
+  }
+
+  const SoakPublisher* pub_;
+  std::vector<std::string> violations_;
+  std::map<int64_t, int64_t> last_var_;  // generation -> highest n seen
+  std::map<int64_t, uint64_t> last_var_seq_;  // generation -> wire seq
+  std::map<int64_t, int64_t> last_ev_;
+  std::map<uint64_t, int> completions_;  // rpc token -> callbacks fired
+  uint64_t next_token_ = 0;
+  int64_t var_count_ = 0;
+  int64_t ev_count_ = 0;
+  int64_t ev_gaps_ = 0;
+  int64_t file_count_ = 0;
+  uint64_t var_hash_ = 1469598103934665603ull;
+  uint64_t ev_hash_ = 1469598103934665603ull;
+};
+
+struct SoakWorld {
+  SimDomain domain;
+  SoakPublisher* pub = nullptr;
+  SoakAuditor* audit1 = nullptr;  // crashable observer
+  SoakAuditor* audit2 = nullptr;  // always-up observer
+  std::vector<std::string> emergencies2;
+
+  explicit SoakWorld(uint64_t seed) : domain(seed) {
+    auto& n0 = domain.add_node("pub");
+    auto p = std::make_unique<SoakPublisher>();
+    pub = p.get();
+    (void)n0.add_service(std::move(p));
+
+    auto& n1 = domain.add_node("audit1");
+    auto a1 = std::make_unique<SoakAuditor>("audit1", pub);
+    audit1 = a1.get();
+    (void)n1.add_service(std::move(a1));
+
+    auto& n2 = domain.add_node("audit2");
+    auto a2 = std::make_unique<SoakAuditor>("audit2", pub);
+    audit2 = a2.get();
+    (void)n2.add_service(std::move(a2));
+    n2.set_emergency_handler(
+        [this](const std::string& r) { emergencies2.push_back(r); });
+
+    auto& n3 = domain.add_node("backup");
+    (void)n3.add_service(std::make_unique<BackupEcho>());
+  }
+};
+
+std::string join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+// Runs one seeded scenario end to end and returns its deterministic trace
+// (chaos event log + delivery counters + order-sensitive payload hashes).
+std::string run_scenario(uint64_t seed) {
+  set_log_level(LogLevel::kError);
+  SoakWorld w(seed);
+  w.domain.start_all();
+  w.domain.run_for(milliseconds(500));  // discovery converges
+
+  Rng plan_rng(seed * 1000003ull + 17);
+  sim::ChaosPlanOptions opt;
+  opt.node_count = w.domain.node_count();
+  opt.start = w.domain.sim().now() + milliseconds(200);
+  opt.end = opt.start + seconds(8.0);
+  opt.episodes = 5;
+  // audit2 stays up as the continuous observer; everyone else may die.
+  opt.crashable = {w.domain.node_id(0), w.domain.node_id(1),
+                   w.domain.node_id(3)};
+  sim::ChaosPlan plan = sim::ChaosPlan::random(plan_rng, opt);
+  sim::ChaosController chaos(w.domain.sim(), w.domain.network(),
+                             w.domain.chaos_hooks());
+  EXPECT_TRUE(chaos.execute(plan).is_ok());
+
+  // Drive workload across the whole chaos window: a sample+event every
+  // 10ms, a file revision every 400ms, RPCs every 50ms from both auditors.
+  for (int i = 0; i < 1000; ++i) {
+    w.pub->tick();
+    if (i % 40 == 7) w.pub->publish_next_file();
+    if (i % 5 == 0) w.audit2->fire_rpc();
+    if (i % 5 == 2) w.audit1->fire_rpc();
+    w.domain.run_for(milliseconds(10));
+  }
+
+  // Lift anything still broken (plans end self-healed, but be safe) and
+  // let the system settle.
+  w.domain.network().clear_all_faults();
+  w.domain.network().heal();
+  for (size_t i = 0; i < w.domain.node_count(); ++i) {
+    if (!w.domain.network().node_up(w.domain.node_id(i))) {
+      w.domain.restart_node(i);
+    }
+  }
+  w.domain.run_for(seconds(2.0));
+
+  // Post-heal liveness: traffic must flow again to the always-up auditor,
+  // and the emergency stream must be quiet (both providers are back).
+  size_t settled_emergencies = w.emergencies2.size();
+  int64_t events_before = w.audit2->event_count();
+  for (int i = 0; i < 50; ++i) {
+    w.pub->tick();
+    w.domain.run_for(milliseconds(10));
+  }
+  w.domain.run_for(seconds(1.5));
+  EXPECT_GT(w.audit2->event_count(), events_before)
+      << "seed " << seed << ": ordered events did not resume after heal";
+  EXPECT_EQ(w.emergencies2.size(), settled_emergencies)
+      << "seed " << seed << ": emergencies kept firing with providers up";
+
+  EXPECT_TRUE(w.audit1->violations().empty())
+      << "seed " << seed << " audit1:\n" << join(w.audit1->violations());
+  EXPECT_TRUE(w.audit2->violations().empty())
+      << "seed " << seed << " audit2:\n" << join(w.audit2->violations());
+  EXPECT_GT(w.audit2->var_count(), 0) << "seed " << seed;
+  EXPECT_GT(w.audit2->file_count(), 0) << "seed " << seed;
+
+  const sim::TrafficStats& ns = w.domain.network().stats();
+  std::string trace = join(chaos.trace());
+  trace += "pub_gen=" + std::to_string(w.pub->generation());
+  trace += " a1_var=" + std::to_string(w.audit1->var_count());
+  trace += " a1_ev=" + std::to_string(w.audit1->event_count());
+  trace += " a1_files=" + std::to_string(w.audit1->file_count());
+  trace += " a2_var=" + std::to_string(w.audit2->var_count());
+  trace += " a2_ev=" + std::to_string(w.audit2->event_count());
+  trace += " a2_files=" + std::to_string(w.audit2->file_count());
+  trace += " a2_gaps=" + std::to_string(w.audit2->event_gaps());
+  trace += " vh1=" + std::to_string(w.audit1->var_hash());
+  trace += " eh1=" + std::to_string(w.audit1->event_hash());
+  trace += " vh2=" + std::to_string(w.audit2->var_hash());
+  trace += " eh2=" + std::to_string(w.audit2->event_hash());
+  trace += "\nnet sent=" + std::to_string(ns.packets_sent);
+  trace += " delivered=" + std::to_string(ns.packets_delivered);
+  trace += " dropped=" + std::to_string(ns.packets_dropped);
+  trace += " dup=" + std::to_string(ns.packets_duplicated);
+  trace += " corrupt=" + std::to_string(ns.packets_corrupted);
+  trace += " part=" + std::to_string(ns.packets_partitioned);
+  trace += " stale=" + std::to_string(ns.packets_stale_dropped);
+  trace += "\n";
+  return trace;
+}
+
+class ChaosSoakSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSoakSweep, InvariantsHoldUnderSeededChaos) {
+  std::string trace = run_scenario(GetParam());
+  EXPECT_FALSE(trace.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(ChaosSoakTest, SameSeedSameTrace) {
+  std::string a = run_scenario(7);
+  std::string b = run_scenario(7);
+  EXPECT_EQ(a, b) << "scenario 7 is not deterministic";
+  std::string c = run_scenario(13);
+  std::string d = run_scenario(13);
+  EXPECT_EQ(c, d) << "scenario 13 is not deterministic";
+  EXPECT_NE(a, c) << "different seeds produced identical traces";
+}
+
+TEST(ChaosSoakTest, PublisherDeathMidTransferContentIntactAfterRestart) {
+  set_log_level(LogLevel::kError);
+  SoakWorld w(99);
+  w.domain.start_all();
+  w.domain.run_for(milliseconds(500));
+
+  // Start a transfer and kill the publisher while chunks are in flight.
+  w.pub->publish_next_file();
+  w.domain.run_for(milliseconds(2));
+  w.domain.kill_node(0);
+  w.domain.run_for(seconds(2.0));
+  EXPECT_EQ(w.audit2->file_count(), 0);  // could not have completed
+
+  // The publisher's next incarnation publishes fresh content; every
+  // completion must carry an intact CRC — no chunks from the dead
+  // incarnation's transfer may leak into the new one.
+  w.domain.restart_node(0);
+  w.domain.run_for(seconds(1.0));
+  w.pub->publish_next_file();
+  w.domain.run_for(seconds(3.0));
+  EXPECT_GE(w.audit2->file_count(), 1)
+      << "file did not flow after publisher restart";
+  EXPECT_TRUE(w.audit2->violations().empty())
+      << join(w.audit2->violations());
+}
+
+TEST(ChaosSoakTest, EmergencyRaisedIffNoProviderPastGrace) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(123);
+  auto& np = domain.add_node("provider");
+  (void)np.add_service(std::make_unique<BackupEcho>());
+  auto& nc = domain.add_node("client");
+  class Needy final : public Service {
+   public:
+    Needy() : Service("needy") {}
+    Status on_start() override { return require_function("soak.echo"); }
+  };
+  (void)nc.add_service(std::make_unique<Needy>());
+  std::vector<std::string> emergencies;
+  nc.set_emergency_handler(
+      [&](const std::string& r) { emergencies.push_back(r); });
+
+  domain.start_all();
+  // Provider present: no emergency even well past the grace period.
+  domain.run_for(seconds(3.0));
+  EXPECT_TRUE(emergencies.empty());
+
+  // Provider gone: emergency after (and only after) the grace period.
+  domain.kill_node(0);
+  domain.run_for(seconds(3.0));
+  EXPECT_GE(emergencies.size(), 1u);
+
+  // Provider back: the stream of emergencies stops.
+  domain.restart_node(0);
+  domain.run_for(seconds(2.0));
+  size_t settled = emergencies.size();
+  domain.run_for(seconds(3.0));
+  EXPECT_EQ(emergencies.size(), settled);
+}
+
+}  // namespace
+}  // namespace marea::mw
