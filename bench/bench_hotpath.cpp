@@ -1,0 +1,183 @@
+// Hot-path datapath bench (experiment X7): what does ONE published
+// variable sample cost at fan-out 8, in heap allocations and bytes
+// copied, end to end through encode -> frame -> SimNetwork fan-out ->
+// decode -> handler delivery?
+//
+// Three lenses on the same loop:
+//  * a global operator-new counter (ground truth for heap allocations),
+//  * SimNetwork's payload_allocs / payload_copies / payload_bytes_copied
+//    counters (buffer management attributable to the network datapath),
+//  * the transport FramePool's slab stats (pool hit rate; present only
+//    after the zero-copy refactor).
+//
+// Output is a single JSON document on stdout; scripts/check.sh redirects
+// it to BENCH_hotpath.json at the repo root, the first point of the perf
+// trajectory. Latencies are virtual (simulator) time; samples/sec is
+// wall time of the measured loop.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench_util.h"
+#include "middleware/domain.h"
+
+// --- global heap instrumentation -------------------------------------------
+// Replacing operator new/delete in the binary counts every heap
+// allocation the process makes, including std::function captures and
+// container rehashes — the honest denominator for "allocs per sample".
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t n) { return ::operator new(n); }
+void* operator new(size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace marea::bench {
+namespace {
+
+constexpr int kFanout = 8;
+constexpr size_t kPayloadBytes = 256;
+constexpr int kWarmupSamples = 200;
+constexpr int kMeasuredSamples = 2000;
+
+struct Snapshot {
+  uint64_t allocs;
+  uint64_t alloc_bytes;
+  sim::TrafficStats net;
+
+  static Snapshot take(sim::SimNetwork& net) {
+    return Snapshot{g_alloc_count.load(std::memory_order_relaxed),
+                    g_alloc_bytes.load(std::memory_order_relaxed),
+                    net.stats()};
+  }
+};
+
+int run() {
+  mw::SimDomain domain(/*seed=*/42);
+  auto& pub = domain.add_node("publisher");
+  auto producer = std::make_unique<VarProducer>(kPayloadBytes);
+  auto* producer_ptr = producer.get();
+  (void)pub.add_service(std::move(producer));
+
+  std::vector<VarConsumer*> consumers;
+  for (int i = 0; i < kFanout; ++i) {
+    auto& node = domain.add_node("sub" + std::to_string(i));
+    auto consumer =
+        std::make_unique<VarConsumer>("consumer" + std::to_string(i));
+    consumers.push_back(consumer.get());
+    node.add_service(std::move(consumer));
+  }
+
+  domain.start_all();
+  domain.run_for(seconds(2.0));  // discovery + subscription binding
+
+  // Warm-up: populates caches, the frame pool freelist, and container
+  // hash maps so the measured loop sees steady state.
+  for (int i = 0; i < kWarmupSamples; ++i) {
+    producer_ptr->push();
+    domain.run_for(milliseconds(2));
+  }
+
+  uint64_t delivered_before = 0;
+  for (auto* c : consumers) delivered_before += c->received;
+
+  Snapshot before = Snapshot::take(domain.network());
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMeasuredSamples; ++i) {
+    producer_ptr->push();
+    domain.run_for(milliseconds(2));
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+  Snapshot after = Snapshot::take(domain.network());
+
+  uint64_t delivered = 0;
+  for (auto* c : consumers) delivered += c->received;
+  delivered -= delivered_before;
+
+  double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double n = kMeasuredSamples;
+
+  double mean_latency_us = 0;
+  double p99_latency_us = 0;
+  {
+    LatencyStats all;
+    for (auto* c : consumers) {
+      all.samples_us.insert(all.samples_us.end(),
+                            c->latency.samples_us.begin(),
+                            c->latency.samples_us.end());
+    }
+    mean_latency_us = all.mean();
+    p99_latency_us = all.percentile(0.99);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"hotpath\",\n");
+  std::printf("  \"fanout\": %d,\n", kFanout);
+  std::printf("  \"payload_bytes\": %zu,\n", kPayloadBytes);
+  std::printf("  \"samples\": %d,\n", kMeasuredSamples);
+  std::printf("  \"delivered_per_sample\": %.3f,\n",
+              static_cast<double>(delivered) / n);
+  std::printf("  \"heap_allocs_per_sample\": %.2f,\n",
+              static_cast<double>(after.allocs - before.allocs) / n);
+  std::printf("  \"heap_bytes_per_sample\": %.1f,\n",
+              static_cast<double>(after.alloc_bytes - before.alloc_bytes) / n);
+  std::printf("  \"net_payload_allocs_per_sample\": %.2f,\n",
+              static_cast<double>(after.net.payload_allocs -
+                                  before.net.payload_allocs) / n);
+  std::printf("  \"net_payload_copies_per_sample\": %.2f,\n",
+              static_cast<double>(after.net.payload_copies -
+                                  before.net.payload_copies) / n);
+  std::printf("  \"net_payload_bytes_copied_per_sample\": %.1f,\n",
+              static_cast<double>(after.net.payload_bytes_copied -
+                                  before.net.payload_bytes_copied) / n);
+  std::printf("  \"wire_bytes_per_sample\": %.1f,\n",
+              static_cast<double>(after.net.bytes_sent -
+                                  before.net.bytes_sent) / n);
+  std::printf("  \"mean_latency_us\": %.2f,\n", mean_latency_us);
+  std::printf("  \"p99_latency_us\": %.2f,\n", p99_latency_us);
+  std::printf("  \"samples_per_sec_wall\": %.0f\n",
+              n / (wall_s > 0 ? wall_s : 1e-9));
+  std::printf("}\n");
+
+  // Sanity: every sample must actually have fanned out to all consumers,
+  // otherwise the per-sample numbers are meaningless.
+  if (delivered < static_cast<uint64_t>(kMeasuredSamples) * (kFanout - 1)) {
+    std::fprintf(stderr, "hotpath bench: fan-out incomplete (%llu/%llu)\n",
+                 static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(
+                     static_cast<uint64_t>(kMeasuredSamples) * kFanout));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace marea::bench
+
+int main() { return marea::bench::run(); }

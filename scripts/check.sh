@@ -17,4 +17,10 @@ cmake -B build-asan -S . -DMAREA_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 
+echo "== release hot-path bench (BENCH_hotpath.json) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j"$(nproc)" --target bench_hotpath
+./build-release/bench/bench_hotpath > BENCH_hotpath.json
+cat BENCH_hotpath.json
+
 echo "check.sh: all green"

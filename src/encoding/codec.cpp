@@ -227,6 +227,17 @@ StatusOr<Buffer> encode_value(const Value& value, const TypeDescriptor& type) {
   return w.take();
 }
 
+Status encode_value_into(const Value& value, const TypeDescriptor& type,
+                         Buffer& out) {
+  out.clear();
+  ByteWriter w(out);
+  if (Status s = binary_format().encode(value, type, w); !s.is_ok()) {
+    out.clear();
+    return s;
+  }
+  return Status::ok();
+}
+
 StatusOr<Value> decode_value(BytesView data, const TypeDescriptor& type) {
   ByteReader r(data);
   auto v = binary_format().decode(r, type);

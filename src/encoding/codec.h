@@ -46,6 +46,12 @@ const WireFormat& binary_format();
 StatusOr<Buffer> encode_value(const Value& value, const TypeDescriptor& type);
 StatusOr<Value> decode_value(BytesView data, const TypeDescriptor& type);
 
+// Allocation-free variant for hot paths: encodes into `out`, reusing its
+// capacity across calls. `out` is cleared first; on error it is left
+// cleared so stale bytes never escape.
+Status encode_value_into(const Value& value, const TypeDescriptor& type,
+                         Buffer& out);
+
 // Shape check without encoding (e.g. validating publisher input early).
 Status validate(const Value& value, const TypeDescriptor& type);
 

@@ -57,10 +57,10 @@ Service* ServiceContainer::find_service(const std::string& name) {
 Status ServiceContainer::start() {
   if (running_) return failed_precondition_error("already running");
   if (!bound_) {
-    Status s = transport_.bind(
+    Status s = transport_.bind_frames(
         config_.data_port,
-        [this](transport::Address from, BytesView data) {
-          on_datagram(from, data);
+        [this](transport::Address from, SharedFrame frame) {
+          on_datagram(from, std::move(frame));
         });
     if (!s.is_ok()) return s;
     bound_ = true;
@@ -196,24 +196,28 @@ sched::Priority ServiceContainer::priority_of(proto::MsgType type) const {
   }
 }
 
-void ServiceContainer::on_datagram(transport::Address from, BytesView data) {
-  // Runs on the transport dispatch context: copy out and hand the real
-  // work to the scheduler at the primitive's fixed priority (§6).
+void ServiceContainer::on_datagram(transport::Address from,
+                                   SharedFrame frame) {
+  // Runs on the transport dispatch context: retain the shared frame (a
+  // refcount bump, not a copy) and hand the real work to the scheduler at
+  // the primitive's fixed priority (§6).
+  BytesView data = frame.view();
   if (data.size() < proto::kFrameOverhead) return;
   auto type = static_cast<proto::MsgType>(data[3]);  // header peek
   Duration cost = config_.handler_cost;
   if (type == proto::MsgType::kFileChunk) cost = cost * 2;  // bulk copy
   executor_.post(priority_of(type),
-                 [this, from, frame = to_buffer(data)]() mutable {
-                   process_frame(from, std::move(frame));
+                 [this, from, frame = std::move(frame)]() {
+                   process_frame(from, frame);
                  },
                  cost);
 }
 
-void ServiceContainer::process_frame(transport::Address from, Buffer frame) {
+void ServiceContainer::process_frame(transport::Address from,
+                                     const SharedFrame& frame) {
   if (!running_) return;
   BytesView payload;
-  auto header = proto::open_frame(as_bytes_view(frame), &payload);
+  auto header = proto::open_frame(frame.view(), &payload);
   if (!header.ok()) {
     stats_.frames_dropped++;
     return;
@@ -338,33 +342,14 @@ void ServiceContainer::process_frame(transport::Address from, Buffer frame) {
 }
 
 void ServiceContainer::send_frame(transport::Address to, proto::MsgType type,
-                                  BytesView payload) {
-  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
-                                   payload);
-  Status s = transport_.send(config_.data_port, to, as_bytes_view(frame));
+                                  SharedFrame frame) {
+  Status s = transport_.send_frame(config_.data_port, to, std::move(frame));
   if (!s.is_ok()) {
     MAREA_LOG(kDebug, kLog) << qualify(config_) << " send "
                             << proto::msg_type_name(type) << " to "
                             << transport::to_string(to)
                             << " failed: " << s.to_string();
   }
-}
-
-void ServiceContainer::broadcast_frame(proto::MsgType type,
-                                       BytesView payload) {
-  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
-                                   payload);
-  (void)transport_.send_broadcast(config_.data_port, config_.data_port,
-                                  as_bytes_view(frame));
-}
-
-void ServiceContainer::multicast_frame(transport::GroupId group,
-                                       proto::MsgType type,
-                                       BytesView payload) {
-  Buffer frame = proto::seal_frame(proto::FrameHeader{type, config_.id},
-                                   payload);
-  (void)transport_.send_multicast(config_.data_port, group,
-                                  as_bytes_view(frame));
 }
 
 // ---------------------------------------------------------------------------

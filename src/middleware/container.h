@@ -325,33 +325,39 @@ class ServiceContainer {
   };
 
   // --- wiring ---
-  void on_datagram(transport::Address from, BytesView data);
-  void process_frame(transport::Address from, Buffer frame);
+  // The received frame is shared with the network layer (refcounted pooled
+  // bytes): posting it to the executor and decoding borrow from it with no
+  // payload copy; the slab returns to the pool when processing finishes.
+  void on_datagram(transport::Address from, SharedFrame frame);
+  void process_frame(transport::Address from, const SharedFrame& frame);
   sched::Priority priority_of(proto::MsgType type) const;
 
   void send_frame(transport::Address to, proto::MsgType type,
-                  BytesView payload);
-  void broadcast_frame(proto::MsgType type, BytesView payload);
-  void multicast_frame(transport::GroupId group, proto::MsgType type,
-                       BytesView payload);
+                  SharedFrame frame);
+  // Messages serialize straight into a pooled frame via FrameBuilder —
+  // no intermediate payload buffer, no seal_frame copy.
+  template <typename Msg>
+  SharedFrame build_msg(proto::MsgType type, const Msg& msg) {
+    proto::FrameBuilder fb(transport_.frame_pool(),
+                           proto::FrameHeader{type, config_.id});
+    msg.encode(fb.payload());
+    return std::move(fb).seal();
+  }
   template <typename Msg>
   void send_msg(transport::Address to, proto::MsgType type, const Msg& msg) {
-    ByteWriter w;
-    msg.encode(w);
-    send_frame(to, type, w.view());
+    send_frame(to, type, build_msg(type, msg));
   }
   template <typename Msg>
   void broadcast_msg(proto::MsgType type, const Msg& msg) {
-    ByteWriter w;
-    msg.encode(w);
-    broadcast_frame(type, w.view());
+    (void)transport_.send_frame_broadcast(config_.data_port,
+                                          config_.data_port,
+                                          build_msg(type, msg));
   }
   template <typename Msg>
   void multicast_msg(transport::GroupId group, proto::MsgType type,
                      const Msg& msg) {
-    ByteWriter w;
-    msg.encode(w);
-    multicast_frame(group, type, w.view());
+    (void)transport_.send_frame_multicast(config_.data_port, group,
+                                          build_msg(type, msg));
   }
 
   // --- membership / discovery ---
@@ -401,7 +407,7 @@ class ServiceContainer {
                                const proto::VarSnapshotRequestMsg& msg);
   void send_sample(VarProvision& prov);
   void send_snapshot(VarProvision& prov, proto::ContainerId to);
-  void deliver_sample_locally(VarSubscription& sub, const enc::Value& value,
+  void deliver_sample_locally(VarSubscription& sub, enc::Value value,
                               const SampleInfo& info);
   void arm_deadline(VarSubscription& sub);
   void period_tick(const std::string& name);

@@ -21,11 +21,15 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
         [this, to](const proto::ReliableDataMsg& msg) {
           // Stamp at send time, not queue time: a frame retransmitted
           // across our own restart must not carry the old incarnation.
-          proto::ReliableDataMsg stamped = msg;
+          // Shallow stamp: the inner bytes stay owned by the ARQ
+          // retransmit queue, which outlives this synchronous encode.
+          proto::ReliableDataMsg stamped;
           stamped.incarnation = incarnation_;
-          ByteWriter w;
-          stamped.encode(w);
-          send_frame(to, proto::MsgType::kReliableData, w.view());
+          stamped.seq = msg.seq;
+          stamped.inner_type = msg.inner_type;
+          stamped.inner = Bytes::borrow(msg.inner.view());
+          send_frame(to, proto::MsgType::kReliableData,
+                     build_msg(proto::MsgType::kReliableData, stamped));
         });
     p->tx->set_on_failed(
         [this, peer_id](uint64_t, const Status&) {
@@ -61,9 +65,8 @@ void ServiceContainer::on_reliable_data(proto::ContainerId from,
         [this, to](const proto::ReliableAckMsg& ack) {
           proto::ReliableAckMsg stamped = ack;
           stamped.incarnation = incarnation_;
-          ByteWriter w;
-          stamped.encode(w);
-          send_frame(to, proto::MsgType::kReliableAck, w.view());
+          send_frame(to, proto::MsgType::kReliableAck,
+                     build_msg(proto::MsgType::kReliableAck, stamped));
         },
         [this, from](proto::InnerType type, BytesView inner) {
           deliver_inner(from, type, inner);

@@ -47,7 +47,13 @@ Status ServiceContainer::publish_variable(const std::string& name,
     return not_found_error("variable '" + name + "' is not provided here");
   }
   VarProvision& prov = it->second;
-  if (Status s = enc::validate(value, *prov.type); !s.is_ok()) return s;
+  // Encoding doubles as validation (validate() is itself an encode to a
+  // scratch buffer): one pass both checks the shape and fills the cache
+  // every send path reuses, into capacity retained across publishes.
+  if (Status s = enc::encode_value_into(value, *prov.type, prov.last_encoded);
+      !s.is_ok()) {
+    return s;
+  }
   prov.last_value = std::move(value);
   stats_.var_publishes++;
   usage_of(prov.owner).var_publishes++;
@@ -59,9 +65,8 @@ void ServiceContainer::send_sample(VarProvision& prov) {
   if (!prov.last_value) return;
   prov.seq++;
   prov.last_publish = now();
-  auto encoded = enc::encode_value(*prov.last_value, *prov.type);
-  if (!encoded.ok()) return;  // validated at publish; defensive
-  prov.last_encoded = std::move(encoded).value();
+  // prov.last_encoded was filled by publish_variable; period_tick resends
+  // the same value, so the cache is always current here.
 
   // Local subscribers first: same-container delivery never touches the
   // network (§3 "local message delivery").
@@ -79,7 +84,9 @@ void ServiceContainer::send_sample(VarProvision& prov) {
   msg.channel = prov.channel;
   msg.seq = prov.seq;
   msg.pub_time_ns = prov.last_publish.ns;
-  msg.value = prov.last_encoded;
+  // Borrow the cached encoding: the provision outlives the synchronous
+  // encode+send below, so no per-publish payload copy is needed.
+  msg.value = Bytes::borrow(BytesView(prov.last_encoded));
   if (config_.use_multicast) {
     // One packet reaches every subscriber (§4.1 bandwidth optimization).
     multicast_msg(prov.channel, proto::MsgType::kVarSample, msg);
@@ -144,10 +151,11 @@ Status ServiceContainer::register_var_subscription(
     info.publish_time = prov.last_publish;
     info.from_snapshot = true;
     executor_.post(sched::Priority::kVariable,
-                   [this, name, value = std::move(value), info] {
+                   [this, name, value = std::move(value), info]() mutable {
                      auto sit = var_subs_.find(name);
                      if (sit != var_subs_.end()) {
-                       deliver_sample_locally(sit->second, value, info);
+                       deliver_sample_locally(sit->second, std::move(value),
+                                              info);
                      }
                    },
                    config_.handler_cost);
@@ -261,9 +269,12 @@ void ServiceContainer::arm_deadline(VarSubscription& sub) {
 }
 
 void ServiceContainer::deliver_sample_locally(VarSubscription& sub,
-                                              const enc::Value& value,
+                                              enc::Value value,
                                               const SampleInfo& info) {
-  sub.last_value = value;
+  // Takes the value by value so network-path callers (whose decoded Value
+  // is otherwise discarded) move it straight into the cache instead of
+  // deep-copying it per delivery.
+  sub.last_value = std::move(value);
   sub.last_seq = info.seq;
   sub.last_recv = now();
   sub.got_any = true;
@@ -271,7 +282,7 @@ void ServiceContainer::deliver_sample_locally(VarSubscription& sub,
     stats_.var_local_deliveries++;
     usage_of(entry.service).samples_delivered++;
     guard(entry.service, "variable handler",
-          [&] { entry.handler(value, info); });
+          [&] { entry.handler(*sub.last_value, info); });
   }
 }
 
@@ -304,7 +315,7 @@ void ServiceContainer::send_snapshot(VarProvision& prov,
   msg.seq = prov.seq;
   msg.pub_time_ns = prov.last_publish.ns;
   msg.has_value = prov.last_value.has_value();
-  if (prov.last_value) msg.value = prov.last_encoded;
+  if (prov.last_value) msg.value = Bytes::borrow(BytesView(prov.last_encoded));
   ByteWriter w;
   msg.encode(w);
   send_control(to, proto::MsgType::kVarSnapshot, w.view());
@@ -330,7 +341,7 @@ void ServiceContainer::on_var_snapshot(const proto::VarSnapshotMsg& msg) {
   info.publish_time = TimePoint{msg.pub_time_ns};
   info.latency = now() - info.publish_time;
   info.from_snapshot = true;
-  deliver_sample_locally(sub, *value, info);
+  deliver_sample_locally(sub, std::move(*value), info);
 }
 
 void ServiceContainer::on_var_sample(const proto::VarSampleMsg& msg) {
@@ -352,7 +363,7 @@ void ServiceContainer::on_var_sample(const proto::VarSampleMsg& msg) {
   info.seq = msg.seq;
   info.publish_time = TimePoint{msg.pub_time_ns};
   info.latency = now() - info.publish_time;
-  deliver_sample_locally(sub, *value, info);
+  deliver_sample_locally(sub, std::move(*value), info);
 }
 
 StatusOr<enc::Value> ServiceContainer::read_variable(

@@ -43,6 +43,20 @@ Buffer seal_frame(FrameHeader header, BytesView payload) {
   return w.take();
 }
 
+FrameBuilder::FrameBuilder(FramePool& pool, FrameHeader header)
+    : lease_(pool.acquire()), writer_(lease_.buffer()) {
+  writer_.u16(kFrameMagic);
+  writer_.u8(kProtocolVersion);
+  writer_.u8(static_cast<uint8_t>(header.type));
+  writer_.u32(header.source);
+}
+
+SharedFrame FrameBuilder::seal() && {
+  uint32_t crc = crc32(writer_.view());
+  writer_.u32(crc);
+  return std::move(lease_).freeze();
+}
+
 StatusOr<FrameHeader> open_frame(BytesView frame, BytesView* payload) {
   if (frame.size() < kFrameOverhead) {
     return data_loss_error("frame too short");

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "util/bytes.h"
+#include "util/frame_pool.h"
 #include "util/status.h"
 
 namespace marea::proto {
@@ -64,11 +65,33 @@ struct FrameHeader {
   ContainerId source = kInvalidContainer;
 };
 
-// Wraps `payload` in a frame.
+// Wraps `payload` in a frame. Legacy copying path (tests, cold paths);
+// the hot path serializes in place via FrameBuilder below.
 Buffer seal_frame(FrameHeader header, BytesView payload);
 
 // Validates magic/version/CRC and splits header from payload (payload view
 // aliases `frame`). kDataLoss on any corruption.
 StatusOr<FrameHeader> open_frame(BytesView frame, BytesView* payload);
+
+// Zero-copy frame construction: checks a slab out of `pool`, writes the
+// header, lets the caller serialize the payload directly into the frame
+// via payload(), then seal() appends the trailing CRC in place and
+// freezes the slab into an immutable SharedFrame — no intermediate
+// message buffer and no seal_frame re-copy.
+class FrameBuilder {
+ public:
+  FrameBuilder(FramePool& pool, FrameHeader header);
+
+  // Positioned immediately after the frame header; everything written
+  // here lands in the sealed frame's payload.
+  ByteWriter& payload() { return writer_; }
+
+  // Appends the CRC and publishes the frame. Consumes the builder.
+  SharedFrame seal() &&;
+
+ private:
+  FrameLease lease_;
+  ByteWriter writer_;
+};
 
 }  // namespace marea::proto

@@ -199,7 +199,7 @@ bool VarSampleMsg::decode(ByteReader& r, VarSampleMsg& out) {
   out.channel = r.u32();
   out.seq = r.varint();
   out.pub_time_ns = r.svarint();
-  out.value = to_buffer(r.blob());
+  out.value = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -224,7 +224,7 @@ bool VarSnapshotMsg::decode(ByteReader& r, VarSnapshotMsg& out) {
   out.seq = r.varint();
   out.pub_time_ns = r.svarint();
   out.has_value = r.u8() != 0;
-  out.value = to_buffer(r.blob());
+  out.value = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -243,7 +243,7 @@ bool ReliableDataMsg::decode(ByteReader& r, ReliableDataMsg& out) {
   uint8_t t = r.u8();
   if (t < 1 || t > 4) return false;
   out.inner_type = static_cast<InnerType>(t);
-  out.inner = to_buffer(r.blob());
+  out.inner = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -271,7 +271,7 @@ bool EventMsg::decode(ByteReader& r, EventMsg& out) {
   out.name = r.str();
   out.pub_seq = r.varint();
   out.pub_time_ns = r.svarint();
-  out.value = to_buffer(r.blob());
+  out.value = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -284,7 +284,7 @@ void RpcRequestMsg::encode(ByteWriter& w) const {
 bool RpcRequestMsg::decode(ByteReader& r, RpcRequestMsg& out) {
   out.request_id = r.varint();
   out.function = r.str();
-  out.args = to_buffer(r.blob());
+  out.args = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -299,7 +299,7 @@ bool RpcResponseMsg::decode(ByteReader& r, RpcResponseMsg& out) {
   out.request_id = r.varint();
   out.status_code = r.u8();
   out.error = r.str();
-  out.result = to_buffer(r.blob());
+  out.result = Bytes::borrow(r.blob());
   return r.ok();
 }
 
@@ -368,7 +368,7 @@ bool FileChunkMsg::decode(ByteReader& r, FileChunkMsg& out) {
   out.transfer_id = r.varint();
   uint64_t rev = r.varint();
   uint64_t index = r.varint();
-  out.data = to_buffer(r.blob());
+  out.data = Bytes::borrow(r.blob());
   if (!r.ok() || rev > UINT32_MAX || index > UINT32_MAX) return false;
   out.revision = static_cast<uint32_t>(rev);
   out.index = static_cast<uint32_t>(index);

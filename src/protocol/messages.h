@@ -146,7 +146,9 @@ struct VarSampleMsg {
   uint32_t channel = 0;
   uint64_t seq = 0;
   int64_t pub_time_ns = 0;
-  Buffer value;
+  // Borrowed from the provider's cached encoding on send and from the
+  // frame buffer on decode; both lifetimes cover the synchronous use.
+  Bytes value;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, VarSampleMsg& out);
@@ -166,7 +168,7 @@ struct VarSnapshotMsg {
   uint64_t seq = 0;
   int64_t pub_time_ns = 0;
   bool has_value = false;  // publisher may not have produced one yet
-  Buffer value;
+  Bytes value;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, VarSnapshotMsg& out);
@@ -197,7 +199,9 @@ struct ReliableDataMsg {
   uint64_t incarnation = 0;
   uint64_t seq = 0;
   InnerType inner_type = InnerType::kEvent;
-  Buffer inner;
+  // Owned in the ARQ sender's retransmit queue; borrowed in the stamped
+  // per-transmit copy and on decode.
+  Bytes inner;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, ReliableDataMsg& out);
@@ -220,7 +224,7 @@ struct EventMsg {
   std::string name;
   uint64_t pub_seq = 0;
   int64_t pub_time_ns = 0;
-  Buffer value;  // empty when the event has meaning by itself (§4.2)
+  Bytes value;  // empty when the event has meaning by itself (§4.2)
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, EventMsg& out);
@@ -229,7 +233,7 @@ struct EventMsg {
 struct RpcRequestMsg {
   uint64_t request_id = 0;
   std::string function;
-  Buffer args;
+  Bytes args;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, RpcRequestMsg& out);
@@ -239,7 +243,7 @@ struct RpcResponseMsg {
   uint64_t request_id = 0;
   uint8_t status_code = 0;  // StatusCode as u8
   std::string error;
-  Buffer result;
+  Bytes result;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, RpcResponseMsg& out);
@@ -295,7 +299,7 @@ struct FileChunkMsg {
   uint64_t transfer_id = 0;
   uint32_t revision = 0;
   uint32_t index = 0;
-  Buffer data;
+  Bytes data;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, FileChunkMsg& out);

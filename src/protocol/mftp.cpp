@@ -84,8 +84,11 @@ void MftpPublisher::send_next_chunk() {
   msg.transfer_id = transfer_id_;
   msg.revision = meta_.revision;
   msg.index = index;
-  msg.data.assign(content_.begin() + static_cast<std::ptrdiff_t>(offset),
-                  content_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  // Borrow straight out of the file image; send_chunk_ encodes
+  // synchronously, so the view never outlives content_.
+  msg.data = Bytes::borrow(
+      BytesView(content_).subspan(static_cast<size_t>(offset),
+                                  static_cast<size_t>(len)));
   stats_.chunks_sent++;
   stats_.payload_bytes_sent += msg.data.size();
   if (round_ > 0) stats_.chunk_retransmits++;

@@ -11,8 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "util/inline_fn.h"
 #include "util/time.h"
 
 namespace marea::sched {
@@ -29,7 +29,10 @@ enum class Priority : uint8_t {
 constexpr int kPriorityCount = 5;
 const char* priority_name(Priority p);
 
-using Task = std::function<void()>;
+// Inline storage covers the datapath's posted closures (frame-processing
+// tasks capture {this, Address, SharedFrame}); a task that doesn't fit
+// still runs, it just heap-allocates like std::function always did.
+using Task = InlineFn<void(), 56>;
 using TaskTimerId = uint64_t;
 constexpr TaskTimerId kInvalidTaskTimer = 0;
 

@@ -99,9 +99,22 @@ Status SimNetwork::bind(Endpoint ep, RecvHandler handler) {
     return invalid_argument_error("bind: unknown node");
   }
   if (!handler) return invalid_argument_error("bind: empty handler");
-  auto [it, inserted] = bindings_.emplace(ep, std::move(handler));
+  auto [it, inserted] =
+      bindings_.emplace(ep, Binding{std::move(handler), nullptr});
   (void)it;
   if (!inserted) return already_exists_error("bind: endpoint in use");
+  return Status::ok();
+}
+
+Status SimNetwork::bind_frames(Endpoint ep, FrameHandler handler) {
+  if (ep.node >= nodes_.size()) {
+    return invalid_argument_error("bind_frames: unknown node");
+  }
+  if (!handler) return invalid_argument_error("bind_frames: empty handler");
+  auto [it, inserted] =
+      bindings_.emplace(ep, Binding{nullptr, std::move(handler)});
+  (void)it;
+  if (!inserted) return already_exists_error("bind_frames: endpoint in use");
   return Status::ok();
 }
 
@@ -138,102 +151,133 @@ Duration SimNetwork::serialization_delay(NodeId node, size_t bytes) const {
   return seconds(static_cast<double>(bytes) * 8.0 / bps);
 }
 
+Status SimNetwork::check_send(const char* what, Endpoint from, size_t size)
+    const {
+  if (from.node >= nodes_.size()) {
+    return invalid_argument_error(std::string(what) + ": unknown node");
+  }
+  if (size > mtu_) {
+    return invalid_argument_error(std::string(what) +
+                                  ": datagram exceeds MTU");
+  }
+  if (!nodes_[from.node].up) {
+    return unavailable_error(std::string(what) + ": node down");
+  }
+  return Status::ok();
+}
+
+SharedFrame SimNetwork::ingress_frame(BytesView data) {
+  uint64_t allocs_before = pool_.stats().slab_allocs;
+  FrameLease lease = pool_.acquire(data.size());
+  lease.buffer().assign(data.begin(), data.end());
+  total_.payload_allocs += pool_.stats().slab_allocs - allocs_before;
+  total_.payload_copies++;
+  total_.payload_bytes_copied += data.size();
+  return std::move(lease).freeze();
+}
+
 Status SimNetwork::send(Endpoint from, Endpoint to, BytesView data) {
-  if (from.node >= nodes_.size() || to.node >= nodes_.size()) {
+  Status s = check_send("send", from, data.size());
+  if (!s.is_ok()) return s;
+  return send(from, to, ingress_frame(data));
+}
+
+Status SimNetwork::send(Endpoint from, Endpoint to, SharedFrame frame) {
+  Status s = check_send("send", from, frame.size());
+  if (!s.is_ok()) return s;
+  if (to.node >= nodes_.size()) {
     return invalid_argument_error("send: unknown node");
   }
-  if (data.size() > mtu_) {
-    return invalid_argument_error("send: datagram exceeds MTU");
-  }
-  if (!nodes_[from.node].up) return unavailable_error("send: node down");
 
   if (from.node == to.node) {
-    // Local delivery: bypasses the wire entirely.
+    // Local delivery: bypasses the wire entirely. The scheduled closure
+    // shares the frame — no payload bytes move.
     total_.local_packets++;
-    total_.local_bytes += data.size();
+    total_.local_bytes += frame.size();
     nodes_[from.node].stats.local_packets++;
-    nodes_[from.node].stats.local_bytes += data.size();
-    Buffer copy = to_buffer(data);
+    nodes_[from.node].stats.local_bytes += frame.size();
     uint64_t epoch = nodes_[to.node].up_epoch;
     sim_.after(kLocalDeliveryLatency,
-               [this, from, to, epoch, copy = std::move(copy)]() mutable {
-                 deliver(from, to, std::move(copy), epoch);
+               [this, from, to, epoch, frame = std::move(frame)]() {
+                 deliver(from, to, frame, epoch);
                });
     return Status::ok();
   }
-  return transmit(from, {to}, data, /*multicast=*/false);
+  const Endpoint one[1] = {to};
+  return transmit(from, one, frame, /*multicast=*/false);
 }
 
 Status SimNetwork::send_multicast(Endpoint from, GroupId group,
                                   BytesView data) {
-  if (from.node >= nodes_.size()) {
-    return invalid_argument_error("send_multicast: unknown node");
-  }
-  if (data.size() > mtu_) {
-    return invalid_argument_error("send_multicast: datagram exceeds MTU");
-  }
-  if (!nodes_[from.node].up) {
-    return unavailable_error("send_multicast: node down");
-  }
-  std::vector<Endpoint> dests;
+  Status s = check_send("send_multicast", from, data.size());
+  if (!s.is_ok()) return s;
+  return send_multicast(from, group, ingress_frame(data));
+}
+
+Status SimNetwork::send_multicast(Endpoint from, GroupId group,
+                                  SharedFrame frame) {
+  Status s = check_send("send_multicast", from, frame.size());
+  if (!s.is_ok()) return s;
+  scratch_dests_.clear();
   if (auto it = groups_.find(group); it != groups_.end()) {
     for (Endpoint member : it->second) {
-      if (member != from) dests.push_back(member);
+      if (member != from) scratch_dests_.push_back(member);
     }
   }
-  if (dests.empty()) {
+  if (scratch_dests_.empty()) {
     total_.packets_unroutable++;
     return Status::ok();  // multicast with no listeners is not an error
   }
-  return transmit(from, std::move(dests), data, /*multicast=*/true);
+  return transmit(from, scratch_dests_, frame, /*multicast=*/true);
 }
 
 Status SimNetwork::send_broadcast(Endpoint from, uint16_t port,
                                   BytesView data) {
-  if (from.node >= nodes_.size()) {
-    return invalid_argument_error("send_broadcast: unknown node");
-  }
-  if (data.size() > mtu_) {
-    return invalid_argument_error("send_broadcast: datagram exceeds MTU");
-  }
-  if (!nodes_[from.node].up) {
-    return unavailable_error("send_broadcast: node down");
-  }
-  std::vector<Endpoint> dests;
-  for (NodeId n = 0; n < nodes_.size(); ++n) {
-    if (n == from.node) continue;
-    dests.push_back(Endpoint{n, port});
-  }
-  if (dests.empty()) return Status::ok();
-  return transmit(from, std::move(dests), data, /*multicast=*/true);
+  Status s = check_send("send_broadcast", from, data.size());
+  if (!s.is_ok()) return s;
+  return send_broadcast(from, port, ingress_frame(data));
 }
 
-Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
-                            BytesView data, bool multicast) {
+Status SimNetwork::send_broadcast(Endpoint from, uint16_t port,
+                                  SharedFrame frame) {
+  Status s = check_send("send_broadcast", from, frame.size());
+  if (!s.is_ok()) return s;
+  scratch_dests_.clear();
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (n == from.node) continue;
+    scratch_dests_.push_back(Endpoint{n, port});
+  }
+  if (scratch_dests_.empty()) return Status::ok();
+  return transmit(from, scratch_dests_, frame, /*multicast=*/true);
+}
+
+Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
+                            const SharedFrame& frame, bool multicast) {
   Node& src = nodes_[from.node];
+  const size_t size = frame.size();
 
   // Egress serialization: the packet leaves the NIC when the serializer is
   // free; multicast pays this once regardless of fan-out.
   TimePoint start = std::max(sim_.now(), src.egress_free);
-  Duration ser = serialization_delay(from.node, data.size());
+  Duration ser = serialization_delay(from.node, size);
   TimePoint on_wire = start + ser;
   src.egress_free = on_wire;
 
   total_.packets_sent++;
-  total_.bytes_sent += data.size();
+  total_.bytes_sent += size;
   src.stats.packets_sent++;
-  src.stats.bytes_sent += data.size();
+  src.stats.bytes_sent += size;
   (void)multicast;
 
-  Buffer payload = to_buffer(data);
   for (Endpoint dst : dests) {
     if (dst.node == from.node) {
-      // Multicast member co-located with the sender: local delivery.
+      // Multicast member co-located with the sender: local delivery,
+      // sharing the same frame as every wire destination.
       total_.local_packets++;
-      total_.local_bytes += payload.size();
+      total_.local_bytes += size;
       uint64_t epoch = nodes_[dst.node].up_epoch;
-      sim_.after(kLocalDeliveryLatency, [this, from, dst, epoch, payload]() {
-        deliver(from, dst, payload, epoch);
+      sim_.after(kLocalDeliveryLatency, [this, from, dst, epoch, frame]() {
+        deliver(from, dst, frame, epoch);
       });
       continue;
     }
@@ -248,10 +292,12 @@ Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
       nodes_[dst.node].stats.packets_dropped++;
       continue;
     }
-    Buffer copy = payload;
+    // Refcount bump; apply_faults swaps in a mutated pooled copy only
+    // when the corruption fault actually fires for this destination.
+    SharedFrame pkt = frame;
     Duration extra = kDurationZero;
     int copies = 1;
-    if (!apply_faults(from.node, dst.node, copy, extra, copies)) {
+    if (!apply_faults(from.node, dst.node, pkt, extra, copies)) {
       total_.packets_dropped++;
       nodes_[dst.node].stats.packets_dropped++;
       continue;
@@ -265,17 +311,17 @@ Status SimNetwork::transmit(Endpoint from, std::vector<Endpoint> dests,
     uint64_t epoch = nodes_[dst.node].up_epoch;
     for (int c = 0; c < copies; ++c) {
       // Duplicates trail the original slightly so they genuinely reorder
-      // against traffic behind them.
+      // against traffic behind them. All scheduled deliveries share pkt.
       TimePoint arrival = on_wire + prop + kLocalDeliveryLatency * c;
-      sim_.at(arrival, [this, from, dst, epoch, copy]() {
-        deliver(from, dst, copy, epoch);
+      sim_.at(arrival, [this, from, dst, epoch, pkt]() {
+        deliver(from, dst, pkt, epoch);
       });
     }
   }
   return Status::ok();
 }
 
-bool SimNetwork::apply_faults(NodeId from, NodeId to, Buffer& data,
+bool SimNetwork::apply_faults(NodeId from, NodeId to, SharedFrame& pkt,
                               Duration& extra_delay, int& copies) {
   auto it = faults_.find({from, to});
   if (it == faults_.end()) return true;
@@ -292,9 +338,19 @@ bool SimNetwork::apply_faults(NodeId from, NodeId to, Buffer& data,
       return false;
     }
   }
-  if (f.corrupt > 0 && rng_.bernoulli(f.corrupt) && !data.empty()) {
+  if (f.corrupt > 0 && rng_.bernoulli(f.corrupt) && pkt.size() > 0) {
+    // Corruption needs mutable bytes: the one case where a destination
+    // stops sharing the sender's slab and pays for a private copy.
+    uint64_t allocs_before = pool_.stats().slab_allocs;
+    FrameLease lease = pool_.acquire(pkt.size());
+    Buffer& data = lease.buffer();
+    data.assign(pkt.view().begin(), pkt.view().end());
     data[rng_.uniform(0, data.size() - 1)] ^=
         static_cast<uint8_t>(1u << rng_.uniform(0, 7));
+    total_.payload_allocs += pool_.stats().slab_allocs - allocs_before;
+    total_.payload_copies++;
+    total_.payload_bytes_copied += data.size();
+    pkt = std::move(lease).freeze();
     total_.packets_corrupted++;
   }
   if (f.reorder > 0 && rng_.bernoulli(f.reorder)) {
@@ -308,7 +364,7 @@ bool SimNetwork::apply_faults(NodeId from, NodeId to, Buffer& data,
   return true;
 }
 
-void SimNetwork::deliver(Endpoint from, Endpoint to, Buffer data,
+void SimNetwork::deliver(Endpoint from, Endpoint to, const SharedFrame& frame,
                          uint64_t dest_epoch) {
   if (nodes_[to.node].up_epoch != dest_epoch) {
     // The destination went down (and possibly came back) while this packet
@@ -329,10 +385,15 @@ void SimNetwork::deliver(Endpoint from, Endpoint to, Buffer data,
     return;
   }
   total_.packets_delivered++;
-  total_.bytes_delivered += data.size();
+  total_.bytes_delivered += frame.size();
   nodes_[to.node].stats.packets_delivered++;
-  nodes_[to.node].stats.bytes_delivered += data.size();
-  it->second(from, as_bytes_view(data));
+  nodes_[to.node].stats.bytes_delivered += frame.size();
+  const Binding& b = it->second;
+  if (b.frame) {
+    b.frame(from, frame);
+  } else {
+    b.view(from, frame.view());
+  }
 }
 
 const TrafficStats& SimNetwork::node_stats(NodeId id) const {

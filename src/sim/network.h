@@ -22,12 +22,14 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/frame_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/time.h"
@@ -98,12 +100,23 @@ struct TrafficStats {
   uint64_t packets_reordered = 0;   // held back by the reorder fault
   uint64_t packets_corrupted = 0;   // delivered with a flipped byte
   uint64_t packets_stale_dropped = 0;  // in flight when the dest went down
+  // Datapath efficiency counters: payload buffer heap allocations and
+  // whole-payload copies performed inside the network layer per send
+  // (bench_hotpath divides these by samples to get allocs/copies per
+  // publish-fanout sample).
+  uint64_t payload_allocs = 0;
+  uint64_t payload_copies = 0;
+  uint64_t payload_bytes_copied = 0;
 };
 
 class SimNetwork {
  public:
   using RecvHandler =
       std::function<void(Endpoint from, BytesView data)>;
+  // Frame-aware receive: the handler shares the in-flight frame's bytes
+  // (refcount bump) instead of being handed a view it must copy.
+  using FrameHandler =
+      std::function<void(Endpoint from, const SharedFrame& frame)>;
 
   SimNetwork(Simulator& sim, Rng rng, LinkParams default_link = {});
 
@@ -158,18 +171,30 @@ class SimNetwork {
 
   // --- binding ------------------------------------------------------------
   Status bind(Endpoint ep, RecvHandler handler);
+  Status bind_frames(Endpoint ep, FrameHandler handler);
   void unbind(Endpoint ep);
   Status join_group(GroupId group, Endpoint member);
   void leave_group(GroupId group, Endpoint member);
 
   // --- sending ------------------------------------------------------------
+  // BytesView overloads copy the payload ONCE into a pooled frame
+  // (ingress copy); SharedFrame overloads move pre-built frames through
+  // the network with zero payload copies — every destination and every
+  // in-flight delivery shares the same slab.
   Status send(Endpoint from, Endpoint to, BytesView data);
+  Status send(Endpoint from, Endpoint to, SharedFrame frame);
   // One egress serialization; delivered to every member bound to `group`
   // (including members on the sender's node, delivered locally) except the
   // sending endpoint itself.
   Status send_multicast(Endpoint from, GroupId group, BytesView data);
+  Status send_multicast(Endpoint from, GroupId group, SharedFrame frame);
   // Delivered to `port` on every up node except the sender's.
   Status send_broadcast(Endpoint from, uint16_t port, BytesView data);
+  Status send_broadcast(Endpoint from, uint16_t port, SharedFrame frame);
+
+  // Shared slab pool for frames crossing this network (senders build
+  // frames here; receivers release them back).
+  FramePool& frame_pool() { return pool_; }
 
   // --- accounting ---------------------------------------------------------
   const TrafficStats& stats() const { return total_; }
@@ -199,14 +224,27 @@ class SimNetwork {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  // One receiver endpoint: legacy view handler or frame-aware handler.
+  struct Binding {
+    RecvHandler view;
+    FrameHandler frame;
+  };
+
+  Status check_send(const char* what, Endpoint from, size_t size) const;
+  // Copies `data` into a pooled frame, counting the ingress copy (and the
+  // pool miss, if any) in the payload_* stats.
+  SharedFrame ingress_frame(BytesView data);
   // Queues one wire transmission from `from.node`, fanning out to `dests`.
-  Status transmit(Endpoint from, std::vector<Endpoint> dests, BytesView data,
-                  bool multicast);
-  void deliver(Endpoint from, Endpoint to, Buffer data, uint64_t dest_epoch);
+  Status transmit(Endpoint from, std::span<const Endpoint> dests,
+                  const SharedFrame& frame, bool multicast);
+  void deliver(Endpoint from, Endpoint to, const SharedFrame& frame,
+               uint64_t dest_epoch);
   Duration serialization_delay(NodeId node, size_t bytes) const;
   // Applies the fault overlay for from -> to; returns false when the
-  // packet is lost. May corrupt `data` or adjust `extra_delay`/`copies`.
-  bool apply_faults(NodeId from, NodeId to, Buffer& data,
+  // packet is lost. Corruption replaces `pkt` with a mutated pooled copy
+  // (the only case where a destination stops sharing the sender's slab);
+  // may adjust `extra_delay`/`copies`.
+  bool apply_faults(NodeId from, NodeId to, SharedFrame& pkt,
                     Duration& extra_delay, int& copies);
 
   Simulator& sim_;
@@ -217,8 +255,12 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
   std::map<std::pair<NodeId, NodeId>, FaultState> faults_;
   std::set<std::pair<NodeId, NodeId>> blocked_;  // unordered node pairs
-  std::unordered_map<Endpoint, RecvHandler, EndpointHash> bindings_;
+  std::unordered_map<Endpoint, Binding, EndpointHash> bindings_;
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
+  // Fan-out destination scratch, reused across sends (transmit() never
+  // re-enters a send path, so one buffer is enough).
+  std::vector<Endpoint> scratch_dests_;
+  FramePool pool_;
   TrafficStats total_;
 };
 

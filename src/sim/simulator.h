@@ -7,16 +7,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "util/inline_fn.h"
 #include "util/time.h"
 
 namespace marea::sim {
 
-using EventFn = std::function<void()>;
+// Sized so the datapath's scheduled closures — packet deliveries and the
+// executor's task-completion wrappers (which embed a sched::Task) — stay
+// inline; oversized closures fall back to the heap transparently.
+using EventFn = InlineFn<void(), 104>;
 using TimerId = uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 

@@ -26,6 +26,17 @@ class SimTransport final : public Transport {
   Status send_broadcast(uint16_t src_port, uint16_t dst_port,
                         BytesView data) override;
 
+  // Zero-copy path: frames built in the network's shared pool travel to
+  // every receiver without a single payload copy.
+  FramePool& frame_pool() override { return net_.frame_pool(); }
+  Status bind_frames(uint16_t port, FrameRecvHandler handler) override;
+  Status send_frame(uint16_t src_port, Address dst,
+                    SharedFrame frame) override;
+  Status send_frame_multicast(uint16_t src_port, GroupId group,
+                              SharedFrame frame) override;
+  Status send_frame_broadcast(uint16_t src_port, uint16_t dst_port,
+                              SharedFrame frame) override;
+
  private:
   sim::SimNetwork& net_;
   sim::NodeId node_;

@@ -6,4 +6,13 @@ std::string to_string(const Address& a) {
   return std::to_string(a.host) + ":" + std::to_string(a.port);
 }
 
+Status Transport::bind_frames(uint16_t port, FrameRecvHandler handler) {
+  return bind(port, [this, handler = std::move(handler)](Address from,
+                                                         BytesView data) {
+    FrameLease lease = frame_pool().acquire(data.size());
+    lease.buffer().assign(data.begin(), data.end());
+    handler(from, std::move(lease).freeze());
+  });
+}
+
 }  // namespace marea::transport

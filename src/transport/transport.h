@@ -14,6 +14,7 @@
 #include <string>
 
 #include "util/bytes.h"
+#include "util/frame_pool.h"
 #include "util/status.h"
 
 namespace marea::transport {
@@ -40,6 +41,10 @@ std::string to_string(const Address& a);
 class Transport {
  public:
   using RecvHandler = std::function<void(Address from, BytesView data)>;
+  // Frame-aware receive: the handler gets refcounted pooled bytes it can
+  // retain past the callback without copying.
+  using FrameRecvHandler =
+      std::function<void(Address from, SharedFrame frame)>;
 
   virtual ~Transport() = default;
 
@@ -60,6 +65,33 @@ class Transport {
   // Delivered to dst_port on every other reachable node.
   virtual Status send_broadcast(uint16_t src_port, uint16_t dst_port,
                                 BytesView data) = 0;
+
+  // --- zero-copy frame path -----------------------------------------------
+  // Pool for building outgoing frames. SimTransport shares the network's
+  // pool so frames flow sender -> receivers in one slab; the default is a
+  // per-transport pool (e.g. UDP, where the kernel copy is inherent).
+  virtual FramePool& frame_pool() { return pool_; }
+
+  // Default adapters let every implementation participate: bind_frames
+  // wraps a legacy bind with one pooled ingress copy, and the frame sends
+  // degrade to the BytesView sends. Implementations with a genuinely
+  // shared medium (SimTransport) override all four to avoid the copy.
+  virtual Status bind_frames(uint16_t port, FrameRecvHandler handler);
+  virtual Status send_frame(uint16_t src_port, Address dst,
+                            SharedFrame frame) {
+    return send(src_port, dst, frame.view());
+  }
+  virtual Status send_frame_multicast(uint16_t src_port, GroupId group,
+                                      SharedFrame frame) {
+    return send_multicast(src_port, group, frame.view());
+  }
+  virtual Status send_frame_broadcast(uint16_t src_port, uint16_t dst_port,
+                                      SharedFrame frame) {
+    return send_broadcast(src_port, dst_port, frame.view());
+  }
+
+ private:
+  FramePool pool_;
 };
 
 }  // namespace marea::transport

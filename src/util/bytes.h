@@ -25,9 +25,19 @@ inline Buffer to_buffer(BytesView v) { return Buffer(v.begin(), v.end()); }
 class ByteWriter {
  public:
   ByteWriter() = default;
-  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+  explicit ByteWriter(size_t reserve) { own_.reserve(reserve); }
+  // External-buffer mode: appends to `external` (which the caller owns —
+  // e.g. a pooled FrameLease slab) instead of an internal buffer, so a
+  // message can be serialized directly into its final wire frame with no
+  // intermediate copy. `external` must outlive the writer.
+  explicit ByteWriter(Buffer& external) : buf_(&external) {}
 
-  void u8(uint8_t v) { buf_.push_back(v); }
+  // buf_ points at own_ by default; copying/moving would leave the copy
+  // aliasing the original's storage.
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void u8(uint8_t v) { buf_->push_back(v); }
   void u16(uint16_t v) { append_le(v); }
   void u32(uint32_t v) { append_le(v); }
   void u64(uint64_t v) { append_le(v); }
@@ -49,10 +59,10 @@ class ByteWriter {
   // Unsigned LEB128.
   void varint(uint64_t v) {
     while (v >= 0x80) {
-      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      buf_->push_back(static_cast<uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<uint8_t>(v));
+    buf_->push_back(static_cast<uint8_t>(v));
   }
   // ZigZag-encoded signed varint.
   void svarint(int64_t v) {
@@ -60,7 +70,7 @@ class ByteWriter {
            static_cast<uint64_t>(v >> 63));
   }
 
-  void bytes(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  void bytes(BytesView v) { buf_->insert(buf_->end(), v.begin(), v.end()); }
   // Length-prefixed.
   void blob(BytesView v) {
     varint(v.size());
@@ -68,31 +78,121 @@ class ByteWriter {
   }
   void str(std::string_view s) {
     varint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    buf_->insert(buf_->end(), s.begin(), s.end());
   }
+
+  // Reserves `n` zero bytes to be filled in later via patch_u32 (e.g. a
+  // header field whose value is only known after the body is written).
+  void skip(size_t n) { buf_->resize(buf_->size() + n, 0); }
 
   // Patch a previously written u32 at `offset` (e.g. frame length/CRC).
   void patch_u32(size_t offset, uint32_t v) {
     for (int i = 0; i < 4; ++i) {
-      buf_[offset + static_cast<size_t>(i)] =
+      (*buf_)[offset + static_cast<size_t>(i)] =
           static_cast<uint8_t>(v >> (8 * i));
     }
   }
 
-  size_t size() const { return buf_.size(); }
-  BytesView view() const { return BytesView(buf_); }
-  Buffer take() { return std::move(buf_); }
-  const Buffer& buffer() const { return buf_; }
+  size_t size() const { return buf_->size(); }
+  BytesView view() const { return BytesView(*buf_); }
+  Buffer take() { return std::move(*buf_); }
+  const Buffer& buffer() const { return *buf_; }
 
  private:
   template <typename T>
   void append_le(T v) {
     for (size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      buf_->push_back(static_cast<uint8_t>(v >> (8 * i)));
     }
   }
-  Buffer buf_;
+  Buffer own_;
+  Buffer* buf_ = &own_;
 };
+
+// Owned-or-borrowed bytes for message fields. Decode borrows straight out
+// of the frame buffer (valid while the frame is alive — all middleware
+// dispatch is synchronous within one frame's processing), the hot encode
+// paths borrow a provider's cached encoding, and paths whose messages
+// outlive the frame (ARQ retransmit queues, event replay) own their copy.
+class Bytes {
+ public:
+  Bytes() = default;
+  // Implicit from Buffer: takes ownership (no copy when moved in).
+  Bytes(Buffer b) : own_(std::move(b)), owned_(true) {}
+  Bytes(std::initializer_list<uint8_t> il) : own_(il), owned_(true) {}
+
+  static Bytes borrow(BytesView v) {
+    Bytes b;
+    b.view_ = v;
+    return b;
+  }
+  static Bytes copy_of(BytesView v) { return Bytes(to_buffer(v)); }
+
+  // view_ may alias own_, so copies/moves rebind instead of copying both.
+  Bytes(const Bytes& o) { *this = o; }
+  Bytes& operator=(const Bytes& o) {
+    if (this == &o) return *this;
+    owned_ = o.owned_;
+    if (owned_) {
+      own_ = o.own_;
+      view_ = {};
+    } else {
+      own_.clear();
+      view_ = o.view_;
+    }
+    return *this;
+  }
+  Bytes(Bytes&& o) noexcept { *this = std::move(o); }
+  Bytes& operator=(Bytes&& o) noexcept {
+    if (this == &o) return *this;
+    owned_ = o.owned_;
+    if (owned_) {
+      own_ = std::move(o.own_);
+      view_ = {};
+    } else {
+      own_.clear();
+      view_ = o.view_;
+    }
+    o.owned_ = false;
+    o.view_ = {};
+    return *this;
+  }
+
+  BytesView view() const { return owned_ ? BytesView(own_) : view_; }
+  operator BytesView() const { return view(); }
+  const uint8_t* data() const { return view().data(); }
+  size_t size() const { return view().size(); }
+  bool empty() const { return view().empty(); }
+  bool owned() const { return owned_; }
+  BytesView::iterator begin() const { return view().begin(); }
+  BytesView::iterator end() const { return view().end(); }
+
+  // Detaches from whatever the view aliased; no-op when already owned.
+  void materialize() {
+    if (owned_) return;
+    own_ = to_buffer(view_);
+    view_ = {};
+    owned_ = true;
+  }
+  Buffer to_owned() && {
+    materialize();
+    owned_ = false;
+    return std::move(own_);
+  }
+
+  friend bool operator==(const Bytes& a, const Bytes& b) {
+    BytesView av = a.view(), bv = b.view();
+    return av.size() == bv.size() &&
+           (av.empty() || std::memcmp(av.data(), bv.data(), av.size()) == 0);
+  }
+
+ private:
+  Buffer own_;
+  BytesView view_{};
+  bool owned_ = false;
+};
+
+inline BytesView as_bytes_view(const Bytes& b) { return b.view(); }
 
 class ByteReader {
  public:

@@ -1,30 +1,64 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace marea {
 namespace {
 
-std::array<uint32_t, 256> make_table() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8: eight derived lookup tables let the inner loop consume 8
+// bytes per iteration instead of 1 (Intel's "slicing-by-8" technique;
+// same IEEE 802.3 reflected polynomial, bit-identical results).
+// table[0] is the classic byte-at-a-time table; table[k] advances a byte
+// through k additional zero bytes: table[k][i] = step(table[k-1][i]).
+std::array<std::array<uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[k - 1][i];
+      t[k][i] = t[0][c & 0xFFu] ^ (c >> 8);
+    }
+  }
+  return t;
 }
 
-const std::array<uint32_t, 256> kTable = make_table();
+const std::array<std::array<uint32_t, 256>, 8> kTables = make_tables();
+
+inline uint32_t load_le32(const uint8_t* p) {
+  // Byte-by-byte assembly keeps this endian-correct and alignment-safe;
+  // compilers fuse it into a single load on little-endian targets.
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
 
 }  // namespace
 
 uint32_t crc32(BytesView data, uint32_t seed) {
   uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (uint8_t b : data) {
-    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+
+  const auto& t = kTables;
+  while (n >= 8) {
+    uint32_t lo = load_le32(p) ^ c;
+    uint32_t hi = load_le32(p + 4);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+        t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,126 @@
+// Move-only callable with configurable inline storage.
+//
+// std::function's small-object buffer (16 bytes in libstdc++) is smaller
+// than nearly every closure on the datapath — a scheduled delivery
+// captures {this, endpoints, epoch, SharedFrame} and a posted task
+// captures {this, Address, SharedFrame} — so each simulator event and
+// each executor task used to cost one heap allocation just to exist.
+// InlineFn sizes the buffer to the closures we actually schedule; a
+// callable that doesn't fit (or isn't nothrow-movable) still works via a
+// heap fallback, so capacity is a performance knob, never a correctness
+// constraint.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace marea {
+
+template <typename Sig, size_t Cap = 48>
+class InlineFn;
+
+template <typename R, typename... Args, size_t Cap>
+class InlineFn<R(Args...), Cap> {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFn> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+    }
+    invoke_ = &invoke_impl<D>;
+    manage_ = &manage_impl<D>;
+  }
+
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(this, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_) manage_(Op::kDestroy, this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+  using Invoke = R (*)(const InlineFn*, Args&&...);
+  using Manage = void (*)(Op, InlineFn*, InlineFn*);
+
+  template <typename D>
+  static constexpr bool fits() {
+    return sizeof(D) <= Cap && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* target(const InlineFn* self) {
+    void* p = const_cast<unsigned char*>(self->buf_);
+    if constexpr (fits<D>()) {
+      return static_cast<D*>(p);
+    } else {
+      return *static_cast<D**>(p);
+    }
+  }
+
+  template <typename D>
+  static R invoke_impl(const InlineFn* self, Args&&... args) {
+    return (*target<D>(self))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_impl(Op op, InlineFn* self, InlineFn* dst) {
+    D* obj = target<D>(self);
+    if (op == Op::kMove) {
+      if constexpr (fits<D>()) {
+        ::new (static_cast<void*>(dst->buf_)) D(std::move(*obj));
+        obj->~D();
+      } else {
+        ::new (static_cast<void*>(dst->buf_)) D*(obj);  // steal heap ptr
+      }
+      dst->invoke_ = self->invoke_;
+      dst->manage_ = self->manage_;
+      self->invoke_ = nullptr;
+      self->manage_ = nullptr;
+    } else {
+      if constexpr (fits<D>()) {
+        obj->~D();
+      } else {
+        delete obj;
+      }
+    }
+  }
+
+  void move_from(InlineFn& o) {
+    if (o.manage_) o.manage_(Op::kMove, &o, this);
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Cap];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace marea

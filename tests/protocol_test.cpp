@@ -72,6 +72,15 @@ Msg round_trip(const Msg& in) {
   EXPECT_TRUE(Msg::decode(r, out));
   EXPECT_TRUE(r.ok());
   EXPECT_TRUE(r.at_end());
+  // Decoded Bytes fields borrow from the encode buffer, which dies when
+  // this helper returns; detach them so the caller may keep `out`.
+  if constexpr (requires { out.value.materialize(); }) out.value.materialize();
+  if constexpr (requires { out.inner.materialize(); }) out.inner.materialize();
+  if constexpr (requires { out.args.materialize(); }) out.args.materialize();
+  if constexpr (requires { out.result.materialize(); }) {
+    out.result.materialize();
+  }
+  if constexpr (requires { out.data.materialize(); }) out.data.materialize();
   return out;
 }
 
