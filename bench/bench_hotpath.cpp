@@ -5,8 +5,10 @@
 //
 // Three lenses on the same loop:
 //  * a global operator-new counter (ground truth for heap allocations),
-//  * SimNetwork's payload_allocs / payload_copies / payload_bytes_copied
-//    counters (buffer management attributable to the network datapath),
+//  * the domain's metrics registry (net.payload_* counters and the shared
+//    mw.var_latency_us histogram — the same instruments check.sh and the
+//    flight recorder dump, so the bench doubles as an exercise of the
+//    observability layer at full instrumentation),
 //  * the transport FramePool's slab stats (pool hit rate; present only
 //    after the zero-copy refactor).
 //
@@ -66,14 +68,50 @@ constexpr int kWarmupSamples = 200;
 constexpr int kMeasuredSamples = 2000;
 
 struct Snapshot {
-  uint64_t allocs;
-  uint64_t alloc_bytes;
-  sim::TrafficStats net;
+  uint64_t allocs = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t payload_allocs = 0;
+  uint64_t payload_copies = 0;
+  uint64_t payload_bytes_copied = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t delivered = 0;
 
-  static Snapshot take(sim::SimNetwork& net) {
-    return Snapshot{g_alloc_count.load(std::memory_order_relaxed),
-                    g_alloc_bytes.load(std::memory_order_relaxed),
-                    net.stats()};
+  // Heap counters are read strictly outside the registry collect()/reads:
+  // the "before" snapshot reads them last and the "after" snapshot reads
+  // them first, so the registry's own snapshot-time allocations (string
+  // keys, collector refresh) never land in the measured window.
+  static Snapshot before(obs::MetricsRegistry& reg) {
+    reg.collect();
+    Snapshot s = read_registry(reg);
+    s.read_heap();
+    return s;
+  }
+  static Snapshot after(obs::MetricsRegistry& reg) {
+    Snapshot s;
+    s.read_heap();
+    reg.collect();
+    Snapshot vals = read_registry(reg);
+    vals.allocs = s.allocs;
+    vals.alloc_bytes = s.alloc_bytes;
+    return vals;
+  }
+
+ private:
+  void read_heap() {
+    allocs = g_alloc_count.load(std::memory_order_relaxed);
+    alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  }
+  static Snapshot read_registry(const obs::MetricsRegistry& reg) {
+    Snapshot s;
+    s.payload_allocs = reg.counter_value("net.payload_allocs");
+    s.payload_copies = reg.counter_value("net.payload_copies");
+    s.payload_bytes_copied = reg.counter_value("net.payload_bytes_copied");
+    s.bytes_sent = reg.counter_value("net.bytes_sent");
+    for (int i = 0; i < kFanout; ++i) {
+      s.delivered += reg.counter_value(
+          "mw." + std::to_string(i + 2) + ".var_samples_received");
+    }
+    return s;
   }
 };
 
@@ -84,17 +122,20 @@ int run() {
   auto* producer_ptr = producer.get();
   (void)pub.add_service(std::move(producer));
 
-  std::vector<VarConsumer*> consumers;
   for (int i = 0; i < kFanout; ++i) {
     auto& node = domain.add_node("sub" + std::to_string(i));
-    auto consumer =
-        std::make_unique<VarConsumer>("consumer" + std::to_string(i));
-    consumers.push_back(consumer.get());
-    node.add_service(std::move(consumer));
+    (void)node.add_service(
+        std::make_unique<VarConsumer>("consumer" + std::to_string(i)));
   }
 
   domain.start_all();
   domain.run_for(seconds(2.0));  // discovery + subscription binding
+
+  obs::MetricsRegistry& reg = domain.obs().metrics;
+  // The domain-wide delivery-latency histogram every container records
+  // into; resetting it after warm-up scopes its contents to the measured
+  // loop, so mean/p99 come straight from the registry.
+  obs::Histogram& var_latency = reg.histogram("mw.var_latency_us");
 
   // Warm-up: populates caches, the frame pool freelist, and container
   // hash maps so the measured loop sees steady state.
@@ -102,39 +143,26 @@ int run() {
     producer_ptr->push();
     domain.run_for(milliseconds(2));
   }
+  var_latency.reset();
 
-  uint64_t delivered_before = 0;
-  for (auto* c : consumers) delivered_before += c->received;
-
-  Snapshot before = Snapshot::take(domain.network());
+  Snapshot before = Snapshot::before(reg);
   auto wall_start = std::chrono::steady_clock::now();
   for (int i = 0; i < kMeasuredSamples; ++i) {
     producer_ptr->push();
     domain.run_for(milliseconds(2));
   }
   auto wall_end = std::chrono::steady_clock::now();
-  Snapshot after = Snapshot::take(domain.network());
+  Snapshot after = Snapshot::after(reg);
 
-  uint64_t delivered = 0;
-  for (auto* c : consumers) delivered += c->received;
-  delivered -= delivered_before;
+  uint64_t delivered = after.delivered - before.delivered;
 
   double wall_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
   const double n = kMeasuredSamples;
 
-  double mean_latency_us = 0;
-  double p99_latency_us = 0;
-  {
-    LatencyStats all;
-    for (auto* c : consumers) {
-      all.samples_us.insert(all.samples_us.end(),
-                            c->latency.samples_us.begin(),
-                            c->latency.samples_us.end());
-    }
-    mean_latency_us = all.mean();
-    p99_latency_us = all.percentile(0.99);
-  }
+  double mean_latency_us = var_latency.mean();
+  double p99_latency_us =
+      static_cast<double>(var_latency.quantile_bound(0.99));
 
   std::printf("{\n");
   std::printf("  \"bench\": \"hotpath\",\n");
@@ -148,17 +176,17 @@ int run() {
   std::printf("  \"heap_bytes_per_sample\": %.1f,\n",
               static_cast<double>(after.alloc_bytes - before.alloc_bytes) / n);
   std::printf("  \"net_payload_allocs_per_sample\": %.2f,\n",
-              static_cast<double>(after.net.payload_allocs -
-                                  before.net.payload_allocs) / n);
+              static_cast<double>(after.payload_allocs -
+                                  before.payload_allocs) / n);
   std::printf("  \"net_payload_copies_per_sample\": %.2f,\n",
-              static_cast<double>(after.net.payload_copies -
-                                  before.net.payload_copies) / n);
+              static_cast<double>(after.payload_copies -
+                                  before.payload_copies) / n);
   std::printf("  \"net_payload_bytes_copied_per_sample\": %.1f,\n",
-              static_cast<double>(after.net.payload_bytes_copied -
-                                  before.net.payload_bytes_copied) / n);
+              static_cast<double>(after.payload_bytes_copied -
+                                  before.payload_bytes_copied) / n);
   std::printf("  \"wire_bytes_per_sample\": %.1f,\n",
-              static_cast<double>(after.net.bytes_sent -
-                                  before.net.bytes_sent) / n);
+              static_cast<double>(after.bytes_sent -
+                                  before.bytes_sent) / n);
   std::printf("  \"mean_latency_us\": %.2f,\n", mean_latency_us);
   std::printf("  \"p99_latency_us\": %.2f,\n", p99_latency_us);
   std::printf("  \"samples_per_sec_wall\": %.0f\n",

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a bench_hotpath run against a baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json
+
+Fails (exit 1) when a gated metric regresses more than 10% over the
+committed baseline. Gated metrics are the two the zero-copy datapath work
+optimised for:
+
+  * heap_allocs_per_sample          — heap allocations per published sample
+  * net_payload_bytes_copied_per_sample — payload bytes memcpy'd in the
+    network datapath (baseline 0: ANY copy is a regression)
+
+A zero baseline gets no relative headroom: the current value must also be
+zero. Everything else in the JSON is reported for context but never
+gates, since wall-clock throughput is machine-dependent.
+"""
+
+import json
+import sys
+
+GATED = {
+    "heap_allocs_per_sample": 0.10,
+    "net_payload_bytes_copied_per_sample": 0.10,
+}
+
+CONTEXT = [
+    "delivered_per_sample",
+    "heap_bytes_per_sample",
+    "net_payload_allocs_per_sample",
+    "net_payload_copies_per_sample",
+    "wire_bytes_per_sample",
+    "mean_latency_us",
+    "p99_latency_us",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+    print(f"bench_compare: {sys.argv[2]} vs baseline {sys.argv[1]}")
+    for key, headroom in GATED.items():
+        base = float(baseline[key])
+        cur = float(current[key])
+        limit = base * (1.0 + headroom)
+        ok = cur <= limit if base > 0 else cur <= 0
+        status = "ok" if ok else "REGRESSION"
+        print(f"  [{status:>10}] {key}: {cur:g} (baseline {base:g}, "
+              f"limit {limit:g})")
+        if not ok:
+            failures.append(key)
+
+    for key in CONTEXT:
+        if key in baseline and key in current:
+            print(f"  [   context] {key}: {float(current[key]):g} "
+                  f"(baseline {float(baseline[key]):g})")
+
+    if failures:
+        print(f"bench_compare: FAIL — regressed: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: all gated metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,10 @@
 # AddressSanitizer + UBSan (-DMAREA_SANITIZE=ON). The chaos soak drives
 # the middleware through loss bursts, partitions, and crash/restart
 # cycles, so a sanitized run of the suite is the cheapest way to catch
-# lifetime bugs in the recovery paths.
+# lifetime bugs in the recovery paths. Finally the Release hot-path bench
+# runs and scripts/bench_compare.py gates it against the committed
+# baseline (bench/baselines/hotpath.json). The CI workflow
+# (.github/workflows/ci.yml) runs these same three legs as a matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,9 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j"$(nproc)" --target bench_hotpath
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
+
+echo "== bench regression gate =="
+python3 scripts/bench_compare.py bench/baselines/hotpath.json \
+  BENCH_hotpath.json
 
 echo "check.sh: all green"

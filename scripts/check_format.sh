@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Diff-only clang-format check: formats just the lines the current branch
+# changed relative to a base ref (default: origin/main, falling back to
+# the previous commit) and fails if that would alter anything. Existing
+# unformatted code is never touched — this gates new changes only.
+#
+# Usage: check_format.sh [base-ref]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not installed, skipping" >&2
+  exit 0
+fi
+
+base="${1:-}"
+if [[ -z "$base" ]]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base="origin/main"
+  else
+    base="HEAD~1"
+  fi
+fi
+merge_base="$(git merge-base "$base" HEAD)"
+
+if command -v git-clang-format >/dev/null 2>&1; then
+  out="$(git clang-format --diff --quiet "$merge_base" -- \
+    '*.h' '*.cpp' || true)"
+  if [[ -n "$out" && "$out" != *"no modified files to format"* &&
+        "$out" != *"did not modify any files"* ]]; then
+    echo "$out"
+    echo "check_format.sh: FAIL — run 'git clang-format $merge_base'" >&2
+    exit 1
+  fi
+else
+  # Fallback without git-clang-format: whole-file dry run, but only on
+  # the files this branch touched.
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$merge_base" \
+    -- '*.h' '*.cpp')
+  if [[ "${#files[@]}" -gt 0 ]]; then
+    clang-format --dry-run -Werror "${files[@]}"
+  fi
+fi
+echo "check_format.sh: formatting clean"

@@ -21,11 +21,27 @@ ServiceContainer::ServiceContainer(ContainerConfig config,
                                    sched::Executor& executor)
     : config_(std::move(config)),
       transport_(transport),
-      executor_(executor) {}
+      executor_(executor) {
+  if (config_.obs) {
+    trace_ = &config_.obs->trace;
+    auto& reg = config_.obs->metrics;
+    // Domain-wide latency histograms: same name on every node resolves to
+    // the same instrument, so the dump shows one distribution per
+    // primitive across the whole domain.
+    var_latency_us_ = &reg.histogram("mw.var_latency_us");
+    event_latency_us_ = &reg.histogram("mw.event_latency_us");
+    rpc_latency_us_ = &reg.histogram("mw.rpc_latency_us");
+    obs_token_ = reg.add_collector(
+        [this](obs::MetricsRegistry& r) { publish_metrics(r); });
+  }
+}
 
 ServiceContainer::~ServiceContainer() {
   if (running_) stop();
   if (bound_) transport_.unbind(config_.data_port);
+  if (config_.obs && obs_token_ != 0) {
+    config_.obs->metrics.remove_collector(obs_token_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -69,6 +85,7 @@ Status ServiceContainer::start() {
   started_at_ = now();
   // A restart is a new incarnation: peers reset their reliable-link state.
   incarnation_ = incarnation_ == 0 ? config_.incarnation : incarnation_ + 1;
+  trace_ev(obs::TraceEvent::kStart, obs::TraceKind::kNode, incarnation_);
 
   // Start the services in registration order (§3 "the container is the
   // responsible of starting and stopping the services it contains").
@@ -111,6 +128,7 @@ Status ServiceContainer::start() {
 
 void ServiceContainer::stop() {
   if (!running_) return;
+  trace_ev(obs::TraceEvent::kStop, obs::TraceKind::kNode, incarnation_);
   broadcast_msg(proto::MsgType::kContainerBye, proto::ContainerByeMsg{});
   // Stop services in reverse start order.
   for (auto it = services_.rbegin(); it != services_.rend(); ++it) {
@@ -152,6 +170,7 @@ void ServiceContainer::stop() {
   file_remote_subscribers_.clear();
   file_subs_.clear();
   transfer_names_.clear();
+  for (auto& [id, peer] : peers_) retire_peer_link_stats(peer);
   peers_.clear();
   directory_ = NameDirectory{};
 
@@ -220,6 +239,7 @@ void ServiceContainer::process_frame(transport::Address from,
   auto header = proto::open_frame(frame.view(), &payload);
   if (!header.ok()) {
     stats_.frames_dropped++;
+    trace_ev(obs::TraceEvent::kDrop, obs::TraceKind::kControl);
     return;
   }
   if (header->source == config_.id) return;  // our own broadcast echo
@@ -590,6 +610,8 @@ void ServiceContainer::peer_lost(proto::ContainerId id,
   if (it == peers_.end()) return;
   MAREA_LOG(kWarn, kLog) << qualify(config_) << " lost container " << id
                          << " (" << why << ")";
+  trace_ev(obs::TraceEvent::kPeerLost, obs::TraceKind::kNode, id);
+  retire_peer_link_stats(it->second);
   peers_.erase(it);
 
   directory_.drop_container(id);
@@ -658,6 +680,7 @@ void ServiceContainer::peer_lost(proto::ContainerId id,
 void ServiceContainer::handler_crashed(Service* service, const char* what,
                                        const std::string& why) {
   std::string name = service ? service->name() : "<container>";
+  trace_ev(obs::TraceEvent::kHandlerCrash, obs::TraceKind::kNode);
   MAREA_LOG(kError, kLog) << qualify(config_) << " handler '" << what
                           << "' of service '" << name
                           << "' threw: " << why;
@@ -676,8 +699,160 @@ void ServiceContainer::handler_crashed(Service* service, const char* what,
 
 void ServiceContainer::emergency(const std::string& reason) {
   stats_.emergencies++;
+  trace_ev(obs::TraceEvent::kEmergency, obs::TraceKind::kNode,
+           stats_.emergencies);
   MAREA_LOG(kError, kLog) << qualify(config_) << " EMERGENCY: " << reason;
   if (emergency_) emergency_(reason);
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void ServiceContainer::retire_peer_link_stats(Peer& peer) {
+  if (peer.tx) {
+    const auto& s = peer.tx->stats();
+    arq_tx_retired_.messages_accepted += s.messages_accepted;
+    arq_tx_retired_.frames_sent += s.frames_sent;
+    arq_tx_retired_.retransmits += s.retransmits;
+    arq_tx_retired_.fast_retransmits += s.fast_retransmits;
+    arq_tx_retired_.delivered += s.delivered;
+    arq_tx_retired_.failed += s.failed;
+  }
+  if (peer.rx) {
+    const auto& s = peer.rx->stats();
+    arq_rx_retired_.frames_received += s.frames_received;
+    arq_rx_retired_.delivered += s.delivered;
+    arq_rx_retired_.duplicates += s.duplicates;
+    arq_rx_retired_.acks_sent += s.acks_sent;
+  }
+}
+
+void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
+  const std::string p = "mw." + std::to_string(config_.id) + ".";
+
+  // ContainerStats, verbatim, under a per-node prefix.
+  reg.counter(p + "var_publishes").set(stats_.var_publishes);
+  reg.counter(p + "var_samples_sent").set(stats_.var_samples_sent);
+  reg.counter(p + "var_samples_received").set(stats_.var_samples_received);
+  reg.counter(p + "var_local_deliveries").set(stats_.var_local_deliveries);
+  reg.counter(p + "var_timeout_warnings").set(stats_.var_timeout_warnings);
+  reg.counter(p + "var_snapshots_sent").set(stats_.var_snapshots_sent);
+  reg.counter(p + "events_published").set(stats_.events_published);
+  reg.counter(p + "events_sent").set(stats_.events_sent);
+  reg.counter(p + "events_delivered").set(stats_.events_delivered);
+  reg.counter(p + "events_dropped_late").set(stats_.events_dropped_late);
+  reg.counter(p + "rpc_calls").set(stats_.rpc_calls);
+  reg.counter(p + "rpc_served").set(stats_.rpc_served);
+  reg.counter(p + "rpc_failovers").set(stats_.rpc_failovers);
+  reg.counter(p + "rpc_failures").set(stats_.rpc_failures);
+  reg.counter(p + "files_published").set(stats_.files_published);
+  reg.counter(p + "file_completions").set(stats_.file_completions);
+  reg.counter(p + "file_local_bypasses").set(stats_.file_local_bypasses);
+  reg.counter(p + "frames_received").set(stats_.frames_received);
+  reg.counter(p + "frames_dropped").set(stats_.frames_dropped);
+  reg.counter(p + "name_queries_sent").set(stats_.name_queries_sent);
+  reg.counter(p + "emergencies").set(stats_.emergencies);
+
+  // Reliable-link totals: retired (dead peers) + live. Monotonic across
+  // peer churn because retire_peer_link_stats folds before erase.
+  proto::ArqSenderStats tx = arq_tx_retired_;
+  proto::ArqReceiverStats rx = arq_rx_retired_;
+  size_t in_flight = 0;
+  size_t queued = 0;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.tx) {
+      const auto& s = peer.tx->stats();
+      tx.messages_accepted += s.messages_accepted;
+      tx.frames_sent += s.frames_sent;
+      tx.retransmits += s.retransmits;
+      tx.fast_retransmits += s.fast_retransmits;
+      tx.delivered += s.delivered;
+      tx.failed += s.failed;
+      in_flight += peer.tx->in_flight();
+      queued += peer.tx->queued();
+    }
+    if (peer.rx) {
+      const auto& s = peer.rx->stats();
+      rx.frames_received += s.frames_received;
+      rx.delivered += s.delivered;
+      rx.duplicates += s.duplicates;
+      rx.acks_sent += s.acks_sent;
+    }
+  }
+  reg.counter(p + "arq.messages_accepted").set(tx.messages_accepted);
+  reg.counter(p + "arq.frames_sent").set(tx.frames_sent);
+  reg.counter(p + "arq.retransmits").set(tx.retransmits);
+  reg.counter(p + "arq.fast_retransmits").set(tx.fast_retransmits);
+  reg.counter(p + "arq.delivered").set(tx.delivered);
+  reg.counter(p + "arq.failed").set(tx.failed);
+  reg.counter(p + "arq.frames_received").set(rx.frames_received);
+  reg.counter(p + "arq.rx_delivered").set(rx.delivered);
+  reg.counter(p + "arq.duplicates").set(rx.duplicates);
+  reg.counter(p + "arq.acks_sent").set(rx.acks_sent);
+  reg.gauge(p + "arq.in_flight").set(static_cast<int64_t>(in_flight));
+  reg.gauge(p + "arq.queued").set(static_cast<int64_t>(queued));
+  reg.gauge(p + "peers").set(static_cast<int64_t>(peers_.size()));
+
+  // MFTP totals across live transfers (publisher + receiver sides).
+  proto::MftpPublisherStats fp;
+  proto::MftpReceiverStats fr;
+  for (const auto& [name, prov] : file_provisions_) {
+    if (!prov.publisher) continue;
+    const auto& s = prov.publisher->stats();
+    fp.chunks_sent += s.chunks_sent;
+    fp.chunk_retransmits += s.chunk_retransmits;
+    fp.payload_bytes_sent += s.payload_bytes_sent;
+    fp.status_requests += s.status_requests;
+    fp.rounds += s.rounds;
+    fp.completions += s.completions;
+    fp.dropped_subscribers += s.dropped_subscribers;
+  }
+  for (const auto& [name, sub] : file_subs_) {
+    if (!sub.receiver) continue;
+    const auto& s = sub.receiver->stats();
+    fr.chunks_received += s.chunks_received;
+    fr.duplicate_chunks += s.duplicate_chunks;
+    fr.payload_bytes_received += s.payload_bytes_received;
+    fr.acks_sent += s.acks_sent;
+    fr.nacks_sent += s.nacks_sent;
+  }
+  reg.counter(p + "mftp.chunks_sent").set(fp.chunks_sent);
+  reg.counter(p + "mftp.chunk_retransmits").set(fp.chunk_retransmits);
+  reg.counter(p + "mftp.payload_bytes_sent").set(fp.payload_bytes_sent);
+  reg.counter(p + "mftp.dropped_subscribers").set(fp.dropped_subscribers);
+  reg.counter(p + "mftp.chunks_received").set(fr.chunks_received);
+  reg.counter(p + "mftp.duplicate_chunks").set(fr.duplicate_chunks);
+  reg.counter(p + "mftp.payload_bytes_received")
+      .set(fr.payload_bytes_received);
+
+  // Per-variable staleness (µs since last received sample; -1 = nothing
+  // received yet). The paper's validity QoS made stale data a first-class
+  // failure mode — surface it per subscription.
+  for (const auto& [name, sub] : var_subs_) {
+    auto& g = reg.gauge(p + "var_stale_us." + name);
+    if (!sub.got_any) {
+      g.set(-1);
+    } else {
+      g.set((now() - sub.last_recv).ns / 1000);
+    }
+  }
+
+  // Per-service usage census (§3 resource management: message and byte
+  // budgets per service).
+  const std::string sp = "svc." + std::to_string(config_.id) + ".";
+  for (const auto& [sname, u] : usage_) {
+    const std::string q = sp + sname + ".";
+    reg.counter(q + "var_publishes").set(u.var_publishes);
+    reg.counter(q + "samples_delivered").set(u.samples_delivered);
+    reg.counter(q + "events_published").set(u.events_published);
+    reg.counter(q + "events_delivered").set(u.events_delivered);
+    reg.counter(q + "rpc_calls_issued").set(u.rpc_calls_issued);
+    reg.counter(q + "rpc_calls_served").set(u.rpc_calls_served);
+    reg.counter(q + "files_published").set(u.files_published);
+    reg.counter(q + "file_bytes_delivered").set(u.file_bytes_delivered);
+    reg.counter(q + "payload_bytes_sent").set(u.payload_bytes_sent);
+  }
 }
 
 }  // namespace marea::mw

@@ -33,6 +33,7 @@
 #include "middleware/directory.h"
 #include "middleware/qos.h"
 #include "middleware/service.h"
+#include "obs/obs.h"
 #include "protocol/arq.h"
 #include "protocol/frame.h"
 #include "protocol/messages.h"
@@ -71,6 +72,12 @@ struct ContainerConfig {
 
   // Modelled CPU cost of running one handler (SimExecutor only).
   Duration handler_cost = microseconds(5);
+
+  // Optional observability sink (flight recorder + metrics registry),
+  // typically the SimDomain's. Null = fully disabled: every
+  // instrumentation site reduces to one predictable branch and the
+  // container registers nothing.
+  obs::Observability* obs = nullptr;
 };
 
 struct ContainerStats {
@@ -114,6 +121,10 @@ struct ServiceUsage {
   uint64_t rpc_calls_served = 0;
   uint64_t files_published = 0;
   uint64_t file_bytes_delivered = 0;
+  // Encoded payload bytes this service asked the container to move
+  // (variable samples, events, file images) — the "byte budget" side of
+  // §3 resource management.
+  uint64_t payload_bytes_sent = 0;
 };
 
 // "The programmed emergency procedure" hook (§4.3).
@@ -287,6 +298,7 @@ class ServiceContainer {
     int failovers_left = 0;
     std::set<proto::ContainerId> tried;
     sched::TaskTimerId timer = sched::kInvalidTaskTimer;
+    TimePoint issued{};  // feeds the RPC latency histogram
   };
 
   struct FileProvision {
@@ -482,6 +494,25 @@ class ServiceContainer {
   void handler_crashed(Service* service, const char* what,
                        const std::string& why);
 
+  // --- observability ---
+  // One predicted branch when config_.obs is null; otherwise a 40-byte
+  // store into the domain flight recorder, stamped with virtual time and
+  // this container's id.
+  void trace_ev(obs::TraceEvent event, obs::TraceKind kind, uint64_t a = 0,
+                uint64_t b = 0) {
+    if (trace_) {
+      trace_->record(executor_.now(), event, kind,
+                     static_cast<uint32_t>(config_.id), a, b);
+    }
+  }
+  // Snapshot collector: pushes ContainerStats, ARQ/MFTP sums, queue
+  // depths, per-variable staleness and per-service usage into the
+  // registry. Runs only when the registry collects — zero steady cost.
+  void publish_metrics(obs::MetricsRegistry& reg);
+  // Folds a dying peer's link stats into the retired accumulators so the
+  // published counters stay monotonic across peer churn/restarts.
+  void retire_peer_link_stats(Peer& peer);
+
   // --- data members ---
   ContainerConfig config_;
   transport::Transport& transport_;
@@ -537,6 +568,16 @@ class ServiceContainer {
   EmergencyHandler emergency_;
   ContainerStats stats_;
   std::map<std::string, ServiceUsage> usage_;
+
+  // Observability wiring (all null/zero when config_.obs is null).
+  obs::TraceRing* trace_ = nullptr;
+  obs::Histogram* var_latency_us_ = nullptr;   // domain-wide, shared name
+  obs::Histogram* event_latency_us_ = nullptr;
+  obs::Histogram* rpc_latency_us_ = nullptr;
+  uint64_t obs_token_ = 0;  // collector registration, removed in dtor
+  // Link stats of peers that have been erased (restart, peer_lost).
+  proto::ArqSenderStats arq_tx_retired_;
+  proto::ArqReceiverStats arq_rx_retired_;
 };
 
 }  // namespace marea::mw

@@ -37,6 +37,8 @@ Status ServiceContainer::publish_event(const std::string& name,
   prov.seq++;
   stats_.events_published++;
   usage_of(prov.owner).events_published++;
+  trace_ev(obs::TraceEvent::kPublish, obs::TraceKind::kEvent,
+           proto::channel_of(name), prov.seq);
 
   // Local subscribers: direct dispatch at event priority.
   auto sub_it = event_subs_.find(name);
@@ -51,6 +53,7 @@ Status ServiceContainer::publish_event(const std::string& name,
   if (prov.remote_subscribers.empty()) return Status::ok();
   auto encoded = enc::encode_value(value, *prov.type);
   if (!encoded.ok()) return encoded.status();
+  usage_of(prov.owner).payload_bytes_sent += encoded.value().size();
   proto::EventMsg msg;
   msg.name = name;
   msg.pub_seq = prov.seq;
@@ -155,6 +158,9 @@ void ServiceContainer::try_bind_event_subscription(EventSubscription& sub) {
 void ServiceContainer::deliver_event_locally(EventSubscription& sub,
                                              const enc::Value& value,
                                              const EventInfo& info) {
+  trace_ev(obs::TraceEvent::kDeliver, obs::TraceKind::kEvent,
+           proto::channel_of(sub.name), info.seq);
+  if (event_latency_us_) event_latency_us_->record(info.latency.ns / 1000);
   for (auto& entry : sub.entries) {
     stats_.events_delivered++;
     usage_of(entry.service).events_delivered++;

@@ -55,6 +55,7 @@ Status ServiceContainer::publish_file_resource(Service& owner,
       [this, channel](const proto::FileStatusRequestMsg& msg) {
         multicast_msg(channel, proto::MsgType::kFileStatusRequest, msg);
       });
+  prov.publisher->set_trace(trace_, static_cast<uint32_t>(config_.id));
   prov.publisher->set_on_subscriber_done(
       [this, name](proto::MftpPeer peer, const Status& s) {
         if (!s.is_ok()) {
@@ -71,7 +72,11 @@ Status ServiceContainer::publish_file_resource(Service& owner,
 
   file_provisions_[name] = std::move(prov);
   stats_.files_published++;
-  usage_of(&owner).files_published++;
+  trace_ev(obs::TraceEvent::kPublish, obs::TraceKind::kFile, transfer_id,
+           meta.revision);
+  auto& owner_usage = usage_of(&owner);
+  owner_usage.files_published++;
+  owner_usage.payload_bytes_sent += meta.size;
 
   // Local subscribers get the content directly (bypass).
   if (auto sub_it = file_subs_.find(name); sub_it != file_subs_.end()) {
@@ -277,6 +282,8 @@ void ServiceContainer::start_file_receiver(FileSubscription& sub,
     FileSubscription& s = it->second;
     s.completed_revision = s.receiver->meta().revision;
     stats_.file_completions++;
+    trace_ev(obs::TraceEvent::kDeliver, obs::TraceKind::kFile,
+             s.receiver->transfer_id(), s.completed_revision);
     proto::FileMeta meta = s.receiver->meta();
     MAREA_LOG(kInfo, kLog) << config_.node_name << " completed file '" << name
                            << "' rev " << meta.revision << " ("

@@ -31,6 +31,7 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
           send_frame(to, proto::MsgType::kReliableData,
                      build_msg(proto::MsgType::kReliableData, stamped));
         });
+    p->tx->set_trace(trace_, static_cast<uint32_t>(config_.id), peer_id);
     p->tx->set_on_failed(
         [this, peer_id](uint64_t, const Status&) {
           // Repeated delivery failure == the peer is effectively gone.
@@ -62,7 +63,9 @@ void ServiceContainer::on_reliable_data(proto::ContainerId from,
   if (!p.rx) {
     transport::Address to = p.address;
     p.rx = std::make_unique<proto::ArqReceiver>(
-        [this, to](const proto::ReliableAckMsg& ack) {
+        [this, to, from](const proto::ReliableAckMsg& ack) {
+          trace_ev(obs::TraceEvent::kAck, obs::TraceKind::kLink, from,
+                   ack.floor);
           proto::ReliableAckMsg stamped = ack;
           stamped.incarnation = incarnation_;
           send_frame(to, proto::MsgType::kReliableAck,

@@ -114,12 +114,14 @@ void ServiceContainer::call_function(Service* caller,
   PendingCall call;
   call.request_id = next_request_id_++;
   call.function = function;
+  call.issued = now();
   call.args = std::move(args);
   call.callback = std::move(callback);
   call.options = options;
   call.failovers_left =
       options.binding == RpcBinding::kDynamic ? options.max_failovers : 0;
   uint64_t rid = call.request_id;
+  trace_ev(obs::TraceEvent::kSend, obs::TraceKind::kRpc, rid);
   pending_calls_.emplace(rid, std::move(call));
 
   // Overall deadline regardless of retries/failovers.
@@ -222,6 +224,7 @@ void ServiceContainer::fail_over_call(uint64_t request_id,
   }
   if (call.failovers_left-- > 0) {
     stats_.rpc_failovers++;
+    trace_ev(obs::TraceEvent::kFailover, obs::TraceKind::kRpc, request_id);
     MAREA_LOG(kInfo, kLog) << "failing over call '" << call.function << "' ("
                            << why << ")";
     dispatch_call_attempt(request_id);
@@ -236,6 +239,11 @@ void ServiceContainer::finish_call(uint64_t request_id,
   auto it = pending_calls_.find(request_id);
   if (it == pending_calls_.end()) return;
   executor_.cancel(it->second.timer);
+  trace_ev(obs::TraceEvent::kDeliver, obs::TraceKind::kRpc, request_id,
+           result.ok() ? 1 : 0);
+  if (rpc_latency_us_) {
+    rpc_latency_us_->record((now() - it->second.issued).ns / 1000);
+  }
   CallCallback callback = std::move(it->second.callback);
   if (!result.ok()) {
     stats_.rpc_failures++;

@@ -56,7 +56,9 @@ Status ServiceContainer::publish_variable(const std::string& name,
   }
   prov.last_value = std::move(value);
   stats_.var_publishes++;
-  usage_of(prov.owner).var_publishes++;
+  auto& usage = usage_of(prov.owner);
+  usage.var_publishes++;
+  usage.payload_bytes_sent += prov.last_encoded.size();
   send_sample(prov);
   return Status::ok();
 }
@@ -65,6 +67,8 @@ void ServiceContainer::send_sample(VarProvision& prov) {
   if (!prov.last_value) return;
   prov.seq++;
   prov.last_publish = now();
+  trace_ev(obs::TraceEvent::kPublish, obs::TraceKind::kVar, prov.channel,
+           prov.seq);
   // prov.last_encoded was filled by publish_variable; period_tick resends
   // the same value, so the cache is always current here.
 
@@ -278,6 +282,10 @@ void ServiceContainer::deliver_sample_locally(VarSubscription& sub,
   sub.last_seq = info.seq;
   sub.last_recv = now();
   sub.got_any = true;
+  trace_ev(obs::TraceEvent::kDeliver, obs::TraceKind::kVar, sub.channel,
+           info.seq);
+  // Local bypass deliveries count as zero latency — that IS the datum.
+  if (var_latency_us_) var_latency_us_->record(info.latency.ns / 1000);
   for (auto& entry : sub.entries) {
     stats_.var_local_deliveries++;
     usage_of(entry.service).samples_delivered++;

@@ -3,7 +3,36 @@
 namespace marea::mw {
 
 SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link)
-    : net_(sim_, Rng(seed), default_link) {}
+    : net_(sim_, Rng(seed), default_link) {
+  net_.set_trace(&obs_.trace);
+  obs_.metrics.add_collector([this](obs::MetricsRegistry& reg) {
+    const sim::TrafficStats& t = net_.stats();
+    reg.counter("net.packets_sent").set(t.packets_sent);
+    reg.counter("net.bytes_sent").set(t.bytes_sent);
+    reg.counter("net.packets_delivered").set(t.packets_delivered);
+    reg.counter("net.bytes_delivered").set(t.bytes_delivered);
+    reg.counter("net.packets_dropped").set(t.packets_dropped);
+    reg.counter("net.packets_unroutable").set(t.packets_unroutable);
+    reg.counter("net.local_packets").set(t.local_packets);
+    reg.counter("net.packets_partitioned").set(t.packets_partitioned);
+    reg.counter("net.packets_duplicated").set(t.packets_duplicated);
+    reg.counter("net.packets_reordered").set(t.packets_reordered);
+    reg.counter("net.packets_corrupted").set(t.packets_corrupted);
+    reg.counter("net.packets_stale_dropped").set(t.packets_stale_dropped);
+    reg.counter("net.payload_allocs").set(t.payload_allocs);
+    reg.counter("net.payload_copies").set(t.payload_copies);
+    reg.counter("net.payload_bytes_copied").set(t.payload_bytes_copied);
+    const FramePool::Stats p = net_.frame_pool().stats();
+    reg.counter("pool.checkouts").set(p.checkouts);
+    reg.counter("pool.hits").set(p.pool_hits);
+    reg.counter("pool.slab_allocs").set(p.slab_allocs);
+    for (const auto& node : nodes_) {
+      reg.gauge("sched." + std::to_string(node->container->config().id) +
+                ".queued")
+          .set(static_cast<int64_t>(node->executor->queued()));
+    }
+  });
+}
 
 ServiceContainer& SimDomain::add_node(const std::string& name,
                                       ContainerConfig overrides) {
@@ -16,6 +45,9 @@ ServiceContainer& SimDomain::add_node(const std::string& name,
   ContainerConfig config = overrides;
   config.id = static_cast<proto::ContainerId>(nodes_.size() + 1);
   config.node_name = name;
+  if (!config.obs) config.obs = &obs_;
+  node->executor->set_trace(&config.obs->trace,
+                            static_cast<uint32_t>(config.id));
   node->container = std::make_unique<ServiceContainer>(
       config, *node->transport, *node->executor);
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "middleware/container.h"
+#include "obs/obs.h"
 #include "sched/sim_executor.h"
 #include "sim/chaos.h"
 #include "sim/network.h"
@@ -35,6 +36,11 @@ class SimDomain {
 
   sim::Simulator& sim() { return sim_; }
   sim::SimNetwork& network() { return net_; }
+
+  // Domain-wide flight recorder + metrics registry. Containers, the
+  // network and every executor feed it; obs().dump_json() snapshots the
+  // whole domain (used by tests on invariant failure and by the benches).
+  obs::Observability& obs() { return obs_; }
 
   size_t node_count() const { return nodes_.size(); }
   ServiceContainer& container(size_t index) { return *nodes_[index]->container; }
@@ -67,6 +73,9 @@ class SimDomain {
     std::unique_ptr<ServiceContainer> container;
   };
 
+  // First member: containers/network/executors hold pointers into it, so
+  // it must outlive them (destroyed last).
+  obs::Observability obs_;
   sim::Simulator sim_;
   sim::SimNetwork net_;
   std::vector<std::unique_ptr<Node>> nodes_;

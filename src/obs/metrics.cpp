@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace marea::obs {
+
+const std::vector<int64_t>& latency_bounds_us() {
+  static const std::vector<int64_t> bounds = [] {
+    std::vector<int64_t> b;
+    for (int64_t v = 1; v <= (int64_t{1} << 26); v <<= 1) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::record(int64_t v) {
+  // First bound >= v; everything above the last bound lands in the
+  // overflow bucket.
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i]++;
+  count_++;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (count_ == 1 || v > max_) max_ = v;
+}
+
+int64_t Histogram::quantile_bound(double q) const {
+  if (count_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, latency_bounds_us());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+uint64_t MetricsRegistry::add_collector(Collector fn) {
+  uint64_t token = next_token_++;
+  collectors_.emplace(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::remove_collector(uint64_t token) {
+  collectors_.erase(token);
+}
+
+void MetricsRegistry::collect() {
+  for (auto& [token, fn] : collectors_) fn(*this);
+}
+
+uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_json() {
+  collect();
+  std::string out;
+  out.reserve(4096);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    out += std::to_string(h.sum());
+    out += ",\"min\":";
+    out += std::to_string(h.min());
+    out += ",\"max\":";
+    out += std::to_string(h.max());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"p50\":";
+    out += std::to_string(h.quantile_bound(0.50));
+    out += ",\"p99\":";
+    out += std::to_string(h.quantile_bound(0.99));
+    out += ",\"buckets\":[";
+    const auto& buckets = h.buckets();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace marea::obs

@@ -1,0 +1,129 @@
+// Metrics registry — the middleware's quantitative self-description
+// (DESIGN.md "Observability").
+//
+// Two publication styles, both allocation-free on the hot path:
+//  * Live instruments: a component asks the registry for a Counter /
+//    Gauge / Histogram ONCE at setup (registration may allocate) and
+//    keeps the reference; every subsequent inc()/set()/record() is a
+//    plain integer update — no lookup, no lock, no heap.
+//  * Snapshot collectors: components that already keep allocation-free
+//    stats structs (ContainerStats, TrafficStats, ArqSenderStats, …)
+//    register a collector callback instead; it is invoked only when a
+//    snapshot is taken (dump_json / collect), so steady-state cost is
+//    exactly zero.
+//
+// Determinism: metrics are keyed in ordered maps and serialized in
+// lexicographic name order, values come exclusively from virtual time
+// and deterministic counters — two same-seed simulation runs dump
+// byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marea::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_ += n; }
+  void set(uint64_t v) { v_ = v; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_ = v; }
+  void add(int64_t d) { v_ += d; }
+  int64_t value() const { return v_; }
+
+ private:
+  int64_t v_ = 0;
+};
+
+// Power-of-two latency buckets in microseconds: 1, 2, 4, … 2^26 (~67 s),
+// 27 bounds total. Shared by every latency histogram so dumps from
+// different runs and different metrics line up bucket-for-bucket.
+const std::vector<int64_t>& latency_bounds_us();
+
+// Fixed-bucket histogram. `bounds` are upper-inclusive bucket limits in
+// ascending order; one extra overflow bucket catches everything above
+// the last bound. record() is a binary search plus two integer adds —
+// no allocation after construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void record(int64_t v);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  // Upper bound of the bucket containing quantile q in (0, 1]; the last
+  // bound for the overflow bucket, 0 when empty. A conservative (never
+  // under-reporting) percentile estimate.
+  int64_t quantile_bound(double q) const;
+
+  void reset();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Registration: returns a stable reference (ordered-map nodes never
+  // move); the same name always yields the same instrument, so
+  // components on different nodes may share one domain-wide histogram.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);  // latency_bounds_us()
+  Histogram& histogram(const std::string& name, std::vector<int64_t> bounds);
+
+  // Snapshot-time publication for components keeping their own stats
+  // structs. Collectors run in registration order on every collect().
+  // They may create/update instruments but must not add collectors.
+  using Collector = std::function<void(MetricsRegistry&)>;
+  uint64_t add_collector(Collector fn);
+  void remove_collector(uint64_t token);
+
+  // Runs every collector, refreshing snapshot-published metrics.
+  void collect();
+
+  // collect(), then serialize everything. Lexicographic name order;
+  // deterministic for deterministic inputs.
+  std::string dump_json();
+
+  // Lookup (0 / nullptr when absent). Does not run collectors.
+  uint64_t counter_value(const std::string& name) const;
+  int64_t gauge_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace marea::obs

@@ -1,0 +1,15 @@
+#include "obs/obs.h"
+
+namespace marea::obs {
+
+std::string Observability::dump_json() {
+  std::string out;
+  out += "{\"metrics\":";
+  out += metrics.dump_json();
+  out += ",\"trace\":";
+  out += trace.dump_json();
+  out += '}';
+  return out;
+}
+
+}  // namespace marea::obs

@@ -1,0 +1,28 @@
+// Observability bundle: one metrics registry plus one flight-recorder
+// ring, owned per domain (SimDomain embeds one and hands every
+// container, the network and the executors a pointer). Components see a
+// nullable pointer — null means observability is off and every
+// instrumentation site reduces to a predicted-not-taken branch.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace marea::obs {
+
+struct Observability {
+  Observability() = default;
+  explicit Observability(size_t trace_capacity) : trace(trace_capacity) {}
+
+  MetricsRegistry metrics;
+  TraceRing trace;
+
+  // {"metrics":{...},"trace":[...]} — the full dump a failing test
+  // prints: counters/gauges/histograms plus the event sequence leading
+  // up to the failure. Deterministic for deterministic runs.
+  std::string dump_json();
+};
+
+}  // namespace marea::obs

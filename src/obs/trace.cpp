@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace marea::obs {
+
+const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kNone: return "none";
+    case TraceEvent::kPublish: return "publish";
+    case TraceEvent::kDeliver: return "deliver";
+    case TraceEvent::kSend: return "send";
+    case TraceEvent::kDrop: return "drop";
+    case TraceEvent::kAck: return "ack";
+    case TraceEvent::kRetransmit: return "retransmit";
+    case TraceEvent::kTimer: return "timer";
+    case TraceEvent::kCrash: return "crash";
+    case TraceEvent::kRestart: return "restart";
+    case TraceEvent::kPartition: return "partition";
+    case TraceEvent::kHeal: return "heal";
+    case TraceEvent::kDegrade: return "degrade";
+    case TraceEvent::kRestore: return "restore";
+    case TraceEvent::kPeerLost: return "peer_lost";
+    case TraceEvent::kFailover: return "failover";
+    case TraceEvent::kEmergency: return "emergency";
+    case TraceEvent::kHandlerCrash: return "handler_crash";
+    case TraceEvent::kStart: return "start";
+    case TraceEvent::kStop: return "stop";
+    case TraceEvent::kViolation: return "violation";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kNone: return "none";
+    case TraceKind::kVar: return "var";
+    case TraceKind::kEvent: return "event";
+    case TraceKind::kRpc: return "rpc";
+    case TraceKind::kFile: return "file";
+    case TraceKind::kControl: return "control";
+    case TraceKind::kLink: return "link";
+    case TraceKind::kNet: return "net";
+    case TraceKind::kNode: return "node";
+    case TraceKind::kChaos: return "chaos";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity) : ring_(capacity ? capacity : 1) {}
+
+void TraceRing::clear() {
+  std::fill(ring_.begin(), ring_.end(), TraceRecord{});
+  next_ = 0;
+  last_seq_ = 0;
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::vector<TraceRecord> out;
+  size_t held = size();
+  out.reserve(held);
+  size_t start = next_ - held;  // index of the oldest held record
+  for (size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::dump_json() const {
+  std::string out;
+  out.reserve(size() * 96 + 2);
+  out += '[';
+  size_t held = size();
+  size_t start = next_ - held;
+  for (size_t i = 0; i < held; ++i) {
+    const TraceRecord& r = ring_[(start + i) % ring_.size()];
+    if (i) out += ',';
+    out += "{\"seq\":";
+    out += std::to_string(r.seq);
+    out += ",\"t_ns\":";
+    out += std::to_string(r.t_ns);
+    out += ",\"event\":\"";
+    out += to_string(static_cast<TraceEvent>(r.event));
+    out += "\",\"kind\":\"";
+    out += to_string(static_cast<TraceKind>(r.kind));
+    out += "\",\"node\":";
+    out += std::to_string(r.node);
+    out += ",\"a\":";
+    out += std::to_string(r.a);
+    out += ",\"b\":";
+    out += std::to_string(r.b);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace marea::obs

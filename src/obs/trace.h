@@ -1,0 +1,120 @@
+// Flight recorder — a fixed-size ring of compact binary trace records
+// (DESIGN.md "Observability").
+//
+// Every interesting middleware moment (publish, deliver, ack,
+// retransmit, timer fire, crash/restart, partition, drop, …) appends
+// one 40-byte POD record stamped with virtual time and a monotonic
+// sequence number. The ring is sized at construction and never
+// reallocates: recording is a bounds-mask store, safe on the datapath.
+// When an invariant trips, dump_json() reconstructs the event sequence
+// that led up to the failure — the story behind the assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace marea::obs {
+
+// What happened. Stored as u16 in the record; names in dumps.
+enum class TraceEvent : uint16_t {
+  kNone = 0,
+  kPublish,     // sample/event/file offered by a local service
+  kDeliver,     // handed to a local handler
+  kSend,        // left the container toward the network
+  kDrop,        // lost: wire loss, CRC/decode failure, stale epoch
+  kAck,         // reliable-link acknowledgment
+  kRetransmit,  // ARQ frame or MFTP chunk sent again
+  kTimer,       // a scheduled timer fired
+  kCrash,       // node powered off (NIC down)
+  kRestart,     // node powered back on
+  kPartition,   // partition installed
+  kHeal,        // all partitions removed
+  kDegrade,     // link fault overlay installed
+  kRestore,     // link fault overlay removed
+  kPeerLost,    // container declared a peer dead
+  kFailover,    // RPC call re-dispatched to another provider
+  kEmergency,   // the programmed emergency procedure ran
+  kHandlerCrash,  // a service handler threw
+  kStart,       // container started (incarnation in `a`)
+  kStop,        // container stopped
+  kViolation,   // test invariant violated (recorded by harnesses)
+};
+
+// Which subsystem / primitive the record belongs to.
+enum class TraceKind : uint16_t {
+  kNone = 0,
+  kVar,
+  kEvent,
+  kRpc,
+  kFile,
+  kControl,
+  kLink,   // reliable link (ARQ)
+  kNet,    // simulated wire
+  kNode,   // lifecycle
+  kChaos,  // injected faults
+};
+
+const char* to_string(TraceEvent e);
+const char* to_string(TraceKind k);
+
+struct TraceRecord {
+  int64_t t_ns = 0;    // virtual time
+  uint64_t seq = 0;    // monotonic, never wraps (gap-free while held)
+  uint32_t node = 0;   // container id, sim NodeId for kNet, 0 = domain
+  uint16_t event = 0;  // TraceEvent
+  uint16_t kind = 0;   // TraceKind
+  uint64_t a = 0;      // event-specific: channel, peer, msg seq, …
+  uint64_t b = 0;
+};
+static_assert(sizeof(TraceRecord) == 40, "trace records must stay compact");
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 8192);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Appends one record (overwriting the oldest when full). No
+  // allocation; a single store when disabled is avoided entirely.
+  void record(TimePoint t, TraceEvent event, TraceKind kind, uint32_t node,
+              uint64_t a = 0, uint64_t b = 0) {
+    if (!enabled_) return;
+    TraceRecord& r = ring_[next_ % ring_.size()];
+    r.t_ns = t.ns;
+    r.seq = ++last_seq_;
+    r.node = node;
+    r.event = static_cast<uint16_t>(event);
+    r.kind = static_cast<uint16_t>(kind);
+    r.a = a;
+    r.b = b;
+    next_++;
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  // Records currently held (≤ capacity).
+  size_t size() const { return next_ < ring_.size() ? next_ : ring_.size(); }
+  // Total ever recorded, including overwritten ones.
+  uint64_t total_recorded() const { return last_seq_; }
+
+  void clear();
+
+  // Oldest-to-newest copy of the live window.
+  std::vector<TraceRecord> snapshot() const;
+
+  // One JSON object per held record, oldest first:
+  //   {"seq":12,"t_ns":1500000,"event":"deliver","kind":"var",
+  //    "node":2,"a":914201,"b":7}
+  std::string dump_json() const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;        // total appended; write index = next_ % size
+  uint64_t last_seq_ = 0;  // seq of the newest record
+  bool enabled_ = true;
+};
+
+}  // namespace marea::obs

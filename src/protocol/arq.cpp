@@ -45,7 +45,14 @@ uint64_t ArqSender::send(InnerType inner_type, Buffer inner) {
 
 void ArqSender::transmit(Outstanding& out, bool retransmit) {
   stats_.frames_sent++;
-  if (retransmit) stats_.retransmits++;
+  if (retransmit) {
+    stats_.retransmits++;
+    if (trace_) {
+      trace_->record(executor_.now(), obs::TraceEvent::kRetransmit,
+                     obs::TraceKind::kLink, trace_self_, trace_peer_,
+                     out.msg.seq);
+    }
+  }
   send_fn_(out.msg);
   arm_timer(out.msg.seq);
 }

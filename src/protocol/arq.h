@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "sched/executor.h"
 #include "util/status.h"
@@ -58,6 +59,15 @@ class ArqSender {
   void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
   void set_on_failed(FailedFn fn) { on_failed_ = std::move(fn); }
 
+  // Optional flight recorder: every retransmission is recorded as a
+  // kRetransmit/kLink event with node = `self`, a = `peer` and b = the
+  // message sequence being resent. Null disables recording.
+  void set_trace(obs::TraceRing* trace, uint32_t self, uint64_t peer) {
+    trace_ = trace;
+    trace_self_ = self;
+    trace_peer_ = peer;
+  }
+
   // Queues one message for guaranteed delivery; returns its sequence.
   uint64_t send(InnerType inner_type, Buffer inner);
 
@@ -94,6 +104,9 @@ class ArqSender {
   std::map<uint64_t, Outstanding> outstanding_;
   std::deque<ReliableDataMsg> pending_;  // waiting for window space
   ArqSenderStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  uint32_t trace_self_ = 0;
+  uint64_t trace_peer_ = 0;
 };
 
 struct ArqReceiverStats {

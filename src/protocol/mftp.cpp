@@ -91,7 +91,13 @@ void MftpPublisher::send_next_chunk() {
                                   static_cast<size_t>(len)));
   stats_.chunks_sent++;
   stats_.payload_bytes_sent += msg.data.size();
-  if (round_ > 0) stats_.chunk_retransmits++;
+  if (round_ > 0) {
+    stats_.chunk_retransmits++;
+    if (trace_) {
+      trace_->record(executor_.now(), obs::TraceEvent::kRetransmit,
+                     obs::TraceKind::kFile, trace_self_, transfer_id_, index);
+    }
+  }
   send_chunk_(msg);
 
   timer_ = executor_.schedule(params_.chunk_interval,

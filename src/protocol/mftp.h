@@ -20,6 +20,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "sched/executor.h"
 #include "util/rle.h"
@@ -71,6 +72,14 @@ class MftpPublisher {
     on_subscriber_done_ = std::move(fn);
   }
   void set_on_idle(IdleFn fn) { on_idle_ = std::move(fn); }
+
+  // Optional flight recorder: round > 0 chunk sends (i.e. repair-round
+  // retransmits) are recorded as kRetransmit/kFile events with node =
+  // `self`, a = transfer id, b = chunk index.
+  void set_trace(obs::TraceRing* trace, uint32_t self) {
+    trace_ = trace;
+    trace_self_ = self;
+  }
 
   const FileMeta& meta() const { return meta_; }
   uint64_t transfer_id() const { return transfer_id_; }
@@ -124,6 +133,8 @@ class MftpPublisher {
   int status_retries_ = 0;
   sched::TaskTimerId timer_ = sched::kInvalidTaskTimer;
   MftpPublisherStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  uint32_t trace_self_ = 0;
 };
 
 struct MftpReceiverStats {

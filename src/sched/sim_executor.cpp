@@ -19,6 +19,11 @@ TaskTimerId SimExecutor::schedule(Duration delay, Priority priority,
                                   Task task, Duration cost) {
   return sim_.after(delay,
                     [this, priority, task = std::move(task), cost]() mutable {
+                      if (trace_) {
+                        trace_->record(sim_.now(), obs::TraceEvent::kTimer,
+                                       obs::TraceKind::kNone, trace_node_,
+                                       static_cast<uint64_t>(priority));
+                      }
                       post(priority, std::move(task), cost);
                     });
 }

@@ -13,6 +13,7 @@
 #include <array>
 #include <deque>
 
+#include "obs/trace.h"
 #include "sched/executor.h"
 #include "sim/simulator.h"
 
@@ -46,6 +47,20 @@ class SimExecutor final : public Executor {
   const SimExecutorStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SimExecutorStats{}; }
 
+  // Tasks currently waiting for the CPU (all priority queues).
+  size_t queued() const {
+    size_t n = fifo_queue_.size();
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+
+  // Optional flight recorder: every scheduled timer that actually fires
+  // is recorded as a kTimer event tagged with `node` (container id).
+  void set_trace(obs::TraceRing* trace, uint32_t node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
  private:
   struct Queued {
     Task task;
@@ -69,6 +84,8 @@ class SimExecutor final : public Executor {
   std::array<std::deque<Queued>, kPriorityCount> queues_;
   std::deque<Queued> fifo_queue_;
   SimExecutorStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  uint32_t trace_node_ = 0;
 };
 
 }  // namespace marea::sched

@@ -41,6 +41,11 @@ void SimNetwork::set_node_up(NodeId id, bool up) {
   Node& node = nodes_.at(id);
   if (node.up == up) return;
   node.up = up;
+  if (trace_) {
+    trace_->record(sim_.now(),
+                   up ? obs::TraceEvent::kRestart : obs::TraceEvent::kCrash,
+                   obs::TraceKind::kNode, id);
+  }
   if (!up) {
     // Anything already in flight toward this node captured the previous
     // epoch and is discarded on arrival — a powered-off NIC receives
@@ -75,13 +80,26 @@ bool SimNetwork::node_up(NodeId id) const { return nodes_.at(id).up; }
 
 void SimNetwork::set_link_faults(NodeId a, NodeId b, LinkFaults f) {
   faults_[{a, b}] = FaultState{f, false};
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceEvent::kDegrade,
+                   obs::TraceKind::kChaos, a, a, b);
+  }
 }
 
 void SimNetwork::clear_link_faults(NodeId a, NodeId b) {
-  faults_.erase({a, b});
+  if (faults_.erase({a, b}) > 0 && trace_) {
+    trace_->record(sim_.now(), obs::TraceEvent::kRestore,
+                   obs::TraceKind::kChaos, a, a, b);
+  }
 }
 
-void SimNetwork::clear_all_faults() { faults_.clear(); }
+void SimNetwork::clear_all_faults() {
+  if (!faults_.empty() && trace_) {
+    trace_->record(sim_.now(), obs::TraceEvent::kRestore,
+                   obs::TraceKind::kChaos, 0, 0, 0);
+  }
+  faults_.clear();
+}
 
 void SimNetwork::partition(const std::vector<NodeId>& a,
                            const std::vector<NodeId>& b) {
@@ -90,9 +108,20 @@ void SimNetwork::partition(const std::vector<NodeId>& a,
       if (x != y) blocked_.insert(ordered_pair(x, y));
     }
   }
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceEvent::kPartition,
+                   obs::TraceKind::kChaos, a.empty() ? 0 : a.front(),
+                   a.size(), b.size());
+  }
 }
 
-void SimNetwork::heal() { blocked_.clear(); }
+void SimNetwork::heal() {
+  if (!blocked_.empty() && trace_) {
+    trace_->record(sim_.now(), obs::TraceEvent::kHeal, obs::TraceKind::kChaos,
+                   0);
+  }
+  blocked_.clear();
+}
 
 Status SimNetwork::bind(Endpoint ep, RecvHandler handler) {
   if (ep.node >= nodes_.size()) {
@@ -284,12 +313,14 @@ Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
     if (blocked_.count(ordered_pair(from.node, dst.node))) {
       total_.packets_partitioned++;
       nodes_[dst.node].stats.packets_partitioned++;
+      trace_drop(from.node, dst.node, kDropPartitioned);
       continue;
     }
     LinkParams lp = link(from.node, dst.node);
     if (rng_.bernoulli(lp.loss)) {
       total_.packets_dropped++;
       nodes_[dst.node].stats.packets_dropped++;
+      trace_drop(from.node, dst.node, kDropLoss);
       continue;
     }
     // Refcount bump; apply_faults swaps in a mutated pooled copy only
@@ -300,6 +331,7 @@ Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
     if (!apply_faults(from.node, dst.node, pkt, extra, copies)) {
       total_.packets_dropped++;
       nodes_[dst.node].stats.packets_dropped++;
+      trace_drop(from.node, dst.node, kDropLoss);
       continue;
     }
     Duration prop = lp.latency + extra;
@@ -371,17 +403,20 @@ void SimNetwork::deliver(Endpoint from, Endpoint to, const SharedFrame& frame,
     // was in flight: it was lost on the dead NIC.
     total_.packets_stale_dropped++;
     nodes_[to.node].stats.packets_stale_dropped++;
+    trace_drop(from.node, to.node, kDropStale);
     return;
   }
   if (!nodes_[to.node].up) {
     total_.packets_unroutable++;
     nodes_[to.node].stats.packets_unroutable++;
+    trace_drop(from.node, to.node, kDropUnroutable);
     return;
   }
   auto it = bindings_.find(to);
   if (it == bindings_.end()) {
     total_.packets_unroutable++;
     nodes_[to.node].stats.packets_unroutable++;
+    trace_drop(from.node, to.node, kDropUnroutable);
     return;
   }
   total_.packets_delivered++;

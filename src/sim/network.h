@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/frame_pool.h"
@@ -201,6 +202,21 @@ class SimNetwork {
   const TrafficStats& node_stats(NodeId id) const;
   void reset_stats();
 
+  // --- observability ------------------------------------------------------
+  // Optional flight recorder: drops, partitions/heals, fault overlays
+  // and node up/down transitions are recorded as trace events. Null
+  // (the default) disables recording entirely.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+  obs::TraceRing* trace() const { return trace_; }
+
+  // Why a packet was dropped (TraceRecord::b of kNet kDrop records).
+  enum DropReason : uint64_t {
+    kDropLoss = 1,         // random/burst loss in transit
+    kDropPartitioned = 2,  // blocked by an active partition
+    kDropStale = 3,        // destination went down while in flight
+    kDropUnroutable = 4,   // no receiver bound / node down
+  };
+
  private:
   struct Node {
     std::string name;
@@ -262,6 +278,14 @@ class SimNetwork {
   std::vector<Endpoint> scratch_dests_;
   FramePool pool_;
   TrafficStats total_;
+  obs::TraceRing* trace_ = nullptr;
+
+  void trace_drop(NodeId from, NodeId to, DropReason why) {
+    if (trace_) {
+      trace_->record(sim_.now(), obs::TraceEvent::kDrop, obs::TraceKind::kNet,
+                     to, from, static_cast<uint64_t>(why));
+    }
+  }
 };
 
 }  // namespace marea::sim

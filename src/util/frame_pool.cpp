@@ -11,7 +11,7 @@ void release_slab(FrameSlab* slab) {
   std::unique_ptr<FrameSlab> owned(slab);
   if (!home) return;
   std::lock_guard<std::mutex> lock(home->mu);
-  if (home->free_list.size() >= home->max_free) return;
+  if (home->closed || home->free_list.size() >= home->max_free) return;
   // Keep capacity, drop contents: a re-acquired slab must start empty so
   // no stale bytes from a previous frame can leak into the next one.
   owned->data.clear();
@@ -24,6 +24,17 @@ FramePool::FramePool(size_t slab_reserve, size_t max_free)
     : core_(std::make_shared<detail::PoolCore>()) {
   core_->slab_reserve = slab_reserve;
   core_->max_free = max_free;
+}
+
+FramePool::~FramePool() {
+  std::vector<std::unique_ptr<detail::FrameSlab>> drained;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->closed = true;
+    drained.swap(core_->free_list);
+  }
+  // Slabs free outside the lock; outstanding frames keep the core alive
+  // (shared_ptr) and see `closed` when they release.
 }
 
 FrameLease FramePool::acquire(size_t size_hint) {

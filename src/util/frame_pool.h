@@ -44,6 +44,10 @@ struct PoolCore {
   std::vector<std::unique_ptr<FrameSlab>> free_list;
   size_t max_free;
   size_t slab_reserve;
+  // Set by ~FramePool(): frames released after the pool is gone free
+  // their slabs instead of parking them on a freelist nobody will ever
+  // drain again.
+  bool closed = false;
   // Monotonic counters (see FramePool::Stats).
   std::atomic<uint64_t> checkouts{0};
   std::atomic<uint64_t> pool_hits{0};
@@ -162,6 +166,13 @@ class FramePool {
   // `slab_reserve`: initial capacity of fresh slabs (typical frame size);
   // `max_free`: freelist cap — slabs beyond it are freed on release.
   explicit FramePool(size_t slab_reserve = 2048, size_t max_free = 64);
+  // Closes the core: the freelist is dropped now, and slabs still
+  // checked out (frames in flight in the simulator) free themselves on
+  // release instead of touching the dead freelist.
+  ~FramePool();
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
 
   // `size_hint` pre-reserves capacity for the coming frame.
   FrameLease acquire(size_t size_hint = 0);

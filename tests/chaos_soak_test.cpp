@@ -9,6 +9,7 @@
 // Every scenario is deterministic: same seed, same trace.
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -173,8 +174,18 @@ class SoakAuditor final : public Service {
   uint64_t event_hash() const { return ev_hash_; }
   const std::vector<std::string>& violations() const { return violations_; }
 
+  // Violations land in the domain flight recorder so a failure dump shows
+  // WHERE in the event sequence the invariant broke.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+  // Test-harness entry for exercising the dump-on-failure path.
+  void force_violation(std::string what) { violate(std::move(what)); }
+
  private:
   void violate(std::string what) {
+    if (trace_) {
+      trace_->record(now(), obs::TraceEvent::kViolation,
+                     obs::TraceKind::kChaos, 0, violations_.size() + 1, 0);
+    }
     if (violations_.size() < 32) violations_.push_back(std::move(what));
   }
 
@@ -234,6 +245,7 @@ class SoakAuditor final : public Service {
   }
 
   const SoakPublisher* pub_;
+  obs::TraceRing* trace_ = nullptr;
   std::vector<std::string> violations_;
   std::map<int64_t, int64_t> last_var_;  // generation -> highest n seen
   std::map<int64_t, uint64_t> last_var_seq_;  // generation -> wire seq
@@ -275,7 +287,14 @@ struct SoakWorld {
 
     auto& n3 = domain.add_node("backup");
     (void)n3.add_service(std::make_unique<BackupEcho>());
+
+    audit1->set_trace(&domain.obs().trace);
+    audit2->set_trace(&domain.obs().trace);
   }
+
+  // The flight-recorder dump printed when an invariant trips: metrics
+  // snapshot plus the event sequence leading up to the failure.
+  std::string failure_dump() { return domain.obs().dump_json(); }
 };
 
 std::string join(const std::vector<std::string>& lines) {
@@ -373,6 +392,12 @@ std::string run_scenario(uint64_t seed) {
   trace += " part=" + std::to_string(ns.packets_partitioned);
   trace += " stale=" + std::to_string(ns.packets_stale_dropped);
   trace += "\n";
+
+  if (::testing::Test::HasFailure()) {
+    std::cerr << "[flight-recorder] seed " << seed
+              << " invariant failure, domain dump follows:\n"
+              << w.failure_dump() << "\n";
+  }
   return trace;
 }
 
@@ -420,6 +445,39 @@ TEST(ChaosSoakTest, PublisherDeathMidTransferContentIntactAfterRestart) {
       << "file did not flow after publisher restart";
   EXPECT_TRUE(w.audit2->violations().empty())
       << join(w.audit2->violations());
+}
+
+TEST(ChaosSoakTest, ForcedInvariantFailureProducesFlightRecorderDump) {
+  // Acceptance check for the observability layer: when an invariant
+  // trips, the dump names the event sequence that led up to it.
+  set_log_level(LogLevel::kError);
+  SoakWorld w(5);
+  w.domain.start_all();
+  w.domain.run_for(milliseconds(500));
+  for (int i = 0; i < 20; ++i) {
+    w.pub->tick();
+    w.domain.run_for(milliseconds(10));
+  }
+
+  w.audit2->force_violation("forced: dump-on-failure acceptance probe");
+  ASSERT_FALSE(w.audit2->violations().empty());
+  std::string dump = w.failure_dump();
+
+  // The violation itself is in the ring...
+  EXPECT_NE(dump.find("\"event\":\"violation\""), std::string::npos);
+  // ...preceded by the traffic that led up to it...
+  EXPECT_NE(dump.find("\"event\":\"publish\""), std::string::npos);
+  EXPECT_NE(dump.find("\"event\":\"deliver\""), std::string::npos);
+  EXPECT_NE(dump.find("\"event\":\"start\""), std::string::npos);
+  // ...alongside the metrics snapshot.
+  EXPECT_NE(dump.find("\"mw.1.var_publishes\""), std::string::npos);
+  EXPECT_NE(dump.find("\"mw.var_latency_us\""), std::string::npos);
+
+  // The violation record must be the NEWEST trace entry (it just fired).
+  auto snap = w.domain.obs().trace.snapshot();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_EQ(static_cast<obs::TraceEvent>(snap.back().event),
+            obs::TraceEvent::kViolation);
 }
 
 TEST(ChaosSoakTest, EmergencyRaisedIffNoProviderPastGrace) {

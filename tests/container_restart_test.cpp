@@ -5,6 +5,7 @@
 // being gated by ghosts of the previous life.
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <memory>
 
 #include "encoding/typed.h"
@@ -97,6 +98,16 @@ struct RestartRig {
     set_log_level(LogLevel::kError);
     domain.start_all();
     domain.run_for(milliseconds(500));
+  }
+
+  // On invariant failure, dump the flight recorder so the failing event
+  // sequence (crash/restart/heartbeat ordering) is visible in CI logs.
+  ~RestartRig() {
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[flight-recorder] restart-rig failure, domain dump "
+                   "follows:\n"
+                << domain.obs().dump_json() << "\n";
+    }
   }
 };
 

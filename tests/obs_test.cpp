@@ -1,0 +1,304 @@
+// Observability layer: stable histogram buckets, allocation-free trace
+// ring, deterministic JSON dumps, and the SimDomain wiring that feeds
+// the flight recorder from real middleware traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+#include "obs/obs.h"
+
+// Global allocation counter: lets the ring-wrap test prove that
+// TraceRing::record never touches the heap after construction.
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace marea::obs {
+namespace {
+
+// --- histogram bucket stability --------------------------------------------
+
+TEST(MetricsTest, LatencyBucketBoundsAreStable) {
+  const auto& bounds = latency_bounds_us();
+  // The bucket layout is a wire-format contract: dumps from different
+  // runs (and the bench_compare baseline) align bucket-for-bucket.
+  ASSERT_EQ(bounds.size(), 27u);
+  EXPECT_EQ(bounds.front(), 1);
+  EXPECT_EQ(bounds.back(), int64_t{1} << 26);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], bounds[i - 1] * 2);
+  }
+}
+
+TEST(MetricsTest, HistogramRecordsIntoCorrectBuckets) {
+  Histogram h(latency_bounds_us());
+  h.record(1);    // bucket 0 (<= 1)
+  h.record(2);    // bucket 1 (<= 2)
+  h.record(3);    // bucket 2 (<= 4)
+  h.record(100);  // bucket 7 (<= 128)
+  h.record((int64_t{1} << 26) + 1);  // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), (int64_t{1} << 26) + 1);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[7], 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+  // quantile_bound truncates the rank (floor(q*count)): p50 of 5 samples
+  // is rank 2, whose bucket bound is 2; p100 lands in the overflow bucket
+  // and reports the last bound.
+  EXPECT_EQ(h.quantile_bound(0.5), 2);
+  EXPECT_EQ(h.quantile_bound(1.0), int64_t{1} << 26);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstrumentRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.inc(3);
+  // Registering more names must not move existing instruments.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter_value("x"), 3u);
+  // Same name, same histogram — this is what lets every container share
+  // one domain-wide latency distribution.
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+}
+
+TEST(MetricsTest, CollectorsRunAtSnapshotTimeOnly) {
+  MetricsRegistry reg;
+  int runs = 0;
+  uint64_t token = reg.add_collector([&](MetricsRegistry& r) {
+    runs++;
+    r.counter("collected").set(42);
+  });
+  EXPECT_EQ(runs, 0);  // registration alone never invokes
+  reg.collect();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(reg.counter_value("collected"), 42u);
+  reg.remove_collector(token);
+  reg.collect();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(MetricsTest, DumpJsonIsDeterministicAndEscaped) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a\"quote").inc(1);
+  reg.gauge("g").set(-5);
+  reg.histogram("h").record(3);
+  std::string first = reg.dump_json();
+  std::string second = reg.dump_json();
+  EXPECT_EQ(first, second);
+  // Lexicographic key order and escaped quote.
+  EXPECT_NE(first.find("\"a\\\"quote\":1,\"b\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"g\":-5"), std::string::npos);
+  EXPECT_NE(first.find("\"count\":1"), std::string::npos);
+}
+
+// --- trace ring ------------------------------------------------------------
+
+TEST(TraceTest, RingWrapsWithoutAllocation) {
+  TraceRing ring(/*capacity=*/64);
+  // Warm-up record so any lazy setup happens before we start counting.
+  ring.record(TimePoint{1}, TraceEvent::kPublish, TraceKind::kVar, 1, 0, 0);
+
+  uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ring.record(TimePoint{i}, TraceEvent::kDeliver, TraceKind::kVar, 2,
+                static_cast<uint64_t>(i), 0);
+  }
+  uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "record() must never heap-allocate";
+
+  EXPECT_EQ(ring.size(), 64u);
+  EXPECT_EQ(ring.total_recorded(), 1001u);
+  // The ring holds the NEWEST 64 records, oldest-first, seq contiguous.
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+  }
+  EXPECT_EQ(snap.back().seq, 1001u);
+}
+
+TEST(TraceTest, DisabledRingRecordsNothing) {
+  TraceRing ring(16);
+  ring.set_enabled(false);
+  ring.record(TimePoint{1}, TraceEvent::kCrash, TraceKind::kNode, 1, 0, 0);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  ring.set_enabled(true);
+  ring.record(TimePoint{2}, TraceEvent::kRestart, TraceKind::kNode, 1, 0, 0);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TraceTest, DumpJsonRoundTripsRecordFields) {
+  TraceRing ring(16);
+  ring.record(TimePoint{1500}, TraceEvent::kPublish, TraceKind::kVar, 3, 77,
+              9);
+  ring.record(TimePoint{2500}, TraceEvent::kRetransmit, TraceKind::kLink, 4,
+              5, 6);
+  std::string json = ring.dump_json();
+  EXPECT_NE(json.find("{\"seq\":1,\"t_ns\":1500,\"event\":\"publish\","
+                      "\"kind\":\"var\",\"node\":3,\"a\":77,\"b\":9}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"event\":\"retransmit\",\"kind\":\"link\",\"node\":4"),
+            std::string::npos)
+      << json;
+  // Snapshot agrees with the serialized form.
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].t_ns, 1500);
+  EXPECT_EQ(snap[0].a, 77u);
+  EXPECT_EQ(static_cast<TraceEvent>(snap[1].event),
+            TraceEvent::kRetransmit);
+}
+
+}  // namespace
+}  // namespace marea::obs
+
+// --- domain wiring ----------------------------------------------------------
+
+namespace marea::mw {
+namespace {
+
+struct ObsReading {
+  double value = 0;
+};
+
+}  // namespace
+}  // namespace marea::mw
+
+MAREA_REFLECT(marea::mw::ObsReading, value)
+
+namespace marea::mw {
+namespace {
+
+class ObsSensor final : public Service {
+ public:
+  ObsSensor() : Service("sensor") {}
+  Status on_start() override {
+    auto handle = provide_variable<ObsReading>(
+        "obs.reading", {.period = milliseconds(20)});
+    if (!handle.ok()) return handle.status();
+    handle_ = *handle;
+    return handle_.publish(ObsReading{1.0});
+  }
+  VariableHandle handle_;
+};
+
+class ObsConsumer final : public Service {
+ public:
+  ObsConsumer() : Service("consumer") {}
+  Status on_start() override {
+    return subscribe_variable<ObsReading>(
+        "obs.reading",
+        [this](const ObsReading&, const SampleInfo&) { received++; });
+  }
+  int received = 0;
+};
+
+std::string run_workload_and_dump(uint64_t seed) {
+  SimDomain domain(seed);
+  auto& producer = domain.add_node("producer");
+  (void)producer.add_service(std::make_unique<ObsSensor>());
+  auto& consumer_node = domain.add_node("consumer");
+  auto consumer = std::make_unique<ObsConsumer>();
+  auto* consumer_ptr = consumer.get();
+  (void)consumer_node.add_service(std::move(consumer));
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+  EXPECT_GT(consumer_ptr->received, 0);
+  std::string dump = domain.obs().dump_json();
+  domain.stop_all();
+  return dump;
+}
+
+TEST(ObsDomainTest, TrafficFeedsMetricsAndTrace) {
+  SimDomain domain(7);
+  auto& producer = domain.add_node("producer");
+  (void)producer.add_service(std::make_unique<ObsSensor>());
+  auto& consumer_node = domain.add_node("consumer");
+  (void)consumer_node.add_service(std::make_unique<ObsConsumer>());
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+
+  auto& reg = domain.obs().metrics;
+  reg.collect();
+  EXPECT_GT(reg.counter_value("mw.1.var_publishes"), 0u);
+  EXPECT_GT(reg.counter_value("mw.2.var_samples_received"), 0u);
+  EXPECT_GT(reg.counter_value("net.packets_delivered"), 0u);
+  EXPECT_GT(reg.counter_value("pool.checkouts"), 0u);
+  EXPECT_GT(reg.counter_value("svc.1.sensor.var_publishes"), 0u);
+  EXPECT_GT(reg.counter_value("svc.1.sensor.payload_bytes_sent"), 0u);
+  const auto* lat = reg.find_histogram("mw.var_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->count(), 0u);
+  // Variable publish/deliver events landed in the flight recorder.
+  bool saw_publish = false;
+  bool saw_deliver = false;
+  for (const auto& r : domain.obs().trace.snapshot()) {
+    if (static_cast<obs::TraceEvent>(r.event) == obs::TraceEvent::kPublish &&
+        static_cast<obs::TraceKind>(r.kind) == obs::TraceKind::kVar) {
+      saw_publish = true;
+    }
+    if (static_cast<obs::TraceEvent>(r.event) == obs::TraceEvent::kDeliver &&
+        static_cast<obs::TraceKind>(r.kind) == obs::TraceKind::kVar) {
+      saw_deliver = true;
+    }
+  }
+  EXPECT_TRUE(saw_publish);
+  EXPECT_TRUE(saw_deliver);
+  domain.stop_all();
+}
+
+TEST(ObsDomainTest, SameSeedRunsDumpByteIdenticalJson) {
+  // The flight recorder and registry must add zero nondeterminism: two
+  // identical runs produce identical dumps, byte for byte.
+  // (Different seeds may legitimately coincide on a lossless default
+  // link, so only the equality direction is asserted.)
+  std::string a = run_workload_and_dump(1234);
+  std::string b = run_workload_and_dump(1234);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsDomainTest, DomainTeardownWithInFlightTrafficIsClean) {
+  // Destroy the domain mid-traffic: packets still hold pooled frames when
+  // the FramePool (inside SimNetwork) dies. The pool's closed-flag
+  // teardown must free those slabs on release, not recycle them into a
+  // dead freelist (ASan would flag either mistake).
+  for (int i = 0; i < 3; ++i) {
+    SimDomain domain(99 + static_cast<uint64_t>(i));
+    auto& producer = domain.add_node("producer");
+    (void)producer.add_service(std::make_unique<ObsSensor>());
+    auto& consumer_node = domain.add_node("consumer");
+    (void)consumer_node.add_service(std::make_unique<ObsConsumer>());
+    domain.start_all();
+    // Run just long enough that sends are queued/in flight, then drop the
+    // whole domain without draining or stop_all().
+    domain.run_for(milliseconds(105));
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace marea::mw
