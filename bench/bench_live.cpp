@@ -1,0 +1,273 @@
+// Live-datapath bench (experiment X8): the kernel-path companion to
+// bench_hotpath. One sender fans a pooled SharedFrame out to 8 receiver
+// transports over real loopback-alias UDP sockets (one process, nine
+// epoll loops) and we ask the same question as X7: what does ONE
+// published sample cost at fan-out 8, in heap allocations and payload
+// bytes copied in user space?
+//
+// The JSON document uses the exact keys bench_hotpath emits, so
+// scripts/bench_compare.py gates it against bench/baselines/live.json
+// with no special casing, and BENCH_live.json lands next to
+// BENCH_hotpath.json as the second point of the perf trajectory — sim
+// datapath and kernel datapath, same ruler. Latency here is real wall
+// time: send_frame_broadcast() until all 8 receivers' frame handlers
+// have run.
+//
+// Environments that forbid loopback sockets (some CI sandboxes) get
+// {"skipped": true} and exit 0; the compare script passes a skipped run
+// with a note rather than failing the leg.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/udp_transport.h"
+
+// --- global heap instrumentation -------------------------------------------
+// Same ground truth as bench_hotpath: every heap allocation the process
+// makes, on any thread — including the nine poll threads — lands in the
+// per-sample denominator.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t n) { return ::operator new(n); }
+void* operator new(size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace marea::bench {
+namespace {
+
+using transport::UdpTransport;
+using transport::UdpTransportOptions;
+
+constexpr int kFanout = 8;
+constexpr size_t kPayloadBytes = 256;
+constexpr uint16_t kPort = 9800;
+constexpr int kWarmupSamples = 200;
+constexpr int kMeasuredSamples = 2000;
+// Loopback fan-out completes in tens of microseconds; a round that has
+// not landed after this long counts as incomplete and its latency is not
+// recorded (the delivered-fraction sanity check catches systemic loss).
+constexpr auto kRoundTimeout = std::chrono::milliseconds(50);
+
+struct Snapshot {
+  uint64_t allocs = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t payload_allocs = 0;
+  uint64_t payload_copies = 0;
+  uint64_t payload_bytes_copied = 0;
+  uint64_t bytes_sent = 0;
+
+  // Heap counters read strictly outside the registry collect windows,
+  // exactly as in bench_hotpath: "before" reads heap last, "after" reads
+  // heap first.
+  static Snapshot before(obs::MetricsRegistry& reg) {
+    reg.collect();
+    Snapshot s = read_registry(reg);
+    s.read_heap();
+    return s;
+  }
+  static Snapshot after(obs::MetricsRegistry& reg) {
+    Snapshot s;
+    s.read_heap();
+    reg.collect();
+    Snapshot vals = read_registry(reg);
+    vals.allocs = s.allocs;
+    vals.alloc_bytes = s.alloc_bytes;
+    return vals;
+  }
+
+ private:
+  void read_heap() {
+    allocs = g_alloc_count.load(std::memory_order_relaxed);
+    alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  }
+  static Snapshot read_registry(const obs::MetricsRegistry& reg) {
+    Snapshot s;
+    s.payload_allocs = reg.counter_value("net.payload_allocs");
+    s.payload_copies = reg.counter_value("net.payload_copies");
+    s.payload_bytes_copied = reg.counter_value("net.payload_bytes_copied");
+    s.bytes_sent = reg.counter_value("net.bytes_sent");
+    return s;
+  }
+};
+
+int run() {
+  // The registry outlives every transport whose collector it hosts.
+  obs::Observability obs;
+
+  // MTU-sized receive slabs: the realistic deployment shape, and it keeps
+  // the per-batch slab resize cheap compared to 64 KB worst-case slabs.
+  UdpTransportOptions opts;
+  opts.recv_buffer = 2048;
+
+  std::unique_ptr<UdpTransport> sender;
+  std::vector<std::unique_ptr<UdpTransport>> receivers;
+  std::vector<transport::HostId> hosts;
+  try {
+    sender = std::make_unique<UdpTransport>("127.0.0.1", opts);
+    hosts.push_back(transport::ipv4_host("127.0.0.1"));
+    for (int i = 0; i < kFanout; ++i) {
+      std::string ip = "127.0.0." + std::to_string(i + 2);
+      receivers.push_back(std::make_unique<UdpTransport>(ip, opts));
+      hosts.push_back(transport::ipv4_host(ip));
+    }
+  } catch (const std::exception& e) {
+    std::printf("{\n  \"bench\": \"live\",\n  \"skipped\": true,\n"
+                "  \"reason\": \"%s\"\n}\n", e.what());
+    return 0;
+  }
+  sender->set_peers(hosts);
+  sender->set_obs(&obs, "net");
+
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> bad_frames{0};
+  for (auto& rx : receivers) {
+    Status s = rx->bind_frames(kPort, [&](transport::Address,
+                                          SharedFrame frame) {
+      if (frame.size() != kPayloadBytes) {
+        bad_frames.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Counting is the entire handler: the zero-copy claim is that the
+      // pooled slab reaches this point with no user-space copy, which the
+      // gated net.payload_bytes_copied counter asserts.
+      delivered.fetch_add(1, std::memory_order_release);
+    });
+    if (!s.is_ok()) {
+      std::printf("{\n  \"bench\": \"live\",\n  \"skipped\": true,\n"
+                  "  \"reason\": \"bind failed: %s\"\n}\n",
+                  s.to_string().c_str());
+      return 0;
+    }
+  }
+
+  obs::MetricsRegistry& reg = obs.metrics;
+  obs::Histogram& fanout_latency = reg.histogram("live.fanout_latency_us");
+
+  // One round: share a pooled frame across the whole peer list in a
+  // single sendmmsg, then spin until every receiver's handler has run.
+  // Returns the wall latency in microseconds, or -1 on timeout.
+  auto round = [&]() -> double {
+    uint64_t target = delivered.load(std::memory_order_acquire) + kFanout;
+    FrameLease lease = sender->frame_pool().acquire(kPayloadBytes);
+    lease.buffer().assign(kPayloadBytes, 0x5A);
+    auto t0 = std::chrono::steady_clock::now();
+    (void)sender->send_frame_broadcast(kPort, kPort,
+                                       std::move(lease).freeze());
+    auto deadline = t0 + kRoundTimeout;
+    while (delivered.load(std::memory_order_acquire) < target) {
+      if (std::chrono::steady_clock::now() >= deadline) return -1.0;
+      std::this_thread::yield();
+    }
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Warm-up: primes ARP-free loopback paths, every pool freelist, and
+  // the shared send socket, so the measured loop sees steady state.
+  for (int i = 0; i < kWarmupSamples; ++i) (void)round();
+  fanout_latency.reset();
+
+  int incomplete = 0;
+  uint64_t delivered_start = delivered.load(std::memory_order_acquire);
+  Snapshot before = Snapshot::before(reg);
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMeasuredSamples; ++i) {
+    double us = round();
+    if (us < 0) {
+      ++incomplete;
+    } else {
+      fanout_latency.record(static_cast<int64_t>(us));
+    }
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+  Snapshot after = Snapshot::after(reg);
+  uint64_t got =
+      delivered.load(std::memory_order_acquire) - delivered_start;
+
+  double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double n = kMeasuredSamples;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"live\",\n");
+  std::printf("  \"fanout\": %d,\n", kFanout);
+  std::printf("  \"payload_bytes\": %zu,\n", kPayloadBytes);
+  std::printf("  \"samples\": %d,\n", kMeasuredSamples);
+  std::printf("  \"incomplete_rounds\": %d,\n", incomplete);
+  std::printf("  \"delivered_per_sample\": %.3f,\n",
+              static_cast<double>(got) / n);
+  std::printf("  \"heap_allocs_per_sample\": %.2f,\n",
+              static_cast<double>(after.allocs - before.allocs) / n);
+  std::printf("  \"heap_bytes_per_sample\": %.1f,\n",
+              static_cast<double>(after.alloc_bytes - before.alloc_bytes) / n);
+  std::printf("  \"net_payload_allocs_per_sample\": %.2f,\n",
+              static_cast<double>(after.payload_allocs -
+                                  before.payload_allocs) / n);
+  std::printf("  \"net_payload_copies_per_sample\": %.2f,\n",
+              static_cast<double>(after.payload_copies -
+                                  before.payload_copies) / n);
+  std::printf("  \"net_payload_bytes_copied_per_sample\": %.1f,\n",
+              static_cast<double>(after.payload_bytes_copied -
+                                  before.payload_bytes_copied) / n);
+  std::printf("  \"wire_bytes_per_sample\": %.1f,\n",
+              static_cast<double>(after.bytes_sent -
+                                  before.bytes_sent) / n);
+  std::printf("  \"mean_latency_us\": %.2f,\n", fanout_latency.mean());
+  std::printf("  \"p99_latency_us\": %.2f,\n",
+              static_cast<double>(fanout_latency.quantile_bound(0.99)));
+  std::printf("  \"samples_per_sec_wall\": %.0f\n",
+              n / (wall_s > 0 ? wall_s : 1e-9));
+  std::printf("}\n");
+
+  // Sanity: the per-sample numbers are meaningless unless (nearly) every
+  // sample fanned out to all receivers, intact.
+  if (bad_frames.load() != 0) {
+    std::fprintf(stderr, "live bench: %llu malformed frames delivered\n",
+                 static_cast<unsigned long long>(bad_frames.load()));
+    return 1;
+  }
+  if (static_cast<double>(got) <
+      0.95 * static_cast<double>(kMeasuredSamples) * kFanout) {
+    std::fprintf(stderr, "live bench: fan-out incomplete (%llu/%llu)\n",
+                 static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(
+                     static_cast<uint64_t>(kMeasuredSamples) * kFanout));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace marea::bench
+
+int main() { return marea::bench::run(); }

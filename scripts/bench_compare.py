@@ -14,6 +14,10 @@ optimised for:
 A zero baseline gets no relative headroom: the current value must also be
 zero. Everything else in the JSON is reported for context but never
 gates, since wall-clock throughput is machine-dependent.
+
+A current run marked {"skipped": true} (bench_live on a sandbox that
+forbids loopback sockets) passes with a note: an environment limitation
+is not a perf regression.
 """
 
 import json
@@ -44,6 +48,12 @@ def main() -> int:
         baseline = json.load(f)
     with open(sys.argv[2]) as f:
         current = json.load(f)
+
+    if current.get("skipped"):
+        reason = current.get("reason", "no reason given")
+        print(f"bench_compare: {sys.argv[2]} skipped ({reason}) — "
+              "passing without comparison")
+        return 0
 
     failures = []
     print(f"bench_compare: {sys.argv[2]} vs baseline {sys.argv[1]}")

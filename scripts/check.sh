@@ -3,9 +3,10 @@
 # AddressSanitizer + UBSan (-DMAREA_SANITIZE=ON). The chaos soak drives
 # the middleware through loss bursts, partitions, and crash/restart
 # cycles, so a sanitized run of the suite is the cheapest way to catch
-# lifetime bugs in the recovery paths. Finally the Release hot-path bench
-# runs and scripts/bench_compare.py gates it against the committed
-# baseline (bench/baselines/hotpath.json). The CI workflow
+# lifetime bugs in the recovery paths. Finally the Release benches run —
+# bench_hotpath (sim datapath) and bench_live (kernel datapath) — and
+# scripts/bench_compare.py gates each against its committed baseline
+# (bench/baselines/{hotpath,live}.json). The CI workflow
 # (.github/workflows/ci.yml) runs these same three legs as a matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,12 +23,18 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 
 echo "== release hot-path bench (BENCH_hotpath.json) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j"$(nproc)" --target bench_hotpath
+cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
 
-echo "== bench regression gate =="
+echo "== release live-datapath bench (BENCH_live.json) =="
+./build-release/bench/bench_live > BENCH_live.json
+cat BENCH_live.json
+
+echo "== bench regression gates =="
 python3 scripts/bench_compare.py bench/baselines/hotpath.json \
   BENCH_hotpath.json
+python3 scripts/bench_compare.py bench/baselines/live.json \
+  BENCH_live.json
 
 echo "check.sh: all green"

@@ -365,6 +365,12 @@ void ServiceContainer::send_frame(transport::Address to, proto::MsgType type,
                                   SharedFrame frame) {
   Status s = transport_.send_frame(config_.data_port, to, std::move(frame));
   if (!s.is_ok()) {
+    // On the live UDP path a refused send is a real event (socket buffer
+    // pressure, unreachable peer): count and trace it — ARQ / periodic
+    // republish recover the data, the counter explains the retransmits.
+    stats_.frames_send_failed++;
+    trace_ev(obs::TraceEvent::kDrop, obs::TraceKind::kNet,
+             static_cast<uint64_t>(type), to.host);
     MAREA_LOG(kDebug, kLog) << qualify(config_) << " send "
                             << proto::msg_type_name(type) << " to "
                             << transport::to_string(to)
@@ -751,6 +757,7 @@ void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
   reg.counter(p + "file_local_bypasses").set(stats_.file_local_bypasses);
   reg.counter(p + "frames_received").set(stats_.frames_received);
   reg.counter(p + "frames_dropped").set(stats_.frames_dropped);
+  reg.counter(p + "frames_send_failed").set(stats_.frames_send_failed);
   reg.counter(p + "name_queries_sent").set(stats_.name_queries_sent);
   reg.counter(p + "emergencies").set(stats_.emergencies);
 

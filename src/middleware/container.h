@@ -105,6 +105,8 @@ struct ContainerStats {
   // infrastructure
   uint64_t frames_received = 0;
   uint64_t frames_dropped = 0;        // CRC/decode failures
+  uint64_t frames_send_failed = 0;    // transport refused the send (live
+                                      // UDP: buffer pressure, no route)
   uint64_t name_queries_sent = 0;
   uint64_t emergencies = 0;
 };

@@ -3,10 +3,11 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -29,6 +30,51 @@ in_addr_t group_ip(GroupId group) {
   return htonl(0xEF4D0000u | (group & 0xFFFFu));
 }
 
+// recvmmsg/sendmmsg are Linux syscalls; elsewhere (or if the kernel
+// reports ENOSYS) the batch degrades to one recvmsg/sendmsg per call.
+#if defined(__linux__)
+constexpr bool kHaveMmsg = true;
+#else
+constexpr bool kHaveMmsg = false;
+struct mmsghdr {
+  msghdr msg_hdr;
+  unsigned int msg_len;
+};
+#endif
+
+std::atomic<bool> g_mmsg_enosys{false};
+
+int recv_batch(int fd, mmsghdr* msgs, unsigned int n) {
+#if defined(__linux__)
+  if (kHaveMmsg && !g_mmsg_enosys.load(std::memory_order_relaxed)) {
+    int got = recvmmsg(fd, msgs, n, MSG_DONTWAIT, nullptr);
+    if (got >= 0 || errno != ENOSYS) return got;
+    g_mmsg_enosys.store(true, std::memory_order_relaxed);
+  }
+#endif
+  ssize_t got = recvmsg(fd, &msgs[0].msg_hdr, MSG_DONTWAIT);
+  if (got < 0) return -1;
+  msgs[0].msg_len = static_cast<unsigned int>(got);
+  return 1;
+}
+
+int send_batch(int fd, mmsghdr* msgs, unsigned int n) {
+#if defined(__linux__)
+  if (kHaveMmsg && !g_mmsg_enosys.load(std::memory_order_relaxed)) {
+    int sent = sendmmsg(fd, msgs, n, 0);
+    if (sent >= 0 || errno != ENOSYS) return sent;
+    g_mmsg_enosys.store(true, std::memory_order_relaxed);
+  }
+#endif
+  unsigned int sent = 0;
+  for (; sent < n; ++sent) {
+    ssize_t rc = sendmsg(fd, &msgs[sent].msg_hdr, 0);
+    if (rc < 0) return sent > 0 ? static_cast<int>(sent) : -1;
+    msgs[sent].msg_len = static_cast<unsigned int>(rc);
+  }
+  return static_cast<int>(sent);
+}
+
 }  // namespace
 
 HostId ipv4_host(const std::string& dotted) {
@@ -45,15 +91,39 @@ std::string host_to_ipv4(HostId host) {
   return buf;
 }
 
-UdpTransport::UdpTransport(const std::string& local_ip)
-    : local_host_(ipv4_host(local_ip)) {
+UdpTransport::Socket::~Socket() {
+  if (fd >= 0) ::close(fd);
+}
+
+UdpTransport::UdpTransport(const std::string& local_ip,
+                           UdpTransportOptions options)
+    : local_host_(ipv4_host(local_ip)),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {
   if (local_host_ == 0) {
     throw std::runtime_error("UdpTransport: bad local ip " + local_ip);
   }
+  if (options_.recv_batch < 1) options_.recv_batch = 1;
+  if (options_.max_batches_per_event < 1) options_.max_batches_per_event = 1;
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("UdpTransport: epoll_create1 failed");
+  }
   if (pipe(wake_pipe_) != 0) {
+    ::close(epoll_fd_);
     throw std::runtime_error("UdpTransport: pipe() failed");
   }
   fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // token 0 = wake pipe
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) != 0) {
+    ::close(epoll_fd_);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    throw std::runtime_error("UdpTransport: epoll_ctl(wake) failed");
+  }
   running_ = true;
   poller_ = std::thread([this] { poll_loop(); });
 }
@@ -62,19 +132,106 @@ UdpTransport::~UdpTransport() {
   running_ = false;
   wake_poller();
   if (poller_.joinable()) poller_.join();
-  std::lock_guard lock(mutex_);
-  for (auto& [key, sock] : sockets_) {
-    if (sock.fd >= 0) close(sock.fd);
+  obs::Observability* obs = nullptr;
+  uint64_t token = 0;
+  {
+    std::lock_guard lock(mutex_);
+    obs = obs_;
+    token = obs_token_;
+    obs_ = nullptr;
+    obs_token_ = 0;
+    // Sockets close their fds as the last references die — all of them
+    // live in these tables now that the poll thread is joined.
+    by_token_.clear();
+    by_key_.clear();
+    if (send_fd_ >= 0) ::close(send_fd_);
+    send_fd_ = -1;
   }
-  sockets_.clear();
-  if (send_fd_ >= 0) close(send_fd_);
-  close(wake_pipe_[0]);
-  close(wake_pipe_[1]);
+  if (obs && token != 0) obs->metrics.remove_collector(token);
+  ::close(epoll_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
 }
 
 void UdpTransport::set_peers(std::vector<HostId> peers) {
   std::lock_guard lock(mutex_);
   peers_ = std::move(peers);
+}
+
+void UdpTransport::set_obs(obs::Observability* obs,
+                           const std::string& prefix) {
+  obs::Observability* old = nullptr;
+  uint64_t old_token = 0;
+  {
+    std::lock_guard lock(mutex_);
+    old = obs_;
+    old_token = obs_token_;
+    obs_ = obs;
+    obs_token_ = 0;
+  }
+  if (old && old_token != 0) old->metrics.remove_collector(old_token);
+  if (!obs) return;
+  uint64_t token = obs->metrics.add_collector(
+      [this, p = prefix + "."](obs::MetricsRegistry& reg) {
+        NetCounters c = net_counters();
+        reg.counter(p + "frames_sent").set(c.frames_sent);
+        reg.counter(p + "bytes_sent").set(c.bytes_sent);
+        reg.counter(p + "frames_received").set(c.frames_received);
+        reg.counter(p + "bytes_received").set(c.bytes_received);
+        reg.counter(p + "drops_truncated").set(c.drops_truncated);
+        reg.counter(p + "send_errors").set(c.send_errors);
+        reg.counter(p + "recv_errors").set(c.recv_errors);
+        reg.counter(p + "socket_errors").set(c.socket_errors);
+        reg.counter(p + "recv_batches").set(c.recv_batches);
+        reg.counter(p + "own_copies_filtered").set(c.own_copies_filtered);
+        // Same meaning as the sim's net.payload_* datapath counters:
+        // payload buffer heap allocations and user-space payload copies
+        // (the kernel's per-destination copy is inherent to UDP and shows
+        // up as bytes_sent/bytes_received instead).
+        const FramePool::Stats ps = frame_pool().stats();
+        reg.counter(p + "payload_allocs").set(ps.slab_allocs);
+        reg.counter(p + "payload_copies").set(c.payload_copies);
+        reg.counter(p + "payload_bytes_copied").set(c.payload_bytes_copied);
+        reg.counter(p + "pool_checkouts").set(ps.checkouts);
+        reg.counter(p + "pool_hits").set(ps.pool_hits);
+      });
+  std::lock_guard lock(mutex_);
+  obs_token_ = token;
+}
+
+UdpTransport::NetCounters UdpTransport::net_counters() const {
+  NetCounters c;
+  c.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  c.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  c.frames_received = stats_.frames_received.load(std::memory_order_relaxed);
+  c.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  c.drops_truncated =
+      stats_.drops_truncated.load(std::memory_order_relaxed);
+  c.send_errors = stats_.send_errors.load(std::memory_order_relaxed);
+  c.recv_errors = stats_.recv_errors.load(std::memory_order_relaxed);
+  c.socket_errors = stats_.socket_errors.load(std::memory_order_relaxed);
+  c.recv_batches = stats_.recv_batches.load(std::memory_order_relaxed);
+  c.own_copies_filtered =
+      stats_.own_copies_filtered.load(std::memory_order_relaxed);
+  c.payload_copies = stats_.payload_copies.load(std::memory_order_relaxed);
+  c.payload_bytes_copied =
+      stats_.payload_bytes_copied.load(std::memory_order_relaxed);
+  return c;
+}
+
+int64_t UdpTransport::trace_now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void UdpTransport::trace_drop(obs::TraceEvent ev, uint64_t a, uint64_t b) {
+  // Cold path only (drops/errors). The ring is not thread-safe, so the
+  // table lock doubles as the trace lock; record() never blocks long.
+  std::lock_guard lock(mutex_);
+  if (!obs_) return;
+  obs_->trace.record(TimePoint{trace_now_ns()}, ev, obs::TraceKind::kNet,
+                     local_host_ & 0xFFu, a, b);
 }
 
 void UdpTransport::wake_poller() {
@@ -83,14 +240,14 @@ void UdpTransport::wake_poller() {
   (void)n;
 }
 
-int UdpTransport::send_fd() {
+int UdpTransport::shared_send_fd_locked() {
   if (send_fd_ < 0) {
     send_fd_ = socket(AF_INET, SOCK_DGRAM, 0);
     if (send_fd_ >= 0) {
       sockaddr_in addr = make_addr(local_host_, 0);
       if (::bind(send_fd_, reinterpret_cast<sockaddr*>(&addr),
                  sizeof addr) != 0) {
-        close(send_fd_);
+        ::close(send_fd_);
         send_fd_ = -1;
       } else {
         int loop = 1;
@@ -107,9 +264,13 @@ int UdpTransport::send_fd() {
 }
 
 Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
+                                 FrameRecvHandler frame_handler,
                                  bool multicast, GroupId group) {
   int fd = socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return internal_error("socket() failed");
+  // The fd stays blocking: receives always pass MSG_DONTWAIT, and sends
+  // through a bound socket should briefly block on a full send buffer
+  // rather than sporadically drop with EAGAIN.
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 #ifdef SO_REUSEPORT
@@ -118,7 +279,7 @@ Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
   sockaddr_in addr =
       multicast ? make_addr(INADDR_ANY, port) : make_addr(local_host_, port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    close(fd);
+    ::close(fd);
     return internal_error("bind() failed for port " + std::to_string(port));
   }
   if (multicast) {
@@ -127,7 +288,7 @@ Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
     mreq.imr_interface.s_addr = htonl(local_host_);
     if (setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) !=
         0) {
-      close(fd);
+      ::close(fd);
       return internal_error("IP_ADD_MEMBERSHIP failed");
     }
   } else {
@@ -139,171 +300,373 @@ Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
     ifaddr.s_addr = htonl(local_host_);
     setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof ifaddr);
   }
-  uint64_t key = multicast ? ((1ull << 32) | group) : port;
+
+  auto sock = std::make_shared<Socket>();
+  sock->fd = fd;
+  sock->port = port;
+  sock->is_multicast = multicast;
+  sock->group = group;
+  sock->handler = std::move(handler);
+  sock->frame_handler = std::move(frame_handler);
+
+  const uint64_t key = key_of(port, multicast, group);
   {
     std::lock_guard lock(mutex_);
-    if (sockets_.count(key)) {
-      close(fd);
+    if (by_key_.count(key)) {
       return already_exists_error("port/group already bound");
     }
-    sockets_[key] = Socket{fd, port, multicast, group, std::move(handler)};
+    // The canonical multicast UDP port of a joined group and a caller's
+    // unicast port share one number space: SO_REUSEPORT would let both
+    // bind and silently split or cross-deliver traffic, so the collision
+    // is rejected here instead of at delivery time.
+    for (const auto& [k, other] : by_key_) {
+      if (other->is_multicast != multicast && other->port == port) {
+        return already_exists_error(
+            multicast
+                ? "multicast_port(" + std::to_string(group) +
+                      ") collides with bound unicast port " +
+                      std::to_string(port)
+                : "port " + std::to_string(port) +
+                      " collides with multicast_port of joined group " +
+                      std::to_string(other->group));
+      }
+    }
+    sock->token = next_token_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = sock->token;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return internal_error("epoll_ctl(ADD) failed");
+    }
+    by_key_[key] = sock;
+    by_token_[sock->token] = sock;
   }
-  wake_poller();
+  // `sock` (and the fd) is freed by shared_ptr if a check above returned.
   return Status::ok();
 }
 
 Status UdpTransport::bind(uint16_t port, RecvHandler handler) {
   if (!handler) return invalid_argument_error("bind: empty handler");
-  return open_socket(port, std::move(handler), false, 0);
+  return open_socket(port, std::move(handler), nullptr, false, 0);
+}
+
+Status UdpTransport::bind_frames(uint16_t port, FrameRecvHandler handler) {
+  if (!handler) return invalid_argument_error("bind_frames: empty handler");
+  return open_socket(port, nullptr, std::move(handler), false, 0);
 }
 
 void UdpTransport::unbind(uint16_t port) {
-  close_socket_locked(port, false, 0);
+  close_socket(port, false, 0);
 }
 
-void UdpTransport::close_socket_locked(uint16_t port, bool multicast,
-                                       GroupId group) {
-  std::lock_guard lock(mutex_);
-  uint64_t key = multicast ? ((1ull << 32) | group) : port;
-  auto it = sockets_.find(key);
-  if (it == sockets_.end()) return;
-  close(it->second.fd);
-  sockets_.erase(it);
-  wake_poller();
-}
-
-Status UdpTransport::send(uint16_t src_port, Address dst, BytesView data) {
-  std::lock_guard lock(mutex_);
-  // Prefer the socket bound to src_port so the peer sees a stable,
-  // reply-able source address; fall back to the shared send socket.
-  int fd = -1;
-  if (auto it = sockets_.find(src_port); it != sockets_.end()) {
-    fd = it->second.fd;
-  } else {
-    fd = send_fd();
+void UdpTransport::close_socket(uint16_t port, bool multicast,
+                                GroupId group) {
+  SocketPtr sock;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = by_key_.find(key_of(port, multicast, group));
+    if (it == by_key_.end()) return;
+    sock = it->second;
+    sock->closed.store(true, std::memory_order_release);
+    // DEL while the fd is still open (the Socket owns it until the last
+    // reference — possibly held by the poll thread mid-dispatch — dies,
+    // so the fd number cannot be reused under a reader).
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, sock->fd, nullptr);
+    by_token_.erase(sock->token);
+    by_key_.erase(it);
   }
-  if (fd < 0) return internal_error("no send socket");
-  sockaddr_in addr = make_addr(dst.host, dst.port);
-  ssize_t n = sendto(fd, data.data(), data.size(), 0,
-                     reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  if (n < 0) return unavailable_error("sendto failed");
-  return Status::ok();
 }
 
 Status UdpTransport::join_group(GroupId group, uint16_t port) {
   // Deliveries for the group are handed to the handler of the member's
-  // already-bound unicast port; the group socket itself binds the canonical
-  // multicast UDP port.
+  // already-bound unicast port; the group socket itself binds the
+  // canonical multicast UDP port.
   RecvHandler handler;
+  FrameRecvHandler frame_handler;
   {
     std::lock_guard lock(mutex_);
-    auto it = sockets_.find(port);
-    if (it == sockets_.end()) {
+    auto it = by_key_.find(key_of(port, false, 0));
+    if (it == by_key_.end()) {
       return failed_precondition_error(
           "join_group: bind the member port first");
     }
-    handler = it->second.handler;
+    handler = it->second->handler;
+    frame_handler = it->second->frame_handler;
   }
-  return open_socket(multicast_port(group), std::move(handler), true, group);
+  return open_socket(multicast_port(group), std::move(handler),
+                     std::move(frame_handler), true, group);
 }
 
 void UdpTransport::leave_group(GroupId group, uint16_t port) {
   (void)port;
-  close_socket_locked(0, true, group);
+  close_socket(0, true, group);
+}
+
+int UdpTransport::resolve_send_fd(uint16_t src_port, SocketPtr& pin) {
+  std::lock_guard lock(mutex_);
+  // Prefer the socket bound to src_port so the peer sees a stable,
+  // reply-able source address; fall back to the shared send socket.
+  if (auto it = by_key_.find(key_of(src_port, false, 0));
+      it != by_key_.end()) {
+    pin = it->second;
+    return pin->fd;
+  }
+  return shared_send_fd_locked();
+}
+
+Status UdpTransport::sendto_counted(int fd, const void* addr,
+                                    size_t addr_len, BytesView data,
+                                    const char* what) {
+  ssize_t n = sendto(fd, data.data(), data.size(), 0,
+                     static_cast<const sockaddr*>(addr),
+                     static_cast<socklen_t>(addr_len));
+  if (n < 0) {
+    stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+    trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno),
+               data.size());
+    return unavailable_error(std::string(what) + " failed");
+  }
+  stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status UdpTransport::send(uint16_t src_port, Address dst, BytesView data) {
+  SocketPtr pin;
+  int fd = resolve_send_fd(src_port, pin);
+  if (fd < 0) return internal_error("no send socket");
+  // The syscall runs outside the lock: a slow or blocking send never
+  // stalls receive dispatch or other senders.
+  sockaddr_in addr = make_addr(dst.host, dst.port);
+  return sendto_counted(fd, &addr, sizeof addr, data, "sendto");
 }
 
 Status UdpTransport::send_multicast(uint16_t src_port, GroupId group,
                                     BytesView data) {
-  std::lock_guard lock(mutex_);
-  int fd = -1;
-  if (auto it = sockets_.find(src_port); it != sockets_.end()) {
-    fd = it->second.fd;
-  } else {
-    fd = send_fd();
-  }
+  SocketPtr pin;
+  int fd = resolve_send_fd(src_port, pin);
   if (fd < 0) return internal_error("no send socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(multicast_port(group));
   addr.sin_addr.s_addr = group_ip(group);
-  ssize_t n = sendto(fd, data.data(), data.size(), 0,
-                     reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  if (n < 0) return unavailable_error("multicast sendto failed");
-  return Status::ok();
+  return sendto_counted(fd, &addr, sizeof addr, data, "multicast sendto");
+}
+
+Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,
+                                 BytesView data) {
+  SocketPtr pin;
+  int fd = -1;
+  // Fixed-size stack fan-out state: no per-send heap allocation for
+  // realistic avionics peer counts (heap fallback above that).
+  constexpr size_t kStackPeers = 16;
+  HostId stack_peers[kStackPeers];
+  std::vector<HostId> heap_peers;
+  HostId* peers = stack_peers;
+  size_t n_peers = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = by_key_.find(key_of(src_port, false, 0));
+        it != by_key_.end()) {
+      pin = it->second;
+      fd = pin->fd;
+    } else {
+      fd = shared_send_fd_locked();
+    }
+    if (peers_.size() > kStackPeers) {
+      heap_peers = peers_;
+      peers = heap_peers.data();
+      n_peers = heap_peers.size();
+    } else {
+      for (HostId p : peers_) stack_peers[n_peers++] = p;
+    }
+  }
+  if (fd < 0) return internal_error("no send socket");
+
+  sockaddr_in addrs[kStackPeers];
+  mmsghdr msgs[kStackPeers];
+  iovec iov{const_cast<uint8_t*>(data.data()), data.size()};
+  Status last = Status::ok();
+  size_t batch = 0;
+  auto flush = [&](size_t count) {
+    size_t done = 0;
+    while (done < count) {
+      int sent = send_batch(fd, msgs + done,
+                            static_cast<unsigned int>(count - done));
+      if (sent <= 0) {
+        stats_.send_errors.fetch_add(count - done,
+                                     std::memory_order_relaxed);
+        trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno),
+                   data.size());
+        last = unavailable_error("broadcast sendmmsg failed");
+        return;
+      }
+      done += static_cast<size_t>(sent);
+    }
+    stats_.frames_sent.fetch_add(count, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(count * data.size(),
+                                std::memory_order_relaxed);
+  };
+  for (size_t i = 0; i < n_peers; ++i) {
+    if (peers[i] == local_host_) continue;
+    addrs[batch] = make_addr(peers[i], dst_port);
+    msgs[batch] = mmsghdr{};
+    msgs[batch].msg_hdr.msg_name = &addrs[batch];
+    msgs[batch].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    // Every destination's iovec points at the SAME payload bytes: one
+    // shared frame, N kernel copies, zero user-space copies.
+    msgs[batch].msg_hdr.msg_iov = &iov;
+    msgs[batch].msg_hdr.msg_iovlen = 1;
+    if (++batch == kStackPeers) {
+      flush(batch);
+      batch = 0;
+      if (!last.is_ok()) return last;
+    }
+  }
+  if (batch > 0) flush(batch);
+  return last;
 }
 
 Status UdpTransport::send_broadcast(uint16_t src_port, uint16_t dst_port,
                                     BytesView data) {
-  std::vector<HostId> peers;
-  {
-    std::lock_guard lock(mutex_);
-    peers = peers_;
+  return fanout_send(src_port, dst_port, data);
+}
+
+Status UdpTransport::send_frame(uint16_t src_port, Address dst,
+                                SharedFrame frame) {
+  return send(src_port, dst, frame.view());
+}
+
+Status UdpTransport::send_frame_multicast(uint16_t src_port, GroupId group,
+                                          SharedFrame frame) {
+  return send_multicast(src_port, group, frame.view());
+}
+
+Status UdpTransport::send_frame_broadcast(uint16_t src_port,
+                                          uint16_t dst_port,
+                                          SharedFrame frame) {
+  return fanout_send(src_port, dst_port, frame.view());
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+struct UdpTransport::RecvScratch {
+  explicit RecvScratch(int batch)
+      : leases(batch), iovs(batch), froms(batch), msgs(batch) {}
+  std::vector<FrameLease> leases;
+  std::vector<iovec> iovs;
+  std::vector<sockaddr_in> froms;
+  std::vector<mmsghdr> msgs;
+};
+
+void UdpTransport::drain_socket(const SocketPtr& s, RecvScratch& scratch) {
+  const int batch = static_cast<int>(scratch.msgs.size());
+  for (int round = 0; round < options_.max_batches_per_event; ++round) {
+    for (int i = 0; i < batch; ++i) {
+      if (!scratch.leases[i].valid()) {
+        scratch.leases[i] = frame_pool().acquire(options_.recv_buffer);
+      }
+      Buffer& buf = scratch.leases[i].buffer();
+      buf.resize(options_.recv_buffer);
+      scratch.iovs[i] = iovec{buf.data(), buf.size()};
+      scratch.msgs[i] = mmsghdr{};
+      scratch.msgs[i].msg_hdr.msg_iov = &scratch.iovs[i];
+      scratch.msgs[i].msg_hdr.msg_iovlen = 1;
+      scratch.msgs[i].msg_hdr.msg_name = &scratch.froms[i];
+      scratch.msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    int got = recv_batch(s->fd, scratch.msgs.data(),
+                         static_cast<unsigned int>(batch));
+    if (got < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        stats_.recv_errors.fetch_add(1, std::memory_order_relaxed);
+        trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno), 0);
+      }
+      return;
+    }
+    if (got == 0) return;
+    stats_.recv_batches.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < got; ++i) {
+      const size_t len = scratch.msgs[i].msg_len;
+      Address from{ntohl(scratch.froms[i].sin_addr.s_addr),
+                   ntohs(scratch.froms[i].sin_port)};
+      if (scratch.msgs[i].msg_hdr.msg_flags & MSG_TRUNC) {
+        // The kernel clipped the datagram to our buffer: delivering it
+        // would hand decode a silently corrupted frame. Drop loudly.
+        stats_.drops_truncated.fetch_add(1, std::memory_order_relaxed);
+        trace_drop(obs::TraceEvent::kDrop,
+                   (static_cast<uint64_t>(from.host) << 16) | from.port,
+                   len);
+        continue;  // lease stays checked out for the next round
+      }
+      stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_received.fetch_add(len, std::memory_order_relaxed);
+      if (s->closed.load(std::memory_order_acquire)) continue;
+      if (s->is_multicast && from.host == local_host_) {
+        stats_.own_copies_filtered.fetch_add(1, std::memory_order_relaxed);
+        continue;  // our own loopback copy
+      }
+      if (s->frame_handler) {
+        // Publish exactly the datagram: shrink (no realloc, no fill),
+        // freeze, hand the refcounted slab over — zero user-space copies.
+        s->frame_handler(
+            from, std::move(scratch.leases[i]).freeze_prefix(len));
+      } else if (s->handler) {
+        s->handler(from,
+                   BytesView(scratch.leases[i].buffer().data(), len));
+      }
+    }
+    if (got < batch) return;  // queue drained
   }
-  Status last = Status::ok();
-  for (HostId peer : peers) {
-    if (peer == local_host_) continue;
-    Status s = send(src_port, Address{peer, dst_port}, data);
-    if (!s.is_ok()) last = s;
-  }
-  return last;
 }
 
 void UdpTransport::poll_loop() {
-  std::vector<pollfd> fds;
-  std::vector<const Socket*> socks;
-  Buffer buf(65536);
-  while (running_) {
-    fds.clear();
-    socks.clear();
-    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-    {
-      std::lock_guard lock(mutex_);
-      for (auto& [key, sock] : sockets_) {
-        fds.push_back(pollfd{sock.fd, POLLIN, 0});
-        socks.push_back(&sock);
+  constexpr int kMaxEvents = 16;
+  epoll_event events[kMaxEvents];
+  RecvScratch scratch(options_.recv_batch);
+  while (running_.load(std::memory_order_acquire)) {
+    // The 100 ms timeout is only a shutdown backstop; wake_poller()
+    // interrupts the wait for anything urgent.
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno != EINTR) {
+        stats_.recv_errors.fetch_add(1, std::memory_order_relaxed);
       }
+      continue;
     }
-    int rc = poll(fds.data(), fds.size(), 100);
-    if (rc <= 0) continue;
-    if (fds[0].revents & POLLIN) {
-      char drain[64];
-      while (read(wake_pipe_[0], drain, sizeof drain) > 0) {
-      }
-    }
-    for (size_t i = 1; i < fds.size(); ++i) {
-      if (!(fds[i].revents & POLLIN)) continue;
-      sockaddr_in from{};
-      socklen_t from_len = sizeof from;
-      ssize_t n =
-          recvfrom(fds[i].fd, buf.data(), buf.size(), 0,
-                   reinterpret_cast<sockaddr*>(&from), &from_len);
-      if (n <= 0) continue;
-      RecvHandler handler;
-      uint16_t local_port = 0;
-      GroupId group = 0;
-      bool is_multicast = false;
-      {
-        // The socket map may have changed; find the entry by fd.
-        std::lock_guard lock(mutex_);
-        for (auto& [key, sock] : sockets_) {
-          if (sock.fd == fds[i].fd) {
-            handler = sock.handler;
-            local_port = sock.port;
-            group = sock.group;
-            is_multicast = sock.is_multicast;
-            break;
-          }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t token = events[i].data.u64;
+      if (token == 0) {
+        char drain[64];
+        while (read(wake_pipe_[0], drain, sizeof drain) > 0) {
         }
+        continue;
       }
-      Address src{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
-      if (is_multicast) {
-        if (src.host == local_host_) continue;  // our own loopback copy
-        (void)group;
-        (void)local_port;
+      SocketPtr s;
+      {
+        std::lock_guard lock(mutex_);
+        auto it = by_token_.find(token);
+        if (it != by_token_.end()) s = it->second;
       }
-      if (handler) {
-        handler(src, BytesView(buf.data(), static_cast<size_t>(n)));
+      // Tokens are never reused: an event for a since-closed socket
+      // resolves to nothing here and is inert — it cannot alias a newer
+      // socket that happens to occupy the same fd number.
+      if (!s) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        // Clear the pending socket error (e.g. a routed ICMP) so a
+        // level-triggered wait does not spin on it; EPOLLIN data below
+        // still drains normally.
+        int err = 0;
+        socklen_t len = sizeof err;
+        getsockopt(s->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        stats_.socket_errors.fetch_add(1, std::memory_order_relaxed);
+        trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(err),
+                   s->port);
       }
+      if (events[i].events & EPOLLIN) drain_socket(s, scratch);
     }
   }
 }

@@ -1,6 +1,6 @@
 // Real POSIX UDP transport: the same Transport interface over loopback (or
-// a LAN), used by the live demo to show the stack runs on an actual kernel
-// network path, not only in simulation.
+// a LAN), used by the live stack to show the middleware runs on an actual
+// kernel network path, not only in simulation.
 //
 // Mapping of the abstract interface onto IP:
 //   * HostId is an IPv4 address in host byte order. Run several "nodes" in
@@ -9,19 +9,41 @@
 //   * Logical ports are UDP ports, bound on the node's address.
 //   * Multicast group G maps to IP group 239.77.x.y (x.y = G) on the
 //     canonical UDP port `multicast_port(G)`; every joiner must pass that
-//     port (the middleware follows this convention).
+//     port (the middleware follows this convention). Binding a unicast
+//     port that collides with a joined group's canonical port (or vice
+//     versa) is rejected with already_exists_error at bind/join time
+//     instead of letting SO_REUSEPORT silently split the traffic.
 //   * Broadcast iterates a configured peer list (UDP broadcast on loopback
 //     aliases is not routable, and avionics LANs enumerate nodes anyway).
 //
-// All sockets are served by one poll() thread; receive handlers run on it.
+// Dispatch and ownership model (DESIGN.md "Live transport"):
+//   * One epoll loop serves every socket; receive handlers run on it.
+//   * Each socket is a shared_ptr-owned object that OWNS its fd (closed in
+//     the destructor, not at unbind). epoll events carry a monotonically
+//     increasing token, never the raw fd, and tokens are never reused: a
+//     stale event for a closed socket resolves to nothing, and a rebound
+//     socket gets a fresh token — datagrams cannot be delivered to the
+//     wrong handler across an fd-reuse, by construction.
+//   * Sends resolve the source socket under the lock but perform the
+//     syscall outside it (the shared_ptr keeps the fd alive), so a slow
+//     sender never stalls receive dispatch.
+//   * Receives land in pooled FrameLease slabs and are batched with
+//     recvmmsg (single recvmsg fallback); frame-aware handlers get the
+//     slab refcounted with zero user-space copies. Broadcast fan-out of a
+//     SharedFrame shares the one slab across a single sendmmsg call.
+//   * Truncated datagrams (MSG_TRUNC) are dropped with a counter + trace
+//     instead of delivering a silently clipped frame.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "transport/transport.h"
 
 namespace marea::transport {
@@ -34,15 +56,54 @@ inline uint16_t multicast_port(GroupId group) {
   return static_cast<uint16_t>(30000 + (group % 20000));
 }
 
+struct UdpTransportOptions {
+  // Per-datagram receive slab size: datagrams larger than this are
+  // truncation-dropped. Default covers the largest UDP payload; an
+  // MTU-sized deployment (bench_live) shrinks it.
+  size_t recv_buffer = 65536;
+  // Datagrams per recvmmsg batch.
+  int recv_batch = 8;
+  // Batches drained per epoll event before yielding to other sockets.
+  int max_batches_per_event = 4;
+};
+
 class UdpTransport final : public Transport {
  public:
   // `local_ip` e.g. "127.0.0.1". Throws std::runtime_error if the dispatch
   // machinery cannot start.
-  explicit UdpTransport(const std::string& local_ip);
+  explicit UdpTransport(const std::string& local_ip,
+                        UdpTransportOptions options = {});
   ~UdpTransport() override;
 
   // Nodes reachable via send_broadcast.
   void set_peers(std::vector<HostId> peers);
+
+  // Registers a snapshot collector publishing the live counters below as
+  // "<prefix>.frames_sent", "<prefix>.payload_bytes_copied", … (names
+  // aligned with the sim net.* counters where the concept matches) plus
+  // "<prefix>.pool_*" slab stats, and points drop/error traces at the
+  // ring. Call during setup, before traffic; pass distinct prefixes when
+  // several transports share one registry. Null detaches. The registry
+  // must outlive this transport (or be detached first): the destructor
+  // deregisters its collector.
+  void set_obs(obs::Observability* obs, const std::string& prefix = "net");
+
+  // Allocation-free live counters (atomics; readable from any thread).
+  struct NetCounters {
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t drops_truncated = 0;   // MSG_TRUNC datagrams dropped
+    uint64_t send_errors = 0;
+    uint64_t recv_errors = 0;
+    uint64_t socket_errors = 0;     // EPOLLERR/EPOLLHUP drained
+    uint64_t recv_batches = 0;      // recvmmsg calls that returned data
+    uint64_t own_copies_filtered = 0;  // own multicast loopback copies
+    uint64_t payload_copies = 0;       // user-space payload memcpys
+    uint64_t payload_bytes_copied = 0;
+  };
+  NetCounters net_counters() const;
 
   HostId local_host() const override { return local_host_; }
   size_t mtu() const override { return 65507; }
@@ -57,31 +118,94 @@ class UdpTransport final : public Transport {
   Status send_broadcast(uint16_t src_port, uint16_t dst_port,
                         BytesView data) override;
 
+  // Zero-copy frame path: receives are pooled slabs refcounted straight
+  // to the handler; a broadcast frame is shared across the whole peer
+  // fan-out in one sendmmsg (payload copies independent of peer count —
+  // the kernel copy per destination is inherent to UDP).
+  Status bind_frames(uint16_t port, FrameRecvHandler handler) override;
+  Status send_frame(uint16_t src_port, Address dst,
+                    SharedFrame frame) override;
+  Status send_frame_multicast(uint16_t src_port, GroupId group,
+                              SharedFrame frame) override;
+  Status send_frame_broadcast(uint16_t src_port, uint16_t dst_port,
+                              SharedFrame frame) override;
+
  private:
   struct Socket {
+    ~Socket();
     int fd = -1;
+    uint64_t token = 0;
     uint16_t port = 0;
     bool is_multicast = false;
     GroupId group = 0;
-    RecvHandler handler;
+    RecvHandler handler;             // exactly one of handler /
+    FrameRecvHandler frame_handler;  // frame_handler is set
+    // unbind() was called: suppresses deliveries still in flight on the
+    // poll thread while the last references drain.
+    std::atomic<bool> closed{false};
+  };
+  using SocketPtr = std::shared_ptr<Socket>;
+
+  struct NetStats {
+    std::atomic<uint64_t> frames_sent{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> frames_received{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> drops_truncated{0};
+    std::atomic<uint64_t> send_errors{0};
+    std::atomic<uint64_t> recv_errors{0};
+    std::atomic<uint64_t> socket_errors{0};
+    std::atomic<uint64_t> recv_batches{0};
+    std::atomic<uint64_t> own_copies_filtered{0};
+    std::atomic<uint64_t> payload_copies{0};
+    std::atomic<uint64_t> payload_bytes_copied{0};
   };
 
-  Status open_socket(uint16_t port, RecvHandler handler, bool multicast,
+  static uint64_t key_of(uint16_t port, bool multicast, GroupId group) {
+    return multicast ? ((1ull << 32) | group) : port;
+  }
+
+  Status open_socket(uint16_t port, RecvHandler handler,
+                     FrameRecvHandler frame_handler, bool multicast,
                      GroupId group);
-  void close_socket_locked(uint16_t port, bool multicast, GroupId group);
+  void close_socket(uint16_t port, bool multicast, GroupId group);
+  // Resolves the preferred source socket for `src_port` (stable,
+  // reply-able source address) or the lazily-created shared send socket.
+  // The returned SocketPtr (possibly null) pins the fd for the caller.
+  int resolve_send_fd(uint16_t src_port, SocketPtr& pin);
+  int shared_send_fd_locked();
+  Status sendto_counted(int fd, const void* addr, size_t addr_len,
+                        BytesView data, const char* what);
+  Status fanout_send(uint16_t src_port, uint16_t dst_port, BytesView data);
+
+  struct RecvScratch;  // reusable recvmmsg buffers, defined in the .cpp
   void poll_loop();
   void wake_poller();
-  int send_fd();  // lazily created unbound socket for sending
+  void drain_socket(const SocketPtr& s, RecvScratch& scratch);
+  void trace_drop(obs::TraceEvent ev, uint64_t a, uint64_t b);
+  int64_t trace_now_ns() const;
 
   HostId local_host_;
+  UdpTransportOptions options_;
   std::vector<HostId> peers_;
 
-  std::mutex mutex_;  // guards sockets_ and poller wakeup pipe state
-  // key: port for unicast sockets; (1<<32)|group for multicast sockets.
-  std::unordered_map<uint64_t, Socket> sockets_;
+  // Guards the socket tables, peers_, send_fd_ creation and obs wiring.
+  // Never held across a syscall.
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, SocketPtr> by_key_;    // port / (1<<32)|group
+  std::unordered_map<uint64_t, SocketPtr> by_token_;  // epoll token
+  uint64_t next_token_ = 1;  // 0 = wake pipe
+
+  int epoll_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   int send_fd_ = -1;
   std::atomic<bool> running_{false};
+
+  NetStats stats_;
+  obs::Observability* obs_ = nullptr;  // guarded by mutex_
+  uint64_t obs_token_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+
   std::thread poller_;
 };
 

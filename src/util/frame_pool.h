@@ -148,6 +148,15 @@ class FrameLease {
     return SharedFrame(slab);
   }
 
+  // Publishes only the first `n` bytes (a shrink of the logical size: no
+  // reallocation, no fill). The receive path acquires a max-datagram
+  // slab, lets the kernel write into it, then freezes exactly the
+  // datagram that arrived. Consumes the lease.
+  SharedFrame freeze_prefix(size_t n) && {
+    if (n < slab_->data.size()) slab_->data.resize(n);
+    return std::move(*this).freeze();
+  }
+
  private:
   friend class FramePool;
   explicit FrameLease(detail::FrameSlab* slab) : slab_(slab) {}

@@ -137,6 +137,29 @@ TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
     started2 = sub.start().is_ok();
   });
 
+  // Bind-while-polling churn: unrelated ports on both transports come and
+  // go under full middleware traffic. The epoll dispatch loop must keep
+  // routing container datagrams to the right handler throughout (the seed
+  // transport's fd-reuse lookup made this window dangerous).
+  std::atomic<bool> churn_stop{false};
+  std::atomic<int> churn_misroutes{0};
+  std::thread churn([&] {
+    int k = 0;
+    while (!churn_stop.load()) {
+      uint16_t port = static_cast<uint16_t>(9700 + (k++ % 4));
+      auto* t = (k % 2) ? t1.get() : t2.get();
+      (void)t->bind(port, [&, port](transport::Address,
+                                    BytesView data) {
+        if (data.size() >= 2 &&
+            (data[0] | (data[1] << 8)) != port) {
+          churn_misroutes.fetch_add(1);
+        }
+      });
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      t->unbind(port);
+    }
+  });
+
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(8);
   while (std::chrono::steady_clock::now() < deadline) {
     if (consumer_ptr->samples.load() > 20 &&
@@ -145,6 +168,9 @@ TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  churn_stop.store(true);
+  churn.join();
+  EXPECT_EQ(churn_misroutes.load(), 0);
 
   EXPECT_TRUE(started1.load());
   EXPECT_TRUE(started2.load());

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "obs/obs.h"
 #include "sim/network.h"
 #include "transport/sim_transport.h"
 #include "transport/tcp_model.h"
@@ -219,6 +225,298 @@ TEST(UdpTransportTest, LoopbackSendReceive) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   EXPECT_GT(got.load(), 0);
+}
+
+// --- live UDP concurrency / parity suite --------------------------------------
+
+namespace {
+
+std::unique_ptr<UdpTransport> make_udp(const char* ip,
+                                       UdpTransportOptions options = {}) {
+  try {
+    return std::make_unique<UdpTransport>(ip, options);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+// Payloads carry their logical destination tag in the first two bytes so
+// a misrouted delivery (fd reuse, handler mixup) is detectable by the
+// handler that receives it.
+Buffer tagged_payload(uint16_t tag, size_t n = 32) {
+  Buffer b(n, 0xAB);
+  b[0] = static_cast<uint8_t>(tag & 0xFF);
+  b[1] = static_cast<uint8_t>(tag >> 8);
+  return b;
+}
+
+uint16_t tag_of(BytesView d) {
+  return d.size() >= 2 ? static_cast<uint16_t>(d[0] | (d[1] << 8)) : 0;
+}
+
+}  // namespace
+
+TEST(UdpTransportTest, MulticastPortCollisionRejected) {
+  auto t = make_udp("127.0.0.1");
+  if (!t) GTEST_SKIP() << "UDP sockets unavailable in this environment";
+
+  // Direction 1: the canonical port of group 700 is already bound as a
+  // plain unicast port -> joining the group must be rejected, not masked
+  // by SO_REUSEPORT.
+  ASSERT_TRUE(t->bind(9200, [](Address, BytesView) {}).is_ok());
+  Status s = t->bind(multicast_port(700), [](Address, BytesView) {});
+  if (!s.is_ok()) GTEST_SKIP() << "bind failed: " << s.to_string();
+  Status join = t->join_group(700, 9200);
+  EXPECT_FALSE(join.is_ok());
+  EXPECT_TRUE(join.to_string().find("collides") != std::string::npos)
+      << join.to_string();
+
+  // Direction 2: group joined first -> binding its canonical port as a
+  // unicast port must be rejected.
+  auto t2 = make_udp("127.0.0.2");
+  if (!t2) GTEST_SKIP() << "UDP sockets unavailable";
+  ASSERT_TRUE(t2->bind(9300, [](Address, BytesView) {}).is_ok());
+  Status join2 = t2->join_group(701, 9300);
+  if (!join2.is_ok()) GTEST_SKIP() << "join failed: " << join2.to_string();
+  Status bind2 = t2->bind(multicast_port(701), [](Address, BytesView) {});
+  EXPECT_FALSE(bind2.is_ok());
+  EXPECT_TRUE(bind2.to_string().find("collides") != std::string::npos)
+      << bind2.to_string();
+}
+
+TEST(UdpTransportTest, TruncatedDatagramDroppedWithCounterAndTrace) {
+  // Declared before the transports: the registry must outlive the
+  // transport whose collector is registered in it.
+  obs::Observability obs;
+
+  UdpTransportOptions small;
+  small.recv_buffer = 512;
+  auto rx = make_udp("127.0.0.2", small);
+  auto tx = make_udp("127.0.0.1");
+  if (!rx || !tx) GTEST_SKIP() << "UDP sockets unavailable";
+
+  rx->set_obs(&obs, "net");
+
+  std::atomic<int> delivered{0};
+  std::atomic<size_t> last_size{0};
+  Status s = rx->bind(9900, [&](Address, BytesView data) {
+    delivered.fetch_add(1);
+    last_size.store(data.size());
+  });
+  if (!s.is_ok()) GTEST_SKIP() << "bind failed: " << s.to_string();
+
+  Address dst{ipv4_host("127.0.0.2"), 9900};
+  Buffer big(1000, 0x5A);
+  for (int i = 0; i < 5 && rx->net_counters().drops_truncated == 0; ++i) {
+    (void)tx->send(9900, dst, as_bytes_view(big));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(rx->net_counters().drops_truncated, 1u);
+  EXPECT_EQ(delivered.load(), 0) << "clipped frame must not be delivered";
+
+  // A fitting datagram still flows afterwards (the batch slot recovered).
+  Buffer small_payload(100, 0x11);
+  for (int i = 0; i < 5 && delivered.load() == 0; ++i) {
+    (void)tx->send(9900, dst, as_bytes_view(small_payload));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GT(delivered.load(), 0);
+  EXPECT_EQ(last_size.load(), 100u);
+
+  // The drop is visible through the registry and the flight recorder.
+  obs.metrics.collect();
+  EXPECT_GE(obs.metrics.counter_value("net.drops_truncated"), 1u);
+  bool saw_drop_trace = false;
+  for (const auto& r : obs.trace.snapshot()) {
+    if (r.event == static_cast<uint16_t>(obs::TraceEvent::kDrop) &&
+        r.kind == static_cast<uint16_t>(obs::TraceKind::kNet)) {
+      saw_drop_trace = true;
+    }
+  }
+  EXPECT_TRUE(saw_drop_trace);
+}
+
+TEST(UdpTransportTest, BroadcastReachesPeersNotSelf) {
+  auto t1 = make_udp("127.0.0.1");
+  auto t2 = make_udp("127.0.0.2");
+  auto t3 = make_udp("127.0.0.3");
+  if (!t1 || !t2 || !t3) GTEST_SKIP() << "UDP sockets unavailable";
+  HostId h1 = ipv4_host("127.0.0.1");
+  HostId h2 = ipv4_host("127.0.0.2");
+  HostId h3 = ipv4_host("127.0.0.3");
+  t1->set_peers({h1, h2, h3});  // includes self: must be skipped
+
+  std::atomic<int> self_got{0}, got2{0}, got3{0};
+  Status s1 = t1->bind(9210, [&](Address, BytesView) { self_got++; });
+  Status s2 = t2->bind(9210, [&](Address, BytesView) { got2++; });
+  Status s3 = t3->bind(9210, [&](Address, BytesView) { got3++; });
+  if (!s1.is_ok() || !s2.is_ok() || !s3.is_ok()) {
+    GTEST_SKIP() << "bind failed";
+  }
+
+  Buffer payload = tagged_payload(9210);
+  for (int i = 0; i < 10 && (got2.load() == 0 || got3.load() == 0); ++i) {
+    ASSERT_TRUE(
+        t1->send_broadcast(9210, 9210, as_bytes_view(payload)).is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GT(got2.load(), 0);
+  EXPECT_GT(got3.load(), 0);
+  EXPECT_EQ(self_got.load(), 0) << "broadcast must skip the local host";
+  EXPECT_GE(t1->net_counters().frames_sent, 2u);
+}
+
+TEST(UdpTransportTest, MulticastOwnLoopbackCopyFiltered) {
+  auto t1 = make_udp("127.0.0.1");
+  auto t2 = make_udp("127.0.0.2");
+  if (!t1 || !t2) GTEST_SKIP() << "UDP sockets unavailable";
+
+  std::atomic<int> got1{0}, got2{0};
+  Status s1 = t1->bind(9220, [&](Address, BytesView) { got1++; });
+  Status s2 = t2->bind(9220, [&](Address, BytesView) { got2++; });
+  if (!s1.is_ok() || !s2.is_ok()) GTEST_SKIP() << "bind failed";
+  Status j1 = t1->join_group(930, 9220);
+  Status j2 = t2->join_group(930, 9220);
+  if (!j1.is_ok() || !j2.is_ok()) {
+    GTEST_SKIP() << "multicast unavailable: " << j1.to_string() << " / "
+                 << j2.to_string();
+  }
+
+  Buffer payload = tagged_payload(multicast_port(930));
+  for (int i = 0; i < 10 && got2.load() == 0; ++i) {
+    ASSERT_TRUE(t1->send_multicast(9220, 930, as_bytes_view(payload)).is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  if (got2.load() == 0) GTEST_SKIP() << "no multicast traffic on loopback";
+  EXPECT_EQ(got1.load(), 0) << "sender's own loopback copy must be filtered";
+  EXPECT_GE(t1->net_counters().own_copies_filtered, 1u);
+}
+
+TEST(UdpTransportTest, FrameBindDeliversRetainablePooledFrame) {
+  auto tx = make_udp("127.0.0.1");
+  auto rx = make_udp("127.0.0.2");
+  if (!tx || !rx) GTEST_SKIP() << "UDP sockets unavailable";
+
+  std::mutex mu;
+  SharedFrame kept;
+  std::atomic<int> got{0};
+  Status s = rx->bind_frames(9230, [&](Address, SharedFrame frame) {
+    std::lock_guard lock(mu);
+    kept = std::move(frame);  // retained past the callback, no copy
+    got.fetch_add(1);
+  });
+  if (!s.is_ok()) GTEST_SKIP() << "bind failed: " << s.to_string();
+
+  // Build the outgoing frame in the sender's pool and fan it out.
+  FrameLease lease = tx->frame_pool().acquire(64);
+  Buffer& buf = lease.buffer();
+  Buffer payload = tagged_payload(9230, 48);
+  buf.assign(payload.begin(), payload.end());
+  SharedFrame out = std::move(lease).freeze();
+  for (int i = 0; i < 5 && got.load() == 0; ++i) {
+    ASSERT_TRUE(
+        tx->send_frame(9230, Address{ipv4_host("127.0.0.2"), 9230}, out)
+            .is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_GT(got.load(), 0);
+
+  std::lock_guard lock(mu);
+  ASSERT_EQ(kept.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         kept.view().begin()));
+  EXPECT_EQ(tag_of(kept.view()), 9230);
+  // The whole receive path moved pooled slabs around: zero user-space
+  // payload copies.
+  EXPECT_EQ(rx->net_counters().payload_bytes_copied, 0u);
+}
+
+// Regression for the two seed concurrency bugs: send() serialized under
+// the poll loop's mutex across the sendto syscall, and handler lookup by
+// raw fd could misroute a datagram to a just-rebound socket after fd
+// reuse. N sender threads hammer tagged traffic at a stable port and at
+// churning ports while another thread binds/unbinds them; every handler
+// checks the tag of what it received.
+TEST(UdpTransportTest, ConcurrentSendersAndBindChurnNoMisroute) {
+  auto tx = make_udp("127.0.0.1");
+  auto rx = make_udp("127.0.0.2");
+  if (!tx || !rx) GTEST_SKIP() << "UDP sockets unavailable";
+
+  std::atomic<int> misroutes{0};
+  std::atomic<int> stable_got{0};
+  std::atomic<int> churn_got{0};
+
+  auto checker = [&](uint16_t port, std::atomic<int>& counter) {
+    return [&, port](Address, BytesView data) {
+      if (tag_of(data) != port) {
+        misroutes.fetch_add(1);
+      } else {
+        counter.fetch_add(1);
+      }
+    };
+  };
+
+  constexpr uint16_t kStable = 9240;
+  constexpr uint16_t kChurnA = 9241;
+  constexpr uint16_t kChurnB = 9242;
+  Status s = rx->bind(kStable, checker(kStable, stable_got));
+  if (!s.is_ok()) GTEST_SKIP() << "bind failed: " << s.to_string();
+
+  std::atomic<bool> stop{false};
+  Address base{ipv4_host("127.0.0.2"), 0};
+
+  std::thread churn([&] {
+    // Alternate the two churn ports so a freed fd is immediately
+    // recycled into a socket with a DIFFERENT expected tag — the exact
+    // shape of the seed's fd-reuse misroute.
+    while (!stop.load()) {
+      (void)rx->bind(kChurnA, checker(kChurnA, churn_got));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      rx->unbind(kChurnA);
+      (void)rx->bind(kChurnB, checker(kChurnB, churn_got));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      rx->unbind(kChurnB);
+    }
+  });
+
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 3; ++t) {
+    senders.emplace_back([&, t] {
+      Buffer stable_pay = tagged_payload(kStable);
+      Buffer a_pay = tagged_payload(kChurnA);
+      Buffer b_pay = tagged_payload(kChurnB);
+      uint16_t src = static_cast<uint16_t>(9250 + t);
+      while (!stop.load()) {
+        (void)tx->send(src, Address{base.host, kStable},
+                       as_bytes_view(stable_pay));
+        (void)tx->send(src, Address{base.host, kChurnA},
+                       as_bytes_view(a_pay));
+        (void)tx->send(src, Address{base.host, kChurnB},
+                       as_bytes_view(b_pay));
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  // Let the storm run; completing at all proves send no longer
+  // serializes receive dispatch to death.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  stop.store(true);
+  churn.join();
+  for (auto& th : senders) th.join();
+
+  EXPECT_EQ(misroutes.load(), 0)
+      << "datagram delivered to a handler with the wrong tag";
+  EXPECT_GT(stable_got.load(), 50);
+  // Unbind barrier: after unbind() returns no further deliveries occur.
+  int snapshot = stable_got.load();
+  rx->unbind(kStable);
+  Buffer pay = tagged_payload(kStable);
+  for (int i = 0; i < 3; ++i) {
+    (void)tx->send(9250, Address{base.host, kStable}, as_bytes_view(pay));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(stable_got.load(), snapshot);
 }
 
 }  // namespace
