@@ -1,0 +1,239 @@
+// Fleet-scaling bench: events/sec of the sharded simulation engine from
+// 8 to 256 middleware nodes, single-threaded vs one worker per core.
+//
+// Two layers are measured:
+//  * engine_ring_events_per_sec — the raw timer-wheel engine (64
+//    self-rescheduling chains, no middleware): the single-thread
+//    throughput floor gated against the committed baseline so the wheel
+//    never regresses below the old priority-queue engine.
+//  * fleet scaling — full SimDomain deployments where every node
+//    publishes a 100 Hz variable consumed by its ring neighbor, sharded
+//    one shard per core (capped at 8). The same fleet runs with 1
+//    worker thread and hardware_concurrency workers; conservative
+//    windowing guarantees identical event counts, so speedup is pure
+//    wall clock. On hosts with < 4 cores the speedup keys are emitted
+//    as null with a skip reason (an environment limitation, not a perf
+//    regression — scripts/bench_compare.py skips null keys).
+//
+// Output: one JSON document on stdout, flat keys for the gate plus a
+// per-size breakdown for EXPERIMENTS.md X9.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+#include "sim/simulator.h"
+
+namespace marea::bench {
+namespace {
+
+struct FleetMsg {
+  int64_t n = 0;
+};
+
+}  // namespace
+}  // namespace marea::bench
+
+MAREA_REFLECT(marea::bench::FleetMsg, n)
+
+namespace marea::bench {
+namespace {
+
+double wall_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- raw engine throughput ----------------------------------------------
+
+// 64 concurrent chains, each rescheduling itself with a per-chain prime
+// delay: the classic ring workload the wheel's O(1) schedule/pop is for.
+double engine_ring_events_per_sec() {
+  sim::Simulator s;
+  constexpr int kChains = 64;
+  constexpr uint64_t kEvents = 2'000'000;
+  uint64_t fired = 0;
+  struct Chain {
+    sim::Simulator* s;
+    uint64_t* fired;
+    Duration delay;
+    void arm() const {
+      Chain self = *this;
+      s->after(delay, [self] {
+        ++*self.fired;
+        self.arm();
+      });
+    }
+  };
+  for (int i = 0; i < kChains; ++i) {
+    Chain{&s, &fired, microseconds(1 + (i * 37) % 1000)}.arm();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run(kEvents);
+  const double wall = wall_seconds(t0);
+  return static_cast<double>(fired) / wall;
+}
+
+// --- fleet scaling -------------------------------------------------------
+
+class FleetBeacon final : public mw::Service {
+ public:
+  explicit FleetBeacon(int index)
+      : Service("beacon" + std::to_string(index)), index_(index) {}
+
+  Status on_start() override {
+    auto v = provide_variable<FleetMsg>(
+        "fleet." + std::to_string(index_) + ".var",
+        {.period = milliseconds(10), .validity = seconds(5.0)});
+    if (!v.ok()) return v.status();
+    var_ = *v;
+    FleetMsg m;
+    m.n = 1;
+    return var_.publish(m);  // period QoS keeps republishing at 100 Hz
+  }
+
+ private:
+  mw::VariableHandle var_;
+  int index_ = 0;
+};
+
+class FleetWatcher final : public mw::Service {
+ public:
+  FleetWatcher(int index, int watch)
+      : Service("watch" + std::to_string(index)), watch_(watch) {}
+
+  Status on_start() override {
+    return subscribe_variable<FleetMsg>(
+        "fleet." + std::to_string(watch_) + ".var",
+        [this](const FleetMsg&, const mw::SampleInfo&) { ++samples_; });
+  }
+  int64_t samples() const { return samples_; }
+
+ private:
+  int watch_ = 0;
+  int64_t samples_ = 0;
+};
+
+struct FleetRun {
+  double wall_s = 0;
+  uint64_t events = 0;
+  int64_t samples = 0;
+};
+
+FleetRun run_fleet(int nodes, uint32_t shards, uint32_t threads,
+                   Duration sim_time) {
+  set_log_level(LogLevel::kError);
+  mw::SimDomain domain(/*seed=*/5, {},
+                       mw::ShardOptions{.shards = shards, .threads = threads});
+  std::vector<FleetWatcher*> watchers;
+  for (int i = 0; i < nodes; ++i) {
+    auto& node = domain.add_node("n" + std::to_string(i));
+    (void)node.add_service(std::make_unique<FleetBeacon>(i));
+    auto w = std::make_unique<FleetWatcher>(i, (i + 1) % nodes);
+    watchers.push_back(w.get());
+    (void)node.add_service(std::move(w));
+  }
+  domain.start_all();
+  domain.run_for(seconds(1.0));  // discovery converges; not timed
+
+  const uint64_t events_before = domain.grid().events_executed_total();
+  const auto t0 = std::chrono::steady_clock::now();
+  domain.run_for(sim_time);
+  FleetRun r;
+  r.wall_s = wall_seconds(t0);
+  r.events = domain.grid().events_executed_total() - events_before;
+  for (auto* w : watchers) r.samples += w->samples();
+  return r;
+}
+
+}  // namespace
+}  // namespace marea::bench
+
+int main() {
+  using namespace marea;
+  using namespace marea::bench;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double engine_eps = engine_ring_events_per_sec();
+
+  const int kSizes[] = {8, 64, 256};
+  struct SizeResult {
+    int nodes;
+    uint32_t shards;
+    FleetRun one;
+    FleetRun multi;
+    bool have_multi;
+  };
+  std::vector<SizeResult> results;
+  for (int n : kSizes) {
+    SizeResult sr;
+    sr.nodes = n;
+    sr.shards = static_cast<uint32_t>(n < 8 ? n : 8);
+    // Directory broadcast fan-out makes per-event cost grow with fleet
+    // size; shorten the virtual horizon at 256 nodes to keep the sweep
+    // CI-friendly without changing the measured steady-state workload.
+    const Duration sim_time = n <= 64 ? seconds(10.0) : seconds(2.0);
+    sr.one = run_fleet(n, sr.shards, /*threads=*/1, sim_time);
+    // A multi-threaded pass only means something with real cores.
+    sr.have_multi = hw >= 2;
+    if (sr.have_multi) {
+      sr.multi = run_fleet(n, sr.shards, /*threads=*/hw, sim_time);
+    }
+    results.push_back(sr);
+  }
+
+  bool deterministic = true;
+  const SizeResult* f64 = nullptr;
+  for (const auto& sr : results) {
+    if (sr.have_multi && sr.multi.events != sr.one.events) {
+      deterministic = false;
+    }
+    if (sr.nodes == 64) f64 = &sr;
+  }
+
+  const bool speedup_ok = hw >= 4;
+  std::printf("{\n  \"bench\": \"fleet\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n", hw);
+  std::printf("  \"engine_ring_events_per_sec\": %.0f,\n", engine_eps);
+  std::printf("  \"fleet\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& sr = results[i];
+    std::printf("    \"n%d\": {\n", sr.nodes);
+    std::printf("      \"shards\": %u,\n", sr.shards);
+    std::printf("      \"events\": %llu,\n",
+                static_cast<unsigned long long>(sr.one.events));
+    std::printf("      \"samples\": %lld,\n",
+                static_cast<long long>(sr.one.samples));
+    std::printf("      \"wall_s_1t\": %.4f,\n", sr.one.wall_s);
+    std::printf("      \"events_per_sec_1t\": %.0f",
+                static_cast<double>(sr.one.events) / sr.one.wall_s);
+    if (sr.have_multi) {
+      std::printf(",\n      \"wall_s_mt\": %.4f,\n", sr.multi.wall_s);
+      std::printf("      \"events_per_sec_mt\": %.0f,\n",
+                  static_cast<double>(sr.multi.events) / sr.multi.wall_s);
+      std::printf("      \"speedup\": %.3f\n", sr.one.wall_s / sr.multi.wall_s);
+    } else {
+      std::printf("\n");
+    }
+    std::printf("    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  // Flat keys for scripts/bench_compare.py gates.
+  std::printf("  \"fleet64_events_per_sec_1t\": %.0f,\n",
+              static_cast<double>(f64->one.events) / f64->one.wall_s);
+  if (speedup_ok) {
+    std::printf("  \"fleet64_speedup\": %.3f,\n",
+                f64->one.wall_s / f64->multi.wall_s);
+  } else {
+    std::printf("  \"fleet64_speedup\": null,\n");
+    std::printf("  \"speedup_skip_reason\": "
+                "\"only %u hardware thread(s); speedup needs >= 4\",\n",
+                hw);
+  }
+  std::printf("  \"deterministic\": %s\n}\n", deterministic ? "true" : "false");
+  return deterministic ? 0 : 1;
+}

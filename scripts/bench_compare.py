@@ -1,19 +1,36 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compare a bench_hotpath run against a baseline.
+"""Bench regression gate: compare a bench run against a committed baseline.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json
 
-Fails (exit 1) when a gated metric regresses more than 10% over the
-committed baseline. Gated metrics are the two the zero-copy datapath work
-optimised for:
+Two gate vocabularies, selected by the baseline file:
 
-  * heap_allocs_per_sample          — heap allocations per published sample
-  * net_payload_bytes_copied_per_sample — payload bytes memcpy'd in the
-    network datapath (baseline 0: ANY copy is a regression)
+1. Baseline-embedded "gates" (bench/baselines/fleet.json): the baseline
+   carries a "gates" object describing how each key is judged:
 
-A zero baseline gets no relative headroom: the current value must also be
-zero. Everything else in the JSON is reported for context but never
-gates, since wall-clock throughput is machine-dependent.
+     "gates": {
+       "engine_ring_events_per_sec": {"direction": "higher",
+                                      "tolerance": 0.60},
+       "fleet64_speedup": {"direction": "higher", "min": 2.0}
+     }
+
+   * direction: "lower" (default) — current must not exceed
+     baseline * (1 + tolerance); "higher" — current must not fall below
+     baseline * (1 - tolerance). Throughput keys use "higher" with a
+     generous tolerance since wall clock varies across machines.
+   * tolerance: relative headroom, default 0.10.
+   * min: absolute floor (direction "higher") or ceiling ("lower")
+     applied INSTEAD of the relative band when the baseline value is
+     null — e.g. a speedup target recorded on a single-core box.
+   A gated key whose CURRENT value is null (or missing) is skipped with
+   a note: the bench declared it unmeasurable in this environment.
+
+2. Legacy fixed gates (hotpath/live baselines, no "gates" key): the two
+   zero-copy datapath metrics below at 10% headroom; a zero baseline
+   gets no headroom (any copy is a regression).
+
+     * heap_allocs_per_sample
+     * net_payload_bytes_copied_per_sample
 
 A current run marked {"skipped": true} (bench_live on a sandbox that
 forbids loopback sockets) passes with a note: an environment limitation
@@ -23,7 +40,7 @@ is not a perf regression.
 import json
 import sys
 
-GATED = {
+LEGACY_GATED = {
     "heap_allocs_per_sample": 0.10,
     "net_payload_bytes_copied_per_sample": 0.10,
 }
@@ -36,7 +53,48 @@ CONTEXT = [
     "wire_bytes_per_sample",
     "mean_latency_us",
     "p99_latency_us",
+    "engine_ring_events_per_sec",
+    "fleet64_events_per_sec_1t",
+    "fleet64_speedup",
+    "hardware_concurrency",
 ]
+
+
+def check_spec_gate(key, spec, baseline, current, failures):
+    """One baseline-embedded gate; appends to failures on regression."""
+    cur = current.get(key)
+    if cur is None:
+        reason = current.get("speedup_skip_reason", "reported null")
+        print(f"  [   skipped] {key}: {reason}")
+        return
+    cur = float(cur)
+    higher = spec.get("direction", "lower") == "higher"
+    base = baseline.get(key)
+    if base is None:
+        # No baseline measurement (recorded on a machine that couldn't
+        # produce one) — fall back to the absolute floor/ceiling.
+        limit = spec.get("min")
+        if limit is None:
+            print(f"  [   context] {key}: {cur:g} (no baseline, no min)")
+            return
+        limit = float(limit)
+        ok = cur >= limit if higher else cur <= limit
+        bound = "floor" if higher else "ceiling"
+        print(f"  [{'ok' if ok else 'REGRESSION':>10}] {key}: {cur:g} "
+              f"(absolute {bound} {limit:g})")
+    else:
+        base = float(base)
+        tolerance = float(spec.get("tolerance", 0.10))
+        if higher:
+            limit = base * (1.0 - tolerance)
+            ok = cur >= limit
+        else:
+            limit = base * (1.0 + tolerance)
+            ok = cur <= limit if base > 0 else cur <= 0
+        print(f"  [{'ok' if ok else 'REGRESSION':>10}] {key}: {cur:g} "
+              f"(baseline {base:g}, limit {limit:g})")
+    if not ok:
+        failures.append(key)
 
 
 def main() -> int:
@@ -57,21 +115,32 @@ def main() -> int:
 
     failures = []
     print(f"bench_compare: {sys.argv[2]} vs baseline {sys.argv[1]}")
-    for key, headroom in GATED.items():
-        base = float(baseline[key])
-        cur = float(current[key])
-        limit = base * (1.0 + headroom)
-        ok = cur <= limit if base > 0 else cur <= 0
-        status = "ok" if ok else "REGRESSION"
-        print(f"  [{status:>10}] {key}: {cur:g} (baseline {base:g}, "
-              f"limit {limit:g})")
-        if not ok:
-            failures.append(key)
+    gates = baseline.get("gates")
+    if gates is not None:
+        for key, spec in gates.items():
+            check_spec_gate(key, spec, baseline, current, failures)
+    else:
+        for key, headroom in LEGACY_GATED.items():
+            base = float(baseline[key])
+            cur = float(current[key])
+            limit = base * (1.0 + headroom)
+            ok = cur <= limit if base > 0 else cur <= 0
+            status = "ok" if ok else "REGRESSION"
+            print(f"  [{status:>10}] {key}: {cur:g} (baseline {base:g}, "
+                  f"limit {limit:g})")
+            if not ok:
+                failures.append(key)
 
+    gated_keys = set(gates or LEGACY_GATED)
     for key in CONTEXT:
+        if key in gated_keys:
+            continue
         if key in baseline and key in current:
-            print(f"  [   context] {key}: {float(current[key]):g} "
-                  f"(baseline {float(baseline[key]):g})")
+            bval, cval = baseline[key], current[key]
+            if bval is None or cval is None:
+                continue
+            print(f"  [   context] {key}: {float(cval):g} "
+                  f"(baseline {float(bval):g})")
 
     if failures:
         print(f"bench_compare: FAIL — regressed: {', '.join(failures)}",

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 gate, twice: a plain build+test pass, then the same suite under
-# AddressSanitizer + UBSan (-DMAREA_SANITIZE=ON). The chaos soak drives
-# the middleware through loss bursts, partitions, and crash/restart
-# cycles, so a sanitized run of the suite is the cheapest way to catch
-# lifetime bugs in the recovery paths. Finally the Release benches run —
-# bench_hotpath (sim datapath) and bench_live (kernel datapath) — and
+# Tier-1 gate: a plain build+test pass, the same suite under
+# AddressSanitizer + UBSan (-DMAREA_SANITIZE=ON), and the
+# thread-exercising tests under ThreadSanitizer (-DMAREA_SANITIZE=TSAN —
+# the sharded simulation engine runs shard windows on a worker pool, so
+# TSan is the cheapest way to catch cross-shard data races). The chaos
+# soak drives the middleware through loss bursts, partitions, and
+# crash/restart cycles, so a sanitized run of the suite is the cheapest
+# way to catch lifetime bugs in the recovery paths. Finally the Release
+# benches run — bench_hotpath (sim datapath), bench_live (kernel
+# datapath), bench_fleet (sharded engine scaling) — and
 # scripts/bench_compare.py gates each against its committed baseline
-# (bench/baselines/{hotpath,live}.json). The CI workflow
-# (.github/workflows/ci.yml) runs these same three legs as a matrix.
+# (bench/baselines/{hotpath,live,fleet}.json). The CI workflow
+# (.github/workflows/ci.yml) runs these same legs as a matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,9 +25,15 @@ cmake -B build-asan -S . -DMAREA_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 
+echo "== TSan build + parallel-engine tests =="
+cmake -B build-tsan -S . -DMAREA_SANITIZE=TSAN >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target parallel_sim_test chaos_soak_test
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'ParallelSim|ChaosSoak'
+
 echo "== release hot-path bench (BENCH_hotpath.json) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live
+cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live bench_fleet
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
 
@@ -31,10 +41,16 @@ echo "== release live-datapath bench (BENCH_live.json) =="
 ./build-release/bench/bench_live > BENCH_live.json
 cat BENCH_live.json
 
+echo "== release fleet-scaling bench (BENCH_fleet.json) =="
+./build-release/bench/bench_fleet > BENCH_fleet.json
+cat BENCH_fleet.json
+
 echo "== bench regression gates =="
 python3 scripts/bench_compare.py bench/baselines/hotpath.json \
   BENCH_hotpath.json
 python3 scripts/bench_compare.py bench/baselines/live.json \
   BENCH_live.json
+python3 scripts/bench_compare.py bench/baselines/fleet.json \
+  BENCH_fleet.json
 
 echo "check.sh: all green"

@@ -1,51 +1,88 @@
 #include "middleware/domain.h"
 
+#include <cassert>
+
 namespace marea::mw {
 
-SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link)
-    : net_(sim_, Rng(seed), default_link) {
-  net_.set_trace(&obs_.trace);
-  obs_.metrics.add_collector([this](obs::MetricsRegistry& reg) {
-    const sim::TrafficStats& t = net_.stats();
-    reg.counter("net.packets_sent").set(t.packets_sent);
-    reg.counter("net.bytes_sent").set(t.bytes_sent);
-    reg.counter("net.packets_delivered").set(t.packets_delivered);
-    reg.counter("net.bytes_delivered").set(t.bytes_delivered);
-    reg.counter("net.packets_dropped").set(t.packets_dropped);
-    reg.counter("net.packets_unroutable").set(t.packets_unroutable);
-    reg.counter("net.local_packets").set(t.local_packets);
-    reg.counter("net.packets_partitioned").set(t.packets_partitioned);
-    reg.counter("net.packets_duplicated").set(t.packets_duplicated);
-    reg.counter("net.packets_reordered").set(t.packets_reordered);
-    reg.counter("net.packets_corrupted").set(t.packets_corrupted);
-    reg.counter("net.packets_stale_dropped").set(t.packets_stale_dropped);
-    reg.counter("net.payload_allocs").set(t.payload_allocs);
-    reg.counter("net.payload_copies").set(t.payload_copies);
-    reg.counter("net.payload_bytes_copied").set(t.payload_bytes_copied);
-    const FramePool::Stats p = net_.frame_pool().stats();
-    reg.counter("pool.checkouts").set(p.checkouts);
-    reg.counter("pool.hits").set(p.pool_hits);
-    reg.counter("pool.slab_allocs").set(p.slab_allocs);
-    for (const auto& node : nodes_) {
-      reg.gauge("sched." + std::to_string(node->container->config().id) +
-                ".queued")
-          .set(static_cast<int64_t>(node->executor->queued()));
-    }
-  });
+SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link,
+                     ShardOptions topo)
+    : grid_(topo.shards == 0 ? 1 : topo.shards, seed, default_link),
+      topo_(topo),
+      fn_fallback_base_(inline_fn_heap_fallback_count()) {
+  for (uint32_t k = 0; k < grid_.shard_count(); ++k) {
+    grid_.cell(k).obs.metrics.add_collector(
+        [this, k](obs::MetricsRegistry& reg) {
+          sim::ShardGrid::Cell& cell = grid_.cell(k);
+          const sim::TrafficStats& t = cell.net.stats();
+          reg.counter("net.packets_sent").set(t.packets_sent);
+          reg.counter("net.bytes_sent").set(t.bytes_sent);
+          reg.counter("net.packets_delivered").set(t.packets_delivered);
+          reg.counter("net.bytes_delivered").set(t.bytes_delivered);
+          reg.counter("net.packets_dropped").set(t.packets_dropped);
+          reg.counter("net.packets_unroutable").set(t.packets_unroutable);
+          reg.counter("net.local_packets").set(t.local_packets);
+          reg.counter("net.packets_partitioned").set(t.packets_partitioned);
+          reg.counter("net.packets_duplicated").set(t.packets_duplicated);
+          reg.counter("net.packets_reordered").set(t.packets_reordered);
+          reg.counter("net.packets_corrupted").set(t.packets_corrupted);
+          reg.counter("net.packets_stale_dropped").set(t.packets_stale_dropped);
+          reg.counter("net.payload_allocs").set(t.payload_allocs);
+          reg.counter("net.payload_copies").set(t.payload_copies);
+          reg.counter("net.payload_bytes_copied").set(t.payload_bytes_copied);
+          const FramePool::Stats p = cell.net.frame_pool().stats();
+          reg.counter("pool.checkouts").set(p.checkouts);
+          reg.counter("pool.hits").set(p.pool_hits);
+          reg.counter("pool.slab_allocs").set(p.slab_allocs);
+          // Event-engine health (timer wheel under this shard's
+          // simulator): throughput counters the benches divide by wall
+          // clock, plus the wheel's internal traffic.
+          const sim::TimerWheelStats& w = cell.sim.engine_stats();
+          reg.counter("sim.events_executed").set(w.fired);
+          reg.counter("sim.events_scheduled").set(w.scheduled);
+          reg.counter("sim.events_cancelled").set(w.cancelled);
+          reg.counter("sim.wheel_cascades").set(w.cascaded);
+          reg.counter("sim.wheel_direct_to_heap").set(w.direct_to_heap);
+          reg.counter("sim.wheel_overflow_parked").set(w.overflow_parked);
+          if (k == 0) {
+            // Closures that outgrew their InlineFn buffer since this
+            // domain was built (process-wide counter, so publish the
+            // delta). The bench gate watches this to keep per-event
+            // heap allocations from creeping back.
+            reg.counter("sim.fn_heap_fallbacks")
+                .set(inline_fn_heap_fallback_count() - fn_fallback_base_);
+          }
+          for (const auto& node : nodes_) {
+            if (node->shard != k) continue;
+            reg.gauge("sched." + std::to_string(node->container->config().id) +
+                      ".queued")
+                .set(static_cast<int64_t>(node->executor->queued()));
+          }
+        });
+  }
 }
 
 ServiceContainer& SimDomain::add_node(const std::string& name,
                                       ContainerConfig overrides) {
+  return add_node_on_shard(
+      static_cast<uint32_t>(nodes_.size() % grid_.shard_count()), name,
+      std::move(overrides));
+}
+
+ServiceContainer& SimDomain::add_node_on_shard(uint32_t shard,
+                                               const std::string& name,
+                                               ContainerConfig overrides) {
   auto node = std::make_unique<Node>();
-  node->node = net_.add_node(name);
+  node->shard = shard;
+  node->node = grid_.add_node(name, shard);
+  sim::ShardGrid::Cell& cell = grid_.cell(shard);
   node->transport =
-      std::make_unique<transport::SimTransport>(net_, node->node);
-  node->executor = std::make_unique<sched::SimExecutor>(sim_);
+      std::make_unique<transport::SimTransport>(cell.net, node->node);
+  node->executor = std::make_unique<sched::SimExecutor>(cell.sim);
 
   ContainerConfig config = overrides;
   config.id = static_cast<proto::ContainerId>(nodes_.size() + 1);
   config.node_name = name;
-  if (!config.obs) config.obs = &obs_;
+  if (!config.obs) config.obs = &cell.obs;
   node->executor->set_trace(&config.obs->trace,
                             static_cast<uint32_t>(config.id));
   node->container = std::make_unique<ServiceContainer>(
@@ -53,6 +90,17 @@ ServiceContainer& SimDomain::add_node(const std::string& name,
 
   nodes_.push_back(std::move(node));
   return *nodes_.back()->container;
+}
+
+std::string SimDomain::dump_all_json() {
+  if (grid_.shard_count() == 1) return obs().dump_json();
+  std::string out = "[";
+  for (uint32_t k = 0; k < grid_.shard_count(); ++k) {
+    if (k > 0) out += ",";
+    out += grid_.cell(k).obs.dump_json();
+  }
+  out += "]";
+  return out;
 }
 
 void SimDomain::start_all() {
@@ -70,15 +118,27 @@ void SimDomain::stop_all() {
   for (auto& node : nodes_) node->container->stop();
 }
 
+void SimDomain::run_until_idle(uint64_t safety_cap) {
+  // Idle-drain is defined on the single-simulator domain only; sharded
+  // fleets advance by explicit run_for windows.
+  assert(grid_.shard_count() == 1 && "run_until_idle requires 1 shard");
+  sim().run(safety_cap);
+}
+
 void SimDomain::kill_node(size_t index) {
   // Hard power-off: the node stops sending and receiving; peers detect it
-  // via heartbeat silence.
-  net_.set_node_up(nodes_[index]->node, false);
+  // via heartbeat silence. Every shard's replica must agree on the
+  // node's state, so the transition is applied grid-wide.
+  sim::NodeId id = nodes_[index]->node;
+  grid_.for_each_network(
+      [&](sim::SimNetwork& net) { net.set_node_up(id, false); });
   nodes_[index]->container->stop();
 }
 
 void SimDomain::restart_node(size_t index) {
-  net_.set_node_up(nodes_[index]->node, true);
+  sim::NodeId id = nodes_[index]->node;
+  grid_.for_each_network(
+      [&](sim::SimNetwork& net) { net.set_node_up(id, true); });
   Status s = nodes_[index]->container->start();
   if (!s.is_ok()) {
     MAREA_LOG(kError, "domain")

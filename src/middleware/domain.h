@@ -10,9 +10,20 @@
 //   ground.add_service(std::make_unique<GroundStation>(...));
 //   domain.start_all();
 //   domain.run_for(seconds(10.0));
+//
+// Fleet-scale runs can shard the domain across CPU cores: with
+// ShardOptions{.shards = K} the domain becomes K conservative parallel
+// partitions (see sim/shard.h), each owning a subset of the nodes, and
+// run_for() advances them in lookahead-bounded windows on worker
+// threads. Thread count is purely a throughput knob — a sharded run
+// produces bit-identical traces and metrics for any `threads` value.
+// In sharded mode apply topology/fault changes through
+// for_each_network() (every replica must agree) and only between
+// run_for() calls.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "middleware/container.h"
@@ -20,42 +31,76 @@
 #include "sched/sim_executor.h"
 #include "sim/chaos.h"
 #include "sim/network.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "transport/sim_transport.h"
 
 namespace marea::mw {
 
+struct ShardOptions {
+  // Number of conservative parallel partitions. 1 = classic
+  // single-simulator domain (the default, zero overhead).
+  uint32_t shards = 1;
+  // Worker threads driving the shard windows; 0 = one per shard.
+  // Results are identical for every value — only wall clock changes.
+  uint32_t threads = 0;
+};
+
 class SimDomain {
  public:
-  explicit SimDomain(uint64_t seed = 42, sim::LinkParams default_link = {});
+  explicit SimDomain(uint64_t seed = 42, sim::LinkParams default_link = {},
+                     ShardOptions topo = {});
 
   // Adds a node with one container. `overrides.id`, node_name and data
   // port are assigned by the domain; all other config fields are honored.
+  // Sharded domains place nodes round-robin; use add_node_on_shard for
+  // explicit placement.
   ServiceContainer& add_node(const std::string& name,
                              ContainerConfig overrides = {});
+  ServiceContainer& add_node_on_shard(uint32_t shard, const std::string& name,
+                                      ContainerConfig overrides = {});
 
-  sim::Simulator& sim() { return sim_; }
-  sim::SimNetwork& network() { return net_; }
+  // Shard 0's simulator/network — THE simulator/network of an unsharded
+  // domain. Sharded callers needing other partitions go through grid().
+  sim::Simulator& sim() { return grid_.cell(0).sim; }
+  sim::SimNetwork& network() { return grid_.cell(0).net; }
+  sim::ShardGrid& grid() { return grid_; }
+  uint32_t shard_count() const { return grid_.shard_count(); }
 
-  // Domain-wide flight recorder + metrics registry. Containers, the
+  // Applies `fn` to every shard's network replica — the required way to
+  // change topology, faults or partitions in a sharded domain.
+  template <typename Fn>
+  void for_each_network(Fn&& fn) {
+    grid_.for_each_network(fn);
+  }
+
+  // Domain-wide flight recorder + metrics registry (shard 0's in a
+  // sharded domain — each shard records its own nodes). Containers, the
   // network and every executor feed it; obs().dump_json() snapshots the
   // whole domain (used by tests on invariant failure and by the benches).
-  obs::Observability& obs() { return obs_; }
+  obs::Observability& obs() { return grid_.cell(0).obs; }
+
+  // Deterministic whole-domain snapshot: shard 0's dump unsharded, a
+  // JSON array of the per-shard dumps (in shard order) otherwise. The
+  // determinism acceptance tests compare this string byte-for-byte
+  // across worker-thread counts.
+  std::string dump_all_json();
 
   size_t node_count() const { return nodes_.size(); }
   ServiceContainer& container(size_t index) { return *nodes_[index]->container; }
   sched::SimExecutor& executor(size_t index) { return *nodes_[index]->executor; }
   sim::NodeId node_id(size_t index) const { return nodes_[index]->node; }
+  uint32_t node_shard(size_t index) const { return nodes_[index]->shard; }
 
   void start_all();
   void stop_all();
 
-  void run_for(Duration d) { sim_.run_for(d); }
-  void run_until_idle(uint64_t safety_cap = 50'000'000) {
-    sim_.run(safety_cap);
-  }
+  void run_for(Duration d) { grid_.run_for(d, topo_.threads); }
+  void run_until_idle(uint64_t safety_cap = 50'000'000);
 
-  // Convenience for failover experiments.
+  // Convenience for failover experiments. In a sharded domain these
+  // apply the up/down transition to every replica; call them only
+  // between run_for() windows (a pause point).
   void kill_node(size_t index);
   // Brings a killed node back: NIC up, container restarted as a fresh
   // incarnation (re-announces; peers discard the old incarnation's state).
@@ -68,16 +113,19 @@ class SimDomain {
  private:
   struct Node {
     sim::NodeId node;
+    uint32_t shard = 0;
     std::unique_ptr<transport::SimTransport> transport;
     std::unique_ptr<sched::SimExecutor> executor;
     std::unique_ptr<ServiceContainer> container;
   };
 
-  // First member: containers/network/executors hold pointers into it, so
-  // it must outlive them (destroyed last).
-  obs::Observability obs_;
-  sim::Simulator sim_;
-  sim::SimNetwork net_;
+  // First member: containers/executors hold pointers into its cells'
+  // obs/sim/net, so the grid must outlive them (destroyed last).
+  sim::ShardGrid grid_;
+  ShardOptions topo_;
+  // InlineFn heap-fallback count at construction: the registry publishes
+  // the delta, so one domain's closures don't show up in another's gate.
+  uint64_t fn_fallback_base_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -30,6 +30,7 @@ const std::string& SimNetwork::node_name(NodeId id) const {
 
 void SimNetwork::set_link(NodeId a, NodeId b, LinkParams p) {
   links_[{a, b}] = p;
+  links_version_++;
 }
 
 LinkParams SimNetwork::link(NodeId a, NodeId b) const {
@@ -155,10 +156,23 @@ Status SimNetwork::join_group(GroupId group, Endpoint member) {
     return already_exists_error("join_group: already a member");
   }
   members.push_back(member);
+  if (router_) router_->post_group_op(true, group, member, sim_.now());
   return Status::ok();
 }
 
 void SimNetwork::leave_group(GroupId group, Endpoint member) {
+  apply_group_op(false, group, member);
+  if (router_) router_->post_group_op(false, group, member, sim_.now());
+}
+
+void SimNetwork::apply_group_op(bool join, GroupId group, Endpoint member) {
+  if (join) {
+    auto& members = groups_[group];
+    if (std::find(members.begin(), members.end(), member) == members.end()) {
+      members.push_back(member);
+    }
+    return;
+  }
   // The membership may be parked while the node is down.
   if (member.node < nodes_.size()) {
     auto& parked = nodes_[member.node].parked_groups;
@@ -341,16 +355,35 @@ Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
                         static_cast<double>(lp.jitter.ns))};
     }
     uint64_t epoch = nodes_[dst.node].up_epoch;
+    // Destination owned by another shard: every stochastic draw above
+    // already happened against this (the sender's) RNG, so the packet
+    // crosses the shard boundary as pure data — bytes plus a fully
+    // decided arrival instant — and lands on the peer's simulator with
+    // identical semantics.
+    const bool remote = router_ != nullptr && !router_->is_local(dst.node);
     for (int c = 0; c < copies; ++c) {
       // Duplicates trail the original slightly so they genuinely reorder
       // against traffic behind them. All scheduled deliveries share pkt.
       TimePoint arrival = on_wire + prop + kLocalDeliveryLatency * c;
-      sim_.at(arrival, [this, from, dst, epoch, pkt]() {
-        deliver(from, dst, pkt, epoch);
-      });
+      if (remote) {
+        router_->post_remote(arrival, from, dst, epoch, pkt.view());
+      } else {
+        sim_.at(arrival, [this, from, dst, epoch, pkt]() {
+          deliver(from, dst, pkt, epoch);
+        });
+      }
     }
   }
   return Status::ok();
+}
+
+void SimNetwork::deliver_remote(Endpoint from, Endpoint to, TimePoint arrival,
+                                uint64_t dest_epoch, BytesView bytes) {
+  SharedFrame frame = ingress_frame(bytes);
+  if (arrival < sim_.now()) arrival = sim_.now();
+  sim_.at(arrival, [this, from, to, dest_epoch, frame = std::move(frame)]() {
+    deliver(from, to, frame, dest_epoch);
+  });
 }
 
 bool SimNetwork::apply_faults(NodeId from, NodeId to, SharedFrame& pkt,

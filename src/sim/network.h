@@ -87,6 +87,22 @@ struct LinkFaults {
   }
 };
 
+// Hook the parallel ShardGrid installs on each shard's network replica
+// (see sim/shard.h). When set, transmit() hands packets destined for
+// nodes owned by another shard to the grid's mailboxes — with the
+// arrival instant already decided by the sender's own RNG draws — and
+// group membership changes are forwarded for replication. Null (the
+// default) means unsharded: every node is local.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  virtual bool is_local(NodeId node) const = 0;
+  virtual void post_remote(TimePoint arrival, Endpoint from, Endpoint to,
+                           uint64_t dest_epoch, BytesView bytes) = 0;
+  virtual void post_group_op(bool join, GroupId group, Endpoint member,
+                             TimePoint time) = 0;
+};
+
 struct TrafficStats {
   uint64_t packets_sent = 0;      // handed to the wire (post-queue)
   uint64_t bytes_sent = 0;        // wire bytes (multicast counted once)
@@ -126,7 +142,10 @@ class SimNetwork {
   const std::string& node_name(NodeId id) const;
   size_t node_count() const { return nodes_.size(); }
 
-  void set_default_link(LinkParams p) { default_link_ = p; }
+  void set_default_link(LinkParams p) {
+    default_link_ = p;
+    links_version_++;
+  }
   // Directed override a -> b.
   void set_link(NodeId a, NodeId b, LinkParams p);
   // Symmetric convenience.
@@ -201,6 +220,26 @@ class SimNetwork {
   const TrafficStats& stats() const { return total_; }
   const TrafficStats& node_stats(NodeId id) const;
   void reset_stats();
+
+  // --- sharding (parallel simulation) -------------------------------------
+  // Installed by ShardGrid on each replica; see the ShardRouter comment.
+  void set_shard_router(ShardRouter* router) { router_ = router; }
+
+  // Entry point for packets drained from a cross-shard mailbox: copies
+  // the payload into this network's own frame pool and schedules the
+  // normal deliver() at the sender-computed arrival instant. Arrivals in
+  // the past (possible only if the lookahead contract was violated by a
+  // mid-run latency change) are clamped to `now` deterministically.
+  void deliver_remote(Endpoint from, Endpoint to, TimePoint arrival,
+                      uint64_t dest_epoch, BytesView bytes);
+
+  // Applies a replicated membership change without re-forwarding it to
+  // the router (exactly the local effect of join_group/leave_group).
+  void apply_group_op(bool join, GroupId group, Endpoint member);
+
+  // Bumped by set_link/set_default_link; the grid re-derives its
+  // lookahead when any replica's version moves.
+  uint64_t links_version() const { return links_version_; }
 
   // --- observability ------------------------------------------------------
   // Optional flight recorder: drops, partitions/heals, fault overlays
@@ -279,6 +318,8 @@ class SimNetwork {
   FramePool pool_;
   TrafficStats total_;
   obs::TraceRing* trace_ = nullptr;
+  ShardRouter* router_ = nullptr;
+  uint64_t links_version_ = 0;
 
   void trace_drop(NodeId from, NodeId to, DropReason why) {
     if (trace_) {

@@ -8,54 +8,34 @@ namespace marea::sim {
 TimerId Simulator::at(TimePoint t, EventFn fn) {
   assert(fn);
   if (t < now_) t = now_;
-  TimerId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
-  return id;
+  return wheel_.schedule(t, next_seq_++, std::move(fn));
 }
 
 void Simulator::cancel(TimerId id) {
-  if (id != kInvalidTimer) cancelled_.insert(id);
+  if (id != kInvalidTimer) wheel_.cancel(id);
 }
 
-bool Simulator::pop_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the function object must be moved
-    // out before pop, so copy the metadata and move the closure via const_cast
-    // (safe: the entry is removed immediately after).
-    Entry& top = const_cast<Entry&>(queue_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    TimePoint t = top.time;
-    EventFn fn = std::move(top.fn);
-    queue_.pop();
-    now_ = t;
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+bool Simulator::pop_one(TimePoint limit) {
+  if (!wheel_.prime(limit)) return false;
+  TimePoint t{0};
+  EventFn fn = wheel_.pop(&t);
+  assert(t >= now_);
+  now_ = t;
+  fn();
+  return true;
 }
 
-bool Simulator::step() { return pop_one(); }
+bool Simulator::step() { return pop_one(TimePoint{kDurationInfinite.ns}); }
 
 void Simulator::run_until(TimePoint t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (cancelled_.count(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    pop_one();
+  while (pop_one(t)) {
   }
   if (now_ < t) now_ = t;
 }
 
 void Simulator::run(uint64_t safety_cap) {
   uint64_t n = 0;
-  while (n < safety_cap && pop_one()) ++n;
+  while (n < safety_cap && pop_one(TimePoint{kDurationInfinite.ns})) ++n;
 }
 
 }  // namespace marea::sim

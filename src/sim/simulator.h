@@ -4,24 +4,21 @@
 // multi-node avionics network runs deterministically in one process on
 // virtual time. Ties at the same instant run in scheduling order (stable),
 // which keeps replays bit-identical.
+//
+// The queue is a hierarchical timer wheel (see timer_wheel.h): O(1)
+// schedule and cancel, exact (time, seq) pop order via a small due heap,
+// and in-place cancellation — no tombstone set that grows with
+// schedule/cancel churn. EventFn/TimerId live in timer_wheel.h; this
+// header re-exports them so callers are unchanged.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/timer_wheel.h"
 #include "util/inline_fn.h"
 #include "util/time.h"
 
 namespace marea::sim {
-
-// Sized so the datapath's scheduled closures — packet deliveries and the
-// executor's task-completion wrappers (which embed a sched::Task) — stay
-// inline; oversized closures fall back to the heap transparently.
-using EventFn = InlineFn<void(), 104>;
-using TimerId = uint64_t;
-constexpr TimerId kInvalidTimer = 0;
 
 class Simulator final : public Clock {
  public:
@@ -34,11 +31,19 @@ class Simulator final : public Clock {
   // Schedules `fn` at absolute time `t` (clamped to now). Returns an id
   // usable with cancel().
   TimerId at(TimePoint t, EventFn fn);
-  TimerId after(Duration d, EventFn fn) { return at(now_ + d, std::move(fn)); }
+  // Saturates instead of overflowing so after(kDurationInfinite) parks
+  // at the far end of virtual time rather than wrapping into the past.
+  TimerId after(Duration d, EventFn fn) {
+    const int64_t t = d.ns >= kDurationInfinite.ns - now_.ns
+                          ? kDurationInfinite.ns
+                          : now_.ns + d.ns;
+    return at(TimePoint{t}, std::move(fn));
+  }
   // Schedules immediately after currently-queued same-time events.
   TimerId post(EventFn fn) { return at(now_, std::move(fn)); }
 
-  // Cancels a pending event. Safe to call with ids that already fired.
+  // Cancels a pending event in place, O(1). Safe to call with ids that
+  // already fired (generation check makes stale ids a no-op).
   void cancel(TimerId id);
 
   // Runs the next event; returns false if the queue is empty.
@@ -49,31 +54,19 @@ class Simulator final : public Clock {
   // Runs until the queue is empty (or safety_cap events executed).
   void run(uint64_t safety_cap = UINT64_MAX);
 
-  size_t pending() const { return queue_.size() - cancelled_.size(); }
-  uint64_t events_executed() const { return executed_; }
+  size_t pending() const { return wheel_.pending(); }
+  uint64_t events_executed() const { return wheel_.stats().fired; }
+  // Engine internals for metrics / regression tests: wheel counters and
+  // the node high-water mark (bounded by peak concurrent timers).
+  const TimerWheelStats& engine_stats() const { return wheel_.stats(); }
+  size_t allocated_timer_nodes() const { return wheel_.allocated_nodes(); }
 
  private:
-  struct Entry {
-    TimePoint time;
-    uint64_t seq;  // tie-break: FIFO within the same instant
-    TimerId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return b.time < a.time;
-      return b.seq < a.seq;
-    }
-  };
-
-  bool pop_one();
+  bool pop_one(TimePoint limit);
 
   TimePoint now_{0};
   uint64_t next_seq_ = 1;
-  TimerId next_id_ = 1;
-  uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  TimerWheel wheel_;
 };
 
 }  // namespace marea::sim

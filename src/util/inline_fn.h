@@ -11,12 +11,27 @@
 // constraint.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
 
 namespace marea {
+
+namespace detail {
+// Process-wide count of closures that outgrew their InlineFn buffer and
+// fell back to a heap allocation. Published into the metrics registry by
+// SimDomain (as a delta since domain construction) so the bench gate
+// catches closure growth instead of letting per-event allocations creep
+// back in silently. Relaxed: it's a statistic, never synchronization.
+inline std::atomic<uint64_t> inline_fn_heap_fallbacks{0};
+}  // namespace detail
+
+inline uint64_t inline_fn_heap_fallback_count() {
+  return detail::inline_fn_heap_fallbacks.load(std::memory_order_relaxed);
+}
 
 template <typename Sig, size_t Cap = 48>
 class InlineFn;
@@ -35,6 +50,7 @@ class InlineFn<R(Args...), Cap> {
     if constexpr (fits<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
     } else {
+      detail::inline_fn_heap_fallbacks.fetch_add(1, std::memory_order_relaxed);
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
     }
     invoke_ = &invoke_impl<D>;
@@ -122,5 +138,29 @@ class InlineFn<R(Args...), Cap> {
   Invoke invoke_ = nullptr;
   Manage manage_ = nullptr;
 };
+
+// Size note: an InlineFn is its max_align_t-aligned buffer plus two
+// dispatch pointers, so the object rounds up to a multiple of
+// alignof(max_align_t) (16 on the targets we build): footprint =
+// round_up(Cap + 2 * sizeof(void*), alignof(max_align_t)). The hot-path
+// instantiations — 104 for sim::EventFn (the timer-wheel node budget),
+// 56 for sched::Task (the executor queue entry budget) — are pinned
+// here so a capture that grows Cap shows up as a build break, not a
+// silent node-size regression. Growing a capture beyond Cap without
+// growing Cap still works, but each such closure costs a heap
+// allocation counted by inline_fn_heap_fallback_count() and gated by
+// the benches.
+namespace detail {
+constexpr size_t inline_fn_footprint(size_t cap) {
+  const size_t raw = cap + 2 * sizeof(void*);
+  const size_t a = alignof(std::max_align_t);
+  return (raw + a - 1) / a * a;
+}
+}  // namespace detail
+static_assert(sizeof(InlineFn<void(), 104>) ==
+                  detail::inline_fn_footprint(104),
+              "EventFn footprint drifted: timer-wheel node size budget");
+static_assert(sizeof(InlineFn<void(), 56>) == detail::inline_fn_footprint(56),
+              "Task footprint drifted: executor queue entry size budget");
 
 }  // namespace marea

@@ -480,6 +480,92 @@ TEST(ChaosSoakTest, ForcedInvariantFailureProducesFlightRecorderDump) {
             obs::TraceEvent::kViolation);
 }
 
+// --- sharded parallel determinism (PR-5 acceptance) ----------------------
+// The same soak workload on a 4-shard domain, with a SCRIPTED chaos
+// timeline applied at pause points through for_each_network (every
+// replica must agree on topology, so the random mid-window
+// ChaosController is not used here). The whole per-shard
+// flight-recorder + metrics dump must be byte-identical no matter how
+// many worker threads drive the shard windows.
+std::string run_sharded_soak(uint32_t threads) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(/*seed=*/31, {},
+                   ShardOptions{.shards = 4, .threads = threads});
+
+  auto p = std::make_unique<SoakPublisher>();
+  SoakPublisher* pub = p.get();
+  (void)domain.add_node("pub").add_service(std::move(p));
+  auto a1 = std::make_unique<SoakAuditor>("audit1", pub);
+  SoakAuditor* audit1 = a1.get();
+  (void)domain.add_node("audit1").add_service(std::move(a1));
+  auto a2 = std::make_unique<SoakAuditor>("audit2", pub);
+  SoakAuditor* audit2 = a2.get();
+  (void)domain.add_node("audit2").add_service(std::move(a2));
+  (void)domain.add_node("backup").add_service(std::make_unique<BackupEcho>());
+  // One node per shard. Each auditor records violations into ITS OWN
+  // shard's trace ring (shard rings are single-writer during a window).
+  audit1->set_trace(&domain.grid().cell(domain.node_shard(1)).obs.trace);
+  audit2->set_trace(&domain.grid().cell(domain.node_shard(2)).obs.trace);
+
+  const sim::NodeId pub_id = domain.node_id(0);
+  const sim::NodeId a1_id = domain.node_id(1);
+  const sim::NodeId a2_id = domain.node_id(2);
+
+  domain.start_all();
+  domain.run_for(milliseconds(500));
+
+  sim::LinkFaults burst;
+  burst.p_good_bad = 0.05;
+  burst.duplicate = 0.05;
+  burst.reorder = 0.1;
+  burst.corrupt = 0.02;
+
+  for (int i = 0; i < 400; ++i) {
+    // Scripted fault timeline, applied at pause points to every replica.
+    if (i == 50) {
+      domain.for_each_network([&](sim::SimNetwork& net) {
+        net.set_link_faults_symmetric(pub_id, a1_id, burst);
+      });
+    }
+    if (i == 120) {
+      domain.for_each_network([&](sim::SimNetwork& net) {
+        net.clear_link_faults(pub_id, a1_id);
+        net.clear_link_faults(a1_id, pub_id);
+        net.partition({pub_id}, {a2_id});
+      });
+    }
+    if (i == 180) {
+      domain.for_each_network([&](sim::SimNetwork& net) { net.heal(); });
+    }
+    if (i == 220) domain.kill_node(3);
+    if (i == 300) domain.restart_node(3);
+
+    pub->tick();
+    if (i % 40 == 7) pub->publish_next_file();
+    if (i % 5 == 0) audit2->fire_rpc();
+    if (i % 5 == 2) audit1->fire_rpc();
+    domain.run_for(milliseconds(10));
+  }
+  domain.run_for(seconds(2.0));
+
+  EXPECT_TRUE(audit1->violations().empty())
+      << "sharded audit1:\n" << join(audit1->violations());
+  EXPECT_TRUE(audit2->violations().empty())
+      << "sharded audit2:\n" << join(audit2->violations());
+  EXPECT_GT(audit2->var_count(), 0);
+  EXPECT_GT(audit2->event_count(), 0);
+  return domain.dump_all_json();
+}
+
+TEST(ChaosSoakTest, ShardedDumpByteIdenticalAcrossWorkerThreads) {
+  std::string one = run_sharded_soak(1);
+  std::string four = run_sharded_soak(4);
+  ASSERT_EQ(one.size(), four.size())
+      << "sharded soak dumps differ in length across thread counts";
+  EXPECT_EQ(one, four)
+      << "sharded soak run is worker-thread-count dependent";
+}
+
 TEST(ChaosSoakTest, EmergencyRaisedIffNoProviderPastGrace) {
   set_log_level(LogLevel::kError);
   SimDomain domain(123);

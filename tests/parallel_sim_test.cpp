@@ -1,0 +1,381 @@
+// Conservative parallel simulation (sim/shard.h + sharded SimDomain):
+//   * cross-shard packets arrive at the sender-computed instant
+//   * group membership replicates across shard replicas at barriers
+//   * lookahead follows the minimum cross-shard link latency
+//   * worker-thread count never changes results — grid-level traffic
+//     digests and full middleware obs dumps are byte-identical for 1..N
+//     threads (the determinism contract the fleet benches rely on)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "encoding/typed.h"
+#include "middleware/domain.h"
+#include "sim/shard.h"
+#include "util/bytes.h"
+
+namespace marea::mw {
+namespace {
+
+struct ParMsg {
+  int64_t n = 0;
+};
+
+}  // namespace
+}  // namespace marea::mw
+
+MAREA_REFLECT(marea::mw::ParMsg, n)
+
+namespace marea::mw {
+namespace {
+
+TEST(ShardGridTest, CrossShardUnicastArrivesAtSenderComputedInstant) {
+  sim::ShardGrid grid(2, /*seed=*/1);
+  sim::NodeId a = grid.add_node("a", 0);
+  sim::NodeId b = grid.add_node("b", 1);
+
+  std::vector<int64_t> arrivals;
+  ASSERT_TRUE(grid.cell(1)
+                  .net.bind(sim::Endpoint{b, 9},
+                            [&](sim::Endpoint from, BytesView data) {
+                              EXPECT_EQ(from.node, a);
+                              EXPECT_EQ(data.size(), 100u);
+                              arrivals.push_back(grid.cell(1).sim.now().ns);
+                            })
+                  .is_ok());
+
+  Buffer payload(100, 0xAB);
+  grid.cell(0).sim.at(TimePoint{0}, [&] {
+    Status s = grid.cell(0).net.send(sim::Endpoint{a, 1}, sim::Endpoint{b, 9},
+                                     as_bytes_view(payload));
+    EXPECT_TRUE(s.is_ok());
+  });
+  grid.run_for(milliseconds(1), /*threads=*/2);
+
+  // Default link: 100 bytes at 100 Mbps = 8 µs egress serialization,
+  // then 200 µs propagation — crossing the shard boundary adds nothing.
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], microseconds(208).ns);
+  EXPECT_EQ(grid.cell(0).net.stats().packets_sent, 1u);
+  EXPECT_EQ(grid.cell(1).net.stats().packets_delivered, 1u);
+}
+
+TEST(ShardGridTest, GroupMembershipReplicatesAtWindowBarriers) {
+  sim::ShardGrid grid(2, /*seed=*/3);
+  sim::NodeId a = grid.add_node("a", 0);
+  sim::NodeId b = grid.add_node("b", 1);
+  constexpr sim::GroupId kGroup = 7;
+
+  std::vector<int64_t> arrivals;
+  ASSERT_TRUE(grid.cell(1)
+                  .net.bind(sim::Endpoint{b, 9},
+                            [&](sim::Endpoint, BytesView) {
+                              arrivals.push_back(grid.cell(1).sim.now().ns);
+                            })
+                  .is_ok());
+
+  Buffer payload(100, 0x5C);
+  // b joins mid-run, from its owning shard. The op replicates to shard
+  // 0's membership table at the next barrier — IGMP-style propagation —
+  // so a multicast in the same window misses b, the next one reaches it.
+  grid.cell(1).sim.at(TimePoint{0}, [&] {
+    EXPECT_TRUE(
+        grid.cell(1).net.join_group(kGroup, sim::Endpoint{b, 9}).is_ok());
+  });
+  grid.cell(0).sim.at(TimePoint{0}, [&] {
+    EXPECT_TRUE(grid.cell(0)
+                    .net.send_multicast(sim::Endpoint{a, 1}, kGroup,
+                                        as_bytes_view(payload))
+                    .is_ok());
+  });
+  grid.cell(0).sim.at(TimePoint{microseconds(250).ns}, [&] {
+    EXPECT_TRUE(grid.cell(0)
+                    .net.send_multicast(sim::Endpoint{a, 1}, kGroup,
+                                        as_bytes_view(payload))
+                    .is_ok());
+  });
+  grid.run_for(milliseconds(1), /*threads=*/2);
+
+  // First multicast: no members visible on shard 0 yet (unroutable).
+  // Second: 250 µs send + 8 µs serialization + 200 µs propagation.
+  EXPECT_EQ(grid.cell(0).net.stats().packets_unroutable, 1u);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], microseconds(458).ns);
+}
+
+TEST(ShardGridTest, LookaheadTracksMinimumCrossShardLatency) {
+  sim::ShardGrid grid(2, /*seed=*/5);
+  sim::NodeId a = grid.add_node("a", 0);
+  sim::NodeId b = grid.add_node("b", 1);
+  sim::NodeId c = grid.add_node("c", 1);
+
+  // Default link everywhere: 200 µs.
+  EXPECT_EQ(grid.lookahead().ns, microseconds(200).ns);
+
+  // A faster cross-shard pair pulls the window down...
+  grid.for_each_network([&](sim::SimNetwork& net) {
+    net.set_link_symmetric(a, b, sim::LinkParams{.latency = microseconds(50)});
+  });
+  EXPECT_EQ(grid.lookahead().ns, microseconds(50).ns);
+
+  // ...an intra-shard link does not (b and c share shard 1)...
+  grid.for_each_network([&](sim::SimNetwork& net) {
+    net.set_link_symmetric(b, c, sim::LinkParams{.latency = microseconds(1)});
+  });
+  EXPECT_EQ(grid.lookahead().ns, microseconds(50).ns);
+
+  // ...and a zero-latency cross-shard link clamps to the 1 µs floor
+  // instead of stalling virtual time.
+  grid.for_each_network([&](sim::SimNetwork& net) {
+    net.set_link(a, c, sim::LinkParams{.latency = kDurationZero});
+  });
+  EXPECT_EQ(grid.lookahead().ns, microseconds(1).ns);
+}
+
+// Grid-level determinism: stochastic links (loss + jitter), 8 nodes on
+// 4 shards, every delivery folded into a per-node digest. The digest
+// must not depend on how many worker threads drive the windows.
+uint64_t traffic_digest(uint32_t threads) {
+  sim::LinkParams link;
+  link.latency = microseconds(150);
+  link.jitter = microseconds(40);
+  link.loss = 0.05;
+  sim::ShardGrid grid(4, /*seed=*/99, link);
+
+  constexpr int kNodes = 8;
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    ids.push_back(grid.add_node("n" + std::to_string(i),
+                                static_cast<uint32_t>(i % 4)));
+  }
+  std::vector<uint64_t> digest(kNodes, 1469598103934665603ull);
+  for (int i = 0; i < kNodes; ++i) {
+    auto& cell = grid.cell(static_cast<uint32_t>(i % 4));
+    EXPECT_TRUE(cell.net
+                    .bind(sim::Endpoint{ids[i], 5},
+                          [&digest, &cell, i](sim::Endpoint from,
+                                              BytesView data) {
+                            uint64_t& h = digest[static_cast<size_t>(i)];
+                            h ^= static_cast<uint64_t>(cell.sim.now().ns) +
+                                 (static_cast<uint64_t>(from.node) << 48) +
+                                 data.size();
+                            h *= 1099511628211ull;
+                          })
+                    .is_ok());
+  }
+  Buffer payload(64, 0x42);
+  for (int i = 0; i < kNodes; ++i) {
+    auto& cell = grid.cell(static_cast<uint32_t>(i % 4));
+    for (int k = 0; k < 200; ++k) {
+      const TimePoint t{k * milliseconds(1).ns + i * microseconds(7).ns};
+      const sim::Endpoint from{ids[i], 5};
+      const sim::Endpoint to1{ids[(i + 1) % kNodes], 5};
+      const sim::Endpoint to2{ids[(i + 3) % kNodes], 5};
+      cell.sim.at(t, [&cell, from, to1, to2, &payload] {
+        (void)cell.net.send(from, to1, as_bytes_view(payload));
+        (void)cell.net.send(from, to2, as_bytes_view(payload));
+      });
+    }
+  }
+  grid.run_for(milliseconds(250), threads);
+
+  uint64_t combined = 14695981039346656037ull;
+  for (int i = 0; i < kNodes; ++i) {
+    combined ^= digest[static_cast<size_t>(i)];
+    combined *= 1099511628211ull;
+  }
+  for (uint32_t s = 0; s < grid.shard_count(); ++s) {
+    const sim::TrafficStats& st = grid.cell(s).net.stats();
+    combined ^= st.packets_sent + st.packets_delivered * 1000003ull +
+                st.packets_dropped * 1000000007ull;
+    combined *= 1099511628211ull;
+  }
+  EXPECT_GT(grid.events_executed_total(), 0u);
+  return combined;
+}
+
+TEST(ShardGridTest, TrafficDigestIdenticalAcrossThreadCounts) {
+  const uint64_t one = traffic_digest(1);
+  const uint64_t two = traffic_digest(2);
+  const uint64_t four = traffic_digest(4);
+  const uint64_t eight = traffic_digest(8);  // more threads than shards
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+}
+
+// --- full middleware over a sharded domain -------------------------------
+
+class ParBeacon final : public Service {
+ public:
+  explicit ParBeacon(int index) : Service("beacon" + std::to_string(index)) {}
+
+  Status on_start() override {
+    auto v = provide_variable<ParMsg>(
+        name() + ".var", {.period = milliseconds(40), .validity = seconds(2.0)});
+    if (!v.ok()) return v.status();
+    var_ = *v;
+    return Status::ok();
+  }
+
+  void tick() {
+    ParMsg m;
+    m.n = ++n_;
+    (void)var_.publish(m);
+  }
+
+ private:
+  VariableHandle var_;
+  int64_t n_ = 0;
+};
+
+class ParWatcher final : public Service {
+ public:
+  ParWatcher(std::string name, std::vector<std::string> topics)
+      : Service(std::move(name)), topics_(std::move(topics)) {}
+
+  Status on_start() override {
+    for (const auto& t : topics_) {
+      Status s = subscribe_variable<ParMsg>(
+          t, [this](const ParMsg& m, const SampleInfo&) {
+            ++samples_;
+            hash_ ^= static_cast<uint64_t>(m.n) + (hash_ << 6) + (hash_ >> 2);
+          });
+      if (!s.is_ok()) return s;
+    }
+    return Status::ok();
+  }
+
+  int64_t samples() const { return samples_; }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  std::vector<std::string> topics_;
+  int64_t samples_ = 0;
+  uint64_t hash_ = 0;
+};
+
+struct ShardedRun {
+  std::string dump;
+  int64_t samples = 0;
+  uint64_t events = 0;
+};
+
+ShardedRun run_sharded_domain(uint32_t threads) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(/*seed=*/11, {}, ShardOptions{.shards = 4,
+                                                 .threads = threads});
+
+  std::vector<ParBeacon*> beacons;
+  std::vector<ParWatcher*> watchers;
+  std::vector<std::string> topics;
+  for (int i = 0; i < 3; ++i) {
+    auto& node = domain.add_node("pub" + std::to_string(i));
+    auto b = std::make_unique<ParBeacon>(i);
+    beacons.push_back(b.get());
+    (void)node.add_service(std::move(b));
+    topics.push_back("beacon" + std::to_string(i) + ".var");
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto& node = domain.add_node("sub" + std::to_string(i));
+    auto w = std::make_unique<ParWatcher>("watch" + std::to_string(i), topics);
+    watchers.push_back(w.get());
+    (void)node.add_service(std::move(w));
+  }
+  // 6 nodes round-robin on 4 shards: every publisher has cross-shard
+  // subscribers, so discovery, samples and acks all cross mailboxes.
+  domain.start_all();
+  domain.run_for(milliseconds(500));
+
+  for (int i = 0; i < 100; ++i) {
+    for (auto* b : beacons) b->tick();
+    domain.run_for(milliseconds(5));
+  }
+  domain.run_for(milliseconds(500));
+
+  ShardedRun r;
+  r.dump = domain.dump_all_json();
+  for (auto* w : watchers) r.samples += w->samples();
+  r.events = domain.grid().events_executed_total();
+  return r;
+}
+
+TEST(ShardedDomainTest, MiddlewareDumpByteIdenticalAcrossThreadCounts) {
+  ShardedRun one = run_sharded_domain(1);
+  ShardedRun four = run_sharded_domain(4);
+  EXPECT_GT(one.samples, 0) << "no cross-shard samples flowed";
+  EXPECT_EQ(one.samples, four.samples);
+  EXPECT_EQ(one.events, four.events);
+  // The whole per-shard flight-recorder + metrics snapshot, byte for
+  // byte: thread count is a throughput knob, never a semantics knob.
+  EXPECT_EQ(one.dump, four.dump);
+}
+
+TEST(ShardedDomainTest, KillAndRestartApplyToEveryReplica) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(/*seed=*/21, {}, ShardOptions{.shards = 2, .threads = 2});
+  auto& pub_node = domain.add_node("pub");       // shard 0
+  auto b = std::make_unique<ParBeacon>(0);
+  ParBeacon* beacon = b.get();
+  (void)pub_node.add_service(std::move(b));
+  auto& sub_node = domain.add_node("sub");       // shard 1
+  auto w = std::make_unique<ParWatcher>("watch", std::vector<std::string>{
+                                                     "beacon0.var"});
+  ParWatcher* watcher = w.get();
+  (void)sub_node.add_service(std::move(w));
+
+  domain.start_all();
+  domain.run_for(milliseconds(500));
+  for (int i = 0; i < 20; ++i) {
+    beacon->tick();
+    domain.run_for(milliseconds(10));
+  }
+  ASSERT_GT(watcher->samples(), 0);
+
+  domain.kill_node(0);
+  for (uint32_t s = 0; s < domain.shard_count(); ++s) {
+    EXPECT_FALSE(domain.grid().cell(s).net.node_up(domain.node_id(0)))
+        << "replica " << s << " did not see the crash";
+  }
+  domain.run_for(seconds(1.0));
+  const int64_t during_outage = watcher->samples();
+  domain.run_for(seconds(1.0));
+  EXPECT_EQ(watcher->samples(), during_outage)
+      << "samples flowed from a dead publisher";
+
+  domain.restart_node(0);
+  for (uint32_t s = 0; s < domain.shard_count(); ++s) {
+    EXPECT_TRUE(domain.grid().cell(s).net.node_up(domain.node_id(0)));
+  }
+  domain.run_for(seconds(1.0));
+  for (int i = 0; i < 20; ++i) {
+    beacon->tick();
+    domain.run_for(milliseconds(10));
+  }
+  EXPECT_GT(watcher->samples(), during_outage)
+      << "samples did not resume after restart";
+}
+
+TEST(ShardedDomainTest, SingleShardDomainBehavesClassically) {
+  // shards=1 must be the exact historical domain: same seeding, no
+  // windows, run_until_idle available.
+  set_log_level(LogLevel::kError);
+  SimDomain classic(/*seed=*/7);
+  EXPECT_EQ(classic.shard_count(), 1u);
+  auto& node = classic.add_node("solo");
+  auto b = std::make_unique<ParBeacon>(0);
+  ParBeacon* beacon = b.get();
+  (void)node.add_service(std::move(b));
+  classic.start_all();
+  classic.run_for(milliseconds(100));
+  beacon->tick();
+  classic.run_for(milliseconds(100));
+  classic.stop_all();
+  classic.run_until_idle(/*safety_cap=*/1'000'000);
+  EXPECT_GT(classic.sim().events_executed(), 0u);
+  EXPECT_EQ(classic.dump_all_json(), classic.obs().dump_json());
+}
+
+}  // namespace
+}  // namespace marea::mw

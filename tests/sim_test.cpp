@@ -89,6 +89,122 @@ TEST(SimulatorTest, SafetyCapStopsRunaway) {
   EXPECT_EQ(sim.events_executed(), 100u);
 }
 
+// --- Timer-wheel engine edge cases -------------------------------------------
+
+TEST(SimulatorTest, SameInstantFifoAcrossSlotBoundaries) {
+  // Events at the same instant keep scheduling order even when the
+  // instant sits on a wheel-slot edge (1024-aligned), one ns before,
+  // and one ns after — and regardless of interleaved later events.
+  for (int64_t base : {1024 * 7, 1024 * 7 - 1, 1024 * 7 + 1, 65536, 65535}) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      sim.at(TimePoint{base}, [&, i] { order.push_back(i); });
+      sim.at(TimePoint{base + 100000 + i}, [] {});  // coarser-slot noise
+    }
+    sim.run_until(TimePoint{base});
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "base=" << base;
+  }
+}
+
+TEST(SimulatorTest, CancelOfAlreadyFiredIdIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  TimerId first = sim.at(TimePoint{100}, [&] { ++fired; });
+  sim.run();
+  ASSERT_EQ(fired, 1);
+  // The node behind `first` is recycled by the next schedule; the stale
+  // id must not cancel the new event (generation check).
+  sim.cancel(first);
+  TimerId second = sim.at(TimePoint{200}, [&] { ++fired; });
+  sim.cancel(first);  // stale again, now aliased to a live node's slot
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  sim.cancel(second);  // fired id: also a no-op
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, TimerScheduledAtNowRunsThisInstant) {
+  Simulator sim;
+  sim.run_until(TimePoint{5000});
+  std::vector<int> order;
+  sim.at(sim.now(), [&] {
+    order.push_back(1);
+    // Scheduled mid-pop at the current instant: still runs, after
+    // already-queued same-instant events.
+    sim.at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.post([&] { order.push_back(2); });
+  sim.run_until(sim.now());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, 5000);
+}
+
+TEST(SimulatorTest, FarFutureEventPromotedFromOverflowLadder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Beyond the ladder horizon (~9 years): parks in the overflow list.
+  const int64_t far = int64_t{1} << 60;
+  sim.at(TimePoint{far}, [&] { order.push_back(2); });
+  sim.at(TimePoint{far}, [&] { order.push_back(3); });
+  sim.at(TimePoint{1000}, [&] { order.push_back(1); });
+  EXPECT_GE(sim.engine_stats().overflow_parked, 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, far);
+
+  // An infinite-delay watchdog saturates instead of wrapping: it stays
+  // pending across a long run rather than firing immediately.
+  bool watchdog = false;
+  sim.after(kDurationInfinite, [&] { watchdog = true; });
+  sim.run_for(milliseconds(100));
+  EXPECT_FALSE(watchdog);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilLandingExactlyOnSlotEdge) {
+  Simulator sim;
+  int fired = 0;
+  // 65536 is simultaneously a level-0 and level-1 slot boundary; events
+  // on the edge are due at run_until(edge), one ns later is not.
+  sim.at(TimePoint{65536}, [&] { ++fired; });
+  sim.at(TimePoint{65537}, [&] { ++fired; });
+  sim.run_until(TimePoint{65535});
+  EXPECT_EQ(fired, 0);
+  sim.run_until(TimePoint{65536});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, 65536);
+  sim.run_until(TimePoint{65537});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduleCancelChurnDoesNotGrowMemory) {
+  // Regression for the old engine's tombstone leak: cancelled far-future
+  // ids accumulated in an unordered_set until popped (never, for churn),
+  // and pending() underflowed. The wheel cancels in place and recycles
+  // nodes, so the pool high-water mark is bounded by peak concurrency.
+  Simulator sim;
+  constexpr int kLive = 64;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < kLive; ++i) {
+    ids.push_back(sim.after(seconds(3600.0), [] {}));
+  }
+  for (int round = 0; round < 100'000; ++round) {
+    sim.cancel(ids[static_cast<size_t>(round) % kLive]);
+    ids[static_cast<size_t>(round) % kLive] =
+        sim.after(seconds(3600.0) + nanoseconds(round), [] {});
+  }
+  EXPECT_EQ(sim.pending(), static_cast<size_t>(kLive));
+  // Bounded: peak live timers (+ a small constant), not 100k churned.
+  EXPECT_LE(sim.allocated_timer_nodes(), static_cast<size_t>(kLive + 8));
+  EXPECT_EQ(sim.engine_stats().cancelled, 100'000u);
+  for (TimerId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
 // --- SimNetwork -----------------------------------------------------------------
 
 class NetworkTest : public ::testing::Test {
