@@ -8,9 +8,10 @@
 # crash/restart cycles, so a sanitized run of the suite is the cheapest
 # way to catch lifetime bugs in the recovery paths. Finally the Release
 # benches run — bench_hotpath (sim datapath), bench_live (kernel
-# datapath), bench_fleet (sharded engine scaling) — and
+# datapath), bench_fleet (sharded engine scaling), bench_scenario_matrix
+# (seeded missions over the mobility-driven radio model) — and
 # scripts/bench_compare.py gates each against its committed baseline
-# (bench/baselines/{hotpath,live,fleet}.json). The CI workflow
+# (bench/baselines/{hotpath,live,fleet,scenario}.json). The CI workflow
 # (.github/workflows/ci.yml) runs these same legs as a matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,13 +28,15 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 
 echo "== TSan build + parallel-engine tests =="
 cmake -B build-tsan -S . -DMAREA_SANITIZE=TSAN >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target parallel_sim_test chaos_soak_test
+cmake --build build-tsan -j"$(nproc)" --target parallel_sim_test \
+  chaos_soak_test radio_relay_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'ParallelSim|ChaosSoak'
+  -R 'ParallelSim|ChaosSoak|DataMuleScenario'
 
 echo "== release hot-path bench (BENCH_hotpath.json) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live bench_fleet
+cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live \
+  bench_fleet bench_scenario_matrix
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
 
@@ -45,6 +48,10 @@ echo "== release fleet-scaling bench (BENCH_fleet.json) =="
 ./build-release/bench/bench_fleet > BENCH_fleet.json
 cat BENCH_fleet.json
 
+echo "== release scenario matrix (BENCH_scenario.json) =="
+./build-release/bench/bench_scenario_matrix > BENCH_scenario.json
+cat BENCH_scenario.json
+
 echo "== bench regression gates =="
 python3 scripts/bench_compare.py bench/baselines/hotpath.json \
   BENCH_hotpath.json
@@ -52,5 +59,7 @@ python3 scripts/bench_compare.py bench/baselines/live.json \
   BENCH_live.json
 python3 scripts/bench_compare.py bench/baselines/fleet.json \
   BENCH_fleet.json
+python3 scripts/bench_compare.py bench/baselines/scenario.json \
+  BENCH_scenario.json
 
 echo "check.sh: all green"

@@ -628,25 +628,20 @@ void ServiceContainer::peer_lost(proto::ContainerId id,
     if (sub.provider && sub.provider->container == id) {
       sub.provider.reset();
       sub.announced = false;
-      // The next provider (or this one's next incarnation) starts a fresh
-      // sequence stream; keeping the old watermark would gate real samples.
-      sub.last_seq = 0;
-      sub.got_any = false;
+      // last_seq deliberately survives: a sample delayed in the network
+      // across the churn must still be gated as stale. The rebind path
+      // resets the watermark if the next binding is a different stream
+      // (other provider, or this one's next incarnation).
     }
   }
   for (auto& [name, sub] : event_subs_) {
     sub.announced_to.erase(id);
-    // Ordered-delivery state for the dead publisher: the gaps the held
-    // events were waiting on can never fill now, so drain them — in
-    // order — then forget the expected-next sequence, which restarts at 1
-    // if the publisher comes back.
-    if (auto os = sub.order.find(id); os != sub.order.end()) {
-      executor_.cancel(os->second.flush_timer);
-      for (auto& [seq, pending] : os->second.held) {
-        deliver_event_locally(sub, pending.first, pending.second);
-      }
-      sub.order.erase(os);
-    }
+    // Drain held events and keep the delivered watermark: the dead
+    // publisher's old ARQ life may still retransmit frames whose acks
+    // were lost, and a fresh receiver would hand them back as brand-new
+    // events. The watermark (not ARQ dedup) stops that replay; a truly
+    // restarted publisher resets it via its new incarnation.
+    evict_ordered_stream(sub, id);
   }
   for (auto& [name, sub] : file_subs_) {
     if (sub.provider && sub.provider->container == id) {
@@ -758,6 +753,7 @@ void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
   reg.counter(p + "frames_received").set(stats_.frames_received);
   reg.counter(p + "frames_dropped").set(stats_.frames_dropped);
   reg.counter(p + "frames_send_failed").set(stats_.frames_send_failed);
+  reg.counter(p + "link_session_resets").set(stats_.link_session_resets);
   reg.counter(p + "name_queries_sent").set(stats_.name_queries_sent);
   reg.counter(p + "emergencies").set(stats_.emergencies);
 

@@ -107,6 +107,8 @@ struct ContainerStats {
   uint64_t frames_dropped = 0;        // CRC/decode failures
   uint64_t frames_send_failed = 0;    // transport refused the send (live
                                       // UDP: buffer pressure, no route)
+  uint64_t link_session_resets = 0;   // receiver ARQ state rebuilt for a
+                                      // peer's new sender life
   uint64_t name_queries_sent = 0;
   uint64_t emergencies = 0;
 };
@@ -242,6 +244,14 @@ class ServiceContainer {
     // cache
     std::optional<enc::Value> last_value;
     uint64_t last_seq = 0;
+    // Identity of the sample stream last_seq counts. The watermark
+    // survives peer loss and re-binding as long as the stream is the
+    // same provider life (container + incarnation) — a stale sample
+    // delayed in the network must not be accepted as fresh just because
+    // the link churned. A different provider, or a restarted one, counts
+    // from 1 again; only then does the watermark reset.
+    proto::ContainerId seq_stream_container = proto::kInvalidContainer;
+    uint64_t seq_stream_incarnation = 0;
     TimePoint last_recv{};
     Duration validity = kDurationZero;  // learned from provider manifest
     Duration deadline = kDurationZero;
@@ -272,6 +282,18 @@ class ServiceContainer {
     EventQoS qos;
     struct OrderState {
       uint64_t next = 0;  // 0 = uninitialized (settling)
+      // Publisher incarnation the horizon belongs to. A restarted
+      // publisher counts pub_seq from 1 again, so a watermark carried
+      // over from its previous life would gate the whole fresh stream
+      // as "late"; on incarnation change the stream resets instead.
+      uint64_t incarnation = 0;
+      // The ARQ sender life feeding this stream died (peer loss or a
+      // link-session reset). The watermark survives — the old life can
+      // still retransmit frames whose acks were lost, and a fresh
+      // receiver would hand those back as brand-new events — but the
+      // next gap is permanent (nothing retransmits the missing seqs),
+      // so the stream jumps forward instead of holding.
+      bool resync = false;
       std::map<uint64_t, std::pair<enc::Value, EventInfo>> held;
       sched::TaskTimerId flush_timer = sched::kInvalidTaskTimer;
     };
@@ -281,6 +303,17 @@ class ServiceContainer {
   void ordered_deliver(EventSubscription& sub, proto::ContainerId from,
                        enc::Value value, EventInfo info);
   void ordered_flush(const std::string& name, proto::ContainerId from);
+  // Drain held events in order and mark the stream for resync, keeping
+  // the delivered high-water mark. Used when the publisher's sender life
+  // dies (peer loss / link-session reset): held gaps can never fill, and
+  // old-life retransmissions must not redeliver below the watermark.
+  void evict_ordered_stream(EventSubscription& sub, proto::ContainerId id);
+  // The peer rebuilt its ARQ sender from scratch (link-session reset),
+  // which only happens after it declared us lost: its per-peer state —
+  // remote-subscriber sets, queued frames — died with the old life even
+  // though our own peer entry survived. Re-announce subscriptions that
+  // point at it and resync its ordered event streams.
+  void peer_link_reset(proto::ContainerId id);
 
   struct FunctionProvision {
     Service* owner = nullptr;
@@ -336,6 +369,10 @@ class ServiceContainer {
     TimePoint last_heard{};
     std::unique_ptr<proto::ArqSender> tx;
     std::unique_ptr<proto::ArqReceiver> rx;
+    // Link sessions disambiguate ARQ sequence spaces across peer_lost /
+    // re-discovery cycles within one incarnation (long radio outages).
+    uint64_t tx_session = 0;  // stamped on every frame this tx sends
+    uint64_t rx_session = 0;  // session the current rx state was built from
   };
 
   // --- wiring ---
@@ -532,6 +569,10 @@ class ServiceContainer {
 
   NameDirectory directory_;
   std::map<proto::ContainerId, Peer> peers_;
+  // Monotonic per-peer tx session counter. Deliberately outside Peer: it
+  // must survive peer_lost so the next sender life for the same peer is
+  // distinguishable from the one the outage killed.
+  std::map<proto::ContainerId, uint64_t> link_sessions_;
 
   std::map<std::string, VarProvision> var_provisions_;          // by name
   std::unordered_map<uint32_t, std::string> provision_channels_;

@@ -212,35 +212,62 @@ void ServiceContainer::on_event_msg(proto::ContainerId from,
 
 // --- ordered delivery (EventQoS) -------------------------------------------
 //
-// The reliable link guarantees exactly-once but not order. When a
-// subscription asks for ordering, arrivals that jump ahead of the next
-// expected publication seq are held until the gap fills. Once a stream is
-// initialized, a gap is *guaranteed* to fill — the ARQ link retransmits
-// until delivery or peer loss — so holding never strands events and order
-// is never violated, no matter how long a loss burst delays the missing
-// seq. The reorder window only bounds the settling delay at stream start
-// (a mid-stream joiner has unknowable predecessors); if the publisher is
-// lost, whatever is held is delivered, in order, at eviction time.
+// The reliable link guarantees exactly-once but not order — within one
+// ARQ sender life. When a subscription asks for ordering, arrivals that
+// jump ahead of the next expected publication seq are held until the gap
+// fills. Once a stream is initialized, a gap is *guaranteed* to fill —
+// the ARQ link retransmits until delivery or peer loss — so holding never
+// strands events and order is never violated, no matter how long a loss
+// burst delays the missing seq. The reorder window only bounds the
+// settling delay at stream start (a mid-stream joiner has unknowable
+// predecessors).
+//
+// Peer churn breaks both halves of the link guarantee, and the stream
+// state absorbs it:
+//  - If OUR peer entry dies (or the sender's link session resets), the
+//    publisher's old life can still retransmit frames whose acks were
+//    lost; a fresh ARQ receiver dedups nothing, so the watermark is the
+//    only thing standing between those replays and duplicate delivery.
+//    It is therefore kept across eviction (drop below-horizon as late).
+//  - A new sender life dropped whatever it had queued-but-unacked, so
+//    the first gap after a reset is permanent: `resync` makes the stream
+//    jump forward once instead of holding forever.
+//  - A restarted publisher (new incarnation) counts pub_seq from 1
+//    again; only then does the watermark reset.
 
 void ServiceContainer::ordered_deliver(EventSubscription& sub,
                                        proto::ContainerId from,
                                        enc::Value value, EventInfo info) {
   auto& st = sub.order[from];
   const uint64_t seq = info.seq;
+  if (Peer* pp = peer(from); pp && pp->incarnation != 0) {
+    if (st.incarnation != 0 && st.incarnation != pp->incarnation) {
+      executor_.cancel(st.flush_timer);
+      st = {};
+    }
+    st.incarnation = pp->incarnation;
+  }
 
   // A fresh publisher's very first event (seq 1) has no possible
   // predecessor: start the stream without the settling delay.
   if (st.next == 0 && seq == 1) st.next = 1;
 
   if (st.next != 0 && seq < st.next) {
-    // Below the horizon: only reachable through a settling-flush that
-    // started the stream above this seq. The exactly-once link never
-    // hands us a true duplicate, but order can no longer be honored for
-    // it; drop rather than deliver out of order.
+    // Below the horizon: either a settling-flush started the stream
+    // above this seq (order can no longer be honored), or a dead sender
+    // life is retransmitting an event we already delivered before the
+    // link reset (a true duplicate). Drop either way.
     stats_.events_dropped_late++;
     return;
   }
+  if (st.next != 0 && st.resync && seq > st.next) {
+    // The life that would have filled (next, seq) died with its link
+    // session; the gap is permanent. Restart the stream here instead of
+    // holding forever.
+    st.next = seq;
+  }
   if (st.next != 0 && seq == st.next) {
+    st.resync = false;
     deliver_event_locally(sub, value, info);
     st.next = seq + 1;
     // Drain any now-contiguous held events.
@@ -287,6 +314,45 @@ void ServiceContainer::ordered_flush(const std::string& name,
     st.next = seq + 1;
   }
   st.held.clear();
+}
+
+void ServiceContainer::evict_ordered_stream(EventSubscription& sub,
+                                            proto::ContainerId id) {
+  auto os = sub.order.find(id);
+  if (os == sub.order.end()) return;
+  EventSubscription::OrderState& st = os->second;
+  executor_.cancel(st.flush_timer);
+  st.flush_timer = sched::kInvalidTaskTimer;
+  // The gaps the held events were waiting on can never fill now: drain
+  // them, in order, and advance the watermark over them.
+  for (auto& [seq, pending] : st.held) {
+    deliver_event_locally(sub, pending.first, pending.second);
+    st.next = seq + 1;
+  }
+  st.held.clear();
+  if (st.next == 0) {
+    sub.order.erase(os);  // never initialized: nothing to protect
+  } else {
+    st.resync = true;
+  }
+}
+
+void ServiceContainer::peer_link_reset(proto::ContainerId id) {
+  stats_.link_session_resets++;
+  trace_ev(obs::TraceEvent::kPeerLost, obs::TraceKind::kLink, id);
+  for (auto& [name, sub] : var_subs_) {
+    // Same provider, same seq stream: keep the last_seq watermark (it
+    // also gates old-life sample retransmissions), just re-announce.
+    if (sub.provider && sub.provider->container == id) sub.announced = false;
+  }
+  for (auto& [name, sub] : event_subs_) {
+    sub.announced_to.erase(id);
+    evict_ordered_stream(sub, id);
+  }
+  for (auto& [name, sub] : file_subs_) {
+    if (sub.provider && sub.provider->container == id) sub.announced = false;
+  }
+  rebind_after_directory_change();
 }
 
 }  // namespace marea::mw

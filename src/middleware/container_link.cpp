@@ -16,15 +16,21 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
   }
   if (!p->tx) {
     transport::Address to = p->address;
+    // A fresh sender life gets a fresh session: the receiver resets its
+    // ARQ state when it sees the new stamp, so sequences restarting from
+    // zero are not mistaken for duplicates of the life an outage killed.
+    p->tx_session = ++link_sessions_[peer_id];
+    const uint64_t session = p->tx_session;
     p->tx = std::make_unique<proto::ArqSender>(
         executor_, sched::Priority::kEvent, config_.arq,
-        [this, to](const proto::ReliableDataMsg& msg) {
+        [this, to, session](const proto::ReliableDataMsg& msg) {
           // Stamp at send time, not queue time: a frame retransmitted
           // across our own restart must not carry the old incarnation.
           // Shallow stamp: the inner bytes stay owned by the ARQ
           // retransmit queue, which outlives this synchronous encode.
           proto::ReliableDataMsg stamped;
           stamped.incarnation = incarnation_;
+          stamped.session = session;
           stamped.seq = msg.seq;
           stamped.inner_type = msg.inner_type;
           stamped.inner = Bytes::borrow(msg.inner.view());
@@ -60,14 +66,28 @@ void ServiceContainer::on_reliable_data(proto::ContainerId from,
   Peer* pp = peer(from);
   if (!pp) return;  // peer invalidated above or never ensured; drop
   Peer& p = *pp;
+  if (p.rx && msg.session != p.rx_session) {
+    if (msg.session < p.rx_session) return;  // stray frame from a dead life
+    // The sender rebuilt its link (it declared us lost during an outage,
+    // then re-discovered us) and restarted its sequence space. Our floor
+    // belongs to the old life: keeping it would ack-and-swallow every
+    // fresh frame below it as a "duplicate", wedging the pair forever.
+    p.rx.reset();
+    // The peer's old life also dropped us from its subscriber sets and
+    // lost whatever it had queued; re-announce and resync streams.
+    peer_link_reset(from);
+  }
   if (!p.rx) {
     transport::Address to = p.address;
+    p.rx_session = msg.session;
+    const uint64_t session = msg.session;
     p.rx = std::make_unique<proto::ArqReceiver>(
-        [this, to, from](const proto::ReliableAckMsg& ack) {
+        [this, to, from, session](const proto::ReliableAckMsg& ack) {
           trace_ev(obs::TraceEvent::kAck, obs::TraceKind::kLink, from,
                    ack.floor);
           proto::ReliableAckMsg stamped = ack;
           stamped.incarnation = incarnation_;
+          stamped.session = session;
           send_frame(to, proto::MsgType::kReliableAck,
                      build_msg(proto::MsgType::kReliableAck, stamped));
         },
@@ -84,7 +104,11 @@ void ServiceContainer::on_reliable_ack(proto::ContainerId from,
   // confirm data we queued for its current one.
   if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer* p = peer(from);
-  if (p && p->tx) p->tx->on_ack(msg);
+  // An ack echoing an older session comes from receiver state for a
+  // previous sender life — its floor says nothing about frames queued in
+  // this one, and trusting it would cancel retransmission of data the
+  // peer never delivered.
+  if (p && p->tx && msg.session == p->tx_session) p->tx->on_ack(msg);
 }
 
 void ServiceContainer::deliver_inner(proto::ContainerId from,

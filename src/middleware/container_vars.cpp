@@ -220,6 +220,20 @@ void ServiceContainer::try_bind_var_subscription(VarSubscription& sub) {
     return;
   }
   sub.provider = *provider;
+  {
+    Peer* pp = peer(provider->container);
+    const uint64_t inc = pp ? pp->incarnation : 0;
+    if (provider->container != sub.seq_stream_container ||
+        (inc != 0 && sub.seq_stream_incarnation != 0 &&
+         inc != sub.seq_stream_incarnation)) {
+      // New sample stream (different provider, or the same one reborn):
+      // its sequences restart, so the old watermark would gate it.
+      sub.last_seq = 0;
+      sub.got_any = false;
+    }
+    sub.seq_stream_container = provider->container;
+    if (inc != 0) sub.seq_stream_incarnation = inc;
+  }
   sub.validity = Duration{provider->validity_ns};
   VariableQoS provider_qos;
   provider_qos.period = Duration{provider->period_ns};

@@ -1,5 +1,6 @@
 #include "middleware/domain.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace marea::mw {
@@ -116,6 +117,36 @@ void SimDomain::start_all() {
 
 void SimDomain::stop_all() {
   for (auto& node : nodes_) node->container->stop();
+}
+
+void SimDomain::set_radio(sim::RadioModel* radio) {
+  radio_ = radio;
+  if (radio && !radio_collector_installed_) {
+    // The collector reads through radio_ so a later set_radio(nullptr)
+    // silences it instead of dangling.
+    grid_.cell(0).obs.metrics.add_collector([this](obs::MetricsRegistry& reg) {
+      if (radio_) radio_->publish_gauges(reg);
+    });
+    radio_collector_installed_ = true;
+  }
+}
+
+void SimDomain::run_for(Duration d) {
+  if (!radio_) {
+    grid_.run_for(d, topo_.threads);
+    return;
+  }
+  const TimePoint target = grid_.now() + d;
+  const Duration period = radio_->tick_period();
+  assert(period.ns > 0 && "radio tick period must be positive");
+  while (grid_.now() < target) {
+    // Sample-and-apply at this pause point, then advance to the next
+    // absolute tick boundary (or the target, whichever is first).
+    radio_->update();
+    grid_.for_each_network([&](sim::SimNetwork& net) { radio_->apply(net); });
+    const int64_t next_tick = (grid_.now().ns / period.ns + 1) * period.ns;
+    grid_.run_until(TimePoint{std::min(next_tick, target.ns)}, topo_.threads);
+  }
 }
 
 void SimDomain::run_until_idle(uint64_t safety_cap) {

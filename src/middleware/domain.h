@@ -31,6 +31,7 @@
 #include "sched/sim_executor.h"
 #include "sim/chaos.h"
 #include "sim/network.h"
+#include "sim/radio.h"
 #include "sim/shard.h"
 #include "sim/simulator.h"
 #include "transport/sim_transport.h"
@@ -95,7 +96,19 @@ class SimDomain {
   void start_all();
   void stop_all();
 
-  void run_for(Duration d) { grid_.run_for(d, topo_.threads); }
+  // Attaches a mobility-driven channel model (not owned; must outlive
+  // the domain or be detached with nullptr). run_for() then chunks the
+  // grid's advancement at absolute multiples of the model's tick
+  // period: at each boundary — a legal pause point even when sharded —
+  // the model samples positions and re-applies every link to every
+  // replica, and its link-quality gauges join the domain's metrics
+  // dump. Tick instants depend only on the period, never on how
+  // callers slice run_for(), so traces stay byte-identical across call
+  // patterns and worker-thread counts.
+  void set_radio(sim::RadioModel* radio);
+  sim::RadioModel* radio() { return radio_; }
+
+  void run_for(Duration d);
   void run_until_idle(uint64_t safety_cap = 50'000'000);
 
   // Convenience for failover experiments. In a sharded domain these
@@ -127,6 +140,8 @@ class SimDomain {
   // the delta, so one domain's closures don't show up in another's gate.
   uint64_t fn_fallback_base_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;
+  sim::RadioModel* radio_ = nullptr;
+  bool radio_collector_installed_ = false;
 };
 
 }  // namespace marea::mw

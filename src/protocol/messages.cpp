@@ -232,6 +232,7 @@ bool VarSnapshotMsg::decode(ByteReader& r, VarSnapshotMsg& out) {
 
 void ReliableDataMsg::encode(ByteWriter& w) const {
   w.varint(incarnation);
+  w.varint(session);
   w.varint(seq);
   w.u8(static_cast<uint8_t>(inner_type));
   w.blob(as_bytes_view(inner));
@@ -239,6 +240,7 @@ void ReliableDataMsg::encode(ByteWriter& w) const {
 
 bool ReliableDataMsg::decode(ByteReader& r, ReliableDataMsg& out) {
   out.incarnation = r.varint();
+  out.session = r.varint();
   out.seq = r.varint();
   uint8_t t = r.u8();
   if (t < 1 || t > 4) return false;
@@ -249,12 +251,14 @@ bool ReliableDataMsg::decode(ByteReader& r, ReliableDataMsg& out) {
 
 void ReliableAckMsg::encode(ByteWriter& w) const {
   w.varint(incarnation);
+  w.varint(session);
   w.varint(floor);
   above.encode(w);
 }
 
 bool ReliableAckMsg::decode(ByteReader& r, ReliableAckMsg& out) {
   out.incarnation = r.varint();
+  out.session = r.varint();
   out.floor = r.varint();
   if (!r.ok()) return false;
   return RunSet::decode(r, out.above);

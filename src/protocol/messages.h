@@ -197,6 +197,12 @@ struct ReliableDataMsg {
   // every incarnation, so a receiver must discard frames stamped with a
   // dead incarnation or risk replaying them as fresh data. 0 = unstamped.
   uint64_t incarnation = 0;
+  // Sender link session: bumped every time the sender rebuilds its ARQ
+  // state for this peer (peer declared lost after an outage, then
+  // re-discovered). Sequences restart per session; a receiver holding
+  // state from an older session must reset or it will mistake the fresh
+  // stream for duplicates of the old one. 0 = unstamped.
+  uint64_t session = 0;
   uint64_t seq = 0;
   InnerType inner_type = InnerType::kEvent;
   // Owned in the ARQ sender's retransmit queue; borrowed in the stamped
@@ -213,6 +219,10 @@ struct ReliableAckMsg {
   // Acker's incarnation: a stale ack from a dead incarnation must not
   // confirm (and thereby cancel retransmission of) new-incarnation data.
   uint64_t incarnation = 0;
+  // Echo of the data session this receiver state was built from: an ack
+  // from a receiver still tracking an older sender life must not confirm
+  // (and thereby swallow) new-session data.
+  uint64_t session = 0;
   uint64_t floor = 0;
   RunSet above;  // offsets relative to floor
 

@@ -114,6 +114,39 @@ struct ListReply {
   uint64_t total_bytes = 0;
 };
 
+// relay.deliver(RelayBundle) -> RelayAck — one delay-tolerant custody
+// bundle handed from a data-mule RelayService to its sink counterpart.
+// `id` is monotonic per mule; the sink acks idempotently so a lost ack
+// only costs a retransmission, never a duplicate re-publish.
+struct RelayBundle {
+  uint64_t id = 0;
+  std::string mule;       // originating mule's service-instance name
+  std::string klass;      // "telemetry" | "event" | "file"
+  std::string name;       // source resource name
+  uint32_t chunk_index = 0;   // file bundles: position within the file
+  uint32_t chunk_count = 1;
+  uint32_t revision = 0;      // file bundles: source revision
+  int64_t origin_time_ns = 0; // capture time at the field node
+  std::vector<uint8_t> payload;
+};
+
+struct RelayAck {
+  bool accepted = false;
+  uint64_t id = 0;
+};
+
+// relay.status — low-rate variable the mule publishes about its buffer;
+// MissionControl uses it to decide when to fly toward a contact window.
+struct RelayStatus {
+  uint32_t queued = 0;          // custody bundles + pending telemetry slots
+  uint64_t queued_bytes = 0;
+  uint32_t delivered = 0;       // bundles custody-transferred to the sink
+  uint32_t conflated = 0;       // telemetry samples replaced in-queue
+  uint32_t dropped = 0;         // bundles lost to the overflow policy
+  bool contact = false;         // last delivery attempt succeeded
+  int64_t last_contact_ns = 0;
+};
+
 }  // namespace marea::services
 
 MAREA_REFLECT(marea::services::GpsFix, lat_deg, lon_deg, alt_m, heading_deg,
@@ -135,3 +168,8 @@ MAREA_REFLECT(marea::services::MissionAlert, kind, detail)
 MAREA_REFLECT(marea::services::MissionCommand, action, reason)
 MAREA_REFLECT(marea::services::ListRequest, directory)
 MAREA_REFLECT(marea::services::ListReply, paths, total_bytes)
+MAREA_REFLECT(marea::services::RelayBundle, id, mule, klass, name,
+              chunk_index, chunk_count, revision, origin_time_ns, payload)
+MAREA_REFLECT(marea::services::RelayAck, accepted, id)
+MAREA_REFLECT(marea::services::RelayStatus, queued, queued_bytes, delivered,
+              conflated, dropped, contact, last_contact_ns)

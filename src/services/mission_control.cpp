@@ -33,10 +33,12 @@ Status MissionControl::on_start() {
 
   // §4.3: declare the functions this mission cannot run without; the
   // middleware fires the emergency procedure if they ever lose all
-  // providers.
-  (void)require_function("camera.setup");
-  (void)require_function("storage.store");
-  (void)require_function("vision.process");
+  // providers. Mule missions fly without the imaging payload.
+  if (config_.payload_enabled) {
+    (void)require_function("camera.setup");
+    (void)require_function("storage.store");
+    (void)require_function("vision.process");
+  }
 
   // Consume the position stream with a staleness warning.
   Status s = subscribe_variable<GpsFix>(
@@ -73,9 +75,81 @@ Status MissionControl::on_start() {
       [this](const MissionCommand& cmd) { return on_command(cmd); });
   if (!s.is_ok()) return s;
 
+  if (config_.mule.enabled) {
+    s = subscribe_variable<RelayStatus>(
+        config_.mule.relay_status_variable,
+        [this](const RelayStatus& st, const mw::SampleInfo&) {
+          on_relay_status(st);
+        });
+    if (!s.is_ok()) return s;
+    leg_ = MuleLeg::kField;
+    leg_since_ = now();
+  }
+
   publish_status();
-  initialize_payload();
+  if (config_.payload_enabled) {
+    initialize_payload();
+  } else {
+    status_.phase = "flying";
+    publish_status();
+  }
   return Status::ok();
+}
+
+void MissionControl::on_relay_status(const RelayStatus& st) {
+  if (aborted_ || paused_) return;
+  if (leg_ == MuleLeg::kField) {
+    const bool backlog = st.queued >= config_.mule.backlog_high;
+    const bool stale = st.queued > 0 && !st.contact &&
+                       now() - leg_since_ > config_.mule.contact_stale;
+    if (backlog || stale) {
+      replan_to(MuleLeg::kGround, backlog ? "custody backlog" : "sink silent");
+    }
+  } else if (st.queued == 0 && st.contact) {
+    replan_to(MuleLeg::kField, "buffer drained");
+  } else if (st.queued > 0 && !st.contact &&
+             now() - leg_since_ > config_.mule.contact_stale) {
+    // Still hauling custody but the sink has gone quiet on the ground
+    // leg: the airframe holds no orbit after capturing a waypoint, so by
+    // now it has overflown the ground point and is sailing away. Re-issue
+    // the ground plan to turn it back; leg_since_ resets so this fires
+    // once per stale period, not on every status sample.
+    replan_to(MuleLeg::kGround, "sink silent on ground leg");
+  }
+}
+
+void MissionControl::replan_to(MuleLeg leg, const std::string& why) {
+  const fdm::GeoPoint target = leg == MuleLeg::kGround
+                                   ? config_.mule.ground_point
+                                   : config_.mule.field_point;
+  fdm::Waypoint wp;
+  wp.position = target;
+  wp.position.alt_m = config_.mule.cruise_alt_m;
+  wp.speed_mps = config_.mule.cruise_speed_mps;
+  wp.action = leg == MuleLeg::kGround ? "deliver" : "collect";
+  const std::string text = fdm::FlightPlan({wp}).to_text();
+  Status s = publish_file(config_.mule.plan_resource,
+                          Buffer(text.begin(), text.end()));
+  if (!s.is_ok()) {
+    MAREA_LOG(kWarn, kLog) << "mule replan upload failed: " << s.to_string();
+    return;
+  }
+  leg_ = leg;
+  leg_since_ = now();
+  if (leg == MuleLeg::kGround) {
+    replans_to_ground_++;
+    status_.phase = "to_ground";
+  } else {
+    replans_to_field_++;
+    status_.phase = "to_field";
+  }
+  MAREA_LOG(kInfo, kLog) << "mule replan -> " << status_.phase << " (" << why
+                         << ")";
+  MissionAlert alertmsg;
+  alertmsg.kind = "relay-replan";
+  alertmsg.detail = status_.phase + ": " + why;
+  (void)alert_event_.publish(alertmsg);
+  publish_status();
 }
 
 StatusOr<Ack> MissionControl::on_command(const MissionCommand& cmd) {

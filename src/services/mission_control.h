@@ -19,6 +19,27 @@
 
 namespace marea::services {
 
+// Data-mule flight management: when enabled, MissionControl watches the
+// relay buffer (relay.status) — itself a proxy for what the degraded
+// links let through — and re-tasks the FCS by uploading a fresh
+// single-waypoint plan through the §4.4 file primitive (the same
+// hot-swap path operators use): toward the ground station when custody
+// backlog builds or the sink has been silent too long, back to the
+// field node once the buffer drains during a contact window.
+struct MuleMissionConfig {
+  bool enabled = false;
+  std::string relay_status_variable = "relay.status";
+  std::string plan_resource = "mission.plan";
+  fdm::GeoPoint field_point;
+  fdm::GeoPoint ground_point;
+  double cruise_alt_m = 120.0;
+  double cruise_speed_mps = 22.0;
+  // Custody backlog that triggers a delivery run to the ground station.
+  uint32_t backlog_high = 6;
+  // Holding data without sink contact for this long also triggers one.
+  Duration contact_stale = seconds(60.0);
+};
+
 struct MissionControlConfig {
   std::string photo_prefix = "photo";
   uint32_t image_width = 192;
@@ -26,6 +47,10 @@ struct MissionControlConfig {
   uint32_t detection_threshold = 200;
   Duration init_retry = milliseconds(300);
   Duration status_period = milliseconds(500);
+  // Imaging payload orchestration (camera/storage/vision requires +
+  // remote-call initialization). Mule missions fly without it.
+  bool payload_enabled = true;
+  MuleMissionConfig mule;
 };
 
 class MissionControl final : public mw::Service {
@@ -38,17 +63,23 @@ class MissionControl final : public mw::Service {
 
   const MissionStatus& status() const { return status_; }
   bool initialized() const { return init_done_ == 3; }
+  uint32_t replans_to_ground() const { return replans_to_ground_; }
+  uint32_t replans_to_field() const { return replans_to_field_; }
   uint32_t photos_commanded() const { return status_.photos_taken; }
   uint32_t detections_seen() const { return status_.detections; }
   bool paused() const { return paused_; }
   bool aborted() const { return aborted_; }
 
  private:
+  enum class MuleLeg { kField, kGround };
+
   void initialize_payload();
   void on_waypoint(const WaypointReached& evt);
   void on_detection(const Detection& det);
   StatusOr<Ack> on_command(const MissionCommand& cmd);
   void publish_status();
+  void on_relay_status(const RelayStatus& st);
+  void replan_to(MuleLeg leg, const std::string& why);
 
   fdm::FlightPlan plan_;
   MissionControlConfig config_;
@@ -63,6 +94,10 @@ class MissionControl final : public mw::Service {
   bool position_fresh_ = false;
   bool paused_ = false;
   bool aborted_ = false;
+  MuleLeg leg_ = MuleLeg::kField;
+  TimePoint leg_since_{0};
+  uint32_t replans_to_ground_ = 0;
+  uint32_t replans_to_field_ = 0;
 };
 
 }  // namespace marea::services

@@ -1,0 +1,160 @@
+// Delay-tolerant store-and-forward relay (ROADMAP item 4): a drone as a
+// data mule between a field node and the ground station, built entirely
+// on the paper's four primitives.
+//
+// A mule-role RelayService subscribes to the configured routes on the
+// field side, buffers what it sees across contact windows, and — when
+// the sink's `relay.deliver` function answers — hands bundles over one
+// at a time with custody-transfer semantics: a bundle leaves the mule's
+// buffer only when the sink has acknowledged it, and the sink's ack is
+// idempotent (per-mule duplicate detection), so a lost ack costs a
+// retransmission, never a duplicate re-publish.
+//
+// Per-class buffering policy:
+//  * telemetry — conflatable: one slot per variable name holding the
+//    freshest sample (older samples are conflated away; best-effort,
+//    like the variable primitive itself);
+//  * event — custody FIFO: every occurrence is kept and delivered in
+//    order;
+//  * file — custody FIFO: each revision is split into chunks that ride
+//    as ordinary custody bundles; the sink reassembles and republishes.
+// The buffer is bounded (`max_buffered_bytes`). On overflow, telemetry
+// slots are evicted first (deterministically, in name order); only when
+// none remain is the newly arriving custody bundle dropped — buffered
+// custody is never abandoned in favor of new data.
+//
+// A sink-role RelayService provides `relay.deliver` and republishes
+// everything it accepts under `<name><relayed_suffix>`, so downstream
+// services consume relayed data through the exact same primitives.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "middleware/service.h"
+#include "services/messages.h"
+
+namespace marea::services {
+
+// One resource the relay carries. Telemetry/event routes need the wire
+// type (for re-encoding and republishing); file routes do not.
+struct RelayRoute {
+  enum class Kind : uint8_t { kTelemetry, kEvent, kFile };
+  Kind kind = Kind::kTelemetry;
+  std::string name;
+  enc::TypePtr type;
+
+  static RelayRoute telemetry(std::string name, enc::TypePtr type) {
+    return {Kind::kTelemetry, std::move(name), std::move(type)};
+  }
+  static RelayRoute event(std::string name, enc::TypePtr type) {
+    return {Kind::kEvent, std::move(name), std::move(type)};
+  }
+  static RelayRoute file(std::string name) {
+    return {Kind::kFile, std::move(name), nullptr};
+  }
+};
+
+struct RelayConfig {
+  std::string deliver_function = "relay.deliver";
+  std::string status_variable = "relay.status";
+  std::string relayed_suffix = ".relayed";
+  size_t max_buffered_bytes = 256 * 1024;
+  // File custody chunk size; sized so one bundle's airtime stays well
+  // under deliver_timeout even at LoRa-class contact rates.
+  size_t file_chunk_bytes = 2048;
+  // Cadence of delivery attempts while the sink is unreachable.
+  Duration contact_retry = milliseconds(500);
+  Duration status_period = milliseconds(500);
+  // Per-bundle RPC budget; must cover serialization of a full chunk at
+  // the slowest usable contact rate.
+  Duration deliver_timeout = seconds(5.0);
+};
+
+class RelayService final : public mw::Service {
+ public:
+  enum class Role { kMule, kSink };
+
+  RelayService(Role role, std::vector<RelayRoute> routes,
+               RelayConfig config = {});
+
+  Status on_start() override;
+  void on_stop() override;
+
+  // --- mule-side introspection -------------------------------------------
+  const RelayStatus& status() const { return status_; }
+  uint64_t samples_seen() const { return samples_seen_; }
+  uint64_t events_seen() const { return events_seen_; }
+  uint64_t files_seen() const { return files_seen_; }
+
+  // --- sink-side introspection -------------------------------------------
+  uint64_t bundles_accepted() const { return bundles_accepted_; }
+  uint64_t duplicates_ignored() const { return duplicates_ignored_; }
+  uint64_t telemetry_relayed() const { return telemetry_relayed_; }
+  uint64_t events_relayed() const { return events_relayed_; }
+  uint64_t files_relayed() const { return files_relayed_; }
+  // Mean mule-buffer-to-sink latency over all accepted custody bundles.
+  Duration mean_custody_latency() const {
+    return bundles_accepted_ == 0
+               ? kDurationZero
+               : Duration{custody_latency_total_.ns /
+                          static_cast<int64_t>(bundles_accepted_)};
+  }
+
+ private:
+  // --- mule ---------------------------------------------------------------
+  Status start_mule();
+  void enqueue_custody(RelayBundle bundle);
+  void enqueue_telemetry(const std::string& name, RelayBundle bundle);
+  // Frees `needed` bytes by evicting telemetry slots (name order);
+  // returns false when even an empty telemetry tier leaves no room.
+  bool make_room(size_t needed);
+  void delivery_tick();
+  void attempt_delivery();
+  void on_deliver_result(RelayBundle sent, StatusOr<RelayAck> ack);
+  void publish_relay_status();
+
+  // --- sink ---------------------------------------------------------------
+  Status start_sink();
+  StatusOr<RelayAck> on_deliver(const RelayBundle& bundle);
+
+  Role role_;
+  std::vector<RelayRoute> routes_;
+  RelayConfig config_;
+
+  // Mule state.
+  std::deque<RelayBundle> custody_;              // events + file chunks
+  std::map<std::string, RelayBundle> telemetry_; // freshest sample per name
+  size_t queued_bytes_ = 0;
+  uint64_t next_id_ = 1;
+  bool in_flight_ = false;
+  bool running_ = false;
+  mw::VariableHandle status_var_;
+  RelayStatus status_;
+  uint64_t samples_seen_ = 0;
+  uint64_t events_seen_ = 0;
+  uint64_t files_seen_ = 0;
+
+  // Sink state.
+  struct FileAssembly {
+    std::vector<Buffer> chunks;
+    std::vector<bool> got;
+    uint32_t have = 0;
+  };
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> seen_;
+  std::map<std::pair<std::string, uint32_t>, FileAssembly> assemblies_;
+  std::map<std::string, mw::VariableHandle> relay_vars_;
+  std::map<std::string, mw::EventHandle> relay_events_;
+  uint64_t bundles_accepted_ = 0;
+  uint64_t duplicates_ignored_ = 0;
+  uint64_t telemetry_relayed_ = 0;
+  uint64_t events_relayed_ = 0;
+  uint64_t files_relayed_ = 0;
+  Duration custody_latency_total_ = kDurationZero;
+};
+
+}  // namespace marea::services

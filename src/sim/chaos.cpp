@@ -92,14 +92,46 @@ ChaosPlan ChaosPlan::random(Rng& rng, const ChaosPlanOptions& opt) {
     return plan;
   }
 
-  enum EpisodeKind { kEpDegrade, kEpPartition, kEpCrash };
+  enum EpisodeKind { kEpDegrade, kEpPartition, kEpCrash, kEpDegradeLora };
   std::vector<EpisodeKind> menu;
-  if (opt.allow_degrade) menu.push_back(kEpDegrade);
+  std::vector<double> weight;
+  if (opt.allow_degrade) {
+    menu.push_back(kEpDegrade);
+    weight.push_back(1.0);
+    if (opt.lora_degrade_weight > 0) {
+      menu.push_back(kEpDegradeLora);
+      weight.push_back(opt.lora_degrade_weight);
+    }
+  }
   if (opt.allow_partition && opt.node_count >= 2) {
     menu.push_back(kEpPartition);
+    weight.push_back(1.0);
   }
-  if (!opt.crashable.empty()) menu.push_back(kEpCrash);
+  if (!opt.crashable.empty()) {
+    menu.push_back(kEpCrash);
+    weight.push_back(1.0);
+  }
   if (menu.empty()) return plan;
+  double weight_total = 0.0;
+  for (double w : weight) weight_total += w;
+  // Uniform menu pick when every weight is 1.0 — byte-compatible with
+  // the pre-weight draw sequence, so existing seeded plans replay
+  // unchanged unless LoRa episodes are actually requested.
+  const bool weighted = opt.lora_degrade_weight > 0;
+  auto pick_episode = [&]() -> EpisodeKind {
+    if (!weighted) return menu[rng.uniform(0, menu.size() - 1)];
+    double r = rng.uniform_real(0.0, weight_total);
+    for (size_t i = 0; i < menu.size(); ++i) {
+      if (r < weight[i] || i + 1 == menu.size()) return menu[i];
+      r -= weight[i];
+    }
+    return menu.back();
+  };
+  auto distinct_pair = [&](NodeId& a, NodeId& b) {
+    a = static_cast<NodeId>(rng.uniform(0, opt.node_count - 1));
+    b = static_cast<NodeId>(rng.uniform(0, opt.node_count - 2));
+    if (b >= a) b++;  // distinct pair, uniform
+  };
 
   const int64_t slot = (opt.end.ns - opt.start.ns) /
                        static_cast<int64_t>(opt.episodes);
@@ -119,11 +151,23 @@ ChaosPlan ChaosPlan::random(Rng& rng, const ChaosPlanOptions& opt) {
     const TimePoint t_on{begin};
     const TimePoint t_off{begin + len};
 
-    switch (menu[rng.uniform(0, menu.size() - 1)]) {
+    switch (pick_episode()) {
+      case kEpDegradeLora: {
+        NodeId a, b;
+        distinct_pair(a, b);
+        LinkFaults f;
+        f.p_good_bad = rng.uniform_real(0.1, 0.4);
+        f.p_bad_good = rng.uniform_real(0.05, 0.2);
+        f.loss_bad = rng.uniform_real(0.7, 0.98);
+        f.reorder = rng.uniform_real(0.02, 0.1);
+        f.reorder_delay = milliseconds(static_cast<int64_t>(
+            rng.uniform(20, 120)));
+        plan.degrade(t_on, a, b, f).restore(t_off, a, b);
+        break;
+      }
       case kEpDegrade: {
-        NodeId a = static_cast<NodeId>(rng.uniform(0, opt.node_count - 1));
-        NodeId b = static_cast<NodeId>(rng.uniform(0, opt.node_count - 2));
-        if (b >= a) b++;  // distinct pair, uniform
+        NodeId a, b;
+        distinct_pair(a, b);
         LinkFaults f;
         f.p_good_bad = rng.uniform_real(0.05, 0.3);
         f.p_bad_good = rng.uniform_real(0.1, 0.5);

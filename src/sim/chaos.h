@@ -66,6 +66,12 @@ struct ChaosPlanOptions {
   std::vector<NodeId> crashable;
   bool allow_partition = true;
   bool allow_degrade = true;
+  // Relative weight of LoRa-class degrade episodes — long burst dwell,
+  // near-blackout loss, airtime-scale reorder delays, no
+  // corruption/duplication (a starved low-rate telemetry link, not a
+  // broken switch). The other episode kinds each keep weight 1.0; 0
+  // disables LoRa episodes and leaves the legacy draw sequence intact.
+  double lora_degrade_weight = 0.0;
 };
 
 struct ChaosPlan {

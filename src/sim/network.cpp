@@ -102,6 +102,18 @@ void SimNetwork::clear_all_faults() {
   faults_.clear();
 }
 
+void SimNetwork::set_radio_faults(NodeId a, NodeId b, LinkFaults f) {
+  // No per-update trace records: the radio model re-applies every tick
+  // and would flood the flight recorder; link quality is published as
+  // gauges instead. Assigning only the parameters keeps the GE channel
+  // phase across ticks.
+  radio_faults_[{a, b}].faults = f;
+}
+
+void SimNetwork::clear_radio_faults(NodeId a, NodeId b) {
+  radio_faults_.erase({a, b});
+}
+
 void SimNetwork::partition(const std::vector<NodeId>& a,
                            const std::vector<NodeId>& b) {
   for (NodeId x : a) {
@@ -348,12 +360,22 @@ Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
       trace_drop(from.node, dst.node, kDropLoss);
       continue;
     }
-    Duration prop = lp.latency + extra;
+    Duration prop = lp.latency;
     if (lp.jitter.ns > 0) {
       prop = prop + Duration{static_cast<int64_t>(
                         rng_.next_double() *
                         static_cast<double>(lp.jitter.ns))};
     }
+    // Per-link FIFO clamp: the wire is a variable-delay pipe, so a
+    // packet never arrives before one sent earlier on the same directed
+    // link — even when latency/jitter just dropped (continuous radio
+    // updates). The reorder fault's extra delay is added after the
+    // clamp; overtaking is exactly what that fault is for.
+    TimePoint base = on_wire + prop;
+    TimePoint& last = last_arrival_[{from.node, dst.node}];
+    if (base < last) base = last;
+    last = base;
+    base = base + extra;
     uint64_t epoch = nodes_[dst.node].up_epoch;
     // Destination owned by another shard: every stochastic draw above
     // already happened against this (the sender's) RNG, so the packet
@@ -364,7 +386,7 @@ Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
     for (int c = 0; c < copies; ++c) {
       // Duplicates trail the original slightly so they genuinely reorder
       // against traffic behind them. All scheduled deliveries share pkt.
-      TimePoint arrival = on_wire + prop + kLocalDeliveryLatency * c;
+      TimePoint arrival = base + kLocalDeliveryLatency * c;
       if (remote) {
         router_->post_remote(arrival, from, dst, epoch, pkt.view());
       } else {
@@ -388,9 +410,17 @@ void SimNetwork::deliver_remote(Endpoint from, Endpoint to, TimePoint arrival,
 
 bool SimNetwork::apply_faults(NodeId from, NodeId to, SharedFrame& pkt,
                               Duration& extra_delay, int& copies) {
-  auto it = faults_.find({from, to});
-  if (it == faults_.end()) return true;
-  FaultState& st = it->second;
+  if (auto it = faults_.find({from, to}); it != faults_.end()) {
+    if (!apply_fault_state(it->second, pkt, extra_delay, copies)) return false;
+  }
+  if (auto it = radio_faults_.find({from, to}); it != radio_faults_.end()) {
+    if (!apply_fault_state(it->second, pkt, extra_delay, copies)) return false;
+  }
+  return true;
+}
+
+bool SimNetwork::apply_fault_state(FaultState& st, SharedFrame& pkt,
+                                   Duration& extra_delay, int& copies) {
   const LinkFaults& f = st.faults;
   if (f.p_good_bad > 0) {
     // Advance the Gilbert–Elliott channel one step per packet.

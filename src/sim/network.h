@@ -177,6 +177,21 @@ class SimNetwork {
   void clear_link_faults(NodeId a, NodeId b);
   void clear_all_faults();
 
+  // Second, independent fault overlay slot driven by the RadioModel's
+  // continuous updates (sim/radio.h). Scripted chaos owns the
+  // set_link_faults slot; mobility-driven fading owns this one, so the
+  // two compose per packet (chaos draws first, then radio) and
+  // clear_all_faults() — chaos cleanup — leaves radio fading intact.
+  // Re-applying faults with identical parameters preserves the
+  // Gilbert–Elliott channel state (the fade keeps its burst phase
+  // across radio ticks).
+  void set_radio_faults(NodeId a, NodeId b, LinkFaults f);
+  void set_radio_faults_symmetric(NodeId a, NodeId b, LinkFaults f) {
+    set_radio_faults(a, b, f);
+    set_radio_faults(b, a, f);
+  }
+  void clear_radio_faults(NodeId a, NodeId b);
+
   // Bidirectional partition: no packet crosses between a member of `a` and
   // a member of `b` until healed. Partitions stack; heal() removes all.
   void partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
@@ -295,12 +310,15 @@ class SimNetwork {
   void deliver(Endpoint from, Endpoint to, const SharedFrame& frame,
                uint64_t dest_epoch);
   Duration serialization_delay(NodeId node, size_t bytes) const;
-  // Applies the fault overlay for from -> to; returns false when the
-  // packet is lost. Corruption replaces `pkt` with a mutated pooled copy
-  // (the only case where a destination stops sharing the sender's slab);
-  // may adjust `extra_delay`/`copies`.
+  // Applies both fault overlays (scripted chaos, then radio) for
+  // from -> to; returns false when the packet is lost. Corruption
+  // replaces `pkt` with a mutated pooled copy (the only case where a
+  // destination stops sharing the sender's slab); may adjust
+  // `extra_delay`/`copies`.
   bool apply_faults(NodeId from, NodeId to, SharedFrame& pkt,
                     Duration& extra_delay, int& copies);
+  bool apply_fault_state(FaultState& st, SharedFrame& pkt,
+                         Duration& extra_delay, int& copies);
 
   Simulator& sim_;
   Rng rng_;
@@ -309,6 +327,15 @@ class SimNetwork {
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
   std::map<std::pair<NodeId, NodeId>, FaultState> faults_;
+  std::map<std::pair<NodeId, NodeId>, FaultState> radio_faults_;
+  // Last scheduled wire arrival per directed link, pre-fault-extras.
+  // transmit() clamps each packet's base arrival to this so mid-run
+  // latency/jitter changes (continuous RadioModel updates) can never
+  // reorder in-flight packets on a link — a radio channel is a FIFO
+  // pipe whose delay varies, not a packet-swapping one. The scripted
+  // reorder fault still reorders: its extra delay is added after the
+  // clamp, on purpose.
+  std::map<std::pair<NodeId, NodeId>, TimePoint> last_arrival_;
   std::set<std::pair<NodeId, NodeId>> blocked_;  // unordered node pairs
   std::unordered_map<Endpoint, Binding, EndpointHash> bindings_;
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_;

@@ -1,0 +1,145 @@
+#include "sim/radio.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace marea::sim {
+
+RadioProfile RadioProfile::lora() {
+  RadioProfile p;
+  p.name = "lora";
+  p.max_range_m = 12000.0;
+  p.full_rate_bps = 22e3;   // SF7-ish near the gateway
+  p.edge_rate_bps = 1200.0; // SF12-ish at the cell edge
+  p.base_latency = milliseconds(60);  // airtime + duty-cycle slack
+  p.latency_per_km = milliseconds(8);
+  p.loss_floor = 0.01;
+  p.loss_edge = 0.35;
+  p.loss_exponent = 2.0;
+  p.fade_start = 0.55;
+  p.fade_p_good_bad = 0.12;
+  p.fade_p_bad_good = 0.2;
+  p.fade_loss_bad = 0.9;
+  return p;
+}
+
+RadioProfile RadioProfile::los() {
+  RadioProfile p;
+  p.name = "los";
+  p.max_range_m = 30000.0;
+  p.full_rate_bps = 20e6;
+  p.edge_rate_bps = 2e6;
+  p.base_latency = microseconds(500);
+  p.latency_per_km = microseconds(4);
+  p.loss_floor = 0.0;
+  p.loss_edge = 0.2;
+  p.loss_exponent = 2.0;
+  p.fade_start = 0.7;
+  p.fade_p_good_bad = 0.05;
+  p.fade_p_bad_good = 0.3;
+  p.fade_loss_bad = 0.8;
+  return p;
+}
+
+void RadioModel::set_position(NodeId node, fdm::GeoPoint p) {
+  providers_.erase(node);
+  fixed_[node] = p;
+}
+
+void RadioModel::set_position_provider(NodeId node,
+                                       std::function<fdm::GeoPoint()> fn) {
+  fixed_.erase(node);
+  providers_[node] = std::move(fn);
+}
+
+void RadioModel::add_link(NodeId a, NodeId b, RadioProfile profile) {
+  assert(a != b && "radio link needs two distinct nodes");
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  Link link;
+  link.a = key.first;
+  link.b = key.second;
+  link.profile = std::move(profile);
+  links_[key] = std::move(link);
+}
+
+fdm::GeoPoint RadioModel::position_of(NodeId node) const {
+  if (auto it = fixed_.find(node); it != fixed_.end()) return it->second;
+  auto it = providers_.find(node);
+  assert(it != providers_.end() && "radio link endpoint without a position");
+  return it->second();
+}
+
+RadioModel::LinkState RadioModel::conditions_at(const RadioProfile& p,
+                                                double range_m) {
+  LinkState st;
+  st.range_m = range_m;
+  st.connected = range_m <= p.max_range_m;
+  // Past max range the link keeps its edge latency/rate (a retrying
+  // modem, not a teleporting one) and drops everything.
+  const double frac =
+      p.max_range_m > 0 ? std::clamp(range_m / p.max_range_m, 0.0, 1.0) : 1.0;
+  st.rate_bps = p.full_rate_bps + (p.edge_rate_bps - p.full_rate_bps) * frac;
+  st.latency = p.base_latency + p.latency_per_km * (std::min(range_m, p.max_range_m) / 1000.0);
+  st.loss = st.connected
+                ? p.loss_floor + (p.loss_edge - p.loss_floor) *
+                                     std::pow(frac, p.loss_exponent)
+                : 1.0;
+  st.fading = st.connected && p.fade_start < 1.0 && frac > p.fade_start &&
+              p.fade_p_good_bad > 0.0;
+  return st;
+}
+
+void RadioModel::update() {
+  for (auto& [key, link] : links_) {
+    const double range =
+        fdm::slant_distance_m(position_of(link.a), position_of(link.b));
+    link.state = conditions_at(link.profile, range);
+  }
+  updates_++;
+}
+
+void RadioModel::apply(SimNetwork& net) const {
+  for (const auto& [key, link] : links_) {
+    const LinkState& st = link.state;
+    LinkParams lp;
+    lp.latency = st.latency;
+    lp.jitter = Duration{st.latency.ns / 10};
+    lp.loss = st.loss;
+    lp.rate_bps = st.rate_bps;
+    net.set_link_symmetric(link.a, link.b, lp);
+    if (st.fading) {
+      const RadioProfile& p = link.profile;
+      const double t = (st.range_m / p.max_range_m - p.fade_start) /
+                       (1.0 - p.fade_start);
+      LinkFaults f;
+      f.p_good_bad = p.fade_p_good_bad * std::clamp(t, 0.0, 1.0);
+      f.p_bad_good = p.fade_p_bad_good;
+      f.loss_bad = p.fade_loss_bad;
+      net.set_radio_faults_symmetric(link.a, link.b, f);
+    } else {
+      net.clear_radio_faults(link.a, link.b);
+      net.clear_radio_faults(link.b, link.a);
+    }
+  }
+}
+
+void RadioModel::publish_gauges(obs::MetricsRegistry& reg) const {
+  for (const auto& [key, link] : links_) {
+    const std::string prefix = "radio." + std::to_string(link.a) + "-" +
+                               std::to_string(link.b) + ".";
+    const LinkState& st = link.state;
+    reg.gauge(prefix + "range_m").set(static_cast<int64_t>(st.range_m));
+    reg.gauge(prefix + "rate_bps").set(static_cast<int64_t>(st.rate_bps));
+    reg.gauge(prefix + "loss_ppm").set(static_cast<int64_t>(st.loss * 1e6));
+    reg.gauge(prefix + "fading").set(st.fading ? 1 : 0);
+    reg.gauge(prefix + "connected").set(st.connected ? 1 : 0);
+  }
+}
+
+const RadioModel::LinkState& RadioModel::link_state(NodeId a, NodeId b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return links_.at(key).state;
+}
+
+}  // namespace marea::sim

@@ -1,0 +1,139 @@
+// Mobility-driven radio channel model (ROADMAP item 4; DESIGN.md
+// "Degraded links & delay-tolerant relay").
+//
+// A RadioModel turns aircraft/ground positions into per-link network
+// conditions: each radio link owns a RadioProfile (LoRa-class long-range
+// telemetry or LoS-class datalink) and, on every virtual-time tick, the
+// model samples the endpoints' positions (fixed GeoPoints for ground
+// assets, a position provider reading the FDM state for aircraft),
+// derives range-dependent latency/loss/rate plus a Gilbert–Elliott
+// fading overlay near the edge of coverage, and pushes the result into
+// a SimNetwork as LinkParams + radio LinkFaults.
+//
+// Determinism and sharding contract:
+//  * update() is a pure function of the sampled positions — all
+//    stochastic draws (loss, fading state walks) happen sender-side in
+//    the SimNetwork's own seeded Rng at transmit time, exactly like
+//    scripted chaos. Same seed, same flight, same channel history.
+//  * In a sharded domain, update()/apply() must run only at pause
+//    points (between ShardGrid windows) and apply() must be replayed on
+//    every replica via for_each_network(); SimDomain::set_radio wires
+//    this up. Applying link params bumps links_version, so the grid
+//    re-derives its lookahead from the new latencies per window.
+//  * The radio fault overlay occupies a separate SimNetwork slot from
+//    the scripted chaos overlay (set_radio_faults vs set_link_faults),
+//    so ChaosController episodes compose with — and never clobber —
+//    mobility-driven degradation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fdm/geodesy.h"
+#include "obs/metrics.h"
+#include "sim/network.h"
+#include "util/time.h"
+
+namespace marea::sim {
+
+// Channel parameters of one radio class. Link conditions interpolate
+// between the zero-range and max-range values as slant range grows; past
+// `fade_start * max_range_m` a Gilbert–Elliott burst-fading overlay
+// scales in, reaching the configured edge intensity at max range. Beyond
+// max range the link is disconnected (loss 1.0).
+struct RadioProfile {
+  std::string name = "los";
+  double max_range_m = 30000.0;
+  double full_rate_bps = 20e6;   // at zero range
+  double edge_rate_bps = 2e6;    // at max range
+  Duration base_latency = microseconds(500);
+  Duration latency_per_km = microseconds(4);  // propagation + retry slack
+  double loss_floor = 0.0;       // independent loss at zero range
+  double loss_edge = 0.2;        // independent loss at max range
+  double loss_exponent = 2.0;    // shape of the loss curve in range
+  double fade_start = 0.7;       // fraction of max range where fading begins
+  double fade_p_good_bad = 0.05; // GE entry probability at max range
+  double fade_p_bad_good = 0.3;
+  double fade_loss_bad = 0.8;
+
+  // Long-range low-rate telemetry link (LoRa-class): kilometres of
+  // reach, tens of kbps, high airtime latency, early aggressive fading.
+  static RadioProfile lora();
+  // Line-of-sight datalink (LoS-class): shorter modelled ceiling, Mbps
+  // rates, sub-millisecond latency, benign until near the edge.
+  static RadioProfile los();
+};
+
+class RadioModel {
+ public:
+  // Instantaneous conditions of one (unordered) link, as last computed
+  // by update().
+  struct LinkState {
+    double range_m = 0.0;
+    double rate_bps = 0.0;
+    Duration latency = kDurationZero;
+    double loss = 0.0;
+    bool fading = false;     // GE overlay active
+    bool connected = false;  // within max_range_m
+  };
+
+  explicit RadioModel(Duration tick_period = milliseconds(500))
+      : tick_period_(tick_period) {}
+
+  Duration tick_period() const { return tick_period_; }
+
+  // Position sources. Fixed points suit ground assets; providers are
+  // sampled on every update() (e.g. [&gps] { return gps->aircraft()
+  // .position; }) and must only be called at pause points.
+  void set_position(NodeId node, fdm::GeoPoint p);
+  void set_position_provider(NodeId node, std::function<fdm::GeoPoint()> fn);
+
+  // Declares a symmetric radio link between two nodes. Both endpoints
+  // need a position source before the first update().
+  void add_link(NodeId a, NodeId b, RadioProfile profile);
+
+  // Samples every position source and recomputes every link state.
+  // Deterministic: same positions, same states.
+  void update();
+
+  // Pushes the current link states into one network replica (LinkParams
+  // + radio fault overlay). Sharded domains call this once per replica
+  // through for_each_network().
+  void apply(SimNetwork& net) const;
+
+  // Publishes per-link gauges (range, rate, loss in ppm, fading,
+  // connected) into a metrics registry; SimDomain installs this as a
+  // collector so the flight-recorder dumps carry link quality.
+  void publish_gauges(obs::MetricsRegistry& reg) const;
+
+  const LinkState& link_state(NodeId a, NodeId b) const;
+  uint64_t updates() const { return updates_; }
+
+  // Pure channel math, exposed for tests: conditions of `profile` at
+  // `range_m` (monotone in range by construction).
+  static LinkState conditions_at(const RadioProfile& profile, double range_m);
+
+ private:
+  struct Link {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    RadioProfile profile;
+    LinkState state;
+  };
+
+  fdm::GeoPoint position_of(NodeId node) const;
+
+  Duration tick_period_;
+  std::unordered_map<NodeId, fdm::GeoPoint> fixed_;
+  std::unordered_map<NodeId, std::function<fdm::GeoPoint()>> providers_;
+  // Keyed by the ordered pair for deterministic iteration in apply()
+  // and publish_gauges().
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace marea::sim

@@ -56,6 +56,54 @@ TEST(GeodesyTest, OffsetRoundTripsThroughDistance) {
   }
 }
 
+// Edge cases the RadioModel's range sampling leans on: the haversine
+// must stay finite and exact at the extremes of the sphere.
+TEST(GeodesyTest, AntipodalAndPolarExtremes) {
+  const double half_circumference = kPi * kEarthRadiusM;
+  // Antipodal along the equator.
+  EXPECT_NEAR(ground_distance_m({0, 0, 0}, {0, 180, 0}), half_circumference,
+              1.0);
+  // Pole to pole.
+  EXPECT_NEAR(ground_distance_m({90, 0, 0}, {-90, 0, 0}), half_circumference,
+              1.0);
+  // Antipodal with both coordinates involved.
+  EXPECT_NEAR(ground_distance_m({41.275, 1.986, 0}, {-41.275, -178.014, 0}),
+              half_circumference, 1.0);
+  // At a pole every longitude is the same point.
+  EXPECT_NEAR(ground_distance_m({90, 0, 0}, {90, 135, 0}), 0, 1e-6);
+  // Zero distance stays exactly zero even at extreme coordinates.
+  EXPECT_NEAR(ground_distance_m({-90, 77, 0}, {-90, 77, 0}), 0, 1e-6);
+}
+
+TEST(GeodesyTest, PoleCrossingMeridianPath) {
+  // 80N on opposite meridians: the great circle crosses the pole, 20
+  // degrees of arc in total.
+  GeoPoint a{80, 0, 0};
+  GeoPoint b{80, 180, 0};
+  const double arc_20_deg = 20.0 / 360.0 * 2.0 * kPi * kEarthRadiusM;
+  EXPECT_NEAR(ground_distance_m(a, b), arc_20_deg, 10.0);
+  // Offsetting far enough north walks over the pole and back down.
+  GeoPoint over = offset(a, 0, arc_20_deg);
+  EXPECT_NEAR(ground_distance_m(over, b), 0, 10.0);
+}
+
+TEST(GeodesyTest, RangeMonotoneAlongStraightPlanLeg) {
+  // A fixed ground asset watching an aircraft fly a straight FlightPlan
+  // leg away from it: slant range must grow monotonically — the
+  // property that makes the radio link-state curves monotone in time.
+  GeoPoint ground{41.275, 1.986, 0};
+  GeoPoint leg_start = ground;
+  leg_start.alt_m = 120;
+  const double bearing = 73.0;
+  double prev = slant_distance_m(ground, leg_start);
+  for (int step = 1; step <= 40; ++step) {
+    GeoPoint p = offset(leg_start, bearing, 250.0 * step);
+    const double range = slant_distance_m(ground, p);
+    EXPECT_GT(range, prev) << "step " << step;
+    prev = range;
+  }
+}
+
 // --- flight plan ------------------------------------------------------------------
 
 TEST(FlightPlanTest, ParseValidPlan) {

@@ -75,9 +75,10 @@ struct OrderedWorld {
   SeqSubscriber* ordered = nullptr;
   SeqSubscriber* unordered = nullptr;
 
-  explicit OrderedWorld(uint64_t seed, Duration jitter) : domain(seed) {
+  explicit OrderedWorld(uint64_t seed, Duration reorder_delay)
+      : domain(seed) {
     sim::LinkParams lp;
-    lp.jitter = jitter;
+    lp.jitter = milliseconds(1);
     domain.network().set_default_link(lp);
     auto& n1 = domain.add_node("pub");
     auto p = std::make_unique<SeqPublisher>();
@@ -93,6 +94,19 @@ struct OrderedWorld {
     auto u = std::make_unique<SeqSubscriber>("unordered_sub", EventQoS{});
     unordered = u.get();
     (void)n3.add_service(std::move(u));
+    if (reorder_delay.ns > 0) {
+      // Jitter alone can no longer invert arrivals — the per-link FIFO
+      // clamp keeps a variable-delay pipe order-preserving — so genuine
+      // overtaking comes from the reorder fault, which adds its delay
+      // after the clamp.
+      sim::LinkFaults reorder;
+      reorder.reorder = 0.3;
+      reorder.reorder_delay = reorder_delay;
+      domain.network().set_link_faults(domain.node_id(0), domain.node_id(1),
+                                       reorder);
+      domain.network().set_link_faults(domain.node_id(0), domain.node_id(2),
+                                       reorder);
+    }
     domain.start_all();
     domain.run_for(milliseconds(500));
   }

@@ -279,6 +279,49 @@ TEST(RpcTest, RequiredFunctionEmergencyAndRecovery) {
   EXPECT_GT(emergencies.size(), count);
 }
 
+TEST(RpcTest, ReliableLinkRecoversFromOneSidedPeerLoss) {
+  // Asymmetric outage, the data-mule failure mode: the client stops
+  // hearing the server (declares it lost after heartbeat silence and
+  // tears down its ARQ sender), while the server keeps hearing the
+  // client's traffic and so keeps its ARQ receiver floor. When the
+  // client's next sender life restarts sequences from zero, every frame
+  // sits below that old floor — the server must reset its receiver state
+  // on the new link session instead of re-acking them all as duplicates
+  // (which reports "delivered" to the sender while delivering nothing).
+  set_log_level(LogLevel::kError);
+  RpcWorld w(913);
+  w.domain.start_all();
+  w.domain.run_for(milliseconds(500));
+
+  // Build up reliable-link history so the server's receiver floor ends up
+  // far above anything a restarted sender will stamp during the test.
+  for (int i = 0; i < 30; ++i) {
+    w.caller->add(i, 1);
+    w.domain.run_for(milliseconds(50));
+  }
+  w.domain.run_for(milliseconds(500));
+  ASSERT_EQ(w.caller->results.size(), 30u);
+
+  const sim::NodeId server = w.domain.node_id(0);
+  const sim::NodeId client = w.domain.node_id(1);
+  sim::LinkFaults blackout;
+  blackout.p_good_bad = 1.0;
+  blackout.p_bad_good = 0.0;
+  blackout.loss_good = 1.0;
+  blackout.loss_bad = 1.0;
+  w.domain.network().set_link_faults(server, client, blackout);
+  w.domain.run_for(seconds(2.0));
+  w.domain.network().clear_link_faults(server, client);
+  w.domain.run_for(seconds(2.0));  // hellos re-establish the peer
+
+  const size_t before = w.caller->results.size();
+  w.caller->add(7, 35, {.timeout = seconds(2.0)});
+  w.domain.run_for(seconds(3.0));
+  ASSERT_EQ(w.caller->results.size(), before + 1)
+      << "reliable link wedged after one-sided peer loss";
+  EXPECT_EQ(w.caller->results.back().sum, 42);
+}
+
 TEST(RpcTest, UnknownFunctionOnProviderFailsOver) {
   // Container-level: a provider that stops providing answers NOT_FOUND;
   // the client treats that as fail-over-able.

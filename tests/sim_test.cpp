@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "sim/network.h"
@@ -449,6 +450,72 @@ TEST_F(NetworkTest, DeterministicAcrossRuns) {
   };
   EXPECT_EQ(run_once(42), run_once(42));
   EXPECT_NE(run_once(42), run_once(43));  // overwhelmingly likely
+}
+
+// Regression for the mid-run latency-change hazard: the RadioModel
+// re-parametrizes links continuously, and a latency drop must never let
+// a late packet overtake an earlier one on the same directed link. The
+// sweep alternates 5 ms and 100 µs (with jitter) every tick while
+// sending a numbered packet per tick; arrivals must stay FIFO.
+TEST(SimNetworkFifoTest, LatencySweepKeepsPerLinkFifo) {
+  Simulator sim;
+  SimNetwork net(sim, Rng(7));
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  std::vector<uint32_t> order;
+  ASSERT_TRUE(net.bind(Endpoint{b, 1},
+                       [&](Endpoint, BytesView data) {
+                         uint32_t seq = 0;
+                         std::memcpy(&seq, data.data(), sizeof seq);
+                         order.push_back(seq);
+                       })
+                  .is_ok());
+  for (uint32_t i = 0; i < 200; ++i) {
+    sim.at(TimePoint{milliseconds(1).ns * i}, [&net, &sim, a, b, i] {
+      LinkParams lp;
+      lp.latency = (i % 2 == 0) ? milliseconds(5) : microseconds(100);
+      lp.jitter = microseconds(i % 3 == 0 ? 700 : 0);
+      net.set_link(a, b, lp);
+      Buffer payload(sizeof(uint32_t));
+      std::memcpy(payload.data(), &i, sizeof i);
+      (void)net.send(Endpoint{a, 1}, Endpoint{b, 1}, as_bytes_view(payload));
+      (void)sim;
+    });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (uint32_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+// The radio fault overlay is a separate slot: chaos cleanup must not
+// clear it, and both overlays apply to the same packet stream.
+TEST(SimNetworkFifoTest, RadioFaultOverlayComposesWithChaosOverlay) {
+  Simulator sim;
+  SimNetwork net(sim, Rng(11));
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  int delivered = 0;
+  ASSERT_TRUE(
+      net.bind(Endpoint{b, 1}, [&](Endpoint, BytesView) { ++delivered; })
+          .is_ok());
+  LinkFaults radio;
+  radio.p_good_bad = 1.0;  // permanently bad channel
+  radio.p_bad_good = 0.0;
+  radio.loss_bad = 1.0;
+  net.set_radio_faults(a, b, radio);
+  net.clear_all_faults();  // chaos cleanup: radio overlay must survive
+  Buffer p(8, 1);
+  for (int i = 0; i < 20; ++i) {
+    (void)net.send(Endpoint{a, 1}, Endpoint{b, 1}, as_bytes_view(p));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  net.clear_radio_faults(a, b);
+  for (int i = 0; i < 20; ++i) {
+    (void)net.send(Endpoint{a, 1}, Endpoint{b, 1}, as_bytes_view(p));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 20);
 }
 
 }  // namespace
