@@ -22,8 +22,13 @@ Two gate vocabularies, selected by the baseline file:
    * min: absolute floor (direction "higher") or ceiling ("lower")
      applied INSTEAD of the relative band when the baseline value is
      null — e.g. a speedup target recorded on a single-core box.
-   A gated key whose CURRENT value is null (or missing) is skipped with
-   a note: the bench declared it unmeasurable in this environment.
+   * require_in_ci: a gated key whose CURRENT value is null (or
+     missing) is normally skipped with a note — the bench declared it
+     unmeasurable in this environment (a laptop without enough cores).
+     With require_in_ci, that skip becomes a FAILURE when $CI is set:
+     the CI runner is contractually multi-core, so "unmeasurable" there
+     means the runner shrank and the multi-thread gate silently stopped
+     engaging. Local runs still skip cleanly.
 
 2. Legacy fixed gates (hotpath/live baselines, no "gates" key): the two
    zero-copy datapath metrics below at 10% headroom; a zero baseline
@@ -38,6 +43,7 @@ is not a perf regression.
 """
 
 import json
+import os
 import sys
 
 LEGACY_GATED = {
@@ -65,6 +71,11 @@ def check_spec_gate(key, spec, baseline, current, failures):
     cur = current.get(key)
     if cur is None:
         reason = current.get("speedup_skip_reason", "reported null")
+        if spec.get("require_in_ci") and os.environ.get("CI"):
+            print(f"  [REGRESSION] {key}: {reason} — but this key is "
+                  "required on CI runners")
+            failures.append(key)
+            return
         print(f"  [   skipped] {key}: {reason}")
         return
     cur = float(cur)

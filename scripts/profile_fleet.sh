@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Profile the fleet bench's hot path (the n256 stage: construct, warmup
+# gossip, timed window) with whatever profiler this box actually has:
+#
+#   1. perf    — `perf record -g` + `perf report` top functions
+#   2. gprofng — Oracle's profiler (ships with recent binutils), same
+#                role where perf is absent (unprivileged containers)
+#   3. neither — fall back to bench_fleet --profile, which prints a
+#                chrono phase breakdown (construct / warmup / run) as
+#                JSON; coarse, but enough to tell boot cost from
+#                steady-state cost.
+#
+# Usage: scripts/profile_fleet.sh [extra bench_fleet args...]
+# The Release build must exist (cmake -B build -DCMAKE_BUILD_TYPE=Release
+# && cmake --build build --target bench_fleet).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=build/bench/bench_fleet
+if [[ ! -x "$BENCH" ]]; then
+  echo "profile_fleet: $BENCH not built (need a Release build)" >&2
+  exit 1
+fi
+
+OUT="${PROFILE_OUT:-/tmp/marea_fleet_profile}"
+mkdir -p "$OUT"
+
+if command -v perf >/dev/null 2>&1 &&
+    perf record -o "$OUT/perf.data" -g -- true >/dev/null 2>&1; then
+  echo "== perf record: bench_fleet --profile $* =="
+  perf record -o "$OUT/perf.data" -g -- "$BENCH" --profile "$@"
+  perf report -i "$OUT/perf.data" --stdio --percent-limit 1 |
+    head -60
+  echo "full data: $OUT/perf.data (perf report -i ... )"
+elif command -v gprofng >/dev/null 2>&1; then
+  echo "== gprofng collect: bench_fleet --profile $* =="
+  rm -rf "$OUT/test.1.er"
+  gprofng collect app -o "$OUT/test.1.er" "$BENCH" --profile "$@"
+  gprofng display text -functions "$OUT/test.1.er" | head -60
+  echo "full data: $OUT/test.1.er (gprofng display text ... )"
+else
+  echo "== no perf/gprofng: chrono phase breakdown only =="
+  "$BENCH" --profile "$@"
+fi

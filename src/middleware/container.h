@@ -24,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <limits>
 #include <optional>
 #include <set>
 #include <string>
@@ -232,6 +233,12 @@ class ServiceContainer {
     VariableTimeoutHandler on_timeout;
   };
 
+  // "Never queried" sentinel for per-subscription NameQuery stamps —
+  // far enough in the virtual past that the first query always passes
+  // the rate check, without risking subtraction overflow.
+  static constexpr TimePoint kNeverQueried{
+      std::numeric_limits<int64_t>::min() / 2};
+
   struct VarSubscription {
     std::string name;
     uint32_t channel = 0;
@@ -241,6 +248,12 @@ class ServiceContainer {
     std::optional<ProviderRecord> provider;
     bool announced = false;   // subscribe control delivered to provider
     bool joined_group = false;
+    // Last broadcast NameQuery for this name. Rebinding runs on every
+    // directory change, so without this stamp an unresolved name would
+    // re-broadcast a query per received hello — O(fleet²) queries
+    // during a fleet-wide boot. One query per resubscribe period is
+    // enough: the periodic tick retries anyway.
+    TimePoint last_name_query = kNeverQueried;
     // cache
     std::optional<enc::Value> last_value;
     uint64_t last_seq = 0;
@@ -278,6 +291,7 @@ class ServiceContainer {
     std::vector<EventSubEntry> entries;
     // Events may have redundant publishers; subscribe to all of them.
     std::set<proto::ContainerId> announced_to;
+    TimePoint last_name_query = kNeverQueried;  // see VarSubscription
     // Ordered-delivery state, per publishing container (EventQoS).
     EventQoS qos;
     struct OrderState {
@@ -356,6 +370,7 @@ class ServiceContainer {
     std::optional<ProviderRecord> provider;
     bool announced = false;
     bool joined_group = false;
+    TimePoint last_name_query = kNeverQueried;  // see VarSubscription
     std::unique_ptr<proto::MftpReceiver> receiver;
     uint32_t completed_revision = 0;
   };
@@ -512,7 +527,13 @@ class ServiceContainer {
   void on_name_query(proto::ContainerId from, transport::Address addr,
                      const proto::NameQueryMsg& msg);
   void on_name_reply(const proto::NameReplyMsg& msg);
-  void send_name_query(proto::ItemKind kind, const std::string& name);
+  // Broadcasts a name query unless one for this subscription went out
+  // within the last resubscribe period (`last_query` is the caller's
+  // per-subscription stamp, updated on send). Rebinding runs on every
+  // directory change, so the rate limit is what keeps a fleet-wide boot
+  // at O(fleet) queries per period instead of O(fleet²).
+  void send_name_query(proto::ItemKind kind, const std::string& name,
+                       TimePoint& last_query);
 
   void emergency(const std::string& reason);
 

@@ -132,7 +132,7 @@ void ServiceContainer::try_bind_event_subscription(EventSubscription& sub) {
   // Events can have redundant publishers; subscribe to every usable one.
   auto providers = directory_.providers(proto::ItemKind::kEvent, sub.name);
   if (providers.empty() && !event_provisions_.count(sub.name)) {
-    send_name_query(proto::ItemKind::kEvent, sub.name);
+    send_name_query(proto::ItemKind::kEvent, sub.name, sub.last_name_query);
     return;
   }
   for (const auto& provider : providers) {

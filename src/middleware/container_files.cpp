@@ -189,7 +189,7 @@ void ServiceContainer::try_bind_file_subscription(FileSubscription& sub) {
 
   auto provider = directory_.resolve(proto::ItemKind::kFile, sub.name);
   if (!provider) {
-    send_name_query(proto::ItemKind::kFile, sub.name);
+    send_name_query(proto::ItemKind::kFile, sub.name, sub.last_name_query);
     return;
   }
   sub.provider = *provider;

@@ -59,7 +59,10 @@ void ServiceContainer::on_name_reply(const proto::NameReplyMsg& msg) {
 }
 
 void ServiceContainer::send_name_query(proto::ItemKind kind,
-                                       const std::string& name) {
+                                       const std::string& name,
+                                       TimePoint& last_query) {
+  if (now() - last_query < config_.resubscribe_interval) return;
+  last_query = now();
   proto::NameQueryMsg msg;
   msg.query_id = next_request_id_++;
   msg.kind = kind;

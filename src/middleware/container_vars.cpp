@@ -210,7 +210,8 @@ void ServiceContainer::try_bind_var_subscription(VarSubscription& sub) {
 
   auto provider = directory_.resolve(proto::ItemKind::kVariable, sub.name);
   if (!provider) {
-    send_name_query(proto::ItemKind::kVariable, sub.name);
+    send_name_query(proto::ItemKind::kVariable, sub.name,
+                    sub.last_name_query);
     return;
   }
   if (provider->schema_hash != 0 &&

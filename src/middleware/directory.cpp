@@ -26,15 +26,21 @@ void NameDirectory::apply_hello(proto::ContainerId container,
       rec.validity_ns = item.validity_ns;
       rec.state = svc.state;
       rec.learned_at = now;
-      records_[key(item.kind, item.name)].push_back(rec);
+      std::string k = key(item.kind, item.name);
+      records_[k].push_back(rec);
+      index_key(container, k);
     }
   }
 }
 
 void NameDirectory::apply_service_status(proto::ContainerId container,
                                          const proto::ServiceStatusMsg& msg) {
-  for (auto& [k, providers] : records_) {
-    for (auto& rec : providers) {
+  auto idx = container_keys_.find(container);
+  if (idx == container_keys_.end()) return;
+  for (const std::string& k : idx->second) {
+    auto it = records_.find(k);
+    if (it == records_.end()) continue;
+    for (auto& rec : it->second) {
       if (rec.container == container && rec.service == msg.service) {
         rec.state = msg.state;
       }
@@ -42,9 +48,19 @@ void NameDirectory::apply_service_status(proto::ContainerId container,
   }
 }
 
+void NameDirectory::index_key(proto::ContainerId container,
+                              const std::string& k) {
+  auto& keys = container_keys_[container];
+  if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+    keys.push_back(k);
+  }
+}
+
 void NameDirectory::insert(proto::ItemKind kind, const std::string& name,
                            const ProviderRecord& record) {
-  auto& providers = records_[key(kind, name)];
+  std::string k = key(kind, name);
+  auto& providers = records_[k];
+  index_key(record.container, k);
   for (auto& existing : providers) {
     if (existing.container == record.container &&
         existing.service == record.service) {
@@ -63,7 +79,13 @@ std::vector<std::string> NameDirectory::drop_container(
 std::vector<std::string> NameDirectory::drop_container_quietly(
     proto::ContainerId container) {
   std::vector<std::string> affected;
-  for (auto it = records_.begin(); it != records_.end();) {
+  auto idx = container_keys_.find(container);
+  if (idx == container_keys_.end()) return affected;
+  // The per-container key index names exactly the entries to visit —
+  // O(own records), not a sweep over every provider in the directory.
+  for (const std::string& k : idx->second) {
+    auto it = records_.find(k);
+    if (it == records_.end()) continue;
     auto& providers = it->second;
     size_t before = providers.size();
     providers.erase(
@@ -74,14 +96,11 @@ std::vector<std::string> NameDirectory::drop_container_quietly(
         providers.end());
     if (providers.size() != before) {
       stats_.invalidations += before - providers.size();
-      affected.push_back(it->first);
+      affected.push_back(k);
     }
-    if (providers.empty()) {
-      it = records_.erase(it);
-    } else {
-      ++it;
-    }
+    if (providers.empty()) records_.erase(it);
   }
+  container_keys_.erase(idx);
   return affected;
 }
 

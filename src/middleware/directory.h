@@ -82,9 +82,15 @@ class NameDirectory {
   static std::string key(proto::ItemKind kind, const std::string& name);
   std::vector<std::string> drop_container_quietly(
       proto::ContainerId container);
+  void index_key(proto::ContainerId container, const std::string& k);
 
   // key -> providers (possibly several: redundancy §4.3).
   std::unordered_map<std::string, std::vector<ProviderRecord>> records_;
+  // container -> keys it provides, so dropping or re-stating one
+  // container (every hello does both) touches only its own records
+  // instead of sweeping the whole directory.
+  std::unordered_map<proto::ContainerId, std::vector<std::string>>
+      container_keys_;
   DirectoryStats stats_;
 };
 

@@ -10,6 +10,7 @@ SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link,
     : grid_(topo.shards == 0 ? 1 : topo.shards, seed, default_link),
       topo_(topo),
       fn_fallback_base_(inline_fn_heap_fallback_count()) {
+  nodes_by_shard_.resize(grid_.shard_count());
   for (uint32_t k = 0; k < grid_.shard_count(); ++k) {
     grid_.cell(k).obs.metrics.add_collector(
         [this, k](obs::MetricsRegistry& reg) {
@@ -30,6 +31,8 @@ SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link,
           reg.counter("net.payload_allocs").set(t.payload_allocs);
           reg.counter("net.payload_copies").set(t.payload_copies);
           reg.counter("net.payload_bytes_copied").set(t.payload_bytes_copied);
+          reg.counter("sim.fanout_shards_touched")
+              .set(t.fanout_shards_touched);
           const FramePool::Stats p = cell.net.frame_pool().stats();
           reg.counter("pool.checkouts").set(p.checkouts);
           reg.counter("pool.hits").set(p.pool_hits);
@@ -52,8 +55,8 @@ SimDomain::SimDomain(uint64_t seed, sim::LinkParams default_link,
             reg.counter("sim.fn_heap_fallbacks")
                 .set(inline_fn_heap_fallback_count() - fn_fallback_base_);
           }
-          for (const auto& node : nodes_) {
-            if (node->shard != k) continue;
+          for (size_t idx : nodes_by_shard_[k]) {
+            const auto& node = nodes_[idx];
             reg.gauge("sched." + std::to_string(node->container->config().id) +
                       ".queued")
                 .set(static_cast<int64_t>(node->executor->queued()));
@@ -90,6 +93,7 @@ ServiceContainer& SimDomain::add_node_on_shard(uint32_t shard,
       config, *node->transport, *node->executor);
 
   nodes_.push_back(std::move(node));
+  nodes_by_shard_[shard].push_back(nodes_.size() - 1);
   return *nodes_.back()->container;
 }
 

@@ -140,6 +140,9 @@ class SimDomain {
   // the delta, so one domain's closures don't show up in another's gate.
   uint64_t fn_fallback_base_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Per-shard node indexes so each cell's metrics collector walks only
+  // its own nodes (O(active), not O(nodes × shards) per snapshot).
+  std::vector<std::vector<size_t>> nodes_by_shard_;
   sim::RadioModel* radio_ = nullptr;
   bool radio_collector_installed_ = false;
 };

@@ -17,7 +17,17 @@ NodeId SimNetwork::add_node(std::string name) {
   n.name = std::move(name);
   n.egress_bps = default_link_.rate_bps;
   nodes_.push_back(std::move(n));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  // Interest-scoping indexes (the grid registers a node's owner before
+  // replicating it, so the router can already answer for `id`).
+  if (!router_ || router_->is_local(id)) local_nodes_.push_back(id);
+  if (router_) {
+    if (shard_node_counts_.empty()) {
+      shard_node_counts_.resize(router_->shard_count(), 0);
+    }
+    shard_node_counts_[router_->owner_shard(id)]++;
+  }
+  return id;
 }
 
 void SimNetwork::set_node_rate(NodeId id, double bps) {
@@ -53,25 +63,30 @@ void SimNetwork::set_node_up(NodeId id, bool up) {
     // nothing, even packets that left the sender before the failure.
     node.up_epoch++;
     // A dead node also falls out of its multicast groups (the switch
-    // stops forwarding); park them for a consistent restore.
-    for (auto it = groups_.begin(); it != groups_.end();) {
-      auto& members = it->second;
-      for (auto m = members.begin(); m != members.end();) {
-        if (m->node == id) {
-          node.parked_groups.emplace_back(it->first, *m);
-          m = members.erase(m);
-        } else {
-          ++m;
-        }
+    // stops forwarding); park them for a consistent restore. The node's
+    // reverse index names exactly the memberships to pull — O(own
+    // groups), not a sweep over every group's member vector. The
+    // interest digest is untouched: it counts live + parked members, so
+    // non-owner replicas (which never see this node's member list)
+    // need no update.
+    for (const auto& [group, member] : node.memberships) {
+      auto it = groups_.find(group);
+      if (it != groups_.end()) {
+        auto& members = it->second;
+        members.erase(std::remove(members.begin(), members.end(), member),
+                      members.end());
+        if (members.empty()) groups_.erase(it);
       }
-      it = members.empty() ? groups_.erase(it) : std::next(it);
+      node.parked_groups.emplace_back(group, member);
     }
+    node.memberships.clear();
   } else {
     for (const auto& [group, member] : node.parked_groups) {
       auto& members = groups_[group];
       if (std::find(members.begin(), members.end(), member) ==
           members.end()) {
         members.push_back(member);
+        node.memberships.emplace_back(group, member);
       }
     }
     node.parked_groups.clear();
@@ -163,18 +178,44 @@ Status SimNetwork::bind_frames(Endpoint ep, FrameHandler handler) {
 void SimNetwork::unbind(Endpoint ep) { bindings_.erase(ep); }
 
 Status SimNetwork::join_group(GroupId group, Endpoint member) {
+  if (router_ && !router_->is_local(member.node)) {
+    // Remote-homed member joined via this replica (tests drive this;
+    // middleware always joins at the owner): account the digest and
+    // ship the delta — the owner applies the member list at the next
+    // barrier. No duplicate check is possible here, so such ops must
+    // be issued at most once.
+    digest_adjust(true, group, router_->owner_shard(member.node));
+    router_->post_group_op(true, group, member, sim_.now());
+    return Status::ok();
+  }
   auto& members = groups_[group];
   if (std::find(members.begin(), members.end(), member) != members.end()) {
     return already_exists_error("join_group: already a member");
   }
   members.push_back(member);
-  if (router_) router_->post_group_op(true, group, member, sim_.now());
+  if (member.node < nodes_.size()) {
+    nodes_[member.node].memberships.emplace_back(group, member);
+  }
+  if (router_) {
+    digest_adjust(true, group, router_->self_shard());
+    router_->post_group_op(true, group, member, sim_.now());
+  }
   return Status::ok();
 }
 
 void SimNetwork::leave_group(GroupId group, Endpoint member) {
-  apply_group_op(false, group, member);
-  if (router_) router_->post_group_op(false, group, member, sim_.now());
+  if (router_ && !router_->is_local(member.node)) {
+    digest_adjust(false, group, router_->owner_shard(member.node));
+    router_->post_group_op(false, group, member, sim_.now());
+    return;
+  }
+  // A no-op leave (never a member, live or parked) ships nothing: the
+  // replicated digests only ever count real membership changes.
+  if (!remove_membership(group, member)) return;
+  if (router_) {
+    digest_adjust(false, group, router_->self_shard());
+    router_->post_group_op(false, group, member, sim_.now());
+  }
 }
 
 void SimNetwork::apply_group_op(bool join, GroupId group, Endpoint member) {
@@ -182,22 +223,70 @@ void SimNetwork::apply_group_op(bool join, GroupId group, Endpoint member) {
     auto& members = groups_[group];
     if (std::find(members.begin(), members.end(), member) == members.end()) {
       members.push_back(member);
+      if (member.node < nodes_.size()) {
+        nodes_[member.node].memberships.emplace_back(group, member);
+      }
+      if (router_) digest_adjust(true, group, router_->self_shard());
     }
     return;
   }
-  // The membership may be parked while the node is down.
+  if (remove_membership(group, member) && router_) {
+    digest_adjust(false, group, router_->self_shard());
+  }
+}
+
+void SimNetwork::apply_group_digest(bool join, GroupId group,
+                                    uint32_t owner_shard) {
+  digest_adjust(join, group, owner_shard);
+}
+
+bool SimNetwork::remove_membership(GroupId group, Endpoint member) {
+  bool removed = false;
   if (member.node < nodes_.size()) {
+    // The membership may be parked while the node is down.
     auto& parked = nodes_[member.node].parked_groups;
+    const size_t parked_before = parked.size();
     parked.erase(std::remove(parked.begin(), parked.end(),
                              std::make_pair(group, member)),
                  parked.end());
+    removed = parked.size() != parked_before;
+    auto& index = nodes_[member.node].memberships;
+    index.erase(std::remove(index.begin(), index.end(),
+                            std::make_pair(group, member)),
+                index.end());
   }
   auto it = groups_.find(group);
-  if (it == groups_.end()) return;
+  if (it == groups_.end()) return removed;
   auto& members = it->second;
+  const size_t before = members.size();
   members.erase(std::remove(members.begin(), members.end(), member),
                 members.end());
+  if (members.size() != before) removed = true;
   if (members.empty()) groups_.erase(it);
+  return removed;
+}
+
+void SimNetwork::digest_adjust(bool join, GroupId group, uint32_t shard) {
+  auto& counts = group_shards_[group];
+  if (counts.size() <= shard) {
+    counts.resize(router_ ? router_->shard_count() : shard + 1, 0);
+  }
+  if (join) {
+    counts[shard]++;
+  } else if (counts[shard] > 0) {
+    counts[shard]--;
+  }
+}
+
+uint32_t SimNetwork::group_shard_members(GroupId group, uint32_t shard) const {
+  auto it = group_shards_.find(group);
+  if (it == group_shards_.end() || shard >= it->second.size()) return 0;
+  return it->second[shard];
+}
+
+std::vector<Endpoint> SimNetwork::group_members(GroupId group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<Endpoint>{} : it->second;
 }
 
 Duration SimNetwork::serialization_delay(NodeId node, size_t bytes) const {
@@ -245,21 +334,18 @@ Status SimNetwork::send(Endpoint from, Endpoint to, SharedFrame frame) {
   }
 
   if (from.node == to.node) {
-    // Local delivery: bypasses the wire entirely. The scheduled closure
-    // shares the frame — no payload bytes move.
-    total_.local_packets++;
-    total_.local_bytes += frame.size();
-    nodes_[from.node].stats.local_packets++;
-    nodes_[from.node].stats.local_bytes += frame.size();
-    uint64_t epoch = nodes_[to.node].up_epoch;
-    sim_.after(kLocalDeliveryLatency,
-               [this, from, to, epoch, frame = std::move(frame)]() {
-                 deliver(from, to, frame, epoch);
-               });
+    local_deliver(from, to, frame);
     return Status::ok();
   }
-  const Endpoint one[1] = {to};
-  return transmit(from, one, frame, /*multicast=*/false);
+  const TimePoint on_wire = begin_transmit(from, frame.size());
+  if (router_ && !router_->is_local(to.node)) {
+    router_->post_remote(
+        router_->owner_shard(to.node),
+        RemoteXmit{XmitKind::kUnicast, on_wire, from, to, 0}, frame.view());
+    return Status::ok();
+  }
+  wire_deliver(from, to, on_wire, frame);
+  return Status::ok();
 }
 
 Status SimNetwork::send_multicast(Endpoint from, GroupId group,
@@ -273,17 +359,51 @@ Status SimNetwork::send_multicast(Endpoint from, GroupId group,
                                   SharedFrame frame) {
   Status s = check_send("send_multicast", from, frame.size());
   if (!s.is_ok()) return s;
+  // Interest scoping: local members from this replica's own list, remote
+  // interest from the per-shard digest — the fan-out never touches a
+  // shard without members, and per-publish cost scales with interested
+  // parties, not fleet size.
   scratch_dests_.clear();
   if (auto it = groups_.find(group); it != groups_.end()) {
     for (Endpoint member : it->second) {
       if (member != from) scratch_dests_.push_back(member);
     }
   }
-  if (scratch_dests_.empty()) {
+  scratch_shards_.clear();
+  if (router_) {
+    if (auto it = group_shards_.find(group); it != group_shards_.end()) {
+      const uint32_t self = router_->self_shard();
+      const auto& counts = it->second;
+      for (uint32_t shard = 0; shard < counts.size(); ++shard) {
+        if (shard != self && counts[shard] > 0) {
+          scratch_shards_.push_back(shard);
+        }
+      }
+    }
+  }
+  if (scratch_dests_.empty() && scratch_shards_.empty()) {
     total_.packets_unroutable++;
     return Status::ok();  // multicast with no listeners is not an error
   }
-  return transmit(from, scratch_dests_, frame, /*multicast=*/true);
+  const TimePoint on_wire = begin_transmit(from, frame.size());
+  for (Endpoint dst : scratch_dests_) {
+    if (dst.node == from.node) {
+      // Member co-located with the sender: local delivery, sharing the
+      // same frame as every wire destination.
+      local_deliver(from, dst, frame);
+    } else {
+      wire_deliver(from, dst, on_wire, frame);
+    }
+  }
+  if (!scratch_dests_.empty()) total_.fanout_shards_touched++;
+  for (uint32_t shard : scratch_shards_) {
+    router_->post_remote(shard,
+                         RemoteXmit{XmitKind::kMulticast, on_wire, from,
+                                    Endpoint{}, group},
+                         frame.view());
+    total_.fanout_shards_touched++;
+  }
+  return Status::ok();
 }
 
 Status SimNetwork::send_broadcast(Endpoint from, uint16_t port,
@@ -297,115 +417,154 @@ Status SimNetwork::send_broadcast(Endpoint from, uint16_t port,
                                   SharedFrame frame) {
   Status s = check_send("send_broadcast", from, frame.size());
   if (!s.is_ok()) return s;
+  // Broadcast's interest set is every node, but the sender still only
+  // walks its own shard's node list; one record per populated remote
+  // shard carries the fan-out across the boundary.
   scratch_dests_.clear();
-  for (NodeId n = 0; n < nodes_.size(); ++n) {
+  for (NodeId n : local_nodes_) {
     if (n == from.node) continue;
     scratch_dests_.push_back(Endpoint{n, port});
   }
-  if (scratch_dests_.empty()) return Status::ok();
-  return transmit(from, scratch_dests_, frame, /*multicast=*/true);
-}
-
-Status SimNetwork::transmit(Endpoint from, std::span<const Endpoint> dests,
-                            const SharedFrame& frame, bool multicast) {
-  Node& src = nodes_[from.node];
-  const size_t size = frame.size();
-
-  // Egress serialization: the packet leaves the NIC when the serializer is
-  // free; multicast pays this once regardless of fan-out.
-  TimePoint start = std::max(sim_.now(), src.egress_free);
-  Duration ser = serialization_delay(from.node, size);
-  TimePoint on_wire = start + ser;
-  src.egress_free = on_wire;
-
-  total_.packets_sent++;
-  total_.bytes_sent += size;
-  src.stats.packets_sent++;
-  src.stats.bytes_sent += size;
-  (void)multicast;
-
-  for (Endpoint dst : dests) {
-    if (dst.node == from.node) {
-      // Multicast member co-located with the sender: local delivery,
-      // sharing the same frame as every wire destination.
-      total_.local_packets++;
-      total_.local_bytes += size;
-      uint64_t epoch = nodes_[dst.node].up_epoch;
-      sim_.after(kLocalDeliveryLatency, [this, from, dst, epoch, frame]() {
-        deliver(from, dst, frame, epoch);
-      });
-      continue;
-    }
-    if (blocked_.count(ordered_pair(from.node, dst.node))) {
-      total_.packets_partitioned++;
-      nodes_[dst.node].stats.packets_partitioned++;
-      trace_drop(from.node, dst.node, kDropPartitioned);
-      continue;
-    }
-    LinkParams lp = link(from.node, dst.node);
-    if (rng_.bernoulli(lp.loss)) {
-      total_.packets_dropped++;
-      nodes_[dst.node].stats.packets_dropped++;
-      trace_drop(from.node, dst.node, kDropLoss);
-      continue;
-    }
-    // Refcount bump; apply_faults swaps in a mutated pooled copy only
-    // when the corruption fault actually fires for this destination.
-    SharedFrame pkt = frame;
-    Duration extra = kDurationZero;
-    int copies = 1;
-    if (!apply_faults(from.node, dst.node, pkt, extra, copies)) {
-      total_.packets_dropped++;
-      nodes_[dst.node].stats.packets_dropped++;
-      trace_drop(from.node, dst.node, kDropLoss);
-      continue;
-    }
-    Duration prop = lp.latency;
-    if (lp.jitter.ns > 0) {
-      prop = prop + Duration{static_cast<int64_t>(
-                        rng_.next_double() *
-                        static_cast<double>(lp.jitter.ns))};
-    }
-    // Per-link FIFO clamp: the wire is a variable-delay pipe, so a
-    // packet never arrives before one sent earlier on the same directed
-    // link — even when latency/jitter just dropped (continuous radio
-    // updates). The reorder fault's extra delay is added after the
-    // clamp; overtaking is exactly what that fault is for.
-    TimePoint base = on_wire + prop;
-    TimePoint& last = last_arrival_[{from.node, dst.node}];
-    if (base < last) base = last;
-    last = base;
-    base = base + extra;
-    uint64_t epoch = nodes_[dst.node].up_epoch;
-    // Destination owned by another shard: every stochastic draw above
-    // already happened against this (the sender's) RNG, so the packet
-    // crosses the shard boundary as pure data — bytes plus a fully
-    // decided arrival instant — and lands on the peer's simulator with
-    // identical semantics.
-    const bool remote = router_ != nullptr && !router_->is_local(dst.node);
-    for (int c = 0; c < copies; ++c) {
-      // Duplicates trail the original slightly so they genuinely reorder
-      // against traffic behind them. All scheduled deliveries share pkt.
-      TimePoint arrival = base + kLocalDeliveryLatency * c;
-      if (remote) {
-        router_->post_remote(arrival, from, dst, epoch, pkt.view());
-      } else {
-        sim_.at(arrival, [this, from, dst, epoch, pkt]() {
-          deliver(from, dst, pkt, epoch);
-        });
+  scratch_shards_.clear();
+  if (router_) {
+    const uint32_t self = router_->self_shard();
+    for (uint32_t shard = 0; shard < shard_node_counts_.size(); ++shard) {
+      if (shard != self && shard_node_counts_[shard] > 0) {
+        scratch_shards_.push_back(shard);
       }
     }
+  }
+  if (scratch_dests_.empty() && scratch_shards_.empty()) return Status::ok();
+  const TimePoint on_wire = begin_transmit(from, frame.size());
+  for (Endpoint dst : scratch_dests_) {
+    wire_deliver(from, dst, on_wire, frame);
+  }
+  if (!scratch_dests_.empty()) total_.fanout_shards_touched++;
+  for (uint32_t shard : scratch_shards_) {
+    router_->post_remote(
+        shard,
+        RemoteXmit{XmitKind::kBroadcast, on_wire, from,
+                   Endpoint{kInvalidNode, port}, 0},
+        frame.view());
+    total_.fanout_shards_touched++;
   }
   return Status::ok();
 }
 
-void SimNetwork::deliver_remote(Endpoint from, Endpoint to, TimePoint arrival,
-                                uint64_t dest_epoch, BytesView bytes) {
-  SharedFrame frame = ingress_frame(bytes);
-  if (arrival < sim_.now()) arrival = sim_.now();
-  sim_.at(arrival, [this, from, to, dest_epoch, frame = std::move(frame)]() {
-    deliver(from, to, frame, dest_epoch);
+TimePoint SimNetwork::begin_transmit(Endpoint from, size_t size) {
+  Node& src = nodes_[from.node];
+  // Egress serialization: the packet leaves the NIC when the serializer
+  // is free; multicast/broadcast pay this once regardless of fan-out.
+  const TimePoint start = std::max(sim_.now(), src.egress_free);
+  const TimePoint on_wire = start + serialization_delay(from.node, size);
+  src.egress_free = on_wire;
+  total_.packets_sent++;
+  total_.bytes_sent += size;
+  src.stats.packets_sent++;
+  src.stats.bytes_sent += size;
+  return on_wire;
+}
+
+void SimNetwork::local_deliver(Endpoint from, Endpoint dst,
+                               const SharedFrame& frame) {
+  // Same-node delivery: bypasses the wire entirely. The scheduled
+  // closure shares the frame — no payload bytes move.
+  total_.local_packets++;
+  total_.local_bytes += frame.size();
+  nodes_[from.node].stats.local_packets++;
+  nodes_[from.node].stats.local_bytes += frame.size();
+  const uint64_t epoch = nodes_[dst.node].up_epoch;
+  sim_.after(kLocalDeliveryLatency, [this, from, dst, epoch, frame]() {
+    deliver(from, dst, frame, epoch);
   });
+}
+
+void SimNetwork::wire_deliver(Endpoint from, Endpoint dst, TimePoint on_wire,
+                              const SharedFrame& frame) {
+  if (blocked_.count(ordered_pair(from.node, dst.node))) {
+    total_.packets_partitioned++;
+    nodes_[dst.node].stats.packets_partitioned++;
+    trace_drop(from.node, dst.node, kDropPartitioned);
+    return;
+  }
+  const LinkParams lp = link(from.node, dst.node);
+  if (rng_.bernoulli(lp.loss)) {
+    total_.packets_dropped++;
+    nodes_[dst.node].stats.packets_dropped++;
+    trace_drop(from.node, dst.node, kDropLoss);
+    return;
+  }
+  // Refcount bump; apply_faults swaps in a mutated pooled copy only
+  // when the corruption fault actually fires for this destination.
+  SharedFrame pkt = frame;
+  Duration extra = kDurationZero;
+  int copies = 1;
+  if (!apply_faults(from.node, dst.node, pkt, extra, copies)) {
+    total_.packets_dropped++;
+    nodes_[dst.node].stats.packets_dropped++;
+    trace_drop(from.node, dst.node, kDropLoss);
+    return;
+  }
+  Duration prop = lp.latency;
+  if (lp.jitter.ns > 0) {
+    prop = prop + Duration{static_cast<int64_t>(
+                      rng_.next_double() *
+                      static_cast<double>(lp.jitter.ns))};
+  }
+  // Per-link FIFO clamp: the wire is a variable-delay pipe, so a
+  // packet never arrives before one sent earlier on the same directed
+  // link — even when latency/jitter just dropped (continuous radio
+  // updates). The reorder fault's extra delay is added after the
+  // clamp; overtaking is exactly what that fault is for. All draws and
+  // the clamp run on the cell that owns `dst`, so a directed link has
+  // one stochastic home whether or not the sender is remote.
+  TimePoint base = on_wire + prop;
+  auto& lf = nodes_[dst.node].last_from;
+  if (lf.size() <= from.node) lf.resize(nodes_.size());
+  TimePoint& last = lf[from.node];
+  if (base < last) base = last;
+  last = base;
+  base = base + extra;
+  const uint64_t epoch = nodes_[dst.node].up_epoch;
+  for (int c = 0; c < copies; ++c) {
+    // Duplicates trail the original slightly so they genuinely reorder
+    // against traffic behind them. All scheduled deliveries share pkt.
+    TimePoint arrival = base + kLocalDeliveryLatency * c;
+    // Arrivals in the past are possible only for drained cross-shard
+    // records after a mid-run latency change violated the lookahead
+    // contract; clamp deterministically instead of corrupting causality.
+    if (arrival < sim_.now()) arrival = sim_.now();
+    sim_.at(arrival, [this, from, dst, epoch, pkt]() {
+      deliver(from, dst, pkt, epoch);
+    });
+  }
+}
+
+void SimNetwork::expand_remote(const RemoteXmit& x, BytesView bytes) {
+  // One pooled ingress copy per (transmission, this shard); every
+  // destination expanded below shares the slab, exactly like
+  // sender-side fan-out.
+  SharedFrame frame = ingress_frame(bytes);
+  switch (x.kind) {
+    case XmitKind::kUnicast:
+      wire_deliver(x.from, x.to, x.on_wire, frame);
+      break;
+    case XmitKind::kMulticast: {
+      auto it = groups_.find(x.group);
+      if (it == groups_.end()) break;  // members left since the digest post
+      for (Endpoint member : it->second) {
+        if (member.node == x.from.node) continue;  // sender is never local
+        wire_deliver(x.from, member, x.on_wire, frame);
+      }
+      break;
+    }
+    case XmitKind::kBroadcast:
+      for (NodeId n : local_nodes_) {
+        if (n == x.from.node) continue;
+        wire_deliver(x.from, Endpoint{n, x.to.port}, x.on_wire, frame);
+      }
+      break;
+  }
 }
 
 bool SimNetwork::apply_faults(NodeId from, NodeId to, SharedFrame& pkt,

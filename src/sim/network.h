@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/trace.h"
@@ -87,18 +87,39 @@ struct LinkFaults {
   }
 };
 
+// One cross-shard wire transmission. The sender's shard serializes the
+// packet once (egress delay, packets_sent) and posts ONE record per
+// destination shard with interested parties; the destination shard
+// expands it against its own replicated tables when it drains the
+// mailbox — per-destination draws (loss, faults, jitter, FIFO clamp)
+// run against the destination cell's RNG, which is also where every
+// intra-shard packet on the same directed link draws, so each link has
+// exactly one stochastic home regardless of topology.
+enum class XmitKind : uint8_t { kUnicast = 0, kMulticast = 1, kBroadcast = 2 };
+
+struct RemoteXmit {
+  XmitKind kind = XmitKind::kUnicast;
+  TimePoint on_wire;  // sender egress completion (post-serialization)
+  Endpoint from;
+  Endpoint to;        // unicast: destination; broadcast: port in to.port
+  GroupId group = 0;  // multicast: the addressed group
+};
+
 // Hook the parallel ShardGrid installs on each shard's network replica
-// (see sim/shard.h). When set, transmit() hands packets destined for
-// nodes owned by another shard to the grid's mailboxes — with the
-// arrival instant already decided by the sender's own RNG draws — and
-// group membership changes are forwarded for replication. Null (the
-// default) means unsharded: every node is local.
+// (see sim/shard.h). When set, sends destined for nodes owned by
+// another shard post a RemoteXmit to the grid's mailboxes (payload
+// copied once per destination shard), and group membership changes are
+// forwarded for delta replication. Null (the default) means unsharded:
+// every node is local.
 class ShardRouter {
  public:
   virtual ~ShardRouter() = default;
   virtual bool is_local(NodeId node) const = 0;
-  virtual void post_remote(TimePoint arrival, Endpoint from, Endpoint to,
-                           uint64_t dest_epoch, BytesView bytes) = 0;
+  virtual uint32_t self_shard() const = 0;
+  virtual uint32_t shard_count() const = 0;
+  virtual uint32_t owner_shard(NodeId node) const = 0;
+  virtual void post_remote(uint32_t dst_shard, const RemoteXmit& x,
+                           BytesView bytes) = 0;
   virtual void post_group_op(bool join, GroupId group, Endpoint member,
                              TimePoint time) = 0;
 };
@@ -124,6 +145,10 @@ struct TrafficStats {
   uint64_t payload_allocs = 0;
   uint64_t payload_copies = 0;
   uint64_t payload_bytes_copied = 0;
+  // Interest scoping: how many shards (own cell included) each
+  // multicast/broadcast actually fanned out to. A multicast to a group
+  // whose members all live on one shard bumps this by exactly 1.
+  uint64_t fanout_shards_touched = 0;
 };
 
 class SimNetwork {
@@ -237,24 +262,47 @@ class SimNetwork {
   void reset_stats();
 
   // --- sharding (parallel simulation) -------------------------------------
-  // Installed by ShardGrid on each replica; see the ShardRouter comment.
+  // Installed by ShardGrid on each replica BEFORE any node is added;
+  // see the ShardRouter comment. With a router set, this replica keeps
+  // member lists only for groups' members homed on its own shard, plus
+  // a per-group digest of member counts per shard (live + parked) that
+  // send_multicast uses to post records only to interested shards.
   void set_shard_router(ShardRouter* router) { router_ = router; }
 
-  // Entry point for packets drained from a cross-shard mailbox: copies
-  // the payload into this network's own frame pool and schedules the
-  // normal deliver() at the sender-computed arrival instant. Arrivals in
-  // the past (possible only if the lookahead contract was violated by a
-  // mid-run latency change) are clamped to `now` deterministically.
-  void deliver_remote(Endpoint from, Endpoint to, TimePoint arrival,
-                      uint64_t dest_epoch, BytesView bytes);
+  // Entry point for transmissions drained from a cross-shard mailbox:
+  // copies the payload ONCE into this network's own frame pool, expands
+  // the destination set against this replica's tables (unicast target,
+  // local group members, or local nodes for broadcast), and runs the
+  // per-destination draws/schedule exactly like sender-side fan-out.
+  // Arrivals in the past (possible only if the lookahead contract was
+  // violated by a mid-run latency change) are clamped deterministically.
+  void expand_remote(const RemoteXmit& x, BytesView bytes);
 
   // Applies a replicated membership change without re-forwarding it to
   // the router (exactly the local effect of join_group/leave_group).
+  // In a sharded network, call only on the member's owner replica.
   void apply_group_op(bool join, GroupId group, Endpoint member);
+  // Digest-only replication for replicas that do NOT own the member:
+  // adjusts the per-shard member count used for interest scoping.
+  void apply_group_digest(bool join, GroupId group, uint32_t owner_shard);
+
+  // Digest introspection (tests): members of `group` homed on `shard`
+  // according to this replica (live + parked). Unsharded networks keep
+  // no digest and always report 0.
+  uint32_t group_shard_members(GroupId group, uint32_t shard) const;
+  // Member endpoints this replica holds a list for (owner view when
+  // sharded, the full group otherwise); empty when unknown.
+  std::vector<Endpoint> group_members(GroupId group) const;
 
   // Bumped by set_link/set_default_link; the grid re-derives its
   // lookahead when any replica's version moves.
   uint64_t links_version() const { return links_version_; }
+  // Link-table introspection for the grid's O(overrides) lookahead scan.
+  const std::map<std::pair<NodeId, NodeId>, LinkParams>& link_overrides()
+      const {
+    return links_;
+  }
+  const LinkParams& default_link_params() const { return default_link_; }
 
   // --- observability ------------------------------------------------------
   // Optional flight recorder: drops, partitions/heals, fault overlays
@@ -280,8 +328,21 @@ class SimNetwork {
     // Bumped every time the node goes down: in-flight packets captured an
     // older epoch and are dropped on arrival.
     uint64_t up_epoch = 0;
+    // Reverse index: live (group, endpoint) memberships of this node, so
+    // the dead-node park in set_node_up touches exactly this node's
+    // groups instead of sweeping every group's member vector.
+    std::vector<std::pair<GroupId, Endpoint>> memberships;
     // Group memberships parked while the node is down.
     std::vector<std::pair<GroupId, Endpoint>> parked_groups;
+    // Last scheduled wire arrival into this node per sender (indexed by
+    // sender NodeId; lazily sized on first delivery). wire_deliver()
+    // clamps each packet's base arrival to this so mid-run latency or
+    // jitter changes (continuous RadioModel updates) can never reorder
+    // in-flight packets on a directed link — a radio channel is a FIFO
+    // pipe whose delay varies, not a packet-swapping one. A flat
+    // vector, not a hash map: the clamp runs once per delivery and was
+    // the hottest lookup in fleet-scale profiles.
+    std::vector<TimePoint> last_from;
     TrafficStats stats;
   };
 
@@ -294,6 +355,14 @@ class SimNetwork {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  struct NodePairHash {
+    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      uint64_t v = (static_cast<uint64_t>(p.first) << 32) | p.second;
+      v *= 0x9E3779B97F4A7C15ull;  // Fibonacci mix: pairs are sequential
+      return static_cast<size_t>(v ^ (v >> 29));
+    }
+  };
+
   // One receiver endpoint: legacy view handler or frame-aware handler.
   struct Binding {
     RecvHandler view;
@@ -304,11 +373,25 @@ class SimNetwork {
   // Copies `data` into a pooled frame, counting the ingress copy (and the
   // pool miss, if any) in the payload_* stats.
   SharedFrame ingress_frame(BytesView data);
-  // Queues one wire transmission from `from.node`, fanning out to `dests`.
-  Status transmit(Endpoint from, std::span<const Endpoint> dests,
-                  const SharedFrame& frame, bool multicast);
+  // Starts one wire transmission from `from.node`: egress serialization
+  // (paid once regardless of fan-out) + sent counters; returns the
+  // instant the packet is fully on the wire.
+  TimePoint begin_transmit(Endpoint from, size_t size);
+  // One destination of a wire transmission: partition check, loss/fault
+  // draws, jitter, per-link FIFO clamp, then schedules deliver(). Used
+  // by sender-side fan-out (local destinations) and by expand_remote
+  // (destinations this shard owns) — identical semantics in both.
+  void wire_deliver(Endpoint from, Endpoint dst, TimePoint on_wire,
+                    const SharedFrame& frame);
+  // Same-node delivery bypassing the wire (fixed tiny latency).
+  void local_deliver(Endpoint from, Endpoint dst, const SharedFrame& frame);
   void deliver(Endpoint from, Endpoint to, const SharedFrame& frame,
                uint64_t dest_epoch);
+  // Removes a live or parked membership (member list + reverse index);
+  // returns whether anything was removed.
+  bool remove_membership(GroupId group, Endpoint member);
+  // Per-shard member-count digest bookkeeping (sharded only).
+  void digest_adjust(bool join, GroupId group, uint32_t shard);
   Duration serialization_delay(NodeId node, size_t bytes) const;
   // Applies both fault overlays (scripted chaos, then radio) for
   // from -> to; returns false when the packet is lost. Corruption
@@ -326,23 +409,31 @@ class SimNetwork {
   size_t mtu_ = 65507;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
-  std::map<std::pair<NodeId, NodeId>, FaultState> faults_;
-  std::map<std::pair<NodeId, NodeId>, FaultState> radio_faults_;
-  // Last scheduled wire arrival per directed link, pre-fault-extras.
-  // transmit() clamps each packet's base arrival to this so mid-run
-  // latency/jitter changes (continuous RadioModel updates) can never
-  // reorder in-flight packets on a link — a radio channel is a FIFO
-  // pipe whose delay varies, not a packet-swapping one. The scripted
-  // reorder fault still reorders: its extra delay is added after the
-  // clamp, on purpose.
-  std::map<std::pair<NodeId, NodeId>, TimePoint> last_arrival_;
-  std::set<std::pair<NodeId, NodeId>> blocked_;  // unordered node pairs
+  std::unordered_map<std::pair<NodeId, NodeId>, FaultState, NodePairHash>
+      faults_;
+  std::unordered_map<std::pair<NodeId, NodeId>, FaultState, NodePairHash>
+      radio_faults_;
+  std::unordered_set<std::pair<NodeId, NodeId>, NodePairHash>
+      blocked_;  // unordered node pairs
   std::unordered_map<Endpoint, Binding, EndpointHash> bindings_;
+  // Member lists this replica owns: the whole group unsharded, only
+  // members homed on this shard when a router is installed.
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
-  // Fan-out destination scratch, reused across sends (transmit() never
-  // re-enters a send path, so one buffer is enough).
+  // Sharded-only interest digest: per group, member count per shard
+  // (live + parked). Maintained immediately for local changes, at
+  // window barriers (via apply_group_digest) for remote ones.
+  std::unordered_map<GroupId, std::vector<uint32_t>> group_shards_;
+  // Nodes homed on this replica's shard (all nodes when unsharded):
+  // broadcast fan-out and expansion iterate this, never the full table.
+  std::vector<NodeId> local_nodes_;
+  // Node count per shard (sharded only), so broadcast posts records
+  // only to shards that actually host nodes.
+  std::vector<uint32_t> shard_node_counts_;
+  // Fan-out scratch, reused across sends (send paths never re-enter,
+  // so one buffer of each is enough).
   std::vector<Endpoint> scratch_dests_;
-  FramePool pool_;
+  std::vector<uint32_t> scratch_shards_;
+  FramePool pool_{/*slab_reserve=*/2048, /*max_free=*/1024};
   TrafficStats total_;
   obs::TraceRing* trace_ = nullptr;
   ShardRouter* router_ = nullptr;

@@ -46,24 +46,26 @@ ShardGrid::~ShardGrid() = default;
 
 NodeId ShardGrid::add_node(const std::string& name, uint32_t shard) {
   assert(shard < shard_count());
-  NodeId id = kInvalidNode;
+  // Owner registered first: each replica's add_node consults the router
+  // to maintain its local-node list and per-shard node counts.
+  const NodeId id = static_cast<NodeId>(owner_.size());
+  owner_.push_back(shard);
   for (auto& c : cells_) {
     NodeId got = c->net.add_node(name);
-    assert(id == kInvalidNode || got == id);
-    id = got;
+    assert(got == id);
+    (void)got;
   }
-  assert(id == owner_.size());
-  owner_.push_back(shard);
   return id;
 }
 
-void ShardGrid::CellRouter::post_remote(TimePoint arrival, Endpoint from,
-                                        Endpoint to, uint64_t dest_epoch,
+void ShardGrid::CellRouter::post_remote(uint32_t dst_shard,
+                                        const RemoteXmit& x,
                                         BytesView bytes) {
-  const uint32_t dst = grid->owner_[to.node];
-  grid->mail_[self].outbox[dst].push_back(
-      RemotePacket{arrival, from, to, dest_epoch,
-                   std::vector<uint8_t>(bytes.begin(), bytes.end())});
+  XmitBatch& out = grid->mail_[self].outbox[dst_shard];
+  if (out.recs.empty()) grid->mail_[self].out_touched.push_back(dst_shard);
+  out.recs.push_back(XmitRec{x, static_cast<uint32_t>(out.arena.size()),
+                             static_cast<uint32_t>(bytes.size())});
+  out.arena.insert(out.arena.end(), bytes.begin(), bytes.end());
 }
 
 void ShardGrid::CellRouter::post_group_op(bool join, GroupId group,
@@ -82,17 +84,31 @@ Duration ShardGrid::lookahead() const {
   if (version == lookahead_links_version_) return lookahead_cache_;
 
   // Topology is replicated, so cell 0's link table answers for all.
+  // O(|overrides|), not O(nodes²): the minimum over all cross-shard
+  // pairs is min(overridden cross-shard links, default latency) — the
+  // default participates whenever at least one cross-shard pair is NOT
+  // overridden, which the pair counts decide without enumerating pairs.
   const SimNetwork& net = cells_[0]->net;
-  const NodeId n = static_cast<NodeId>(owner_.size());
+  const uint64_t n = owner_.size();
+  std::vector<uint64_t> per_shard(shard_count(), 0);
+  for (uint32_t s : owner_) per_shard[s]++;
+  uint64_t same_pairs = 0;
+  for (uint64_t c : per_shard) same_pairs += c * c;
+  const uint64_t cross_pairs = n * n - same_pairs;  // ordered pairs
   int64_t min_ns = INT64_MAX;
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = 0; b < n; ++b) {
-      if (owner_[a] == owner_[b]) continue;
-      min_ns = std::min(min_ns, net.link(a, b).latency.ns);
-    }
+  uint64_t overridden_cross = 0;
+  for (const auto& [pair, lp] : net.link_overrides()) {
+    if (pair.first >= n || pair.second >= n) continue;
+    if (owner_[pair.first] == owner_[pair.second]) continue;
+    overridden_cross++;
+    min_ns = std::min(min_ns, lp.latency.ns);
   }
-  // No cross-shard pairs yet: any window length is safe.
-  if (min_ns == INT64_MAX) min_ns = milliseconds(1).ns;
+  if (cross_pairs == 0) {
+    // No cross-shard pairs yet: any window length is safe.
+    min_ns = milliseconds(1).ns;
+  } else if (overridden_cross < cross_pairs) {
+    min_ns = std::min(min_ns, net.default_link_params().latency.ns);
+  }
   lookahead_cache_ = Duration{std::max(min_ns, kMinLookahead.ns)};
   lookahead_links_version_ = version;
   return lookahead_cache_;
@@ -100,19 +116,28 @@ Duration ShardGrid::lookahead() const {
 
 void ShardGrid::exchange() {
   const uint32_t k = shard_count();
+  // Only (src,dst) pairs that carried traffic this window move; the
+  // ascending outer src loop makes every dst's in_srcs list ascending,
+  // which run_shard_window relies on for deterministic drain order.
   for (uint32_t src = 0; src < k; ++src) {
-    for (uint32_t dst = 0; dst < k; ++dst) {
+    for (uint32_t dst : mail_[src].out_touched) {
       auto& out = mail_[src].outbox[dst];
       auto& in = mail_[dst].inbox[src];
       in.clear();  // fully drained last window; reclaim for reuse
-      in.swap(out);
+      std::swap(in.recs, out.recs);
+      std::swap(in.arena, out.arena);
+      mail_[dst].in_srcs.push_back(src);
     }
+    mail_[src].out_touched.clear();
   }
-  // Membership ops replicate to every shard but the origin (which
+  // Membership deltas replicate to every shard but the origin (which
   // applied them immediately), sorted by (origin time, origin shard,
   // origin sequence) so every replica converges through the same
   // mutation order.
+  bool any_ops = false;
   for (uint32_t src = 0; src < k; ++src) {
+    if (mail_[src].ops_out.empty()) continue;
+    any_ops = true;
     for (const GroupOp& op : mail_[src].ops_out) {
       for (uint32_t dst = 0; dst < k; ++dst) {
         if (dst != src) mail_[dst].ops_in.push_back(op);
@@ -120,6 +145,7 @@ void ShardGrid::exchange() {
     }
     mail_[src].ops_out.clear();
   }
+  if (!any_ops) return;
   for (uint32_t dst = 0; dst < k; ++dst) {
     auto& ops = mail_[dst].ops_in;
     std::sort(ops.begin(), ops.end(), [](const GroupOp& a, const GroupOp& b) {
@@ -133,22 +159,31 @@ void ShardGrid::exchange() {
 void ShardGrid::run_shard_window(uint32_t shard, TimePoint bound) {
   Cell& c = *cells_[shard];
   Mailboxes& m = mail_[shard];
-  // Replicated membership changes first: they originate strictly before
+  // Replicated membership deltas first: they originate strictly before
   // this window, while drained packets arrive at or after its start.
+  // The member's owner shard applies the full member-list change; every
+  // other shard only adjusts its interest digest.
   for (const GroupOp& op : m.ops_in) {
-    c.net.apply_group_op(op.join, op.group, op.member);
+    const uint32_t owner = owner_[op.member.node];
+    if (owner == shard) {
+      c.net.apply_group_op(op.join, op.group, op.member);
+    } else {
+      c.net.apply_group_digest(op.join, op.group, owner);
+    }
   }
   m.ops_in.clear();
-  // Drain inboxes in fixed source order (0..K-1, FIFO within each): the
-  // destination simulator assigns its local sequence numbers in drain
-  // order, which fixes the relative order of same-instant arrivals.
-  for (uint32_t src = 0; src < shard_count(); ++src) {
-    for (RemotePacket& p : m.inbox[src]) {
-      c.net.deliver_remote(p.from, p.to, p.arrival, p.dest_epoch,
-                           BytesView(p.bytes));
+  // Drain inboxes in fixed source order (ascending src, FIFO within
+  // each): the destination expands each record against its own tables
+  // and its simulator assigns local sequence numbers in drain order,
+  // which fixes the relative order of same-instant arrivals.
+  for (uint32_t src : m.in_srcs) {
+    XmitBatch& in = m.inbox[src];
+    for (const XmitRec& r : in.recs) {
+      c.net.expand_remote(r.x, BytesView(in.arena.data() + r.offset, r.len));
     }
-    m.inbox[src].clear();
+    in.clear();
   }
+  m.in_srcs.clear();
   c.sim.run_until(bound);
 }
 

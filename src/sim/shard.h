@@ -9,19 +9,26 @@
 // independently, because no packet sent after the window opened can
 // arrive before it closes (arrival >= send_time + L >= window_end).
 //
-// Cross-shard traffic: the sender's shard performs ALL stochastic draws
-// (loss, Gilbert–Elliott faults, jitter) against its own network's RNG,
-// computes the exact arrival instant, and appends the payload bytes to
-// a per-(src,dst) mailbox. Mailboxes are single-writer during a window
-// (only the source shard's thread appends) and are exchanged at the
-// window barrier; the destination drains them in deterministic order —
-// source shard 0..K-1, FIFO within each — re-scheduling each packet at
-// its precomputed arrival time on its own simulator, where the normal
-// (time, seq) pop order takes over. Group membership changes replicate
-// the same way (applied locally at once, remotely at the next barrier,
-// like IGMP propagation delay). The result: a run with N worker
-// threads is bit-identical to N=1 for the same shard decomposition —
-// thread count is a throughput knob, never a semantics knob.
+// Cross-shard traffic (interest-scoped): the sender's shard serializes
+// a transmission once and posts ONE record per destination shard with
+// interested parties — the unicast target's owner, the shards a
+// multicast group's member-count digest names, or every populated
+// shard for broadcast. Records carry {kind, on_wire instant, payload}
+// in a per-(src,dst) arena mailbox (payload copied once per shard, not
+// per destination). Mailboxes are single-writer during a window (only
+// the source shard's thread appends) and are exchanged at the window
+// barrier; the destination drains them in deterministic order — source
+// shard 0..K-1, FIFO within each — expanding each record against its
+// own replicated tables: per-destination draws (loss, Gilbert–Elliott,
+// jitter, FIFO clamp) run against the destination cell's RNG, which is
+// also where intra-shard packets on the same directed link draw, so
+// every link has exactly one stochastic home. Group membership
+// replicates as deltas: the owner shard keeps the member list, every
+// other shard only a per-group member-count digest (applied locally at
+// once, remotely at the next barrier, like IGMP propagation delay).
+// The result: a run with N worker threads is bit-identical to N=1 for
+// the same shard decomposition — thread count is a throughput knob,
+// never a semantics knob.
 //
 // Topology mutations (links, faults, partitions, node up/down) are NOT
 // replicated automatically: apply them to every cell via
@@ -100,12 +107,23 @@ class ShardGrid {
   uint64_t events_executed_total() const;
 
  private:
-  struct RemotePacket {
-    TimePoint arrival;
-    Endpoint from;
-    Endpoint to;
-    uint64_t dest_epoch = 0;
-    std::vector<uint8_t> bytes;
+  // One cross-shard transmission record; the payload lives in the
+  // batch's shared arena (offset/len), so a window's worth of traffic
+  // between two shards costs two vector growths, not a heap allocation
+  // per packet per destination.
+  struct XmitRec {
+    RemoteXmit x;
+    uint32_t offset = 0;
+    uint32_t len = 0;
+  };
+  struct XmitBatch {
+    std::vector<XmitRec> recs;
+    std::vector<uint8_t> arena;
+    bool empty() const { return recs.empty(); }
+    void clear() {
+      recs.clear();
+      arena.clear();
+    }
   };
   struct GroupOp {
     TimePoint time;
@@ -116,8 +134,8 @@ class ShardGrid {
     Endpoint member;
   };
 
-  // Per-cell SimNetwork hook: forwards cross-shard packets and group
-  // ops into the grid's mailboxes.
+  // Per-cell SimNetwork hook: forwards cross-shard transmissions and
+  // group ops into the grid's mailboxes.
   struct CellRouter final : ShardRouter {
     ShardGrid* grid = nullptr;
     uint32_t self = 0;
@@ -125,18 +143,28 @@ class ShardGrid {
     bool is_local(NodeId node) const override {
       return grid->owner_[node] == self;
     }
-    void post_remote(TimePoint arrival, Endpoint from, Endpoint to,
-                     uint64_t dest_epoch, BytesView bytes) override;
+    uint32_t self_shard() const override { return self; }
+    uint32_t shard_count() const override { return grid->shard_count(); }
+    uint32_t owner_shard(NodeId node) const override {
+      return grid->owner_[node];
+    }
+    void post_remote(uint32_t dst_shard, const RemoteXmit& x,
+                     BytesView bytes) override;
     void post_group_op(bool join, GroupId group, Endpoint member,
                        TimePoint time) override;
   };
 
   struct Mailboxes {
-    // outbox[dst]: packets this shard posted for shard dst during the
-    // current window. Single writer (this shard's thread).
-    std::vector<std::vector<RemotePacket>> outbox;
-    // inbox[src]: packets from shard src, sealed at the last barrier.
-    std::vector<std::vector<RemotePacket>> inbox;
+    // outbox[dst]: transmissions this shard posted for shard dst during
+    // the current window. Single writer (this shard's thread).
+    std::vector<XmitBatch> outbox;
+    // inbox[src]: transmissions from shard src, sealed at the last
+    // barrier.
+    std::vector<XmitBatch> inbox;
+    // Activity lists so the barrier merge and the drain touch only
+    // pairs that actually carried traffic this window.
+    std::vector<uint32_t> out_touched;  // dst shards with nonempty outbox
+    std::vector<uint32_t> in_srcs;      // src shards, ascending
     std::vector<GroupOp> ops_out;
     std::vector<GroupOp> ops_in;
     uint64_t op_seq = 0;

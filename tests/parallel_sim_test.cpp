@@ -5,6 +5,11 @@
 //   * worker-thread count never changes results — grid-level traffic
 //     digests and full middleware obs dumps are byte-identical for 1..N
 //     threads (the determinism contract the fleet benches rely on)
+//   * membership churn at fleet scale (512 nodes joining/leaving groups
+//     mid-window) converges to the same digest on every replica
+//   * multicast fan-out is interest-scoped: a group homed on one shard
+//     touches exactly that shard, and parked memberships survive a
+//     node kill/restart cycle
 #include <gtest/gtest.h>
 
 #include <string>
@@ -203,6 +208,223 @@ TEST(ShardGridTest, TrafficDigestIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, four);
   EXPECT_EQ(one, eight);
+}
+
+// --- churn at fleet scale ------------------------------------------------
+// 512 nodes on 8 shards, every one of them leaving its boot group and
+// joining another mid-run while 16 publishers multicast into rotating
+// groups. The group-op deltas replicate at barriers; afterwards every
+// replica's digest must agree with a reference computed in plain code,
+// and the whole run must not depend on the worker-thread count.
+
+struct ChurnRun {
+  uint64_t digest = 0;
+  uint64_t events = 0;
+};
+
+ChurnRun churn_at_scale(uint32_t threads) {
+  constexpr uint32_t kShards = 8;
+  constexpr int kNodes = 512;
+  constexpr sim::GroupId kGroups = 32;
+  sim::ShardGrid grid(kShards, /*seed=*/77);
+
+  std::vector<sim::NodeId> ids;
+  ids.reserve(kNodes);
+  std::vector<uint64_t> digest(kNodes, 1469598103934665603ull);
+  for (int i = 0; i < kNodes; ++i) {
+    const uint32_t shard = static_cast<uint32_t>(i) % kShards;
+    ids.push_back(grid.add_node("c" + std::to_string(i), shard));
+    auto& cell = grid.cell(shard);
+    EXPECT_TRUE(cell.net
+                    .bind(sim::Endpoint{ids[static_cast<size_t>(i)], 9},
+                          [&digest, &cell, i](sim::Endpoint from,
+                                              BytesView data) {
+                            uint64_t& h = digest[static_cast<size_t>(i)];
+                            h ^= static_cast<uint64_t>(cell.sim.now().ns) +
+                                 (static_cast<uint64_t>(from.node) << 48) +
+                                 data.size();
+                            h *= 1099511628211ull;
+                          })
+                    .is_ok());
+  }
+
+  // Boot membership at t=0, churn spread over windows 2..40: node i
+  // leaves its boot group and joins the next one over, issued on its
+  // owner cell. Groups are assigned per block of 8 consecutive nodes so
+  // every group spans all 8 shards (a plain i%32 would pin each group
+  // to a single shard, since 32 ≡ 0 mod 8).
+  for (int i = 0; i < kNodes; ++i) {
+    const uint32_t shard = static_cast<uint32_t>(i) % kShards;
+    auto& cell = grid.cell(shard);
+    const sim::Endpoint ep{ids[static_cast<size_t>(i)], 9};
+    const sim::GroupId g0 = static_cast<sim::GroupId>(i / 8) % kGroups;
+    const sim::GroupId g1 = (g0 + 5) % kGroups;
+    cell.sim.at(TimePoint{0}, [&cell, ep, g0] {
+      EXPECT_TRUE(cell.net.join_group(g0, ep).is_ok());
+    });
+    const TimePoint churn{microseconds(500).ns +
+                          (i % 7) * microseconds(130).ns + (i / 7) * 97};
+    cell.sim.at(churn, [&cell, ep, g0, g1] {
+      cell.net.leave_group(g0, ep);
+      EXPECT_TRUE(cell.net.join_group(g1, ep).is_ok());
+    });
+  }
+
+  // Multicast traffic interleaved with the churn.
+  Buffer payload(48, 0x7A);
+  for (int p = 0; p < 16; ++p) {
+    const int i = (p * 31) % kNodes;
+    const uint32_t shard = static_cast<uint32_t>(i) % kShards;
+    auto& cell = grid.cell(shard);
+    const sim::Endpoint from{ids[static_cast<size_t>(i)], 9};
+    for (int k = 0; k < 20; ++k) {
+      const TimePoint t{k * microseconds(250).ns + p * microseconds(11).ns};
+      const sim::GroupId g = static_cast<sim::GroupId>(p + k) % kGroups;
+      cell.sim.at(t, [&cell, from, g, &payload] {
+        (void)cell.net.send_multicast(from, g, as_bytes_view(payload));
+      });
+    }
+  }
+
+  grid.run_for(milliseconds(8), threads);
+
+  // Convergence: with every node churned, each group holds exactly two
+  // 8-node blocks — two members per shard — and all 8 replicas must
+  // report that same digest for every (group, shard) pair.
+  for (sim::GroupId g = 0; g < kGroups; ++g) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (uint32_t replica = 0; replica < kShards; ++replica) {
+        EXPECT_EQ(grid.cell(replica).net.group_shard_members(g, s), 2u)
+            << "replica " << replica << " group " << g << " shard " << s;
+      }
+    }
+  }
+
+  ChurnRun r;
+  r.digest = 14695981039346656037ull;
+  for (int i = 0; i < kNodes; ++i) {
+    r.digest ^= digest[static_cast<size_t>(i)];
+    r.digest *= 1099511628211ull;
+  }
+  for (uint32_t s = 0; s < grid.shard_count(); ++s) {
+    const sim::TrafficStats& st = grid.cell(s).net.stats();
+    r.digest ^= st.packets_sent + st.packets_delivered * 1000003ull +
+                st.packets_unroutable * 1000000007ull +
+                st.fanout_shards_touched * 998244353ull;
+    r.digest *= 1099511628211ull;
+  }
+  r.events = grid.events_executed_total();
+  return r;
+}
+
+TEST(ShardGridTest, ChurnAtScaleConvergesAndIgnoresThreadCount) {
+  const ChurnRun one = churn_at_scale(1);
+  const ChurnRun two = churn_at_scale(2);
+  const ChurnRun four = churn_at_scale(4);
+  EXPECT_GT(one.events, 0u);
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.digest, four.digest);
+  EXPECT_EQ(one.events, two.events);
+  EXPECT_EQ(one.events, four.events);
+}
+
+TEST(ShardGridTest, MulticastTouchesOnlyShardsWithMembers) {
+  sim::ShardGrid grid(8, /*seed=*/13);
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(grid.add_node("n" + std::to_string(i),
+                                static_cast<uint32_t>(i)));
+  }
+  // Both interested parties homed on shard 3; the other 7 shards hold
+  // live nodes with no stake in the group.
+  sim::NodeId extra = grid.add_node("extra", 3);
+  constexpr sim::GroupId kGroup = 4;
+  int arrivals = 0;
+  for (sim::NodeId m : {ids[3], extra}) {
+    ASSERT_TRUE(grid.cell(3)
+                    .net.bind(sim::Endpoint{m, 9},
+                              [&](sim::Endpoint, BytesView) { ++arrivals; })
+                    .is_ok());
+  }
+  grid.cell(3).sim.at(TimePoint{0}, [&] {
+    EXPECT_TRUE(
+        grid.cell(3).net.join_group(kGroup, sim::Endpoint{ids[3], 9}).is_ok());
+    EXPECT_TRUE(
+        grid.cell(3).net.join_group(kGroup, sim::Endpoint{extra, 9}).is_ok());
+  });
+  // Publish from shard 0 after one barrier so the digest has replicated.
+  Buffer payload(64, 0x2F);
+  grid.cell(0).sim.at(TimePoint{microseconds(300).ns}, [&] {
+    EXPECT_TRUE(grid.cell(0)
+                    .net.send_multicast(sim::Endpoint{ids[0], 1}, kGroup,
+                                        as_bytes_view(payload))
+                    .is_ok());
+  });
+  grid.run_for(milliseconds(1), /*threads=*/4);
+
+  EXPECT_EQ(arrivals, 2);
+  // Interest scoping: one multicast, members on exactly one shard —
+  // exactly one shard touched, and nothing was sprayed at the other 6
+  // member-free replicas.
+  uint64_t touched = 0;
+  for (uint32_t s = 0; s < grid.shard_count(); ++s) {
+    const sim::TrafficStats& st = grid.cell(s).net.stats();
+    touched += st.fanout_shards_touched;
+    if (s != 3) EXPECT_EQ(st.packets_delivered, 0u) << "shard " << s;
+    EXPECT_EQ(st.packets_unroutable, 0u) << "shard " << s;
+  }
+  EXPECT_EQ(touched, 1u);
+  EXPECT_EQ(grid.cell(3).net.stats().packets_delivered, 2u);
+}
+
+TEST(ShardGridTest, ParkedMembershipsRestoreAfterRestart) {
+  sim::ShardGrid grid(2, /*seed=*/31);
+  sim::NodeId a = grid.add_node("a", 0);
+  sim::NodeId b = grid.add_node("b", 1);
+  constexpr sim::GroupId kGroup = 9;
+  int arrivals = 0;
+  ASSERT_TRUE(grid.cell(1)
+                  .net.bind(sim::Endpoint{b, 9},
+                            [&](sim::Endpoint, BytesView) { ++arrivals; })
+                  .is_ok());
+  grid.cell(1).sim.at(TimePoint{0}, [&] {
+    EXPECT_TRUE(
+        grid.cell(1).net.join_group(kGroup, sim::Endpoint{b, 9}).is_ok());
+  });
+  Buffer payload(32, 0x66);
+  auto publish_at = [&](int64_t ns) {
+    grid.cell(0).sim.at(TimePoint{ns}, [&] {
+      (void)grid.cell(0).net.send_multicast(sim::Endpoint{a, 1}, kGroup,
+                                            as_bytes_view(payload));
+    });
+  };
+  publish_at(milliseconds(1).ns);
+  grid.run_for(milliseconds(2), /*threads=*/2);
+  EXPECT_EQ(arrivals, 1);
+
+  // Kill b on every replica: its membership parks but stays in the
+  // digest (live + parked), so the multicast still routes to shard 1 —
+  // and dies there at the dead NIC instead of reaching the handler.
+  grid.for_each_network([&](sim::SimNetwork& net) {
+    net.set_node_up(b, false);
+  });
+  EXPECT_EQ(grid.cell(0).net.group_shard_members(kGroup, 1), 1u)
+      << "parked membership fell out of the remote digest";
+  publish_at(milliseconds(3).ns);
+  grid.run_for(milliseconds(1), /*threads=*/2);
+  EXPECT_EQ(arrivals, 1) << "a parked member received traffic";
+
+  // Restart: the parked membership must come back without a re-join.
+  grid.for_each_network([&](sim::SimNetwork& net) {
+    net.set_node_up(b, true);
+  });
+  const std::vector<sim::Endpoint> members =
+      grid.cell(1).net.group_members(kGroup);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0].node, b);
+  publish_at(milliseconds(5).ns);
+  grid.run_for(milliseconds(2), /*threads=*/2);
+  EXPECT_EQ(arrivals, 2) << "membership did not survive the restart";
 }
 
 // --- full middleware over a sharded domain -------------------------------
