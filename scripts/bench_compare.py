@@ -68,7 +68,17 @@ CONTEXT = [
 
 def check_spec_gate(key, spec, baseline, current, failures):
     """One baseline-embedded gate; appends to failures on regression."""
-    cur = current.get(key)
+    if key not in current:
+        # An ABSENT gated key is not the same as an explicit null: null
+        # means the bench declared the metric unmeasurable here, absence
+        # means the bench silently stopped reporting a gated metric
+        # (renamed key, dropped counter) — which would otherwise let any
+        # regression through unexamined.
+        print(f"  [REGRESSION] {key}: missing from current run — gated "
+              "keys must be reported (null if unmeasurable)")
+        failures.append(key)
+        return
+    cur = current[key]
     if cur is None:
         reason = current.get("speedup_skip_reason", "reported null")
         if spec.get("require_in_ci") and os.environ.get("CI"):

@@ -9,10 +9,14 @@
 # way to catch lifetime bugs in the recovery paths. Finally the Release
 # benches run — bench_hotpath (sim datapath), bench_live (kernel
 # datapath), bench_fleet (sharded engine scaling), bench_scenario_matrix
-# (seeded missions over the mobility-driven radio model) — and
-# scripts/bench_compare.py gates each against its committed baseline
-# (bench/baselines/{hotpath,live,fleet,scenario}.json). The CI workflow
-# (.github/workflows/ci.yml) runs these same legs as a matrix.
+# (seeded missions over the mobility-driven radio model),
+# bench_file_transfer (content-addressed MFTP: compression, dedup,
+# republish, loss sweep) — and scripts/bench_compare.py gates each
+# against its committed baseline
+# (bench/baselines/{hotpath,live,fleet,scenario,filetransfer}.json).
+# The CI workflow (.github/workflows/ci.yml) runs these same legs as a
+# matrix, plus a weekly scheduled soak (chaos_soak_test repeated and the
+# scenario matrix at 10x seeds) off the PR path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,14 +33,14 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 echo "== TSan build + parallel-engine tests =="
 cmake -B build-tsan -S . -DMAREA_SANITIZE=TSAN >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target parallel_sim_test \
-  chaos_soak_test radio_relay_test
+  chaos_soak_test radio_relay_test chunk_pipeline_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'ParallelSim|ChaosSoak|DataMuleScenario'
+  -R 'ParallelSim|ChaosSoak|DataMuleScenario|ChunkPipeline'
 
 echo "== release hot-path bench (BENCH_hotpath.json) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live \
-  bench_fleet bench_scenario_matrix
+  bench_fleet bench_scenario_matrix bench_file_transfer
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
 
@@ -52,6 +56,10 @@ echo "== release scenario matrix (BENCH_scenario.json) =="
 ./build-release/bench/bench_scenario_matrix > BENCH_scenario.json
 cat BENCH_scenario.json
 
+echo "== release file-transfer bench (BENCH_filetransfer.json) =="
+./build-release/bench/bench_file_transfer > BENCH_filetransfer.json
+cat BENCH_filetransfer.json
+
 echo "== bench regression gates =="
 python3 scripts/bench_compare.py bench/baselines/hotpath.json \
   BENCH_hotpath.json
@@ -61,5 +69,7 @@ python3 scripts/bench_compare.py bench/baselines/fleet.json \
   BENCH_fleet.json
 python3 scripts/bench_compare.py bench/baselines/scenario.json \
   BENCH_scenario.json
+python3 scripts/bench_compare.py bench/baselines/filetransfer.json \
+  BENCH_filetransfer.json
 
 echo "check.sh: all green"

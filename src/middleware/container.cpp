@@ -21,7 +21,8 @@ ServiceContainer::ServiceContainer(ContainerConfig config,
                                    sched::Executor& executor)
     : config_(std::move(config)),
       transport_(transport),
-      executor_(executor) {
+      executor_(executor),
+      chunk_store_(config_.mftp.chunk_store_bytes) {
   if (config_.obs) {
     trace_ = &config_.obs->trace;
     auto& reg = config_.obs->metrics;
@@ -729,6 +730,39 @@ void ServiceContainer::retire_peer_link_stats(Peer& peer) {
   }
 }
 
+void ServiceContainer::retire_mftp_publisher(const proto::MftpPublisher& pub) {
+  const auto& s = pub.stats();
+  mftp_pub_retired_.chunks_sent += s.chunks_sent;
+  mftp_pub_retired_.chunk_retransmits += s.chunk_retransmits;
+  mftp_pub_retired_.payload_bytes_sent += s.payload_bytes_sent;
+  mftp_pub_retired_.wire_bytes_sent += s.wire_bytes_sent;
+  mftp_pub_retired_.chunks_dedup_skipped += s.chunks_dedup_skipped;
+  mftp_pub_retired_.status_requests += s.status_requests;
+  mftp_pub_retired_.rounds += s.rounds;
+  mftp_pub_retired_.completions += s.completions;
+  mftp_pub_retired_.dropped_subscribers += s.dropped_subscribers;
+  const auto& ps = pub.pipeline_stats();
+  mftp_pipeline_retired_.raw_bytes += ps.raw_bytes;
+  mftp_pipeline_retired_.wire_bytes += ps.wire_bytes;
+  mftp_pipeline_retired_.chunks += ps.chunks;
+  mftp_pipeline_retired_.compressed_chunks += ps.compressed_chunks;
+  mftp_pipeline_retired_.hash_nanos += ps.hash_nanos;
+  mftp_pipeline_retired_.compress_nanos += ps.compress_nanos;
+}
+
+void ServiceContainer::retire_mftp_receiver(const proto::MftpReceiver& rx) {
+  const auto& s = rx.stats();
+  mftp_rx_retired_.chunks_received += s.chunks_received;
+  mftp_rx_retired_.duplicate_chunks += s.duplicate_chunks;
+  mftp_rx_retired_.payload_bytes_received += s.payload_bytes_received;
+  mftp_rx_retired_.wire_bytes_received += s.wire_bytes_received;
+  mftp_rx_retired_.hash_mismatches += s.hash_mismatches;
+  mftp_rx_retired_.chunks_deduped += s.chunks_deduped;
+  mftp_rx_retired_.chunks_from_store += s.chunks_from_store;
+  mftp_rx_retired_.acks_sent += s.acks_sent;
+  mftp_rx_retired_.nacks_sent += s.nacks_sent;
+}
+
 void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
   const std::string p = "mw." + std::to_string(config_.id) + ".";
 
@@ -797,19 +831,30 @@ void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
   reg.gauge(p + "arq.queued").set(static_cast<int64_t>(queued));
   reg.gauge(p + "peers").set(static_cast<int64_t>(peers_.size()));
 
-  // MFTP totals across live transfers (publisher + receiver sides).
-  proto::MftpPublisherStats fp;
-  proto::MftpReceiverStats fr;
+  // MFTP totals: retired (replaced publishers/receivers) + live, same
+  // monotonicity contract as the ARQ block above.
+  proto::MftpPublisherStats fp = mftp_pub_retired_;
+  proto::MftpReceiverStats fr = mftp_rx_retired_;
+  proto::ChunkPipelineStats pipe = mftp_pipeline_retired_;
   for (const auto& [name, prov] : file_provisions_) {
     if (!prov.publisher) continue;
     const auto& s = prov.publisher->stats();
     fp.chunks_sent += s.chunks_sent;
     fp.chunk_retransmits += s.chunk_retransmits;
     fp.payload_bytes_sent += s.payload_bytes_sent;
+    fp.wire_bytes_sent += s.wire_bytes_sent;
+    fp.chunks_dedup_skipped += s.chunks_dedup_skipped;
     fp.status_requests += s.status_requests;
     fp.rounds += s.rounds;
     fp.completions += s.completions;
     fp.dropped_subscribers += s.dropped_subscribers;
+    const auto& ps = prov.publisher->pipeline_stats();
+    pipe.raw_bytes += ps.raw_bytes;
+    pipe.wire_bytes += ps.wire_bytes;
+    pipe.chunks += ps.chunks;
+    pipe.compressed_chunks += ps.compressed_chunks;
+    pipe.hash_nanos += ps.hash_nanos;
+    pipe.compress_nanos += ps.compress_nanos;
   }
   for (const auto& [name, sub] : file_subs_) {
     if (!sub.receiver) continue;
@@ -817,17 +862,47 @@ void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
     fr.chunks_received += s.chunks_received;
     fr.duplicate_chunks += s.duplicate_chunks;
     fr.payload_bytes_received += s.payload_bytes_received;
+    fr.wire_bytes_received += s.wire_bytes_received;
+    fr.hash_mismatches += s.hash_mismatches;
+    fr.chunks_deduped += s.chunks_deduped;
+    fr.chunks_from_store += s.chunks_from_store;
     fr.acks_sent += s.acks_sent;
     fr.nacks_sent += s.nacks_sent;
   }
   reg.counter(p + "mftp.chunks_sent").set(fp.chunks_sent);
   reg.counter(p + "mftp.chunk_retransmits").set(fp.chunk_retransmits);
   reg.counter(p + "mftp.payload_bytes_sent").set(fp.payload_bytes_sent);
+  reg.counter(p + "mftp.bytes_on_wire").set(fp.wire_bytes_sent);
   reg.counter(p + "mftp.dropped_subscribers").set(fp.dropped_subscribers);
   reg.counter(p + "mftp.chunks_received").set(fr.chunks_received);
   reg.counter(p + "mftp.duplicate_chunks").set(fr.duplicate_chunks);
   reg.counter(p + "mftp.payload_bytes_received")
       .set(fr.payload_bytes_received);
+  reg.counter(p + "mftp.hash_mismatches").set(fr.hash_mismatches);
+  reg.counter(p + "mftp.chunks_deduped")
+      .set(fp.chunks_dedup_skipped + fr.chunks_deduped);
+  reg.counter(p + "mftp.chunks_from_store").set(fr.chunks_from_store);
+  // Publisher-side compression ratio in per-mille (wire/raw, 1000 =
+  // incompressible), computed from deterministic byte totals so it is
+  // safe in sim dumps.
+  if (pipe.raw_bytes > 0) {
+    reg.gauge(p + "mftp.compress_ratio")
+        .set(static_cast<int64_t>((pipe.wire_bytes * 1000) / pipe.raw_bytes));
+  }
+  if (config_.mftp.report_wall_rates) {
+    // Wall-clock-derived rates: nondeterministic by nature, so only
+    // published on explicit opt-in (never in byte-compared dumps).
+    if (pipe.hash_nanos > 0) {
+      reg.gauge(p + "mftp.hash_mb_s")
+          .set(static_cast<int64_t>((pipe.raw_bytes * 1000) /
+                                    pipe.hash_nanos));
+    }
+    if (pipe.compress_nanos > 0) {
+      reg.gauge(p + "mftp.compress_mb_s")
+          .set(static_cast<int64_t>((pipe.raw_bytes * 1000) /
+                                    pipe.compress_nanos));
+    }
+  }
 
   // Per-variable staleness (µs since last received sample; -1 = nothing
   // received yet). The paper's validity QoS made stale data a first-class

@@ -356,6 +356,9 @@ class ServiceContainer {
     Buffer content;
     uint64_t transfer_id = 0;
     std::unique_ptr<proto::MftpPublisher> publisher;
+    // Announce manifest (copied out of the publisher's ChunkTable) so
+    // revision replies don't re-hash.
+    std::vector<uint64_t> chunk_hashes;
   };
 
   struct FileSubEntry {
@@ -515,6 +518,7 @@ class ServiceContainer {
   void on_file_nack(proto::ContainerId from, const proto::FileNackMsg& msg);
   void start_file_receiver(FileSubscription& sub, uint64_t transfer_id,
                            const proto::FileMeta& meta,
+                           const std::vector<uint64_t>& chunk_hashes,
                            transport::Address publisher_addr);
   void bypass_deliver_file(FileSubscription& sub, const FileProvision& prov);
 
@@ -642,6 +646,19 @@ class ServiceContainer {
   // Link stats of peers that have been erased (restart, peer_lost).
   proto::ArqSenderStats arq_tx_retired_;
   proto::ArqReceiverStats arq_rx_retired_;
+  // MFTP engine stats folded in before a publisher/receiver is
+  // replaced (republish, revision change) so mftp.* counters stay
+  // monotonic across churn.
+  proto::MftpPublisherStats mftp_pub_retired_;
+  proto::MftpReceiverStats mftp_rx_retired_;
+  proto::ChunkPipelineStats mftp_pipeline_retired_;
+  void retire_mftp_publisher(const proto::MftpPublisher& pub);
+  void retire_mftp_receiver(const proto::MftpReceiver& rx);
+
+  // Cross-transfer content-addressed chunk cache shared by all file
+  // subscriptions of this container (bounded LRU, sized by
+  // config_.mftp.chunk_store_bytes in the constructor).
+  proto::ChunkStore chunk_store_;
 };
 
 }  // namespace marea::mw

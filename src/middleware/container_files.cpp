@@ -30,6 +30,7 @@ Status ServiceContainer::publish_file_resource(Service& owner,
     if (it->second.publisher) {
       // The publisher tracks remote subscribers; carry them over.
       carried_subscribers = file_remote_subscribers_[name];
+      retire_mftp_publisher(*it->second.publisher);
     }
     transfer_names_.erase(it->second.transfer_id);
   }
@@ -41,6 +42,7 @@ Status ServiceContainer::publish_file_resource(Service& owner,
   prov.meta.size = content.size();
   prov.meta.chunk_size = config_.mftp.chunk_size;
   prov.meta.content_crc = crc32(as_bytes_view(content));
+  prov.meta.codec = static_cast<uint8_t>(config_.mftp.codec);
   prov.content = std::move(content);
   prov.transfer_id =
       (static_cast<uint64_t>(config_.id) << 32) | next_transfer_seq_++;
@@ -67,6 +69,8 @@ Status ServiceContainer::publish_file_resource(Service& owner,
         }
       });
 
+  prov.chunk_hashes = prov.publisher->chunk_hashes();
+
   uint64_t transfer_id = prov.transfer_id;
   proto::FileMeta meta = prov.meta;
 
@@ -83,11 +87,15 @@ Status ServiceContainer::publish_file_resource(Service& owner,
     bypass_deliver_file(sub_it->second, file_provisions_[name]);
   }
 
-  // Tell remote subscribers about the (new) revision and restart them.
+  // Tell remote subscribers about the (new) revision. No blind full
+  // push: adding the first subscriber opens a completion poll, and each
+  // receiver NACKs only what its chunk store can't satisfy by hash —
+  // ~nothing for an identical republish, just the delta for an edit.
   if (!carried_subscribers.empty()) {
     proto::FileRevisionMsg rev_msg;
     rev_msg.transfer_id = transfer_id;
     rev_msg.meta = meta;
+    rev_msg.chunk_hashes = file_provisions_[name].chunk_hashes;
     ByteWriter w;
     rev_msg.encode(w);
     auto& publisher = *file_provisions_[name].publisher;
@@ -96,7 +104,6 @@ Status ServiceContainer::publish_file_resource(Service& owner,
                    proto::MsgType::kFileRevision, w.view());
       publisher.add_subscriber(peer_id);
     }
-    publisher.start();  // push the whole new revision proactively
   }
 
   manifest_changed();
@@ -156,7 +163,10 @@ Status ServiceContainer::unregister_file_subscription(
     send_control(sub.provider->container, proto::MsgType::kFileUnsubscribe,
                  w.view());
   }
-  if (sub.receiver) transfer_names_.erase(sub.receiver->transfer_id());
+  if (sub.receiver) {
+    retire_mftp_receiver(*sub.receiver);
+    transfer_names_.erase(sub.receiver->transfer_id());
+  }
   file_subs_.erase(it);
   return Status::ok();
 }
@@ -215,10 +225,12 @@ void ServiceContainer::on_file_subscribe(proto::ContainerId from,
   if (it == file_provisions_.end()) return;
   FileProvision& prov = it->second;
 
-  // Always answer with the current revision's coordinates.
+  // Always answer with the current revision's coordinates (manifest
+  // included, so the subscriber can verify and resume by hash).
   proto::FileRevisionMsg rev;
   rev.transfer_id = prov.transfer_id;
   rev.meta = prov.meta;
+  rev.chunk_hashes = prov.chunk_hashes;
   ByteWriter w;
   rev.encode(w);
   send_control(from, proto::MsgType::kFileRevision, w.view());
@@ -248,14 +260,18 @@ void ServiceContainer::on_file_revision(proto::ContainerId from,
     return;  // already collecting this revision
   }
   if (!sub.provider) return;  // not bound (e.g. raced with peer loss)
-  start_file_receiver(sub, msg.transfer_id, msg.meta, sub.provider->address);
+  start_file_receiver(sub, msg.transfer_id, msg.meta, msg.chunk_hashes,
+                      sub.provider->address);
 }
 
-void ServiceContainer::start_file_receiver(FileSubscription& sub,
-                                           uint64_t transfer_id,
-                                           const proto::FileMeta& meta,
-                                           transport::Address publisher_addr) {
-  if (sub.receiver) transfer_names_.erase(sub.receiver->transfer_id());
+void ServiceContainer::start_file_receiver(
+    FileSubscription& sub, uint64_t transfer_id, const proto::FileMeta& meta,
+    const std::vector<uint64_t>& chunk_hashes,
+    transport::Address publisher_addr) {
+  if (sub.receiver) {
+    retire_mftp_receiver(*sub.receiver);
+    transfer_names_.erase(sub.receiver->transfer_id());
+  }
   std::string name = sub.name;
   sub.receiver = std::make_unique<proto::MftpReceiver>(
       transfer_id, meta,
@@ -302,8 +318,17 @@ void ServiceContainer::start_file_receiver(FileSubscription& sub,
     }
   };
   sub.receiver->set_on_complete(on_complete);
-  // Zero-byte resources are complete on arrival of the metadata alone.
-  if (sub.receiver->complete()) on_complete(Buffer{});
+  sub.receiver->set_manifest(chunk_hashes);
+  sub.receiver->set_chunk_store(&chunk_store_);
+  if (sub.receiver->complete()) {
+    // Zero-byte resources are complete on arrival of the metadata alone.
+    on_complete(Buffer{});
+  } else {
+    // Late join / revision change: satisfy whatever the cross-transfer
+    // chunk store already holds by hash (may complete immediately via
+    // on_complete, e.g. an identical-content republish).
+    sub.receiver->resume_from_store();
+  }
 }
 
 void ServiceContainer::on_file_chunk(const proto::FileChunkMsg& msg) {

@@ -1,0 +1,109 @@
+#include "protocol/chunk_table.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "sched/parallel.h"
+#include "util/hash.h"
+
+namespace marea::proto {
+namespace {
+
+inline uint64_t now_nanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ChunkTable ChunkTable::build(BytesView content, uint32_t chunk_size,
+                             util::Codec codec, unsigned threads) {
+  ChunkTable table;
+  if (chunk_size == 0) return table;
+  const size_t count = (content.size() + chunk_size - 1) / chunk_size;
+  table.entries_.resize(count);
+  const util::Compressor* comp = util::compressor_for(codec);
+  std::atomic<uint64_t> hash_nanos{0};
+  std::atomic<uint64_t> compress_nanos{0};
+  // Each index writes only its own entry; the blocking fan-out is a
+  // pure pre-computation whose result is thread-count independent.
+  auto build_one = [&](size_t i) {
+    const size_t offset = i * static_cast<size_t>(chunk_size);
+    const size_t len = std::min<size_t>(chunk_size, content.size() - offset);
+    BytesView raw = content.subspan(offset, len);
+    ChunkEntry& e = table.entries_[i];
+    e.raw_size = static_cast<uint32_t>(len);
+    const uint64_t t0 = now_nanos();
+    e.hash = util::hash64(raw);
+    const uint64_t t1 = now_nanos();
+    hash_nanos.fetch_add(t1 - t0, std::memory_order_relaxed);
+    if (comp != nullptr) {
+      e.compressed = comp->compress(raw, e.payload);
+      compress_nanos.fetch_add(now_nanos() - t1, std::memory_order_relaxed);
+    }
+  };
+  sched::parallel_for(count, threads,
+                      [&build_one](size_t i) { build_one(i); });
+
+  std::vector<uint64_t> hashes(count);
+  for (size_t i = 0; i < count; ++i) {
+    const ChunkEntry& e = table.entries_[i];
+    hashes[i] = e.hash;
+    table.stats_.raw_bytes += e.raw_size;
+    table.stats_.wire_bytes += e.compressed ? e.payload.size() : e.raw_size;
+    if (e.compressed) ++table.stats_.compressed_chunks;
+  }
+  table.stats_.chunks = static_cast<uint32_t>(count);
+  table.stats_.hash_nanos = hash_nanos.load(std::memory_order_relaxed);
+  table.stats_.compress_nanos =
+      compress_nanos.load(std::memory_order_relaxed);
+  table.manifest_hash_ = util::hash64_list(hashes.data(), hashes.size());
+  return table;
+}
+
+std::vector<uint64_t> ChunkTable::hashes() const {
+  std::vector<uint64_t> out(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) out[i] = entries_[i].hash;
+  return out;
+}
+
+const Buffer* ChunkStore::find(uint64_t hash) {
+  auto it = map_.find(hash);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.data;
+}
+
+void ChunkStore::put(uint64_t hash, BytesView raw) {
+  if (raw.size() > max_bytes_) return;  // would evict the whole store
+  auto it = map_.find(hash);
+  if (it != map_.end()) {
+    // Same hash, same content (by construction); just refresh.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (bytes_ + raw.size() > max_bytes_ && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = map_.find(victim);
+    bytes_ -= vit->second.data.size();
+    map_.erase(vit);
+    ++stats_.evictions;
+  }
+  lru_.push_front(hash);
+  Entry e;
+  e.data = to_buffer(raw);
+  e.lru_pos = lru_.begin();
+  map_.emplace(hash, std::move(e));
+  bytes_ += raw.size();
+  ++stats_.inserts;
+}
+
+}  // namespace marea::proto

@@ -315,6 +315,7 @@ void FileMeta::encode(ByteWriter& w) const {
   w.varint(size);
   w.varint(chunk_size);
   w.u32(content_crc);
+  w.u8(codec);
 }
 
 bool FileMeta::decode(ByteReader& r, FileMeta& out) {
@@ -323,6 +324,7 @@ bool FileMeta::decode(ByteReader& r, FileMeta& out) {
   uint64_t size = r.varint();
   uint64_t chunk = r.varint();
   out.content_crc = r.u32();
+  out.codec = r.u8();
   if (!r.ok() || rev > UINT32_MAX || chunk > UINT32_MAX) return false;
   out.revision = static_cast<uint32_t>(rev);
   out.size = size;
@@ -353,18 +355,33 @@ bool FileUnsubscribeMsg::decode(ByteReader& r, FileUnsubscribeMsg& out) {
 void FileRevisionMsg::encode(ByteWriter& w) const {
   w.varint(transfer_id);
   meta.encode(w);
+  w.varint(chunk_hashes.size());
+  for (uint64_t h : chunk_hashes) w.u64(h);
 }
 
 bool FileRevisionMsg::decode(ByteReader& r, FileRevisionMsg& out) {
   out.transfer_id = r.varint();
   if (!r.ok()) return false;
-  return FileMeta::decode(r, out.meta);
+  if (!FileMeta::decode(r, out.meta)) return false;
+  const uint64_t count = r.varint();
+  // A manifest is all-or-nothing for the announced layout; anything
+  // else (including a count the remaining bytes can't back) is
+  // malformed. The chunk_count bound caps allocation before reading.
+  if (!r.ok() || (count != 0 && count != out.meta.chunk_count())) {
+    return false;
+  }
+  if (r.remaining() < count * sizeof(uint64_t)) return false;
+  out.chunk_hashes.resize(count);
+  for (uint64_t i = 0; i < count; ++i) out.chunk_hashes[i] = r.u64();
+  return r.ok();
 }
 
 void FileChunkMsg::encode(ByteWriter& w) const {
   w.varint(transfer_id);
   w.varint(revision);
   w.varint(index);
+  w.u64(hash);
+  w.u8(flags);
   w.blob(as_bytes_view(data));
 }
 
@@ -372,6 +389,8 @@ bool FileChunkMsg::decode(ByteReader& r, FileChunkMsg& out) {
   out.transfer_id = r.varint();
   uint64_t rev = r.varint();
   uint64_t index = r.varint();
+  out.hash = r.u64();
+  out.flags = r.u8();
   out.data = Bytes::borrow(r.blob());
   if (!r.ok() || rev > UINT32_MAX || index > UINT32_MAX) return false;
   out.revision = static_cast<uint32_t>(rev);
@@ -411,12 +430,14 @@ bool FileAckMsg::decode(ByteReader& r, FileAckMsg& out) {
 void FileNackMsg::encode(ByteWriter& w) const {
   w.varint(transfer_id);
   w.varint(revision);
+  w.u64(manifest_hash);
   missing.encode(w);
 }
 
 bool FileNackMsg::decode(ByteReader& r, FileNackMsg& out) {
   out.transfer_id = r.varint();
   uint64_t rev = r.varint();
+  out.manifest_hash = r.u64();
   if (!r.ok() || rev > UINT32_MAX) return false;
   out.revision = static_cast<uint32_t>(rev);
   return RunSet::decode(r, out.missing);

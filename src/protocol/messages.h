@@ -269,6 +269,10 @@ struct FileMeta {
   uint64_t size = 0;
   uint32_t chunk_size = 0;
   uint32_t content_crc = 0;
+  // Per-chunk compression codec negotiated at announce time
+  // (util::Codec wire id; 0 = raw chunks). Receivers that don't know
+  // the id reject chunks rather than guess.
+  uint8_t codec = 0;
 
   uint32_t chunk_count() const {
     if (chunk_size == 0) return 0;
@@ -300,15 +304,25 @@ struct FileUnsubscribeMsg {
 struct FileRevisionMsg {
   uint64_t transfer_id = 0;
   FileMeta meta;
+  // Content-addressed manifest: hash64 of each raw chunk, in index
+  // order. Either empty (legacy announce) or exactly
+  // meta.chunk_count() entries — decode rejects anything else, so a
+  // hostile count can't balloon the vector.
+  std::vector<uint64_t> chunk_hashes;
 
   void encode(ByteWriter& w) const;
   static bool decode(ByteReader& r, FileRevisionMsg& out);
 };
 
+// FileChunkMsg.flags bits.
+constexpr uint8_t kChunkFlagCompressed = 0x01;  // data is codec-encoded
+
 struct FileChunkMsg {
   uint64_t transfer_id = 0;
   uint32_t revision = 0;
   uint32_t index = 0;
+  uint64_t hash = 0;  // hash64 of the RAW chunk bytes (0 = not hashed)
+  uint8_t flags = 0;
   Bytes data;
 
   void encode(ByteWriter& w) const;
@@ -335,6 +349,10 @@ struct FileAckMsg {
 struct FileNackMsg {
   uint64_t transfer_id = 0;
   uint32_t revision = 0;
+  // Echo of the announce manifest hash the receiver is repairing
+  // against (0 = receiver has no manifest). A publisher drops NACKs
+  // whose echo names a manifest it is not serving.
+  uint64_t manifest_hash = 0;
   RunSet missing;  // compressed list of lacked chunks (§4.4)
 
   void encode(ByteWriter& w) const;

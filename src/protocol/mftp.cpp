@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "util/crc32.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace marea::proto {
@@ -26,6 +27,13 @@ MftpPublisher::MftpPublisher(sched::Executor& executor, MftpParams params,
   assert(send_chunk_ && send_status_);
   assert(meta_.size == content_.size());
   assert(meta_.chunk_size > 0);
+  // Pure pre-computation: hash (and, when announced, compress) every
+  // chunk up front, fanned out over pipeline_threads workers. Blocking
+  // here keeps completion on the constructing (sim) thread.
+  table_ = ChunkTable::build(as_bytes_view(content_), meta_.chunk_size,
+                             static_cast<util::Codec>(meta_.codec),
+                             params_.pipeline_threads);
+  hashes_ = table_.hashes();
 }
 
 MftpPublisher::~MftpPublisher() { executor_.cancel(timer_); }
@@ -62,6 +70,7 @@ void MftpPublisher::begin_sending(RunSet chunks) {
   to_send_ = std::move(chunks);
   send_list_ = to_send_.to_indices();
   send_cursor_ = 0;
+  round_sent_hashes_.clear();
   stats_.rounds++;
   if (send_list_.empty()) {
     begin_status_phase();
@@ -72,6 +81,16 @@ void MftpPublisher::begin_sending(RunSet chunks) {
 
 void MftpPublisher::send_next_chunk() {
   if (state_ != State::kSending) return;
+  // Elide chunks whose hash already went out this round: one copy on
+  // the wire fills every index sharing it at manifest-holding
+  // receivers (manifest-less ones NACK the siblings and pick them up
+  // in repair rounds).
+  while (send_cursor_ < send_list_.size() && params_.dedup_round_sends &&
+         !round_sent_hashes_.insert(table_.entry(send_list_[send_cursor_]).hash)
+              .second) {
+    ++send_cursor_;
+    ++stats_.chunks_dedup_skipped;
+  }
   if (send_cursor_ >= send_list_.size()) {
     begin_status_phase();
     return;
@@ -79,18 +98,27 @@ void MftpPublisher::send_next_chunk() {
   uint32_t index = send_list_[send_cursor_++];
   uint64_t offset = static_cast<uint64_t>(index) * meta_.chunk_size;
   uint64_t len = std::min<uint64_t>(meta_.chunk_size, meta_.size - offset);
+  const ChunkEntry& entry = table_.entry(index);
 
   FileChunkMsg msg;
   msg.transfer_id = transfer_id_;
   msg.revision = meta_.revision;
   msg.index = index;
-  // Borrow straight out of the file image; send_chunk_ encodes
-  // synchronously, so the view never outlives content_.
-  msg.data = Bytes::borrow(
-      BytesView(content_).subspan(static_cast<size_t>(offset),
-                                  static_cast<size_t>(len)));
+  msg.hash = entry.hash;
+  // Borrow straight out of the file image (or the chunk table's
+  // compressed payload); send_chunk_ encodes synchronously, so the
+  // view never outlives the publisher.
+  if (entry.compressed) {
+    msg.flags = kChunkFlagCompressed;
+    msg.data = Bytes::borrow(as_bytes_view(entry.payload));
+  } else {
+    msg.data = Bytes::borrow(
+        BytesView(content_).subspan(static_cast<size_t>(offset),
+                                    static_cast<size_t>(len)));
+  }
   stats_.chunks_sent++;
-  stats_.payload_bytes_sent += msg.data.size();
+  stats_.payload_bytes_sent += len;
+  stats_.wire_bytes_sent += msg.data.size();
   if (round_ > 0) {
     stats_.chunk_retransmits++;
     if (trace_) {
@@ -178,6 +206,12 @@ void MftpPublisher::on_nack(MftpPeer peer, const FileNackMsg& msg) {
   if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
     return;
   }
+  // A NACK repairing against a different manifest (stale announce of
+  // the same revision id) would request chunks we'd fill with the
+  // wrong bytes — drop it and let the next announce resync the peer.
+  if (msg.manifest_hash != 0 && msg.manifest_hash != table_.manifest_hash()) {
+    return;
+  }
   if (!subscribers_.count(peer)) return;
   if (state_ != State::kAwaitingStatus) {
     // A NACK outside a poll (e.g. right after late subscribe) still counts:
@@ -241,6 +275,60 @@ MftpReceiver::MftpReceiver(uint64_t transfer_id, FileMeta meta,
   if (meta_.chunk_count() == 0) complete_ = true;  // empty file
 }
 
+void MftpReceiver::set_manifest(std::vector<uint64_t> chunk_hashes) {
+  if (chunk_hashes.size() != meta_.chunk_count()) return;
+  manifest_ = std::move(chunk_hashes);
+  manifest_hash_ = util::hash64_list(manifest_.data(), manifest_.size());
+  manifest_index_.clear();
+  for (uint32_t i = 0; i < manifest_.size(); ++i) {
+    manifest_index_.emplace(manifest_[i], i);
+  }
+}
+
+uint64_t MftpReceiver::chunk_len(uint32_t index) const {
+  const uint64_t offset = static_cast<uint64_t>(index) * meta_.chunk_size;
+  return std::min<uint64_t>(meta_.chunk_size, meta_.size - offset);
+}
+
+void MftpReceiver::fill_index(uint32_t index, BytesView raw) {
+  const uint64_t offset = static_cast<uint64_t>(index) * meta_.chunk_size;
+  std::copy(raw.begin(), raw.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset));
+  have_.insert(index);
+}
+
+void MftpReceiver::maybe_complete() {
+  if (complete_ || have_.cardinality() != meta_.chunk_count()) return;
+  if (crc32(as_bytes_view(data_)) != meta_.content_crc) {
+    // Corrupt reassembly: discard everything and let the completion
+    // poll fetch it again.
+    MAREA_LOG(kWarn, "mftp") << "content CRC mismatch for '" << meta_.name
+                             << "' rev " << meta_.revision
+                             << "; restarting collection";
+    have_ = RunSet{};
+    return;
+  }
+  complete_ = true;
+  if (on_complete_) on_complete_(data_);
+}
+
+void MftpReceiver::resume_from_store() {
+  if (store_ == nullptr || manifest_.empty() || complete_) return;
+  const uint32_t total = meta_.chunk_count();
+  uint32_t filled = 0;
+  for (uint32_t i = 0; i < total; ++i) {
+    if (have_.contains(i)) continue;
+    const Buffer* cached = store_->find(manifest_[i]);
+    if (cached == nullptr || cached->size() != chunk_len(i)) continue;
+    fill_index(i, as_bytes_view(*cached));
+    stats_.chunks_from_store++;
+    stats_.chunks_deduped++;
+    ++filled;
+  }
+  if (filled > 0 && on_progress_) on_progress_(chunks_have(), total);
+  maybe_complete();
+}
+
 void MftpReceiver::on_chunk(const FileChunkMsg& msg) {
   if (msg.transfer_id != transfer_id_ || msg.revision != meta_.revision) {
     return;
@@ -248,33 +336,56 @@ void MftpReceiver::on_chunk(const FileChunkMsg& msg) {
   uint32_t total = meta_.chunk_count();
   if (msg.index >= total) return;
   stats_.chunks_received++;
+  stats_.wire_bytes_received += msg.data.size();
   if (have_.contains(msg.index)) {
     stats_.duplicate_chunks++;
     return;
   }
-  uint64_t offset = static_cast<uint64_t>(msg.index) * meta_.chunk_size;
-  uint64_t expect =
-      std::min<uint64_t>(meta_.chunk_size, meta_.size - offset);
-  if (msg.data.size() != expect) return;  // malformed
-  std::copy(msg.data.begin(), msg.data.end(),
-            data_.begin() + static_cast<std::ptrdiff_t>(offset));
-  have_.insert(msg.index);
-  stats_.payload_bytes_received += msg.data.size();
-  if (on_progress_) on_progress_(chunks_have(), total);
-
-  if (!complete_ && have_.cardinality() == total) {
-    if (crc32(as_bytes_view(data_)) != meta_.content_crc) {
-      // Corrupt reassembly: discard everything and let the completion
-      // poll fetch it again.
-      MAREA_LOG(kWarn, "mftp") << "content CRC mismatch for '" << meta_.name
-                               << "' rev " << meta_.revision
-                               << "; restarting collection";
-      have_ = RunSet{};
-      return;
+  const uint64_t expect = chunk_len(msg.index);
+  Buffer scratch;
+  BytesView raw;
+  if (msg.flags & kChunkFlagCompressed) {
+    const util::Compressor* comp = util::compressor_for(meta_.codec);
+    if (comp == nullptr ||
+        !comp->decompress(msg.data.view(), static_cast<size_t>(expect),
+                          scratch)) {
+      stats_.hash_mismatches++;
+      return;  // unknown codec or malformed stream; NACK will refetch
     }
-    complete_ = true;
-    if (on_complete_) on_complete_(data_);
+    raw = as_bytes_view(scratch);
+  } else {
+    if (msg.data.size() != expect) return;  // malformed
+    raw = msg.data.view();
   }
+  // End-to-end verification against the chunk-carried digest and (when
+  // announced) the manifest — this is what lets chunks be trusted into
+  // the cross-transfer store.
+  const uint64_t digest = util::hash64(raw);
+  if (msg.hash != 0 && digest != msg.hash) {
+    stats_.hash_mismatches++;
+    return;
+  }
+  if (!manifest_.empty() && manifest_[msg.index] != digest) {
+    stats_.hash_mismatches++;
+    return;
+  }
+  fill_index(msg.index, raw);
+  stats_.payload_bytes_received += raw.size();
+  if (store_ != nullptr) store_->put(digest, raw);
+  // One verified copy fills every sibling index carrying the same
+  // content hash (the publisher elides those sends within a round).
+  if (!manifest_.empty()) {
+    auto [it, end] = manifest_index_.equal_range(digest);
+    for (; it != end; ++it) {
+      const uint32_t sibling = it->second;
+      if (sibling == msg.index || have_.contains(sibling)) continue;
+      if (chunk_len(sibling) != raw.size()) continue;
+      fill_index(sibling, raw);
+      stats_.chunks_deduped++;
+    }
+  }
+  if (on_progress_) on_progress_(chunks_have(), total);
+  maybe_complete();
 }
 
 void MftpReceiver::on_status_request(const FileStatusRequestMsg& msg) {
@@ -292,6 +403,7 @@ void MftpReceiver::on_status_request(const FileStatusRequestMsg& msg) {
   FileNackMsg nack;
   nack.transfer_id = transfer_id_;
   nack.revision = meta_.revision;
+  nack.manifest_hash = manifest_hash_;
   nack.missing = missing_of(have_, meta_.chunk_count());
   stats_.nacks_sent++;
   send_nack_(nack);

@@ -21,8 +21,10 @@
 #include <unordered_map>
 
 #include "obs/trace.h"
+#include "protocol/chunk_table.h"
 #include "protocol/messages.h"
 #include "sched/executor.h"
+#include "util/compress.h"
 #include "util/rle.h"
 #include "util/status.h"
 
@@ -36,6 +38,27 @@ struct MftpParams {
   Duration status_timeout = milliseconds(60);
   int max_status_retries = 5;  // per completion round
   int max_rounds = 64;
+
+  // --- content-addressed bulk path (ROADMAP item 3) ---
+  // Per-chunk codec the middleware announces in FileMeta. The engine
+  // itself follows meta.codec (what was announced is authoritative);
+  // this knob is how the container picks it.
+  util::Codec codec = util::Codec::kLz;
+  // Worker threads for the publisher's hash/compress pre-computation
+  // (ChunkTable::build). <= 1 runs inline on the posting thread; the
+  // result is identical either way, so dumps stay deterministic.
+  unsigned pipeline_threads = 0;
+  // Send each distinct chunk hash at most once per round. Receivers
+  // holding the announce manifest fill every index sharing the hash
+  // from the one copy; manifest-less receivers still converge — they
+  // NACK the siblings and repair rounds deliver them one per round.
+  bool dedup_round_sends = true;
+  // Receiver-side cross-transfer dedup store budget (container knob).
+  size_t chunk_store_bytes = 4u << 20;
+  // Publish wall-clock-derived gauges (mftp.hash_mb_s). Off by
+  // default: wall rates vary run to run and would break byte-identical
+  // ShardGrid dump comparisons if they leaked into sim metrics.
+  bool report_wall_rates = false;
 };
 
 // Opaque peer identity supplied by the middleware (container id).
@@ -44,7 +67,9 @@ using MftpPeer = uint64_t;
 struct MftpPublisherStats {
   uint64_t chunks_sent = 0;
   uint64_t chunk_retransmits = 0;  // chunks sent in round > 0
-  uint64_t payload_bytes_sent = 0;
+  uint64_t payload_bytes_sent = 0;  // raw content bytes covered by sends
+  uint64_t wire_bytes_sent = 0;     // payload bytes as actually shipped
+  uint64_t chunks_dedup_skipped = 0;  // same-hash sends elided per round
   uint64_t status_requests = 0;
   uint64_t rounds = 0;
   uint64_t completions = 0;
@@ -85,6 +110,14 @@ class MftpPublisher {
   uint64_t transfer_id() const { return transfer_id_; }
   const Buffer& content() const { return content_; }
 
+  // Announce manifest: raw-chunk hashes in index order (built in the
+  // constructor's ChunkTable pre-computation).
+  const std::vector<uint64_t>& chunk_hashes() const { return hashes_; }
+  uint64_t manifest_hash() const { return table_.manifest_hash(); }
+  // Hash/compress accounting, including wall-clock nanos — see the
+  // determinism note on ChunkPipelineStats before publishing these.
+  const ChunkPipelineStats& pipeline_stats() const { return table_.stats(); }
+
   // Adds a subscriber. If the transfer is idle it starts a completion poll
   // (the subscriber NACKs what it needs — which is everything for a fresh
   // joiner, or just the tail for a resumed one).
@@ -122,6 +155,10 @@ class MftpPublisher {
   SubscriberDoneFn on_subscriber_done_;
   IdleFn on_idle_;
 
+  ChunkTable table_;
+  std::vector<uint64_t> hashes_;
+  std::set<uint64_t> round_sent_hashes_;
+
   State state_ = State::kIdle;
   std::set<MftpPeer> subscribers_;
   std::set<MftpPeer> awaiting_;   // not yet responded this poll
@@ -140,7 +177,11 @@ class MftpPublisher {
 struct MftpReceiverStats {
   uint64_t chunks_received = 0;
   uint64_t duplicate_chunks = 0;
-  uint64_t payload_bytes_received = 0;
+  uint64_t payload_bytes_received = 0;  // raw content bytes accepted
+  uint64_t wire_bytes_received = 0;     // chunk payload bytes off the wire
+  uint64_t hash_mismatches = 0;  // chunks rejected (hash/decode failure)
+  uint64_t chunks_deduped = 0;   // indices filled without a dedicated send
+  uint64_t chunks_from_store = 0;  // of those, satisfied by the ChunkStore
   uint64_t acks_sent = 0;
   uint64_t nacks_sent = 0;
 };
@@ -159,6 +200,19 @@ class MftpReceiver {
   void set_on_progress(ProgressFn fn) { on_progress_ = std::move(fn); }
   void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
 
+  // Installs the announce manifest (one hash64 per raw chunk). Enables
+  // per-index verification, same-hash dedup fills, and store resume;
+  // ignored unless it has exactly chunk_count() entries.
+  void set_manifest(std::vector<uint64_t> chunk_hashes);
+  // Attaches a cross-transfer dedup store (not owned; must outlive the
+  // receiver). Accepted chunks are inserted keyed by content hash.
+  void set_chunk_store(ChunkStore* store) { store_ = store; }
+  // Fills still-missing chunks whose manifest hash is already in the
+  // store — the "late joiner / identical revision resumes by hash"
+  // path. May complete the transfer (fires on_complete_).
+  void resume_from_store();
+
+  uint64_t manifest_hash() const { return manifest_hash_; }
   const FileMeta& meta() const { return meta_; }
   uint64_t transfer_id() const { return transfer_id_; }
   bool complete() const { return complete_; }
@@ -172,12 +226,22 @@ class MftpReceiver {
   const MftpReceiverStats& stats() const { return stats_; }
 
  private:
+  uint64_t chunk_len(uint32_t index) const;
+  void fill_index(uint32_t index, BytesView raw);
+  void maybe_complete();
+
   uint64_t transfer_id_;
   FileMeta meta_;
   AckSendFn send_ack_;
   NackSendFn send_nack_;
   ProgressFn on_progress_;
   CompleteFn on_complete_;
+
+  std::vector<uint64_t> manifest_;
+  uint64_t manifest_hash_ = 0;
+  // hash -> indices carrying it; drives same-hash sibling fills.
+  std::unordered_multimap<uint64_t, uint32_t> manifest_index_;
+  ChunkStore* store_ = nullptr;
 
   Buffer data_;
   RunSet have_;

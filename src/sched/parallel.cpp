@@ -1,0 +1,64 @@
+#include "sched/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "sched/thread_pool.h"
+
+namespace marea::sched {
+namespace {
+
+void run_inline(size_t count, const IndexFn& fn) {
+  for (size_t i = 0; i < count; ++i) fn(i);
+}
+
+}  // namespace
+
+void parallel_for(ThreadPoolExecutor* pool, size_t count, const IndexFn& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || count == 1) {
+    run_inline(count, fn);
+    return;
+  }
+  // Work-stealing index: tasks race on `next` so an uneven per-index
+  // cost (one incompressible chunk among flat ones) can't stall the
+  // fan-out behind a static partition. The caller's stack owns the
+  // shared block; it is safe to destroy only once every task has
+  // exited, so completion counts *tasks*, not indices — a task can only
+  // exit after all indices are claimed, and the last task to exit has
+  // necessarily finished its own work.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t tasks_done = 0;
+  } shared;
+  // A handful of tasks is enough to load-balance without paying one
+  // queue round-trip per index.
+  const size_t tasks = count < 16 ? count : 16;
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->post(Priority::kFileTransfer, [&shared, &fn, count, tasks] {
+      for (;;) {
+        const size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      if (++shared.tasks_done == tasks) shared.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.cv.wait(lock, [&] { return shared.tasks_done == tasks; });
+}
+
+void parallel_for(size_t count, unsigned threads, const IndexFn& fn) {
+  if (threads <= 1 || count < 2) {
+    run_inline(count, fn);
+    return;
+  }
+  ThreadPoolExecutor pool(threads);
+  parallel_for(&pool, count, fn);
+}
+
+}  // namespace marea::sched

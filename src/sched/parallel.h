@@ -1,0 +1,32 @@
+// Blocking data-parallel helper over ThreadPoolExecutor for pure
+// pre-computation (chunk hashing / compression in the content-addressed
+// bulk path). The caller blocks until every index has run, so from the
+// simulation's point of view the whole fan-out is one synchronous
+// function call: no virtual time passes, no sim-thread state is touched
+// from workers, and the result is independent of worker count — which
+// is what keeps ShardGrid dumps byte-identical at 1 vs N threads.
+//
+// `fn` must be thread-safe with respect to *other indices* only (each
+// index is invoked exactly once) and must not throw.
+#pragma once
+
+#include <cstddef>
+
+#include "util/inline_fn.h"
+
+namespace marea::sched {
+
+class ThreadPoolExecutor;
+
+using IndexFn = InlineFn<void(size_t), 56>;
+
+// Runs fn(0) .. fn(count-1) on `pool` workers at kFileTransfer priority
+// and returns when all have completed. The calling thread must not be a
+// pool worker (it blocks on the pool's progress). Null pool runs inline.
+void parallel_for(ThreadPoolExecutor* pool, size_t count, const IndexFn& fn);
+
+// Convenience: spins up a transient pool of `threads` workers for one
+// fan-out. threads <= 1 (or tiny counts) runs inline on the caller.
+void parallel_for(size_t count, unsigned threads, const IndexFn& fn);
+
+}  // namespace marea::sched

@@ -127,6 +127,14 @@ struct RelayBundle {
   uint32_t chunk_count = 1;
   uint32_t revision = 0;      // file bundles: source revision
   int64_t origin_time_ns = 0; // capture time at the field node
+  // Content addressing for file custody (mirrors the MFTP chunk layer):
+  // hash64 of the raw chunk, its pre-compression size, and the
+  // util::Codec id the payload is encoded with (0 = raw). The sink
+  // verifies before accepting custody; a mismatch is NOT acked, so the
+  // mule retains and retries the bundle.
+  uint64_t chunk_hash = 0;
+  uint32_t raw_size = 0;
+  uint32_t codec = 0;
   std::vector<uint8_t> payload;
 };
 
@@ -169,7 +177,8 @@ MAREA_REFLECT(marea::services::MissionCommand, action, reason)
 MAREA_REFLECT(marea::services::ListRequest, directory)
 MAREA_REFLECT(marea::services::ListReply, paths, total_bytes)
 MAREA_REFLECT(marea::services::RelayBundle, id, mule, klass, name,
-              chunk_index, chunk_count, revision, origin_time_ns, payload)
+              chunk_index, chunk_count, revision, origin_time_ns, chunk_hash,
+              raw_size, codec, payload)
 MAREA_REFLECT(marea::services::RelayAck, accepted, id)
 MAREA_REFLECT(marea::services::RelayStatus, queued, queued_bytes, delivered,
               conflated, dropped, contact, last_contact_ns)

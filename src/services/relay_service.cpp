@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "encoding/codec.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace marea::services {
@@ -84,6 +85,8 @@ Status RelayService::start_mule() {
               const uint32_t count = std::max<uint32_t>(
                   1, static_cast<uint32_t>((content.size() + chunk - 1) /
                                            chunk));
+              const util::Compressor* comp =
+                  util::compressor_for(config_.file_codec);
               for (uint32_t i = 0; i < count; ++i) {
                 RelayBundle b;
                 b.id = next_id_++;
@@ -96,7 +99,20 @@ Status RelayService::start_mule() {
                 b.origin_time_ns = now().ns;
                 const size_t begin = i * chunk;
                 const size_t end = std::min(content.size(), begin + chunk);
-                b.payload.assign(content.begin() + begin, content.begin() + end);
+                BytesView raw(content.data() + begin, end - begin);
+                // Content-address each custody chunk at capture:
+                // compress (when it wins) to stretch the bounded buffer
+                // and the contact window, and hash the raw bytes so the
+                // sink can verify before taking custody.
+                b.chunk_hash = util::hash64(raw);
+                b.raw_size = static_cast<uint32_t>(raw.size());
+                if (comp != nullptr && comp->compress(raw, b.payload)) {
+                  b.codec = static_cast<uint32_t>(config_.file_codec);
+                } else {
+                  b.payload.assign(raw.begin(), raw.end());
+                }
+                custody_raw_bytes_ += raw.size();
+                custody_wire_bytes_ += b.payload.size();
                 enqueue_custody(std::move(b));
               }
             });
@@ -253,6 +269,33 @@ StatusOr<RelayAck> RelayService::on_deliver(const RelayBundle& b) {
     duplicates_ignored_++;
     return ack;
   }
+
+  // Decompress and verify file chunks BEFORE any custody accounting:
+  // refusing the ack (and forgetting the id) makes the mule retain and
+  // retry the bundle instead of losing the chunk forever.
+  Buffer raw;
+  if (b.klass == kFileClass) {
+    bool ok = true;
+    if (b.codec != 0) {
+      const util::Compressor* comp =
+          util::compressor_for(static_cast<uint8_t>(b.codec));
+      ok = comp != nullptr &&
+           comp->decompress(BytesView(b.payload), b.raw_size, raw);
+    } else {
+      raw = b.payload;
+    }
+    if (ok && b.chunk_hash != 0 &&
+        util::hash64(BytesView(raw)) != b.chunk_hash) {
+      ok = false;
+    }
+    if (!ok) {
+      bundles_rejected_++;
+      seen_[b.mule].erase(b.id);
+      ack.accepted = false;
+      return ack;
+    }
+  }
+
   bundles_accepted_++;
   custody_latency_total_ =
       custody_latency_total_ + (now() - TimePoint{b.origin_time_ns});
@@ -277,7 +320,7 @@ StatusOr<RelayAck> RelayService::on_deliver(const RelayBundle& b) {
       fa.got.assign(b.chunk_count, false);
     }
     if (b.chunk_index < fa.chunks.size() && !fa.got[b.chunk_index]) {
-      fa.chunks[b.chunk_index] = b.payload;
+      fa.chunks[b.chunk_index] = std::move(raw);
       fa.got[b.chunk_index] = true;
       fa.have++;
     }

@@ -37,6 +37,7 @@
 
 #include "middleware/service.h"
 #include "services/messages.h"
+#include "util/compress.h"
 
 namespace marea::services {
 
@@ -67,6 +68,11 @@ struct RelayConfig {
   // File custody chunk size; sized so one bundle's airtime stays well
   // under deliver_timeout even at LoRa-class contact rates.
   size_t file_chunk_bytes = 2048;
+  // Per-chunk codec for file custody bundles: compressing at capture
+  // shrinks both the mule's bounded buffer and the contact-window
+  // airtime. The sink decompresses and hash-verifies before accepting
+  // custody. kNone disables.
+  util::Codec file_codec = util::Codec::kLz;
   // Cadence of delivery attempts while the sink is unreachable.
   Duration contact_retry = milliseconds(500);
   Duration status_period = milliseconds(500);
@@ -90,10 +96,15 @@ class RelayService final : public mw::Service {
   uint64_t samples_seen() const { return samples_seen_; }
   uint64_t events_seen() const { return events_seen_; }
   uint64_t files_seen() const { return files_seen_; }
+  // File custody bytes before/after capture-time compression.
+  uint64_t custody_raw_bytes() const { return custody_raw_bytes_; }
+  uint64_t custody_wire_bytes() const { return custody_wire_bytes_; }
 
   // --- sink-side introspection -------------------------------------------
   uint64_t bundles_accepted() const { return bundles_accepted_; }
   uint64_t duplicates_ignored() const { return duplicates_ignored_; }
+  // File bundles refused for hash/decode failure (mule retains+retries).
+  uint64_t bundles_rejected() const { return bundles_rejected_; }
   uint64_t telemetry_relayed() const { return telemetry_relayed_; }
   uint64_t events_relayed() const { return events_relayed_; }
   uint64_t files_relayed() const { return files_relayed_; }
@@ -138,6 +149,8 @@ class RelayService final : public mw::Service {
   uint64_t samples_seen_ = 0;
   uint64_t events_seen_ = 0;
   uint64_t files_seen_ = 0;
+  uint64_t custody_raw_bytes_ = 0;
+  uint64_t custody_wire_bytes_ = 0;
 
   // Sink state.
   struct FileAssembly {
@@ -151,6 +164,7 @@ class RelayService final : public mw::Service {
   std::map<std::string, mw::EventHandle> relay_events_;
   uint64_t bundles_accepted_ = 0;
   uint64_t duplicates_ignored_ = 0;
+  uint64_t bundles_rejected_ = 0;
   uint64_t telemetry_relayed_ = 0;
   uint64_t events_relayed_ = 0;
   uint64_t files_relayed_ = 0;

@@ -3,10 +3,64 @@
 
 #include <cstdio>
 
+#include "util/bytes.h"
+#include "util/hash.h"
+
 namespace marea::services {
 
-StorageService::StorageService(uint64_t quota_bytes)
-    : Service("storage"), fs_(quota_bytes) {}
+namespace {
+// At-rest container: [codec u8][hash64 of raw u64][varint raw_size][payload].
+Buffer pack_at_rest(BytesView raw, util::Codec codec) {
+  ByteWriter w(raw.size() + 16);
+  const uint64_t digest = util::hash64(raw);
+  const util::Compressor* comp = util::compressor_for(codec);
+  Buffer packed;
+  if (comp != nullptr && comp->compress(raw, packed)) {
+    w.u8(static_cast<uint8_t>(codec));
+  } else {
+    w.u8(static_cast<uint8_t>(util::Codec::kNone));
+    packed.assign(raw.begin(), raw.end());
+  }
+  w.u64(digest);
+  w.varint(raw.size());
+  w.bytes(BytesView(packed));
+  return w.take();
+}
+}  // namespace
+
+StorageService::StorageService(uint64_t quota_bytes,
+                               util::Codec at_rest_codec)
+    : Service("storage"), fs_(quota_bytes), at_rest_codec_(at_rest_codec) {}
+
+StatusOr<Buffer> StorageService::fetch(const std::string& path) const {
+  auto stored = fs_.read(path);
+  if (!stored.ok()) return stored.status();
+  ByteReader r{BytesView(*stored)};
+  const uint8_t codec_id = r.u8();
+  const uint64_t digest = r.u64();
+  const uint64_t raw_size = r.varint();
+  if (!r.ok()) {
+    return data_loss_error("storage.fetch: truncated container '" + path +
+                           "'");
+  }
+  BytesView payload = r.bytes(r.remaining());
+  Buffer raw;
+  if (codec_id == static_cast<uint8_t>(util::Codec::kNone)) {
+    raw.assign(payload.begin(), payload.end());
+  } else {
+    const util::Compressor* comp = util::compressor_for(codec_id);
+    if (comp == nullptr ||
+        !comp->decompress(payload, static_cast<size_t>(raw_size), raw)) {
+      return data_loss_error("storage.fetch: undecodable payload in '" +
+                             path + "'");
+    }
+  }
+  if (raw.size() != raw_size || util::hash64(BytesView(raw)) != digest) {
+    return data_loss_error("storage.fetch: content hash mismatch in '" +
+                           path + "'");
+  }
+  return raw;
+}
 
 Status StorageService::on_start() {
   Status s = provide_function<StoreRequest, Ack>(
@@ -32,12 +86,16 @@ StatusOr<Ack> StorageService::store(const StoreRequest& req) {
         [this, dir](const proto::FileMeta& meta, const Buffer& content) {
           std::string path = dir + "/" + meta.name + ".r" +
                              std::to_string(meta.revision);
-          Status ws = fs_.write(path, content);
+          Buffer packed = pack_at_rest(BytesView(content), at_rest_codec_);
+          const size_t disk = packed.size();
+          Status ws = fs_.write(path, std::move(packed));
           if (ws.is_ok()) {
             ++files_stored_;
+            stored_raw_bytes_ += content.size();
+            stored_disk_bytes_ += disk;
             MAREA_LOG(kInfo, "storage")
                 << "stored '" << path << "' (" << content.size()
-                << " bytes)";
+                << " -> " << disk << " bytes)";
           } else {
             MAREA_LOG(kError, "storage")
                 << "failed to store '" << path << "': " << ws.to_string();

@@ -14,18 +14,33 @@
 #include "memfs/memfs.h"
 #include "middleware/service.h"
 #include "services/messages.h"
+#include "util/compress.h"
 
 namespace marea::services {
 
 class StorageService final : public mw::Service {
  public:
-  explicit StorageService(uint64_t quota_bytes = 0);
+  // File resources are stored at rest in a small self-describing
+  // container — [codec u8][hash64 of raw u64][varint raw_size][payload]
+  // — so compressible imagery costs less quota and bit rot is caught on
+  // fetch. `at_rest_codec = kNone` still writes the container (hash and
+  // all) with a raw payload.
+  explicit StorageService(uint64_t quota_bytes = 0,
+                          util::Codec at_rest_codec = util::Codec::kLz);
 
   Status on_start() override;
 
   const memfs::MemFs& fs() const { return fs_; }
   uint64_t files_stored() const { return files_stored_; }
   uint64_t samples_recorded() const { return samples_recorded_; }
+  // Original vs at-rest bytes across all stored file revisions.
+  uint64_t stored_raw_bytes() const { return stored_raw_bytes_; }
+  uint64_t stored_disk_bytes() const { return stored_disk_bytes_; }
+
+  // Reads a stored file revision back out of the container format:
+  // decompresses and verifies the content hash. data_loss_error on a
+  // truncated container, codec failure, or digest mismatch.
+  StatusOr<Buffer> fetch(const std::string& path) const;
 
  private:
   StatusOr<Ack> store(const StoreRequest& req);
@@ -33,10 +48,13 @@ class StorageService final : public mw::Service {
   StatusOr<ListReply> list(const ListRequest& req);
 
   memfs::MemFs fs_;
+  util::Codec at_rest_codec_;
   std::set<std::string> stored_resources_;
   std::set<std::string> recorded_variables_;
   uint64_t files_stored_ = 0;
   uint64_t samples_recorded_ = 0;
+  uint64_t stored_raw_bytes_ = 0;
+  uint64_t stored_disk_bytes_ = 0;
 };
 
 }  // namespace marea::services

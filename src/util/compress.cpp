@@ -1,0 +1,260 @@
+#include "util/compress.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace marea::util {
+namespace {
+
+// ---------------------------------------------------------------- RLE --
+//
+// Token stream: control byte t.
+//   t in [0x00, 0x7F]: literal run — copy the next t+1 input bytes.
+//   t in [0x80, 0xFF]: repeat run — the next byte, (t-0x80)+3 times.
+// Runs shorter than 3 stay literal (a run token costs 2 bytes).
+class RleCompressor final : public Compressor {
+ public:
+  Codec codec() const override { return Codec::kRle; }
+
+  bool compress(BytesView in, Buffer& out) const override {
+    const size_t entry = out.size();
+    const size_t n = in.size();
+    if (n < 4) return false;
+    size_t lit_start = 0;
+    auto flush_literals = [&](size_t end) {
+      size_t pos = lit_start;
+      while (pos < end) {
+        const size_t take = std::min<size_t>(end - pos, 128);
+        out.push_back(static_cast<uint8_t>(take - 1));
+        out.insert(out.end(), in.begin() + pos, in.begin() + pos + take);
+        pos += take;
+      }
+    };
+    size_t i = 0;
+    while (i < n) {
+      size_t run = 1;
+      while (i + run < n && in[i + run] == in[i]) ++run;
+      if (run >= 3) {
+        flush_literals(i);
+        size_t rem = run;
+        while (rem >= 3) {
+          const size_t take = std::min<size_t>(rem, 130);
+          out.push_back(static_cast<uint8_t>(0x80 + (take - 3)));
+          out.push_back(in[i]);
+          rem -= take;
+        }
+        // A 1–2 byte tail of the run is cheaper as literals.
+        i += run - rem;
+        lit_start = i;
+        i += rem;
+      } else {
+        i += run;
+      }
+    }
+    flush_literals(n);
+    if (out.size() - entry >= n) {
+      out.resize(entry);
+      return false;
+    }
+    return true;
+  }
+
+  bool decompress(BytesView in, size_t raw_size,
+                  Buffer& out) const override {
+    const size_t entry = out.size();
+    auto fail = [&] {
+      out.resize(entry);
+      return false;
+    };
+    size_t ip = 0;
+    const size_t ie = in.size();
+    while (ip < ie) {
+      const uint8_t t = in[ip++];
+      if (t < 0x80) {
+        const size_t len = static_cast<size_t>(t) + 1;
+        if (ip + len > ie) return fail();
+        if (out.size() - entry + len > raw_size) return fail();
+        out.insert(out.end(), in.begin() + ip, in.begin() + ip + len);
+        ip += len;
+      } else {
+        const size_t len = static_cast<size_t>(t - 0x80) + 3;
+        if (ip >= ie) return fail();
+        if (out.size() - entry + len > raw_size) return fail();
+        out.insert(out.end(), len, in[ip++]);
+      }
+    }
+    if (out.size() - entry != raw_size) return fail();
+    return true;
+  }
+};
+
+// ----------------------------------------------------------------- LZ --
+//
+// Greedy LZ77, 4-byte hash-table matcher, 64 KiB window (chunks are far
+// smaller, so every match stays inside the chunk being decoded).
+//
+// Sequence: token byte [L:4|M:4], extended literal length (each 0xFF
+// adds 255, a byte < 0xFF terminates — only present when L == 15), the
+// literal bytes, then — unless the input ends here (trailing
+// literals-only sequence) — a little-endian u16 match offset (>= 1) and
+// the extended match length (present when M == 15). Stored match length
+// is actual length minus the 4-byte minimum.
+constexpr size_t kLzMinMatch = 4;
+constexpr size_t kLzTableBits = 12;
+
+class LzCompressor final : public Compressor {
+ public:
+  Codec codec() const override { return Codec::kLz; }
+
+  bool compress(BytesView in, Buffer& out) const override {
+    const size_t entry = out.size();
+    const size_t n = in.size();
+    if (n < 16) return false;
+    const uint8_t* src = in.data();
+    uint32_t table[1u << kLzTableBits];
+    std::fill(std::begin(table), std::end(table), 0xFFFFFFFFu);
+    auto load32 = [](const uint8_t* p) {
+      uint32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    };
+    auto hash4 = [](uint32_t v) {
+      return (v * 2654435761u) >> (32 - kLzTableBits);
+    };
+    size_t i = 0;
+    size_t anchor = 0;
+    while (i + kLzMinMatch <= n) {
+      const uint32_t v = load32(src + i);
+      const uint32_t h = hash4(v);
+      const uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(i);
+      if (cand != 0xFFFFFFFFu && i - cand <= 0xFFFF &&
+          load32(src + cand) == v) {
+        size_t len = kLzMinMatch;
+        while (i + len < n && src[cand + len] == src[i + len]) ++len;
+        emit_sequence(src + anchor, i - anchor,
+                      static_cast<uint16_t>(i - cand), len, out);
+        i += len;
+        anchor = i;
+      } else {
+        ++i;
+      }
+    }
+    emit_trailing_literals(src + anchor, n - anchor, out);
+    if (out.size() - entry >= n) {
+      out.resize(entry);
+      return false;
+    }
+    return true;
+  }
+
+  bool decompress(BytesView in, size_t raw_size,
+                  Buffer& out) const override {
+    const size_t entry = out.size();
+    auto fail = [&] {
+      out.resize(entry);
+      return false;
+    };
+    size_t ip = 0;
+    const size_t ie = in.size();
+    while (ip < ie) {
+      const uint8_t tok = in[ip++];
+      size_t lit = tok >> 4;
+      if (lit == 15 && !read_ext(in, ip, lit)) return fail();
+      if (ip + lit > ie) return fail();
+      if (out.size() - entry + lit > raw_size) return fail();
+      out.insert(out.end(), in.begin() + ip, in.begin() + ip + lit);
+      ip += lit;
+      if (ip >= ie) break;  // trailing literals-only sequence
+      if (ip + 2 > ie) return fail();
+      const size_t off =
+          static_cast<size_t>(in[ip]) | (static_cast<size_t>(in[ip + 1]) << 8);
+      ip += 2;
+      if (off == 0 || off > out.size() - entry) return fail();
+      size_t mlen = tok & 0x0F;
+      if (mlen == 15 && !read_ext(in, ip, mlen)) return fail();
+      mlen += kLzMinMatch;
+      if (out.size() - entry + mlen > raw_size) return fail();
+      // Byte-wise so overlapping matches (offset < length) replicate,
+      // and reserve-free so a hostile length can't overshoot.
+      size_t from = out.size() - off;
+      for (size_t k = 0; k < mlen; ++k) out.push_back(out[from + k]);
+    }
+    if (out.size() - entry != raw_size) return fail();
+    return true;
+  }
+
+ private:
+  static void write_ext(size_t extra, Buffer& out) {
+    while (extra >= 255) {
+      out.push_back(0xFF);
+      extra -= 255;
+    }
+    out.push_back(static_cast<uint8_t>(extra));
+  }
+
+  static bool read_ext(BytesView in, size_t& ip, size_t& value) {
+    for (;;) {
+      if (ip >= in.size()) return false;
+      const uint8_t b = in[ip++];
+      value += b;
+      if (b < 0xFF) return true;
+    }
+  }
+
+  static void emit_sequence(const uint8_t* lits, size_t lit_len,
+                            uint16_t offset, size_t match_len, Buffer& out) {
+    const size_t stored = match_len - kLzMinMatch;
+    out.push_back(static_cast<uint8_t>(
+        (std::min<size_t>(lit_len, 15) << 4) | std::min<size_t>(stored, 15)));
+    if (lit_len >= 15) write_ext(lit_len - 15, out);
+    out.insert(out.end(), lits, lits + lit_len);
+    out.push_back(static_cast<uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<uint8_t>(offset >> 8));
+    if (stored >= 15) write_ext(stored - 15, out);
+  }
+
+  static void emit_trailing_literals(const uint8_t* lits, size_t lit_len,
+                                     Buffer& out) {
+    if (lit_len == 0) return;
+    out.push_back(
+        static_cast<uint8_t>(std::min<size_t>(lit_len, 15) << 4));
+    if (lit_len >= 15) write_ext(lit_len - 15, out);
+    out.insert(out.end(), lits, lits + lit_len);
+  }
+};
+
+}  // namespace
+
+const char* codec_name(Codec c) {
+  switch (c) {
+    case Codec::kNone:
+      return "none";
+    case Codec::kRle:
+      return "rle";
+    case Codec::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+const Compressor* compressor_for(Codec c) {
+  static const RleCompressor rle;
+  static const LzCompressor lz;
+  switch (c) {
+    case Codec::kRle:
+      return &rle;
+    case Codec::kLz:
+      return &lz;
+    case Codec::kNone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const Compressor* compressor_for(uint8_t wire_id) {
+  if (wire_id > static_cast<uint8_t>(Codec::kLz)) return nullptr;
+  return compressor_for(static_cast<Codec>(wire_id));
+}
+
+}  // namespace marea::util

@@ -1,0 +1,58 @@
+// Pluggable per-chunk compression for the content-addressed bulk path.
+//
+// The codec is negotiated at announce time (FileMeta carries the codec
+// id), but the compress-or-raw decision is per chunk: a codec that
+// cannot beat the raw bytes reports failure and the sender ships the
+// chunk uncompressed with the "compressed" flag clear. Decompression is
+// total — a malformed or truncated stream returns false instead of
+// reading or writing out of bounds — because compressed payloads arrive
+// from the network and from chaos-corrupted links.
+//
+// Two real codecs ship beside kNone:
+//   * kRle — byte run-length encoding; near-memcpy speed, wins on flat
+//     imagery regions and sparse telemetry snapshots.
+//   * kLz  — greedy LZ77 with a 64 KiB window and 4-byte minimum match;
+//     the general-purpose codec for repeated rows/structures.
+// Both are self-contained (no external libraries) and deterministic:
+// the same input always yields the same bytes, which the byte-identical
+// ShardGrid dump tests rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace marea::util {
+
+enum class Codec : uint8_t {
+  kNone = 0,
+  kRle = 1,
+  kLz = 2,
+};
+
+const char* codec_name(Codec c);
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+  virtual Codec codec() const = 0;
+
+  // Appends the compressed form of `in` to `out`. Returns false — and
+  // leaves `out` exactly as it was on entry — when the encoded form
+  // would not be smaller than `in` (the caller then sends raw).
+  virtual bool compress(BytesView in, Buffer& out) const = 0;
+
+  // Appends exactly `raw_size` decoded bytes to `out`. Returns false on
+  // any malformed input (bad token, offset past start, output over- or
+  // under-run); on failure `out` is restored to its entry size.
+  virtual bool decompress(BytesView in, size_t raw_size,
+                          Buffer& out) const = 0;
+};
+
+// Singleton codec lookup. Returns nullptr for kNone (raw bytes need no
+// transform) and for ids this build does not know — callers treat an
+// unknown id from the wire as "reject the chunk", not a crash.
+const Compressor* compressor_for(Codec c);
+const Compressor* compressor_for(uint8_t wire_id);
+
+}  // namespace marea::util

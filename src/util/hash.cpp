@@ -1,0 +1,81 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace marea::util {
+namespace {
+
+// Odd 64-bit multipliers with well-spread bit patterns. kM0/kM1 drive
+// the two streaming lanes, kF0/kF1 the finalizer (splitmix64-style
+// xor-shift-multiply avalanche).
+constexpr uint64_t kM0 = 0x9E3779B97F4A7C15ULL;  // 2^64 / golden ratio
+constexpr uint64_t kM1 = 0xC6A4A7935BD1E995ULL;
+constexpr uint64_t kF0 = 0xFF51AFD7ED558CCDULL;
+constexpr uint64_t kF1 = 0xC4CEB9FE1A85EC53ULL;
+
+inline uint64_t rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Explicit little-endian load: identical digests on any host, and
+// memcpy keeps it free of alignment UB.
+inline uint64_t load_le64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+inline uint64_t avalanche(uint64_t x) {
+  x ^= x >> 33;
+  x *= kF0;
+  x ^= x >> 29;
+  x *= kF1;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+uint64_t hash64(BytesView data, uint64_t seed) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  // Length folded into both lanes up front so prefixes of each other
+  // ("ab" vs "ab\0") diverge even before the tail mix.
+  uint64_t a = seed ^ (kM0 * (n + 1));
+  uint64_t b = rotl64(seed, 23) + (kM1 ^ n);
+  while (n >= 16) {
+    a = rotl64(a ^ (load_le64(p) * kM1), 29) * kM0;
+    b = rotl64(b + (load_le64(p + 8) * kM0), 31) * kM1;
+    p += 16;
+    n -= 16;
+  }
+  if (n >= 8) {
+    a = rotl64(a ^ (load_le64(p) * kM1), 29) * kM0;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    // Tail: widen the remaining 1..7 bytes into one lane-sized word.
+    uint64_t tail = 0;
+    for (size_t i = 0; i < n; ++i) {
+      tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    b = rotl64(b + (tail * kM0), 31) * kM1;
+  }
+  return avalanche(a ^ rotl64(b, 17));
+}
+
+uint64_t hash64_list(const uint64_t* values, size_t count) {
+  // Distinct seed constant: a manifest (list of digests) must not
+  // collide with a chunk whose bytes happen to spell the same words.
+  uint64_t h = avalanche(kM1 ^ (count + 1));
+  for (size_t i = 0; i < count; ++i) {
+    h = rotl64(h ^ (values[i] * kM0), 27) * kM1;
+  }
+  return avalanche(h);
+}
+
+}  // namespace marea::util

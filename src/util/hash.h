@@ -1,0 +1,32 @@
+// Fast non-cryptographic 64-bit content hashing for the content-addressed
+// bulk path (MFTP chunk manifests, receiver-side dedup stores, custody
+// bundle verification). Not a substitute for the frame CRC — the CRC
+// guards a single datagram on the wire; this digest names *content*, so
+// equal bytes hash equal across transfers, revisions and nodes.
+//
+// Properties the callers rely on:
+//   * deterministic across platforms (explicit little-endian loads);
+//   * seedable (domain separation between chunk hashes and manifest
+//     hashes);
+//   * strong enough mixing that chunk-store lookups can treat equal
+//     hashes as equal content after a length check (64-bit birthday
+//     bound: ~2^32 chunks for a coin-flip collision — a bounded store
+//     holds thousands).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace marea::util {
+
+// Digest of an arbitrary byte string. Two-lane multiply-rotate core
+// (16 bytes/iteration) with a splitmix-style finalizer; ~GB/s per core.
+uint64_t hash64(BytesView data, uint64_t seed = 0);
+
+// Digest of a list of digests (order-sensitive) — the manifest hash that
+// names a whole revision's chunk-hash vector. Seeded differently from
+// hash64 so a manifest never collides with the raw bytes of its chunks.
+uint64_t hash64_list(const uint64_t* values, size_t count);
+
+}  // namespace marea::util

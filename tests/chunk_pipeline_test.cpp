@@ -1,0 +1,318 @@
+// Content-addressed chunk pipeline tests: hash64 properties, RLE/LZ
+// codec round-trips and hostile-input safety, ChunkTable thread-count
+// invariance (the determinism contract behind byte-identical ShardGrid
+// dumps), the bounded ChunkStore LRU, and the parallel_for fan-out.
+// Test-suite names carry the "ChunkPipeline" prefix so the TSan CI leg
+// (-R '...|ChunkPipeline') races the thread-pooled paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "protocol/chunk_table.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+#include "util/compress.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace marea {
+namespace {
+
+Buffer random_bytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Buffer b(n);
+  for (auto& byte : b) byte = static_cast<uint8_t>(rng.next_u64());
+  return b;
+}
+
+// Synthetic "imagery": long flat runs, gentle gradients, repeated rows —
+// the compressible shape the bench generator also uses.
+Buffer imagery_bytes(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Buffer b;
+  b.reserve(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const uint64_t kind = rng.next_u64() % 3;
+    for (size_t c = 0; c < cols; ++c) {
+      uint8_t px = 0;
+      if (kind == 0) {
+        px = static_cast<uint8_t>(r);  // flat row
+      } else if (kind == 1) {
+        px = static_cast<uint8_t>(c / 4);  // gradient
+      } else {
+        px = static_cast<uint8_t>(rng.next_u64());  // noise
+      }
+      b.push_back(px);
+    }
+  }
+  return b;
+}
+
+// --- hash64 -----------------------------------------------------------------
+
+TEST(ChunkPipelineHashTest, StableAcrossCalls) {
+  Buffer data = random_bytes(1000, 42);
+  EXPECT_EQ(util::hash64(BytesView(data)), util::hash64(BytesView(data)));
+}
+
+TEST(ChunkPipelineHashTest, SensitiveToEveryByteAndToLength) {
+  Buffer data = random_bytes(257, 9);
+  const uint64_t base = util::hash64(BytesView(data));
+  for (size_t i = 0; i < data.size(); ++i) {
+    Buffer mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(util::hash64(BytesView(mutated)), base) << "byte " << i;
+  }
+  Buffer shorter(data.begin(), data.end() - 1);
+  EXPECT_NE(util::hash64(BytesView(shorter)), base);
+}
+
+TEST(ChunkPipelineHashTest, SeedChangesDigestAndEmptyIsValid) {
+  Buffer data = random_bytes(64, 3);
+  EXPECT_NE(util::hash64(BytesView(data), 1), util::hash64(BytesView(data), 2));
+  // Empty input hashes (to something stable) rather than crashing.
+  EXPECT_EQ(util::hash64(BytesView{}), util::hash64(BytesView{}));
+  EXPECT_NE(util::hash64(BytesView{}, 1), util::hash64(BytesView{}, 2));
+}
+
+TEST(ChunkPipelineHashTest, NoCollisionsAcrossSmallCorpus) {
+  // 4k distinct short strings — a 64-bit hash colliding here would be
+  // a red flag for the mixer, not bad luck.
+  std::set<uint64_t> seen;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    Buffer b(sizeof(i));
+    std::memcpy(b.data(), &i, sizeof(i));
+    seen.insert(util::hash64(BytesView(b)));
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(ChunkPipelineHashTest, HashListDependsOnOrderAndCount) {
+  std::vector<uint64_t> values{1, 2, 3};
+  const uint64_t a = util::hash64_list(values.data(), values.size());
+  std::vector<uint64_t> swapped{2, 1, 3};
+  EXPECT_NE(util::hash64_list(swapped.data(), swapped.size()), a);
+  EXPECT_NE(util::hash64_list(values.data(), 2), a);
+  EXPECT_EQ(util::hash64_list(values.data(), values.size()), a);
+}
+
+// --- codecs -----------------------------------------------------------------
+
+class ChunkPipelineCodecTest : public ::testing::TestWithParam<util::Codec> {};
+
+TEST_P(ChunkPipelineCodecTest, RoundTripsCompressibleData) {
+  const util::Compressor* comp = util::compressor_for(GetParam());
+  ASSERT_NE(comp, nullptr);
+  Buffer raw = imagery_bytes(64, 256, 5);
+  Buffer packed;
+  ASSERT_TRUE(comp->compress(BytesView(raw), packed));
+  EXPECT_LT(packed.size(), raw.size());
+  Buffer out;
+  ASSERT_TRUE(comp->decompress(BytesView(packed), raw.size(), out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST_P(ChunkPipelineCodecTest, RefusesIncompressibleAndRestoresOut) {
+  const util::Compressor* comp = util::compressor_for(GetParam());
+  ASSERT_NE(comp, nullptr);
+  Buffer raw = random_bytes(4096, 77);
+  Buffer out{0xAB, 0xCD};
+  EXPECT_FALSE(comp->compress(BytesView(raw), out));
+  EXPECT_EQ(out, (Buffer{0xAB, 0xCD}));
+}
+
+TEST_P(ChunkPipelineCodecTest, DecompressIsTotalOnHostileInput) {
+  const util::Compressor* comp = util::compressor_for(GetParam());
+  ASSERT_NE(comp, nullptr);
+  Buffer raw = imagery_bytes(16, 256, 6);
+  Buffer packed;
+  ASSERT_TRUE(comp->compress(BytesView(raw), packed));
+  // Truncations at every length: must return false or a correct prefix
+  // decode, never crash; `out` is restored on failure.
+  for (size_t len = 0; len < packed.size(); ++len) {
+    Buffer out{0x11};
+    if (!comp->decompress(BytesView(packed.data(), len), raw.size(), out)) {
+      EXPECT_EQ(out, (Buffer{0x11})) << "len=" << len;
+    }
+  }
+  // Single-byte corruption sweep: decode either fails cleanly or
+  // produces raw_size bytes — it must never over/under-run.
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    Buffer bad = packed;
+    bad[rng.next_u64() % bad.size()] ^= 1u << (rng.next_u64() % 8);
+    Buffer out;
+    if (comp->decompress(BytesView(bad), raw.size(), out)) {
+      EXPECT_EQ(out.size(), raw.size());
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, ChunkPipelineCodecTest,
+                         ::testing::Values(util::Codec::kRle,
+                                           util::Codec::kLz));
+
+TEST(ChunkPipelineCodecTest, RleHandlesRunsAndLiteralBoundaries) {
+  const util::Compressor* rle = util::compressor_for(util::Codec::kRle);
+  // 200 equal bytes then 1 literal: classic run + tail.
+  Buffer raw(200, 0x7F);
+  raw.push_back(0x01);
+  Buffer packed;
+  ASSERT_TRUE(rle->compress(BytesView(raw), packed));
+  Buffer out;
+  ASSERT_TRUE(rle->decompress(BytesView(packed), raw.size(), out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(ChunkPipelineCodecTest, UnknownWireIdIsRejectedNotFatal) {
+  EXPECT_EQ(util::compressor_for(static_cast<uint8_t>(250)), nullptr);
+  EXPECT_EQ(util::compressor_for(util::Codec::kNone), nullptr);
+}
+
+// --- ChunkTable -------------------------------------------------------------
+
+TEST(ChunkPipelineTableTest, IdenticalAcrossThreadCounts) {
+  Buffer content = imagery_bytes(128, 512, 11);
+  for (util::Codec codec :
+       {util::Codec::kNone, util::Codec::kRle, util::Codec::kLz}) {
+    proto::ChunkTable one =
+        proto::ChunkTable::build(BytesView(content), 1024, codec, 1);
+    proto::ChunkTable four =
+        proto::ChunkTable::build(BytesView(content), 1024, codec, 4);
+    ASSERT_EQ(one.chunk_count(), four.chunk_count());
+    EXPECT_EQ(one.manifest_hash(), four.manifest_hash());
+    for (uint32_t i = 0; i < one.chunk_count(); ++i) {
+      EXPECT_EQ(one.entry(i).hash, four.entry(i).hash) << i;
+      EXPECT_EQ(one.entry(i).compressed, four.entry(i).compressed) << i;
+      EXPECT_EQ(one.entry(i).payload, four.entry(i).payload) << i;
+    }
+    // Deterministic byte accounting too (wall-clock nanos excluded).
+    EXPECT_EQ(one.stats().raw_bytes, four.stats().raw_bytes);
+    EXPECT_EQ(one.stats().wire_bytes, four.stats().wire_bytes);
+    EXPECT_EQ(one.stats().compressed_chunks, four.stats().compressed_chunks);
+  }
+}
+
+TEST(ChunkPipelineTableTest, ManifestNamesContentAndLayout) {
+  Buffer content = imagery_bytes(32, 256, 12);
+  proto::ChunkTable a =
+      proto::ChunkTable::build(BytesView(content), 1024, util::Codec::kNone);
+  // Same content, same layout -> same manifest.
+  proto::ChunkTable b =
+      proto::ChunkTable::build(BytesView(content), 1024, util::Codec::kLz);
+  EXPECT_EQ(a.manifest_hash(), b.manifest_hash());
+  // Different chunking -> different manifest.
+  proto::ChunkTable c =
+      proto::ChunkTable::build(BytesView(content), 2048, util::Codec::kNone);
+  EXPECT_NE(a.manifest_hash(), c.manifest_hash());
+  // One flipped byte -> different manifest.
+  Buffer mutated = content;
+  mutated[100] ^= 0xFF;
+  proto::ChunkTable d =
+      proto::ChunkTable::build(BytesView(mutated), 1024, util::Codec::kNone);
+  EXPECT_NE(a.manifest_hash(), d.manifest_hash());
+}
+
+TEST(ChunkPipelineTableTest, DuplicateChunksShareHashes) {
+  // Four identical 1 KiB chunks.
+  Buffer unit = random_bytes(1024, 13);
+  Buffer content;
+  for (int i = 0; i < 4; ++i) {
+    content.insert(content.end(), unit.begin(), unit.end());
+  }
+  proto::ChunkTable t =
+      proto::ChunkTable::build(BytesView(content), 1024, util::Codec::kNone);
+  ASSERT_EQ(t.chunk_count(), 4u);
+  for (uint32_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(t.entry(i).hash, t.entry(0).hash);
+  }
+}
+
+// --- ChunkStore -------------------------------------------------------------
+
+TEST(ChunkPipelineStoreTest, LruEvictsOldestWhenOverBudget) {
+  proto::ChunkStore store(3 * 100);  // room for 3 x 100-byte chunks
+  Buffer a(100, 1), b(100, 2), c(100, 3), d(100, 4);
+  store.put(util::hash64(BytesView(a)), BytesView(a));
+  store.put(util::hash64(BytesView(b)), BytesView(b));
+  store.put(util::hash64(BytesView(c)), BytesView(c));
+  EXPECT_EQ(store.entries(), 3u);
+  // Touch `a` so `b` becomes the LRU victim.
+  EXPECT_NE(store.find(util::hash64(BytesView(a))), nullptr);
+  store.put(util::hash64(BytesView(d)), BytesView(d));
+  EXPECT_EQ(store.entries(), 3u);
+  EXPECT_EQ(store.find(util::hash64(BytesView(b))), nullptr);
+  EXPECT_NE(store.find(util::hash64(BytesView(a))), nullptr);
+  EXPECT_NE(store.find(util::hash64(BytesView(d))), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(ChunkPipelineStoreTest, OversizeChunksAndDuplicatesAreNoOps) {
+  proto::ChunkStore store(64);
+  Buffer big(100, 9);
+  store.put(util::hash64(BytesView(big)), BytesView(big));
+  EXPECT_EQ(store.entries(), 0u);  // larger than the whole budget
+  Buffer small(16, 5);
+  const uint64_t h = util::hash64(BytesView(small));
+  store.put(h, BytesView(small));
+  store.put(h, BytesView(small));  // duplicate insert
+  EXPECT_EQ(store.entries(), 1u);
+  EXPECT_EQ(store.bytes(), 16u);
+  const Buffer* found = store.find(h);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, small);
+}
+
+// --- parallel_for -----------------------------------------------------------
+
+TEST(ChunkPipelineParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  sched::ThreadPoolExecutor pool(4);
+  sched::parallel_for(&pool, kCount,
+                      [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ChunkPipelineParallelForTest, NullPoolAndZeroCountRunInline) {
+  std::atomic<uint64_t> sum{0};
+  sched::parallel_for(nullptr, 100,
+                      [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  bool ran = false;
+  sched::parallel_for(nullptr, 0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ChunkPipelineParallelForTest, TransientPoolOverloadMatchesInline) {
+  constexpr size_t kCount = 2048;
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  sched::parallel_for(kCount, 4,
+                      [&hits](size_t i) { hits[i].fetch_add(1); });
+  uint64_t total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, kCount);
+}
+
+// Repeated build/teardown under contention — the shape most likely to
+// surface lifetime races (the fan-out must not touch its shared frame
+// after the waiter returns).
+TEST(ChunkPipelineParallelForTest, RepeatedFanOutsDoNotRace) {
+  sched::ThreadPoolExecutor pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint32_t> count{0};
+    sched::parallel_for(&pool, 64,
+                        [&count](size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace marea

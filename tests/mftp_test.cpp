@@ -37,7 +37,9 @@ FileMeta make_meta(const std::string& name, const Buffer& content,
 class MftpHarness {
  public:
   MftpHarness(size_t receivers, double loss, size_t content_bytes = 20000,
-              uint32_t chunk_size = 1024, uint64_t seed = 3)
+              uint32_t chunk_size = 1024, uint64_t seed = 3,
+              util::Codec codec = util::Codec::kNone,
+              Buffer content_override = {})
       : net_(sim_, Rng(seed)), exec_(sim_) {
     pub_node_ = net_.add_node("pub");
     sim::LinkParams lp;
@@ -45,8 +47,10 @@ class MftpHarness {
     net_.set_default_link(lp);
     // Re-set links from publisher (default link applied per pair lookup).
 
-    content_ = make_content(content_bytes);
+    content_ = content_override.empty() ? make_content(content_bytes)
+                                        : std::move(content_override);
     meta_ = make_meta("res", content_, chunk_size);
+    meta_.codec = static_cast<uint8_t>(codec);
 
     MftpParams params;
     params.chunk_size = chunk_size;
@@ -338,6 +342,183 @@ TEST(MftpTest, CorruptContentRejectedByCrc) {
   EXPECT_FALSE(completed);
   EXPECT_FALSE(rx.complete());
   EXPECT_EQ(rx.chunks_have(), 0u);
+}
+
+// --- content-addressed bulk path -------------------------------------------
+
+Buffer make_runs_content(size_t chunks, uint32_t chunk_size) {
+  // Flat runs per chunk: highly compressible, distinct per chunk.
+  Buffer b;
+  b.reserve(chunks * chunk_size);
+  for (size_t c = 0; c < chunks; ++c) {
+    b.insert(b.end(), chunk_size, static_cast<uint8_t>(c * 7 + 1));
+  }
+  return b;
+}
+
+Buffer make_duplicate_content(size_t copies, uint32_t chunk_size,
+                              uint64_t seed = 21) {
+  Buffer unit = make_content(chunk_size, seed);
+  Buffer b;
+  for (size_t i = 0; i < copies; ++i) {
+    b.insert(b.end(), unit.begin(), unit.end());
+  }
+  return b;
+}
+
+TEST(MftpTest, CorruptedChunkHashMismatchNacksAndRefetches) {
+  // Compose with the chaos corruption fault: one payload byte flipped in
+  // transit. The frame CRC is a middleware-layer defense; here the raw
+  // engine rides the sim datagrams, so the per-chunk hash is what must
+  // catch the damage, NACK it, and refetch.
+  MftpHarness h(1, 0.0, 20000, 1000, /*seed=*/17);
+  sim::LinkFaults bitrot;
+  bitrot.corrupt = 0.4;
+  h.net_.set_link_faults(h.pub_node_, h.receivers_[0]->node, bitrot);
+  h.publisher_->start();
+  h.sim_.run(5'000'000);
+  ASSERT_TRUE(h.receivers_[0]->completed.has_value());
+  EXPECT_EQ(*h.receivers_[0]->completed, h.content_);
+  EXPECT_GE(h.receivers_[0]->receiver->stats().hash_mismatches, 1u);
+  EXPECT_GE(h.publisher_->stats().chunk_retransmits, 1u);
+}
+
+TEST(MftpTest, CompressedTransferShrinksWireBytes) {
+  Buffer content = make_runs_content(20, 1000);
+  MftpHarness h(1, 0.0, 0, 1000, /*seed=*/3, util::Codec::kLz,
+                std::move(content));
+  h.publisher_->start();
+  h.sim_.run();
+  ASSERT_TRUE(h.receivers_[0]->completed.has_value());
+  EXPECT_EQ(*h.receivers_[0]->completed, h.content_);
+  const auto& ps = h.publisher_->stats();
+  EXPECT_EQ(ps.payload_bytes_sent, h.content_.size());
+  EXPECT_LT(ps.wire_bytes_sent, ps.payload_bytes_sent / 2);
+  EXPECT_EQ(h.receivers_[0]->receiver->stats().wire_bytes_received,
+            ps.wire_bytes_sent);
+}
+
+TEST(MftpTest, CompressedTransferCompletesUnderLoss) {
+  Buffer content = make_runs_content(30, 1000);
+  MftpHarness h(2, 0.15, 0, 1000, /*seed=*/29, util::Codec::kLz,
+                std::move(content));
+  h.publisher_->start();
+  h.sim_.run(5'000'000);
+  for (auto& rec : h.receivers_) {
+    ASSERT_TRUE(rec->completed.has_value());
+    EXPECT_EQ(*rec->completed, h.content_);
+  }
+}
+
+TEST(MftpTest, ManifestEnablesSameHashSiblingFills) {
+  // Eight identical chunks + the announce manifest: the publisher sends
+  // one copy, the receiver fills the other seven by hash.
+  Buffer content = make_duplicate_content(8, 1000);
+  MftpHarness h(1, 0.0, 0, 1000, /*seed=*/3, util::Codec::kNone,
+                std::move(content));
+  h.receivers_[0]->receiver->set_manifest(h.publisher_->chunk_hashes());
+  // No start(): add_subscriber already opened a completion poll, and the
+  // NACK-driven repair round is where dedup elision pays off.
+  h.sim_.run();
+  ASSERT_TRUE(h.receivers_[0]->completed.has_value());
+  EXPECT_EQ(*h.receivers_[0]->completed, h.content_);
+  EXPECT_EQ(h.publisher_->stats().chunks_sent, 1u);
+  EXPECT_EQ(h.publisher_->stats().chunks_dedup_skipped, 7u);
+  EXPECT_EQ(h.receivers_[0]->receiver->stats().chunks_deduped, 7u);
+}
+
+TEST(MftpTest, ManifestlessReceiverConvergesOnDuplicateContent) {
+  // Without the manifest the receiver cannot sibling-fill; the publisher
+  // still elides same-hash sends within a round, so repair rounds must
+  // deliver the siblings one by one — converging, not livelocking.
+  Buffer content = make_duplicate_content(6, 1000);
+  MftpHarness h(1, 0.0, 0, 1000, /*seed=*/3, util::Codec::kNone,
+                std::move(content));
+  h.publisher_->start();
+  h.sim_.run(10'000'000);
+  ASSERT_TRUE(h.receivers_[0]->completed.has_value());
+  EXPECT_EQ(*h.receivers_[0]->completed, h.content_);
+  EXPECT_GT(h.publisher_->stats().rounds, 1u);
+}
+
+TEST(MftpTest, NackEchoesManifestHash) {
+  Buffer content = make_content(4096);
+  FileMeta meta = make_meta("x", content, 1024);
+  ChunkTable table =
+      ChunkTable::build(as_bytes_view(content), 1024, util::Codec::kNone);
+  FileNackMsg last_nack;
+  int nacks = 0;
+  MftpReceiver rx(5, meta, [](const FileAckMsg&) {},
+                  [&](const FileNackMsg& nack) {
+                    last_nack = nack;
+                    ++nacks;
+                  });
+  rx.set_manifest(table.hashes());
+  FileStatusRequestMsg poll;
+  poll.transfer_id = 5;
+  poll.revision = 1;
+  rx.on_status_request(poll);
+  ASSERT_EQ(nacks, 1);
+  EXPECT_EQ(last_nack.manifest_hash, table.manifest_hash());
+  EXPECT_EQ(rx.manifest_hash(), table.manifest_hash());
+}
+
+TEST(MftpTest, ResumeFromStoreCompletesWithoutAnyChunkSends) {
+  // Transfer 1 populates the shared ChunkStore; an identical-revision
+  // transfer 2 then resumes entirely by hash — zero chunks on the wire.
+  Buffer content = make_content(4096, 31);
+  FileMeta meta = make_meta("x", content, 1024);
+  ChunkTable table =
+      ChunkTable::build(as_bytes_view(content), 1024, util::Codec::kNone);
+  ChunkStore store;
+
+  MftpReceiver rx1(5, meta, [](const FileAckMsg&) {},
+                   [](const FileNackMsg&) {});
+  rx1.set_manifest(table.hashes());
+  rx1.set_chunk_store(&store);
+  for (uint32_t i = 0; i < 4; ++i) {
+    FileChunkMsg chunk;
+    chunk.transfer_id = 5;
+    chunk.revision = 1;
+    chunk.index = i;
+    chunk.hash = table.entry(i).hash;
+    chunk.data = Buffer(content.begin() + i * 1024,
+                        content.begin() + (i + 1) * 1024);
+    rx1.on_chunk(chunk);
+  }
+  ASSERT_TRUE(rx1.complete());
+  EXPECT_EQ(store.entries(), 4u);
+
+  std::optional<Buffer> completed;
+  MftpReceiver rx2(6, meta, [](const FileAckMsg&) {},
+                   [](const FileNackMsg&) {});
+  rx2.set_manifest(table.hashes());
+  rx2.set_chunk_store(&store);
+  rx2.set_on_complete([&](const Buffer& b) { completed = b; });
+  rx2.resume_from_store();
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, content);
+  EXPECT_EQ(rx2.stats().chunks_from_store, 4u);
+  EXPECT_EQ(rx2.stats().chunks_received, 0u);
+}
+
+TEST(MftpTest, WrongHashChunkRejectedEvenWithMatchingSize) {
+  Buffer content = make_content(2048, 33);
+  FileMeta meta = make_meta("x", content, 1024);
+  ChunkTable table =
+      ChunkTable::build(as_bytes_view(content), 1024, util::Codec::kNone);
+  MftpReceiver rx(5, meta, [](const FileAckMsg&) {},
+                  [](const FileNackMsg&) {});
+  rx.set_manifest(table.hashes());
+  FileChunkMsg chunk;
+  chunk.transfer_id = 5;
+  chunk.revision = 1;
+  chunk.index = 0;
+  chunk.hash = table.entry(0).hash;
+  chunk.data = Buffer(1024, 0x5A);  // right size, wrong bytes
+  rx.on_chunk(chunk);
+  EXPECT_EQ(rx.chunks_have(), 0u);
+  EXPECT_EQ(rx.stats().hash_mismatches, 1u);
 }
 
 TEST(MftpTest, ProgressCallbackCounts) {

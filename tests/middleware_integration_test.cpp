@@ -98,6 +98,67 @@ TEST(IntegrationTest, Fig3MissionRunsToCompletion) {
   w.domain.stop_all();
 }
 
+class StoreDriver final : public Service {
+ public:
+  StoreDriver() : Service("sdrv") {}
+  Status on_start() override { return Status::ok(); }
+  Status publish(const std::string& name, Buffer content) {
+    return publish_file(name, std::move(content));
+  }
+  void store(const std::string& resource) {
+    StoreRequest req;
+    req.resource = resource;
+    call<StoreRequest, Ack>(
+        "storage.store", req,
+        [this](StatusOr<Ack> a) {
+          if (a.ok() && a->ok) ++acks;
+        },
+        {.timeout = seconds(2.0)});
+  }
+  int acks = 0;
+};
+
+TEST(IntegrationTest, StorageAtRestContainerCompressesAndRoundTrips) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(74);
+  auto& pub_node = domain.add_node("pub");
+  auto drv_owned = std::make_unique<StoreDriver>();
+  StoreDriver* drv = drv_owned.get();
+  (void)pub_node.add_service(std::move(drv_owned));
+  auto& st_node = domain.add_node("storage");
+  auto st_owned = std::make_unique<StorageService>();
+  StorageService* storage = st_owned.get();
+  (void)st_node.add_service(std::move(st_owned));
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+
+  drv->store("res.img");
+  domain.run_for(seconds(1.0));
+  ASSERT_EQ(drv->acks, 1);
+
+  // Compressible imagery: flat rows.
+  Buffer content;
+  for (int r = 0; r < 16; ++r) {
+    content.insert(content.end(), 512, static_cast<uint8_t>(r));
+  }
+  ASSERT_TRUE(drv->publish("res.img", content).is_ok());
+  domain.run_for(seconds(5.0));
+  ASSERT_EQ(storage->files_stored(), 1u);
+  // At rest the revision is packed ([codec][hash][size][payload]) and
+  // much smaller than the raw content.
+  EXPECT_EQ(storage->stored_raw_bytes(), content.size());
+  EXPECT_LT(storage->stored_disk_bytes(), content.size() / 2);
+  // fetch() unpacks, decompresses and hash-verifies.
+  auto fetched = storage->fetch("photos/res.img.r1");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().to_string();
+  EXPECT_EQ(*fetched, content);
+  // The raw fs bytes are the container, not the content.
+  auto on_disk = storage->fs().read("photos/res.img.r1");
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_LT(on_disk->size(), content.size());
+  domain.stop_all();
+}
+
 TEST(IntegrationTest, MissionSurvivesGroundStationLoss) {
   set_log_level(LogLevel::kError);
   Fig3World w(72);

@@ -534,6 +534,84 @@ TEST(ShardedDomainTest, MiddlewareDumpByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.dump, four.dump);
 }
 
+// --- content-addressed file transfer over a sharded domain ----------------
+
+class ParFilePub final : public Service {
+ public:
+  ParFilePub() : Service("fpub") {}
+  Status on_start() override { return Status::ok(); }
+  Status publish(const std::string& name, Buffer content) {
+    return publish_file(name, std::move(content));
+  }
+};
+
+class ParFileSub final : public Service {
+ public:
+  explicit ParFileSub(std::string name) : Service(std::move(name)) {}
+  Status on_start() override {
+    return subscribe_file("par.img",
+                          [this](const proto::FileMeta&, const Buffer& b) {
+                            ++completions;
+                            bytes += b.size();
+                          });
+  }
+  int completions = 0;
+  size_t bytes = 0;
+};
+
+ShardedRun run_sharded_file_domain(uint32_t threads) {
+  set_log_level(LogLevel::kError);
+  SimDomain domain(/*seed=*/12, {}, ShardOptions{.shards = 4,
+                                                 .threads = threads});
+  // Exercise the thread-pooled hash/compress pipeline for real: the
+  // publisher's ChunkTable fans out over 2 workers. The table is a pure
+  // function of the content, so this must not perturb the dump.
+  ContainerConfig cfg;
+  cfg.mftp.pipeline_threads = 2;
+  auto& pub_node = domain.add_node("fpub_node", cfg);
+  auto pub = std::make_unique<ParFilePub>();
+  auto* pub_ptr = pub.get();
+  (void)pub_node.add_service(std::move(pub));
+  std::vector<ParFileSub*> subs;
+  for (int i = 0; i < 3; ++i) {
+    auto& node = domain.add_node("fsub" + std::to_string(i), cfg);
+    auto s = std::make_unique<ParFileSub>("fsub" + std::to_string(i));
+    subs.push_back(s.get());
+    (void)node.add_service(std::move(s));
+  }
+  domain.start_all();
+  domain.run_for(milliseconds(500));
+
+  // Compressible imagery with duplicated rows: codec + dedup both fire.
+  Buffer content;
+  for (int c = 0; c < 24; ++c) {
+    content.insert(content.end(), 1024, static_cast<uint8_t>(c % 6));
+  }
+  (void)pub_ptr->publish("par.img", content);
+  domain.run_for(seconds(3.0));
+  // Identical republish: subscribers resume from their chunk stores.
+  (void)pub_ptr->publish("par.img", content);
+  domain.run_for(seconds(3.0));
+
+  ShardedRun r;
+  r.dump = domain.dump_all_json();
+  for (auto* s : subs) r.samples += s->completions;
+  r.events = domain.grid().events_executed_total();
+  return r;
+}
+
+TEST(ShardedDomainTest, FileTransferDumpByteIdenticalAcrossThreadCounts) {
+  ShardedRun one = run_sharded_file_domain(1);
+  ShardedRun four = run_sharded_file_domain(4);
+  EXPECT_EQ(one.samples, 6) << "every subscriber completes both revisions";
+  EXPECT_EQ(one.samples, four.samples);
+  EXPECT_EQ(one.events, four.events);
+  // mftp.* counters (bytes_on_wire, chunks_deduped, compress_ratio) are
+  // in this dump; wall-clock rates are gated off, so the whole snapshot
+  // must be byte-identical however many worker threads ran it.
+  EXPECT_EQ(one.dump, four.dump);
+}
+
 TEST(ShardedDomainTest, KillAndRestartApplyToEveryReplica) {
   set_log_level(LogLevel::kError);
   SimDomain domain(/*seed=*/21, {}, ShardOptions{.shards = 2, .threads = 2});

@@ -252,6 +252,62 @@ TEST(MessagesTest, FileMessages) {
   EXPECT_EQ(nack2.missing.cardinality(), 20u);
 }
 
+TEST(MessagesTest, ContentAddressedFileFields) {
+  // Codec id rides the announce metadata.
+  FileMeta meta;
+  meta.name = "img";
+  meta.revision = 3;
+  meta.size = 4096;
+  meta.chunk_size = 1024;
+  meta.content_crc = 0x12345678;
+  meta.codec = 2;
+  FileMeta meta2 = round_trip(meta);
+  EXPECT_EQ(meta2.codec, 2u);
+  EXPECT_EQ(meta2, meta);
+
+  // The revision message carries the chunk-hash manifest.
+  FileRevisionMsg rev;
+  rev.transfer_id = 9;
+  rev.meta = meta;
+  rev.chunk_hashes = {0x1111, 0x2222, 0x3333, 0x4444};
+  FileRevisionMsg rev2 = round_trip(rev);
+  EXPECT_EQ(rev2.chunk_hashes, rev.chunk_hashes);
+
+  // An empty manifest is legal (announcer without hashing).
+  rev.chunk_hashes.clear();
+  FileRevisionMsg rev3 = round_trip(rev);
+  EXPECT_TRUE(rev3.chunk_hashes.empty());
+
+  // A manifest whose length disagrees with chunk_count is rejected.
+  rev.chunk_hashes = {0x1111, 0x2222};  // meta says 4 chunks
+  ByteWriter w;
+  rev.encode(w);
+  ByteReader r(w.view());
+  FileRevisionMsg bad;
+  EXPECT_FALSE(FileRevisionMsg::decode(r, bad));
+
+  // Chunks carry their content hash and the compressed flag.
+  FileChunkMsg chunk;
+  chunk.transfer_id = 9;
+  chunk.revision = 3;
+  chunk.index = 1;
+  chunk.hash = 0xDEADBEEFCAFEF00Dull;
+  chunk.flags = kChunkFlagCompressed;
+  chunk.data = Buffer(64, 0x55);
+  FileChunkMsg chunk2 = round_trip(chunk);
+  EXPECT_EQ(chunk2.hash, chunk.hash);
+  EXPECT_EQ(chunk2.flags, kChunkFlagCompressed);
+
+  // NACKs echo the manifest hash they repair against.
+  FileNackMsg nack;
+  nack.transfer_id = 9;
+  nack.revision = 3;
+  nack.manifest_hash = 0xABCDABCDABCDABCDull;
+  nack.missing.insert_run(0, 4);
+  FileNackMsg nack2 = round_trip(nack);
+  EXPECT_EQ(nack2.manifest_hash, nack.manifest_hash);
+}
+
 TEST(MessagesTest, ChannelOfIsStable) {
   EXPECT_EQ(channel_of("gps.position"), channel_of("gps.position"));
   EXPECT_NE(channel_of("gps.position"), channel_of("gps.position2"));

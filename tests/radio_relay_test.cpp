@@ -24,6 +24,7 @@
 #include "services/relay_service.h"
 #include "sim/radio.h"
 #include "util/crc32.h"
+#include "util/hash.h"
 
 namespace marea::services {
 namespace {
@@ -143,6 +144,15 @@ class FieldPublisher final : public mw::Service {
     Buffer b = blob_content(blobs_);
     crcs_[blobs_] = crc32(as_bytes_view(b));
     (void)publish_file("field.blob", std::move(b));
+  }
+  // Same key framing, but a flat (maximally compressible) body — for the
+  // capture-time compression tests.
+  Status publish_compressible_blob() {
+    ++blobs_;
+    Buffer b(4096, 0);
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(blobs_ >> (8 * i));
+    crcs_[blobs_] = crc32(as_bytes_view(b));
+    return publish_file("field.blob", std::move(b));
   }
 
   int64_t samples_published() const { return samples_; }
@@ -442,6 +452,124 @@ TEST(DataMuleScenarioTest, SameSeedSameTrace) {
   MuleRun b = run_mule_scenario(11, 1, 0);
   EXPECT_EQ(a.summary, b.summary) << "data-mule counters are seed-unstable";
   EXPECT_EQ(a.dump, b.dump) << "data-mule dump is seed-unstable";
+}
+
+// --- custody content addressing ------------------------------------------
+
+// Drives the sink's relay.deliver RPC directly with hand-built bundles:
+// the verification path (decompress + hash check before custody) must
+// refuse damaged file chunks so the mule retains and retries them.
+class DeliverDriver final : public mw::Service {
+ public:
+  DeliverDriver() : Service("driver") {}
+  Status on_start() override { return Status::ok(); }
+
+  void deliver(RelayBundle b) {
+    call<RelayBundle, RelayAck>(
+        "relay.deliver", std::move(b),
+        [this](StatusOr<RelayAck> ack) {
+          if (ack.ok()) acks.push_back(*ack);
+        },
+        {.timeout = seconds(2.0)});
+  }
+
+  std::vector<RelayAck> acks;
+};
+
+TEST(RelayCustodyTest, SinkRejectsDamagedFileChunksUntilIntact) {
+  set_log_level(LogLevel::kError);
+  mw::SimDomain domain(/*seed=*/71);
+  const std::vector<RelayRoute> routes = {RelayRoute::file("field.blob")};
+  auto& sink_node = domain.add_node("gs");
+  auto sink_owned =
+      std::make_unique<RelayService>(RelayService::Role::kSink, routes);
+  RelayService* sink = sink_owned.get();
+  (void)sink_node.add_service(std::move(sink_owned));
+  auto& drv_node = domain.add_node("drv");
+  auto drv_owned = std::make_unique<DeliverDriver>();
+  DeliverDriver* drv = drv_owned.get();
+  (void)drv_node.add_service(std::move(drv_owned));
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+
+  Buffer raw(512, 0x42);  // compressible chunk
+  const util::Compressor* lz = util::compressor_for(util::Codec::kLz);
+  RelayBundle good;
+  good.id = 1;
+  good.mule = "m";
+  good.klass = "file";
+  good.name = "field.blob";
+  good.chunk_index = 0;
+  good.chunk_count = 2;
+  good.revision = 1;
+  good.chunk_hash = util::hash64(BytesView(raw));
+  good.raw_size = static_cast<uint32_t>(raw.size());
+  ASSERT_TRUE(lz->compress(BytesView(raw), good.payload));
+  good.codec = static_cast<uint32_t>(util::Codec::kLz);
+
+  // 1) hash mismatch: right size, wrong bytes.
+  RelayBundle bad_hash = good;
+  bad_hash.chunk_hash ^= 0xFFFF;
+  drv->deliver(bad_hash);
+  domain.run_for(seconds(1.0));
+  ASSERT_EQ(drv->acks.size(), 1u);
+  EXPECT_FALSE(drv->acks[0].accepted);
+  EXPECT_EQ(sink->bundles_rejected(), 1u);
+  EXPECT_EQ(sink->bundles_accepted(), 0u);
+
+  // 2) truncated compressed payload: decoder must refuse, not crash.
+  RelayBundle truncated = good;
+  truncated.payload.resize(truncated.payload.size() / 2);
+  drv->deliver(truncated);
+  domain.run_for(seconds(1.0));
+  ASSERT_EQ(drv->acks.size(), 2u);
+  EXPECT_FALSE(drv->acks[1].accepted);
+  EXPECT_EQ(sink->bundles_rejected(), 2u);
+
+  // 3) the same bundle id, intact this time — the reject path forgot the
+  // id, so the retry is accepted as first-seen, not "duplicate".
+  drv->deliver(good);
+  domain.run_for(seconds(1.0));
+  ASSERT_EQ(drv->acks.size(), 3u);
+  EXPECT_TRUE(drv->acks[2].accepted);
+  EXPECT_EQ(sink->bundles_accepted(), 1u);
+  EXPECT_EQ(sink->duplicates_ignored(), 0u);
+}
+
+TEST(RelayCustodyTest, MuleCompressesFileCustodyAtCapture) {
+  set_log_level(LogLevel::kError);
+  mw::SimDomain domain(/*seed=*/72);
+  const std::vector<RelayRoute> routes = {RelayRoute::file("field.blob")};
+  auto& field_node = domain.add_node("field");
+  auto pub_owned = std::make_unique<FieldPublisher>();
+  FieldPublisher* pub = pub_owned.get();
+  (void)field_node.add_service(std::move(pub_owned));
+  auto& mule_node = domain.add_node("mule");
+  auto mule_owned =
+      std::make_unique<RelayService>(RelayService::Role::kMule, routes);
+  RelayService* mule = mule_owned.get();
+  (void)mule_node.add_service(std::move(mule_owned));
+  auto& gs_node = domain.add_node("gs");
+  auto sink_owned =
+      std::make_unique<RelayService>(RelayService::Role::kSink, routes);
+  RelayService* sink = sink_owned.get();
+  (void)gs_node.add_service(std::move(sink_owned));
+  auto check_owned = std::make_unique<RelayedChecker>(pub);
+  RelayedChecker* checker = check_owned.get();
+  (void)gs_node.add_service(std::move(check_owned));
+  domain.start_all();
+  domain.run_for(seconds(1.0));
+
+  // A compressible blob: all-zero tail after the 8-byte key prefix.
+  (void)pub->publish_compressible_blob();
+  domain.run_for(seconds(20.0));
+  EXPECT_EQ(mule->files_seen(), 1u);
+  EXPECT_EQ(sink->files_relayed(), 1u);
+  EXPECT_TRUE(checker->violations().empty());
+  // Capture-time compression shrank the custody bytes.
+  EXPECT_GT(mule->custody_raw_bytes(), 0u);
+  EXPECT_LT(mule->custody_wire_bytes(), mule->custody_raw_bytes() / 2);
+  EXPECT_EQ(sink->bundles_rejected(), 0u);
 }
 
 TEST(DataMuleScenarioTest, ShardedTraceIdenticalAcrossWorkerThreads) {
