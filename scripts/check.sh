@@ -11,12 +11,16 @@
 # datapath), bench_fleet (sharded engine scaling), bench_scenario_matrix
 # (seeded missions over the mobility-driven radio model),
 # bench_file_transfer (content-addressed MFTP: compression, dedup,
-# republish, loss sweep) — and scripts/bench_compare.py gates each
-# against its committed baseline
-# (bench/baselines/{hotpath,live,fleet,scenario,filetransfer}.json).
+# republish, loss sweep), bench_gateway (ground-station fan-out to
+# 1k/10k/100k external subscribers) — and scripts/bench_compare.py gates
+# each against its committed baseline
+# (bench/baselines/{hotpath,live,fleet,scenario,filetransfer,gateway}.json).
 # The CI workflow (.github/workflows/ci.yml) runs these same legs as a
-# matrix, plus a weekly scheduled soak (chaos_soak_test repeated and the
-# scenario matrix at 10x seeds) off the PR path.
+# matrix, plus a dedicated multiprocess job (the marea-node 3-process
+# smoke under ASan, flight-recorder dumps uploaded on failure) and a
+# weekly scheduled soak (chaos_soak_test repeated and the scenario
+# matrix at 10x seeds) off the PR path. The plain and sanitized ctest
+# passes here already include the multiproc suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,7 +44,7 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 echo "== release hot-path bench (BENCH_hotpath.json) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j"$(nproc)" --target bench_hotpath bench_live \
-  bench_fleet bench_scenario_matrix bench_file_transfer
+  bench_fleet bench_scenario_matrix bench_file_transfer bench_gateway
 ./build-release/bench/bench_hotpath > BENCH_hotpath.json
 cat BENCH_hotpath.json
 
@@ -60,6 +64,10 @@ echo "== release file-transfer bench (BENCH_filetransfer.json) =="
 ./build-release/bench/bench_file_transfer > BENCH_filetransfer.json
 cat BENCH_filetransfer.json
 
+echo "== release gateway fan-out bench (BENCH_gateway.json) =="
+./build-release/bench/bench_gateway > BENCH_gateway.json
+cat BENCH_gateway.json
+
 echo "== bench regression gates =="
 python3 scripts/bench_compare.py bench/baselines/hotpath.json \
   BENCH_hotpath.json
@@ -71,5 +79,7 @@ python3 scripts/bench_compare.py bench/baselines/scenario.json \
   BENCH_scenario.json
 python3 scripts/bench_compare.py bench/baselines/filetransfer.json \
   BENCH_filetransfer.json
+python3 scripts/bench_compare.py bench/baselines/gateway.json \
+  BENCH_gateway.json
 
 echo "check.sh: all green"

@@ -71,17 +71,24 @@ Service* ServiceContainer::find_service(const std::string& name) {
   return nullptr;
 }
 
+Status ServiceContainer::bind_transport() {
+  if (bound_) return Status::ok();
+  Status s = transport_.bind_frames(
+      config_.data_port, [this](transport::Address from, SharedFrame frame) {
+        on_datagram(from, std::move(frame));
+      });
+  if (!s.is_ok()) return s;
+  bound_ = true;
+  // An ephemeral bind (data_port == 0) resolves to the kernel-assigned
+  // port here, so manifests, heartbeats and broadcast sends all carry
+  // the real port from the first announce on.
+  config_.data_port = transport_.bound_port(config_.data_port);
+  return Status::ok();
+}
+
 Status ServiceContainer::start() {
   if (running_) return failed_precondition_error("already running");
-  if (!bound_) {
-    Status s = transport_.bind_frames(
-        config_.data_port,
-        [this](transport::Address from, SharedFrame frame) {
-          on_datagram(from, std::move(frame));
-        });
-    if (!s.is_ok()) return s;
-    bound_ = true;
-  }
+  if (Status s = bind_transport(); !s.is_ok()) return s;
   running_ = true;
   started_at_ = now();
   // A restart is a new incarnation: peers reset their reliable-link state.
@@ -183,6 +190,14 @@ std::vector<proto::ContainerId> ServiceContainer::known_peers() const {
   ids.reserve(peers_.size());
   for (const auto& [id, peer] : peers_) ids.push_back(id);
   return ids;
+}
+
+std::vector<transport::Address> ServiceContainer::known_peer_addresses()
+    const {
+  std::vector<transport::Address> addrs;
+  addrs.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) addrs.push_back(peer.address);
+  return addrs;
 }
 
 // ---------------------------------------------------------------------------
@@ -788,6 +803,7 @@ void ServiceContainer::publish_metrics(obs::MetricsRegistry& reg) {
   reg.counter(p + "frames_dropped").set(stats_.frames_dropped);
   reg.counter(p + "frames_send_failed").set(stats_.frames_send_failed);
   reg.counter(p + "link_session_resets").set(stats_.link_session_resets);
+  reg.counter(p + "stale_session_acks").set(stats_.stale_session_acks);
   reg.counter(p + "name_queries_sent").set(stats_.name_queries_sent);
   reg.counter(p + "emergencies").set(stats_.emergencies);
 

@@ -110,6 +110,7 @@ struct ContainerStats {
                                       // UDP: buffer pressure, no route)
   uint64_t link_session_resets = 0;   // receiver ARQ state rebuilt for a
                                       // peer's new sender life
+  uint64_t stale_session_acks = 0;    // acks for a dead tx session, dropped
   uint64_t name_queries_sent = 0;
   uint64_t emergencies = 0;
 };
@@ -147,6 +148,12 @@ class ServiceContainer {
   // --- lifecycle ---
   // Takes ownership. Must be called before start().
   Status add_service(std::unique_ptr<Service> service);
+  // Binds the container's data port without starting protocol timers.
+  // start() calls this implicitly; multi-process runners call it first so
+  // an ephemeral bind (config.data_port == 0) resolves to the kernel-
+  // assigned port — readable via config().data_port afterwards — which
+  // can then be exchanged with peers before discovery begins. Idempotent.
+  Status bind_transport();
   Status start();
   void stop();
   bool running() const { return running_; }
@@ -167,6 +174,11 @@ class ServiceContainer {
   TimePoint now() const { return executor_.now(); }
   // Containers currently believed alive (excluding self).
   std::vector<proto::ContainerId> known_peers() const;
+  // Their data addresses, as learned from hellos/heartbeats — the live
+  // deployment glue uses this to keep the transport's broadcast peer
+  // list in step with discovery when peers sit on ephemeral ports. Call
+  // from the executor context (same constraint as every container API).
+  std::vector<transport::Address> known_peer_addresses() const;
   // Current incarnation: set on first start(), bumped on every restart.
   // Peers discard state belonging to older incarnations.
   uint64_t incarnation() const { return incarnation_; }

@@ -341,13 +341,30 @@ void ServiceContainer::peer_link_reset(proto::ContainerId id) {
   stats_.link_session_resets++;
   trace_ev(obs::TraceEvent::kPeerLost, obs::TraceKind::kLink, id);
   for (auto& [name, sub] : var_subs_) {
-    // Same provider, same seq stream: keep the last_seq watermark (it
-    // also gates old-life sample retransmissions), just re-announce.
-    if (sub.provider && sub.provider->container == id) sub.announced = false;
+    if (sub.provider && sub.provider->container == id) {
+      sub.announced = false;
+      // The sender's process state died with the old link session, so
+      // its sample sequences restart from 1 — under the SAME container
+      // id and (for a re-exec'd process) possibly the same incarnation.
+      // Keeping the watermark would gate the entire fresh stream as
+      // duplicates; resetting it risks accepting one stale in-flight
+      // old-life sample, which the next fresh sample then supersedes.
+      sub.seq_stream_container = proto::kInvalidContainer;
+      sub.seq_stream_incarnation = 0;
+      sub.last_seq = 0;
+      sub.got_any = false;
+    }
   }
   for (auto& [name, sub] : event_subs_) {
     sub.announced_to.erase(id);
+    // Drain held events, then drop the order state entirely: old-life
+    // event retransmissions cannot reach us (they carry the dead link
+    // session and die at the ARQ layer), so the forward-only resync
+    // guard — built for one-sided peer loss, where the old life can
+    // still retransmit — would only wedge a restarted publisher whose
+    // pub_seq began again at 1.
     evict_ordered_stream(sub, id);
+    sub.order.erase(id);
   }
   for (auto& [name, sub] : file_subs_) {
     if (sub.provider && sub.provider->container == id) sub.announced = false;

@@ -15,15 +15,32 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
     return;
   }
   if (!p->tx) {
-    transport::Address to = p->address;
     // A fresh sender life gets a fresh session: the receiver resets its
     // ARQ state when it sees the new stamp, so sequences restarting from
     // zero are not mistaken for duplicates of the life an outage killed.
-    p->tx_session = ++link_sessions_[peer_id];
+    // The counter is floored at the current time so sessions stay
+    // monotonic across a *process* death too — a re-exec'd container
+    // with the same incarnation starts its counters from scratch, and a
+    // plain ++ would collide with the session the surviving peer already
+    // holds, wedging the pair (the survivor drops every "old session"
+    // frame). Virtual time keeps this deterministic in simulation; on
+    // the live stack the steady clock is monotonic per host.
+    uint64_t next = link_sessions_[peer_id] + 1;
+    const uint64_t t = static_cast<uint64_t>(now().ns);
+    if (t > next) next = t;
+    link_sessions_[peer_id] = next;
+    p->tx_session = next;
     const uint64_t session = p->tx_session;
     p->tx = std::make_unique<proto::ArqSender>(
         executor_, sched::Priority::kEvent, config_.arq,
-        [this, to, session](const proto::ReliableDataMsg& msg) {
+        [this, peer_id, session](const proto::ReliableDataMsg& msg) {
+          // Resolve the destination at (re)transmit time, not capture it
+          // at session creation: a peer process that re-execs onto a new
+          // ephemeral port keeps its id but changes address, and hello
+          // rewrites peers_[id].address while this session's retransmit
+          // queue is still draining.
+          Peer* dst = peer(peer_id);
+          if (!dst) return;
           // Stamp at send time, not queue time: a frame retransmitted
           // across our own restart must not carry the old incarnation.
           // Shallow stamp: the inner bytes stay owned by the ARQ
@@ -34,7 +51,7 @@ void ServiceContainer::link_send(proto::ContainerId peer_id,
           stamped.seq = msg.seq;
           stamped.inner_type = msg.inner_type;
           stamped.inner = Bytes::borrow(msg.inner.view());
-          send_frame(to, proto::MsgType::kReliableData,
+          send_frame(dst->address, proto::MsgType::kReliableData,
                      build_msg(proto::MsgType::kReliableData, stamped));
         });
     p->tx->set_trace(trace_, static_cast<uint32_t>(config_.id), peer_id);
@@ -78,17 +95,21 @@ void ServiceContainer::on_reliable_data(proto::ContainerId from,
     peer_link_reset(from);
   }
   if (!p.rx) {
-    transport::Address to = p.address;
     p.rx_session = msg.session;
     const uint64_t session = msg.session;
     p.rx = std::make_unique<proto::ArqReceiver>(
-        [this, to, from, session](const proto::ReliableAckMsg& ack) {
+        [this, from, session](const proto::ReliableAckMsg& ack) {
+          // Same at-send-time resolution as the tx path: acks must follow
+          // the peer to its current address, not the one it had when this
+          // receiver state was built.
+          Peer* dst = peer(from);
+          if (!dst) return;
           trace_ev(obs::TraceEvent::kAck, obs::TraceKind::kLink, from,
                    ack.floor);
           proto::ReliableAckMsg stamped = ack;
           stamped.incarnation = incarnation_;
           stamped.session = session;
-          send_frame(to, proto::MsgType::kReliableAck,
+          send_frame(dst->address, proto::MsgType::kReliableAck,
                      build_msg(proto::MsgType::kReliableAck, stamped));
         },
         [this, from](proto::InnerType type, BytesView inner) {
@@ -104,11 +125,18 @@ void ServiceContainer::on_reliable_ack(proto::ContainerId from,
   // confirm data we queued for its current one.
   if (!check_peer_incarnation(from, msg.incarnation)) return;
   Peer* p = peer(from);
-  // An ack echoing an older session comes from receiver state for a
-  // previous sender life — its floor says nothing about frames queued in
-  // this one, and trusting it would cancel retransmission of data the
+  if (!p || !p->tx) return;
+  // An ack echoing another session comes from receiver state for a
+  // different sender life — its floor says nothing about frames queued
+  // in this one, and trusting it would cancel retransmission of data the
   // peer never delivered.
-  if (p && p->tx && msg.session == p->tx_session) p->tx->on_ack(msg);
+  if (msg.session != p->tx_session) {
+    stats_.stale_session_acks++;
+    trace_ev(obs::TraceEvent::kDrop, obs::TraceKind::kLink, from,
+             msg.session);
+    return;
+  }
+  p->tx->on_ack(msg);
 }
 
 void ServiceContainer::deliver_inner(proto::ContainerId from,

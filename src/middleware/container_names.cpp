@@ -61,8 +61,16 @@ void ServiceContainer::on_name_reply(const proto::NameReplyMsg& msg) {
 void ServiceContainer::send_name_query(proto::ItemKind kind,
                                        const std::string& name,
                                        TimePoint& last_query) {
-  if (now() - last_query < config_.resubscribe_interval) return;
-  last_query = now();
+  // The debounce bounds BROADCAST RATE ON THE MEDIUM, so it is keyed to
+  // the transport's clock, not the executor's. In simulation they are
+  // the same virtual clock; on the live stack the executor may sit idle
+  // between bursts of posted work (a rebind storm after a gateway
+  // restart lands as one dense batch), and only the wall clock pacing
+  // the network can meter what actually hits the wire.
+  const Clock* net_clock = transport_.clock();
+  const TimePoint t = net_clock ? net_clock->now() : now();
+  if (t - last_query < config_.resubscribe_interval) return;
+  last_query = t;
   proto::NameQueryMsg msg;
   msg.query_id = next_request_id_++;
   msg.kind = kind;

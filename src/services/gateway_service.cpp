@@ -1,0 +1,275 @@
+#include "services/gateway_service.h"
+
+#include <algorithm>
+
+#include "encoding/codec.h"
+#include "util/logging.h"
+
+namespace marea::services {
+
+// ---------------------------------------------------------------------------
+// GatewayFanout
+// ---------------------------------------------------------------------------
+
+// Per-shard state. Two locks with disjoint jobs so the publisher never
+// waits behind a fan-out pass:
+//   * m       — topic slots (latest frame + sequences) and the wakeup
+//               cv. publish() holds it for a frame-pointer swap only.
+//   * subs_m  — subscriber arrays and the send scratch. A topic pass
+//               holds it end to end; add_subscriber (setup phase) queues
+//               behind at most one pass.
+struct GatewayFanout::Shard {
+  transport::Transport* egress = nullptr;
+  std::thread thread;
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::condition_variable idle_cv;
+  std::vector<SharedFrame> latest;  // per topic, guarded by m
+  std::vector<uint64_t> pub_seq;    // guarded by m
+  std::vector<uint64_t> done_seq;   // guarded by m
+
+  std::mutex subs_m;
+  std::vector<transport::Address> addr;  // per subscriber
+  std::vector<uint64_t> interest;        // topic bitmask per subscriber
+  // Watermarks, [subscriber * max_topics + topic]: the newest topic seq
+  // this subscriber has been sent. ONE slot per subscriber-topic is the
+  // whole queue — conflation is structural, not a bounded buffer that
+  // can still bloat.
+  std::vector<uint64_t> last_sent;
+  std::vector<transport::Address> batch;  // send scratch, size send_batch
+};
+
+GatewayFanout::GatewayFanout(std::vector<transport::Transport*> egress,
+                             GatewayFanoutOptions options)
+    : egress_(std::move(egress)), options_(options) {
+  if (egress_.empty()) {
+    throw std::invalid_argument("GatewayFanout: no egress transport");
+  }
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.max_topics == 0) options_.max_topics = 1;
+  if (options_.max_topics > 64) options_.max_topics = 64;  // interest bits
+  if (options_.send_batch == 0) options_.send_batch = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->egress = egress_[i % egress_.size()];
+    sh->latest.resize(options_.max_topics);
+    sh->pub_seq.assign(options_.max_topics, 0);
+    sh->done_seq.assign(options_.max_topics, 0);
+    sh->batch.resize(options_.send_batch);
+    shards_.push_back(std::move(sh));
+  }
+  for (auto& sh : shards_) {
+    sh->thread = std::thread([this, s = sh.get()] { worker(*s); });
+  }
+  if (options_.obs) {
+    obs_token_ = options_.obs->metrics.add_collector(
+        [this, p = options_.obs_prefix + "."](obs::MetricsRegistry& reg) {
+          Stats s = stats();
+          reg.gauge(p + "subscribers")
+              .set(static_cast<int64_t>(subscriber_count()));
+          reg.counter(p + "updates").set(s.updates);
+          reg.counter(p + "datagrams").set(s.datagrams);
+          reg.counter(p + "conflated").set(s.conflated);
+          reg.counter(p + "backpressure_drops").set(s.backpressure_drops);
+        });
+  }
+}
+
+GatewayFanout::~GatewayFanout() {
+  running_.store(false, std::memory_order_release);
+  for (auto& sh : shards_) {
+    std::lock_guard lk(sh->m);
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+  if (options_.obs && obs_token_ != 0) {
+    options_.obs->metrics.remove_collector(obs_token_);
+  }
+}
+
+uint64_t GatewayFanout::add_subscriber(transport::Address addr,
+                                       uint64_t interest) {
+  const uint64_t id = next_sub_++;
+  Shard& sh = *shards_[id % shards_.size()];
+  {
+    std::lock_guard lk(sh.subs_m);
+    sh.addr.push_back(addr);
+    sh.interest.push_back(interest);
+    sh.last_sent.resize(sh.addr.size() * options_.max_topics, 0);
+  }
+  subscribers_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void GatewayFanout::publish(size_t topic, SharedFrame frame) {
+  if (topic >= options_.max_topics) return;
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    {
+      std::lock_guard lk(sh.m);
+      // Overwrite, never queue: the slot IS the per-shard queue of depth
+      // one. Copy-assigning a SharedFrame is a refcount bump + release
+      // of the superseded frame — no heap traffic.
+      sh.latest[topic] = frame;
+      ++sh.pub_seq[topic];
+    }
+    sh.cv.notify_one();
+  }
+}
+
+void GatewayFanout::worker(Shard& sh) {
+  std::unique_lock lk(sh.m);
+  while (true) {
+    size_t topic = options_.max_topics;
+    for (size_t t = 0; t < options_.max_topics; ++t) {
+      if (sh.pub_seq[t] > sh.done_seq[t]) {
+        topic = t;
+        break;
+      }
+    }
+    if (topic == options_.max_topics) {
+      sh.idle_cv.notify_all();
+      if (!running_.load(std::memory_order_acquire)) return;
+      sh.cv.wait(lk);
+      continue;
+    }
+    // Snapshot the newest value and its seq; every publish that lands
+    // while the pass below runs simply raises pub_seq further and the
+    // next pass jumps straight to it (freshest-value wins).
+    SharedFrame frame = sh.latest[topic];
+    const uint64_t seq = sh.pub_seq[topic];
+    lk.unlock();
+    run_topic_pass(sh, topic, frame, seq);
+    lk.lock();
+    if (sh.done_seq[topic] < seq) sh.done_seq[topic] = seq;
+  }
+}
+
+void GatewayFanout::run_topic_pass(Shard& sh, size_t topic,
+                                   const SharedFrame& frame, uint64_t seq) {
+  std::lock_guard lk(sh.subs_m);
+  const uint64_t bit = 1ull << topic;
+  const size_t n = sh.addr.size();
+  size_t b = 0;
+  uint64_t sent = 0;
+  uint64_t conflated = 0;
+  uint64_t drops = 0;
+  auto flush = [&] {
+    if (b == 0) return;
+    Status s = sh.egress->send_frame_to_many(options_.egress_port,
+                                             sh.batch.data(), b, frame);
+    if (s.is_ok()) {
+      sent += b;
+    } else {
+      // Cold path: resend the batch one destination at a time to
+      // attribute the failures. A datagram the kernel still refuses is a
+      // backpressure drop — the watermark has already advanced, so the
+      // subscriber's next delivery is the next (fresher) update, never a
+      // retry of this one. A destination double-sent by the batch
+      // attempt is harmless: the frame's seq lets consumers dedup.
+      for (size_t j = 0; j < b; ++j) {
+        if (sh.egress->send_frame(options_.egress_port, sh.batch[j], frame)
+                .is_ok()) {
+          ++sent;
+        } else {
+          ++drops;
+        }
+      }
+    }
+    b = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (!(sh.interest[i] & bit)) continue;
+    uint64_t& mark = sh.last_sent[i * options_.max_topics + topic];
+    if (mark >= seq) continue;
+    // mark == 0 is a late joiner seeing its first update, not a slow
+    // consumer; anything else skipped strictly between mark and seq was
+    // conflated away.
+    if (mark != 0) conflated += seq - mark - 1;
+    mark = seq;
+    sh.batch[b++] = sh.addr[i];
+    if (b == options_.send_batch) flush();
+  }
+  flush();
+  datagrams_.fetch_add(sent, std::memory_order_relaxed);
+  conflated_.fetch_add(conflated, std::memory_order_relaxed);
+  backpressure_drops_.fetch_add(drops, std::memory_order_relaxed);
+}
+
+void GatewayFanout::wait_idle() {
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::unique_lock lk(sh.m);
+    sh.idle_cv.wait(lk, [&] {
+      for (size_t t = 0; t < options_.max_topics; ++t) {
+        if (sh.pub_seq[t] > sh.done_seq[t]) return false;
+      }
+      return true;
+    });
+  }
+}
+
+GatewayFanout::Stats GatewayFanout::stats() const {
+  Stats s;
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.datagrams = datagrams_.load(std::memory_order_relaxed);
+  s.conflated = conflated_.load(std::memory_order_relaxed);
+  s.backpressure_drops =
+      backpressure_drops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// GatewayService
+// ---------------------------------------------------------------------------
+
+GatewayService::GatewayService(std::vector<transport::Transport*> egress,
+                               GatewayServiceOptions options)
+    : Service("gateway"),
+      egress_(std::move(egress)),
+      options_(std::move(options)) {
+  // Built here, not in on_start(): external subscribers register against
+  // the fanout before the container (and discovery) comes up.
+  fanout_ = std::make_unique<GatewayFanout>(egress_, options_.fanout);
+  topic_seq_.assign(options_.topics.size(), 0);
+}
+
+Status GatewayService::on_start() {
+  const size_t n =
+      std::min(options_.topics.size(), options_.fanout.max_topics);
+  for (size_t i = 0; i < n; ++i) {
+    const GatewayTopic& t = options_.topics[i];
+    Status s = subscribe_variable(
+        t.variable, t.type,
+        [this, i](const enc::Value& v, const mw::SampleInfo& info) {
+          // Re-encode once into a pooled frame; the fanout shares that
+          // one slab across every subscriber datagram.
+          FrameLease lease = egress_.front()->frame_pool().acquire(128);
+          Buffer& buf = lease.buffer();
+          buf.clear();
+          ByteWriter w(buf);
+          w.u32(kGatewayMagic);
+          w.u16(static_cast<uint16_t>(i));
+          w.u16(0);
+          w.u64(++topic_seq_[i]);
+          w.i64(info.publish_time.ns);
+          enc::encode_tagged(v, w);
+          fanout_->publish(i, std::move(lease).freeze());
+        });
+    if (!s.is_ok()) return s;
+  }
+  if (options_.topics.size() > n) {
+    MAREA_LOG(kWarn, "gateway")
+        << "topic list truncated to max_topics=" << n;
+  }
+  return Status::ok();
+}
+
+void GatewayService::on_stop() {}
+
+}  // namespace marea::services

@@ -1,0 +1,160 @@
+// Ground-station gateway (ROADMAP item 2): terminates fleet telemetry
+// inside the middleware domain and fans each update out to a very large
+// population of EXTERNAL subscribers — dashboards, per-user feeds, the
+// "millions of users" direction of the drone-as-a-service ecosystems in
+// PAPERS.md. External subscribers are plain UDP endpoints: they are not
+// containers, speak none of the PEPt protocol, and receive
+// self-describing gateway frames (layout below).
+//
+// Two layers:
+//
+//   * GatewayFanout — the middleware-free fan-out engine. Subscribers are
+//     sharded across K worker threads (each shard owns an egress
+//     Transport, i.e. an epoll/poll loop of its own); a publish stores
+//     the update's SharedFrame as the topic's latest value and wakes the
+//     shards, which push ONE refcounted frame per subscriber via batched
+//     sendmmsg (Transport::send_frame_to_many). Queue depth per
+//     subscriber-topic is structurally ONE slot: a slow consumer — or a
+//     shard that cannot keep up with the publish rate — simply skips the
+//     intermediate values (conflation, freshest-value wins; skipped
+//     updates count `gw.conflated`). A datagram the kernel refuses even
+//     after the transport's bounded retries is abandoned and counted
+//     `gw.backpressure_drops`, and the watermark still advances — the
+//     next update supersedes it. Everything on the update path is
+//     preallocated (add_subscriber is setup-phase): zero heap
+//     allocations per fan-out, gated by bench_gateway.
+//
+//   * GatewayService — the mw::Service wrapper: subscribes the
+//     configured telemetry variables, re-encodes each sample into one
+//     pooled gateway frame, and hands it to the fanout.
+//
+// Gateway frame layout (little-endian):
+//   u32  magic    0x3157474D ("MGW1")
+//   u16  topic    index into the configured topic list
+//   u16  reserved 0
+//   u64  seq      per-topic update sequence, starts at 1
+//   i64  time_ns  publish time (container clock)
+//   ...  value    enc::encode_tagged(sample) — self-describing
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "middleware/service.h"
+#include "obs/obs.h"
+#include "transport/transport.h"
+
+namespace marea::services {
+
+constexpr uint32_t kGatewayMagic = 0x3157474Du;  // "MGW1"
+
+struct GatewayFanoutOptions {
+  // Worker shards; subscribers are assigned round-robin. Each shard uses
+  // egress transport i % egress.size().
+  size_t shards = 4;
+  // Fixed topic-table size; interest masks are 64-bit.
+  size_t max_topics = 8;
+  // Source port stamped on egress datagrams (0 = the transport's shared
+  // send socket).
+  uint16_t egress_port = 0;
+  // sendmmsg batch handed to the transport per flush.
+  size_t send_batch = 64;
+  // Optional obs registry: publishes gw.subscribers / gw.conflated /
+  // gw.backpressure_drops / gw.updates / gw.datagrams under `obs_prefix`.
+  obs::Observability* obs = nullptr;
+  std::string obs_prefix = "gw";
+};
+
+class GatewayFanout {
+ public:
+  // `egress` must outlive the fanout; at least one transport.
+  GatewayFanout(std::vector<transport::Transport*> egress,
+                GatewayFanoutOptions options = {});
+  ~GatewayFanout();
+
+  GatewayFanout(const GatewayFanout&) = delete;
+  GatewayFanout& operator=(const GatewayFanout&) = delete;
+
+  // Setup phase (allocates; not for the update path). `interest` is a
+  // bitmask over topic indices. Returns the subscriber's id.
+  uint64_t add_subscriber(transport::Address addr, uint64_t interest);
+  size_t subscriber_count() const {
+    return subscribers_.load(std::memory_order_relaxed);
+  }
+
+  // Update path: stores `frame` as topic's latest value and wakes the
+  // shards. Allocation-free (SharedFrame copies are refcount bumps).
+  void publish(size_t topic, SharedFrame frame);
+
+  // Blocks until every shard has pushed out everything published so far.
+  // Test/bench synchronization point, not part of the data path.
+  void wait_idle();
+
+  struct Stats {
+    uint64_t updates = 0;            // publish() calls accepted
+    uint64_t datagrams = 0;          // datagrams handed to the kernel
+    uint64_t conflated = 0;          // intermediate values skipped
+    uint64_t backpressure_drops = 0; // datagrams abandoned after retries
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard;
+  void worker(Shard& shard);
+  void run_topic_pass(Shard& shard, size_t topic, const SharedFrame& frame,
+                      uint64_t seq);
+
+  std::vector<transport::Transport*> egress_;
+  GatewayFanoutOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> subscribers_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> datagrams_{0};
+  std::atomic<uint64_t> conflated_{0};
+  std::atomic<uint64_t> backpressure_drops_{0};
+  std::atomic<bool> running_{true};
+  uint64_t next_sub_ = 0;  // setup-phase only
+  uint64_t obs_token_ = 0;
+};
+
+// One telemetry stream the gateway terminates: a middleware variable to
+// subscribe plus the decode descriptor.
+struct GatewayTopic {
+  std::string variable;
+  enc::TypePtr type;
+};
+
+struct GatewayServiceOptions {
+  std::vector<GatewayTopic> topics;
+  GatewayFanoutOptions fanout;
+};
+
+class GatewayService final : public mw::Service {
+ public:
+  // `egress` transports must outlive the service (typically the node's
+  // own transport, plus extras when egress bandwidth demands it).
+  GatewayService(std::vector<transport::Transport*> egress,
+                 GatewayServiceOptions options);
+
+  Status on_start() override;
+  void on_stop() override;
+
+  GatewayFanout& fanout() { return *fanout_; }
+  // Setup-phase registration of an external subscriber endpoint.
+  uint64_t add_subscriber(transport::Address addr, uint64_t interest) {
+    return fanout_->add_subscriber(addr, interest);
+  }
+
+ private:
+  std::vector<transport::Transport*> egress_;
+  GatewayServiceOptions options_;
+  std::unique_ptr<GatewayFanout> fanout_;
+  std::vector<uint64_t> topic_seq_;
+};
+
+}  // namespace marea::services

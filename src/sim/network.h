@@ -256,6 +256,9 @@ class SimNetwork {
   // frames here; receivers release them back).
   FramePool& frame_pool() { return pool_; }
 
+  // The virtual clock pacing this network (Transport::clock()).
+  const Clock& clock() const { return sim_; }
+
   // --- accounting ---------------------------------------------------------
   const TrafficStats& stats() const { return total_; }
   const TrafficStats& node_stats(NodeId id) const;

@@ -1,0 +1,365 @@
+// marea-node: one middleware container as one OS process — the unit of
+// the multi-process live deployment (ROADMAP item 2). A
+// process-orchestration harness (tests/multiproc_link_test.cpp, or a
+// human with a shell) spawns N of these over real UDP sockets; discovery,
+// name resolution, ARQ link sessions and the gateway fan-out all cross
+// genuine process boundaries.
+//
+// Stdio control protocol (line-oriented, for harnesses):
+//   stdout: "MAREA_PORT <port>"  after the transport is bound — with
+//           --port 0 this is the kernel-assigned ephemeral port the
+//           harness must hand to the other processes.
+//   stdin:  "PEERS ip:port,..."  (only with --wait-peers) the full peer
+//           list, read before the container starts.
+//   stdout: "MAREA_READY"        after the container started.
+// The process runs until --duration-s elapses or SIGTERM/SIGINT, then
+// stops the container, writes the flight-recorder dump to --obs-dump (if
+// given) and exits 0.
+//
+// Services (--services):
+//   flight   publishes variable flight.telemetry.<id> every
+//            --telemetry-period-ms, event flight.evt.<id> every 10th
+//            sample, and serves RPC flight.echo.<id>.
+//   gateway  terminates flight.telemetry.<id> for every id in
+//            --gw-topics and fans updates out to --gw-subscribers
+//            simulated external endpoints at --gw-sink.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "middleware/container.h"
+#include "sched/thread_pool.h"
+#include "services/gateway_service.h"
+#include "transport/udp_transport.h"
+
+using namespace marea;
+
+// Fleet telemetry payload. The multiproc test defines a structurally
+// identical struct; name resolution is by variable name, schema checks by
+// structural hash, so the layouts must stay in sync.
+struct Telemetry {
+  uint64_t sample = 0;
+  double lat = 0;
+  double lon = 0;
+  double alt = 0;
+};
+MAREA_REFLECT(Telemetry, sample, lat, lon, alt)
+
+struct EchoMsg {
+  uint64_t token = 0;
+};
+MAREA_REFLECT(EchoMsg, token)
+
+namespace {
+
+class FlightService final : public mw::Service {
+ public:
+  FlightService(uint64_t node_id, Duration period)
+      : Service("flight"), node_id_(node_id), period_(period) {}
+
+  Status on_start() override {
+    const std::string suffix = std::to_string(node_id_);
+    auto var = provide_variable<Telemetry>("flight.telemetry." + suffix);
+    if (!var.ok()) return var.status();
+    telemetry_ = *var;
+    auto evt = provide_event<EchoMsg>("flight.evt." + suffix);
+    if (!evt.ok()) return evt.status();
+    event_ = *evt;
+    Status s = provide_function<EchoMsg, EchoMsg>(
+        "flight.echo." + suffix,
+        [](const EchoMsg& req) -> StatusOr<EchoMsg> { return req; });
+    if (!s.is_ok()) return s;
+    tick();
+    return Status::ok();
+  }
+
+ private:
+  void tick() {
+    Telemetry t;
+    t.sample = ++sample_;
+    t.lat = 41.275 + 1e-5 * static_cast<double>(sample_);
+    t.lon = 1.986;
+    t.alt = 120.0;
+    (void)telemetry_.publish(t);
+    if (sample_ % 10 == 0) {
+      EchoMsg e;
+      e.token = sample_;
+      (void)event_.publish(e);
+    }
+    schedule(period_, [this] { tick(); });
+  }
+
+  uint64_t node_id_;
+  Duration period_;
+  mw::VariableHandle telemetry_;
+  mw::EventHandle event_;
+  uint64_t sample_ = 0;
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  uint64_t id = 1;
+  std::string name = "node";
+  std::string ip = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t incarnation = 0;  // 0 = auto (wall-clock derived)
+  std::vector<transport::Address> peers;
+  std::string services = "flight";
+  double duration_s = 0;  // 0 = until signal
+  std::string obs_dump;
+  bool wait_peers = false;
+  transport::Address gw_sink{};
+  size_t gw_subscribers = 0;
+  size_t gw_shards = 2;
+  std::vector<uint64_t> gw_topics;
+  int telemetry_period_ms = 20;
+};
+
+bool parse_addr(const std::string& s, transport::Address& out) {
+  auto colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  out.host = transport::ipv4_host(s.substr(0, colon));
+  out.port = static_cast<uint16_t>(std::atoi(s.c_str() + colon + 1));
+  return out.host != 0 && out.port != 0;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--id") {
+      opt.id = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--name") {
+      opt.name = next();
+    } else if (a == "--ip") {
+      opt.ip = next();
+    } else if (a == "--port") {
+      opt.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (a == "--incarnation") {
+      std::string v = next();
+      opt.incarnation = v == "auto" ? 0 : std::strtoull(v.c_str(), nullptr, 10);
+    } else if (a == "--peers") {
+      for (const std::string& p : split(next(), ',')) {
+        transport::Address addr;
+        if (!parse_addr(p, addr)) return false;
+        opt.peers.push_back(addr);
+      }
+    } else if (a == "--services") {
+      opt.services = next();
+    } else if (a == "--duration-s") {
+      opt.duration_s = std::atof(next());
+    } else if (a == "--obs-dump") {
+      opt.obs_dump = next();
+    } else if (a == "--wait-peers") {
+      opt.wait_peers = true;
+    } else if (a == "--gw-sink") {
+      if (!parse_addr(next(), opt.gw_sink)) return false;
+    } else if (a == "--gw-subscribers") {
+      opt.gw_subscribers = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--gw-shards") {
+      opt.gw_shards = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--gw-topics") {
+      for (const std::string& p : split(next(), ',')) {
+        opt.gw_topics.push_back(std::strtoull(p.c_str(), nullptr, 10));
+      }
+    } else if (a == "--telemetry-period-ms") {
+      opt.telemetry_period_ms = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs `fn` on the container's executor thread and waits for it.
+template <typename Fn>
+void on_executor(sched::ThreadPoolExecutor& exec, Fn&& fn) {
+  std::atomic<bool> done{false};
+  exec.post(sched::Priority::kBackground, [&] {
+    fn();
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: marea-node --id N --ip A.B.C.D [--port N] "
+                 "[--incarnation auto|N] [--peers ip:port,...] "
+                 "[--services flight|gateway] [--duration-s S] "
+                 "[--obs-dump PATH] [--wait-peers] [--gw-sink ip:port] "
+                 "[--gw-subscribers N] [--gw-shards K] [--gw-topics a,b]\n");
+    return 2;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  obs::Observability obs;
+  std::unique_ptr<transport::UdpTransport> net;
+  try {
+    net = std::make_unique<transport::UdpTransport>(opt.ip);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "marea-node: %s\n", e.what());
+    return 1;
+  }
+  net->set_obs(&obs, "net");
+  net->set_peers(opt.peers);
+
+  sched::ThreadPoolExecutor exec(1);
+
+  mw::ContainerConfig cfg;
+  cfg.id = static_cast<proto::ContainerId>(opt.id);
+  cfg.node_name = opt.name;
+  cfg.data_port = opt.port;
+  cfg.use_multicast = false;  // loopback multicast is environment-dependent
+  cfg.obs = &obs;
+  // Every exec is a fresh container life. "auto" stamps the incarnation
+  // from the wall clock so a re-exec'd process always announces a NEWER
+  // incarnation than its predecessor without any state on disk; an
+  // explicit --incarnation pins it (the cross-process session-reset test
+  // uses this to force the same-incarnation recovery path).
+  cfg.incarnation =
+      opt.incarnation != 0
+          ? opt.incarnation
+          : static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count());
+  mw::ServiceContainer container(cfg, *net, exec);
+
+  if (opt.services == "flight") {
+    (void)container.add_service(std::make_unique<FlightService>(
+        opt.id, milliseconds(opt.telemetry_period_ms)));
+  } else if (opt.services == "gateway") {
+    services::GatewayServiceOptions gopt;
+    for (uint64_t id : opt.gw_topics) {
+      gopt.topics.push_back(
+          {"flight.telemetry." + std::to_string(id),
+           enc::descriptor_of<Telemetry>()});
+    }
+    gopt.fanout.shards = opt.gw_shards;
+    gopt.fanout.obs = &obs;
+    auto gw = std::make_unique<services::GatewayService>(
+        std::vector<transport::Transport*>{net.get()}, std::move(gopt));
+    for (size_t i = 0; i < opt.gw_subscribers; ++i) {
+      gw->add_subscriber(opt.gw_sink, ~0ull);
+    }
+    (void)container.add_service(std::move(gw));
+  } else {
+    std::fprintf(stderr, "unknown --services %s\n", opt.services.c_str());
+    return 2;
+  }
+
+  // Bind first: with --port 0 the harness needs the resolved port before
+  // it can tell the other processes how to reach us.
+  Status bind_status = Status::ok();
+  on_executor(exec, [&] { bind_status = container.bind_transport(); });
+  if (!bind_status.is_ok()) {
+    std::fprintf(stderr, "marea-node: bind failed: %s\n",
+                 bind_status.to_string().c_str());
+    return 1;
+  }
+  std::printf("MAREA_PORT %u\n", container.config().data_port);
+  std::fflush(stdout);
+
+  if (opt.wait_peers) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.rfind("PEERS ", 0) == 0) {
+        std::vector<transport::Address> peers;
+        for (const std::string& p : split(line.substr(6), ',')) {
+          transport::Address addr;
+          if (parse_addr(p, addr)) peers.push_back(addr);
+        }
+        opt.peers = peers;
+        net->set_peers(std::move(peers));
+        break;
+      }
+    }
+  }
+
+  Status start_status = Status::ok();
+  on_executor(exec, [&] { start_status = container.start(); });
+  if (!start_status.is_ok()) {
+    std::fprintf(stderr, "marea-node: start failed: %s\n",
+                 start_status.to_string().c_str());
+    return 1;
+  }
+  std::printf("MAREA_READY\n");
+  std::fflush(stdout);
+
+  // Discovery glue: broadcast reachability must follow peers as they
+  // restart onto new ephemeral ports, so the transport's peer list is
+  // periodically refreshed from the container's hello-learned addresses
+  // merged with the static bootstrap list.
+  std::function<void()> refresh_peers = [&] {
+    if (!container.running()) return;
+    std::vector<transport::Address> merged = opt.peers;
+    for (const transport::Address& a : container.known_peer_addresses()) {
+      bool dup = false;
+      for (const transport::Address& b : merged) dup = dup || a == b;
+      if (!dup) merged.push_back(a);
+    }
+    net->set_peers(std::move(merged));
+    exec.schedule(milliseconds(200), sched::Priority::kBackground,
+                  [&] { refresh_peers(); });
+  };
+  exec.schedule(milliseconds(200), sched::Priority::kBackground,
+                [&] { refresh_peers(); });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          opt.duration_s > 0 ? static_cast<int64_t>(opt.duration_s * 1000)
+                             : std::numeric_limits<int64_t>::max() / 2);
+  while (!g_stop && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  on_executor(exec, [&] { container.stop(); });
+
+  if (!opt.obs_dump.empty()) {
+    std::string dump = obs.dump_json();
+    if (FILE* f = std::fopen(opt.obs_dump.c_str(), "w")) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    }
+  }
+  std::printf("MAREA_EXIT\n");
+  std::fflush(stdout);
+  return 0;
+}

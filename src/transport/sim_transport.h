@@ -15,6 +15,8 @@ class SimTransport final : public Transport {
 
   HostId local_host() const override { return node_; }
   size_t mtu() const override { return net_.mtu(); }
+  // The simulated medium is paced by virtual time.
+  const Clock* clock() const override { return &net_.clock(); }
 
   Status bind(uint16_t port, RecvHandler handler) override;
   void unbind(uint16_t port) override;

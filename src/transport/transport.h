@@ -16,6 +16,7 @@
 #include "util/bytes.h"
 #include "util/frame_pool.h"
 #include "util/status.h"
+#include "util/time.h"
 
 namespace marea::transport {
 
@@ -50,6 +51,21 @@ class Transport {
 
   virtual HostId local_host() const = 0;
   virtual size_t mtu() const = 0;
+
+  // The clock that paces this transport's medium: virtual time for the
+  // simulated network, wall (steady) time for kernel sockets. Protocol
+  // timers that guard against *network-side* behavior (debounces, rate
+  // limits) must key off this clock, not the executor's — in a live
+  // deployment the executor may be driven by a different source than the
+  // medium the timer is protecting. Null means "no opinion" (caller falls
+  // back to its executor clock).
+  virtual const Clock* clock() const { return nullptr; }
+
+  // The concrete local port for a `bind`/`bind_frames` of `requested`.
+  // Implementations supporting ephemeral binds (requested == 0) return
+  // the kernel-assigned port of the most recent such bind; everywhere
+  // else this is the identity.
+  virtual uint16_t bound_port(uint16_t requested) const { return requested; }
 
   // Binds `port` on this node; `handler` runs on the transport's dispatch
   // context (the simulator loop, or the UDP receive thread).
@@ -88,6 +104,20 @@ class Transport {
   virtual Status send_frame_broadcast(uint16_t src_port, uint16_t dst_port,
                                       SharedFrame frame) {
     return send_broadcast(src_port, dst_port, frame.view());
+  }
+  // One frame to an explicit destination list (the gateway fan-out
+  // primitive): implementations batch the syscalls (sendmmsg) where the
+  // kernel allows; the default degrades to a per-destination send. The
+  // frame's payload is shared across every destination — success means
+  // every datagram was accepted by the medium.
+  virtual Status send_frame_to_many(uint16_t src_port, const Address* dst,
+                                    size_t n_dst, const SharedFrame& frame) {
+    Status last = Status::ok();
+    for (size_t i = 0; i < n_dst; ++i) {
+      Status s = send_frame(src_port, dst[i], frame);
+      if (!s.is_ok()) last = s;
+    }
+    return last;
   }
 
  private:

@@ -7,11 +7,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
 #include "util/logging.h"
+
+#if !defined(__linux__)
+// Fallback shape for the batched send/recv scratch on platforms without
+// recvmmsg/sendmmsg; the batch degrades to one sendmsg/recvmsg per call.
+struct mmsghdr {
+  msghdr msg_hdr;
+  unsigned int msg_len;
+};
+#endif
 
 namespace marea::transport {
 
@@ -36,10 +46,6 @@ in_addr_t group_ip(GroupId group) {
 constexpr bool kHaveMmsg = true;
 #else
 constexpr bool kHaveMmsg = false;
-struct mmsghdr {
-  msghdr msg_hdr;
-  unsigned int msg_len;
-};
 #endif
 
 std::atomic<bool> g_mmsg_enosys{false};
@@ -154,8 +160,21 @@ UdpTransport::~UdpTransport() {
 }
 
 void UdpTransport::set_peers(std::vector<HostId> peers) {
+  std::vector<Address> addrs;
+  addrs.reserve(peers.size());
+  for (HostId h : peers) addrs.push_back(Address{h, 0});
+  set_peers(std::move(addrs));
+}
+
+void UdpTransport::set_peers(std::vector<Address> peers) {
   std::lock_guard lock(mutex_);
   peers_ = std::move(peers);
+}
+
+uint16_t UdpTransport::bound_port(uint16_t requested) const {
+  if (requested != 0) return requested;
+  std::lock_guard lock(mutex_);
+  return last_ephemeral_port_;
 }
 
 void UdpTransport::set_obs(obs::Observability* obs,
@@ -192,6 +211,7 @@ void UdpTransport::set_obs(obs::Observability* obs,
         reg.counter(p + "payload_allocs").set(ps.slab_allocs);
         reg.counter(p + "payload_copies").set(c.payload_copies);
         reg.counter(p + "payload_bytes_copied").set(c.payload_bytes_copied);
+        reg.counter(p + "sendmmsg_short").set(c.sendmmsg_short);
         reg.counter(p + "pool_checkouts").set(ps.checkouts);
         reg.counter(p + "pool_hits").set(ps.pool_hits);
       });
@@ -216,6 +236,7 @@ UdpTransport::NetCounters UdpTransport::net_counters() const {
   c.payload_copies = stats_.payload_copies.load(std::memory_order_relaxed);
   c.payload_bytes_copied =
       stats_.payload_bytes_copied.load(std::memory_order_relaxed);
+  c.sendmmsg_short = stats_.sendmmsg_short.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -282,6 +303,19 @@ Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
     ::close(fd);
     return internal_error("bind() failed for port " + std::to_string(port));
   }
+  const bool ephemeral = !multicast && port == 0;
+  if (ephemeral) {
+    // Ephemeral bind: learn the kernel-assigned port so the caller can
+    // advertise it through discovery (bound_port()) and so the socket
+    // tables key it like any explicit bind.
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+      ::close(fd);
+      return internal_error("getsockname() failed for ephemeral bind");
+    }
+    port = ntohs(bound.sin_port);
+  }
   if (multicast) {
     ip_mreq mreq{};
     mreq.imr_multiaddr.s_addr = group_ip(group);
@@ -340,6 +374,7 @@ Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
     }
     by_key_[key] = sock;
     by_token_[sock->token] = sock;
+    if (ephemeral) last_ephemeral_port_ = port;
   }
   // `sock` (and the fd) is freed by shared_ptr if a check above returned.
   return Status::ok();
@@ -454,6 +489,44 @@ Status UdpTransport::send_multicast(uint16_t src_port, GroupId group,
   return sendto_counted(fd, &addr, sizeof addr, data, "multicast sendto");
 }
 
+size_t UdpTransport::flush_batch(int fd, mmsghdr* msgs, size_t count,
+                                 size_t payload_bytes) {
+  size_t done = 0;
+  int attempts = options_.send_retry_attempts;
+  while (done < count) {
+    int sent = send_batch(fd, msgs + done,
+                          static_cast<unsigned int>(count - done));
+    if (sent > 0) {
+      done += static_cast<size_t>(sent);
+      if (done < count) {
+        // Short accept: the kernel took a prefix of the batch (classic
+        // ENOBUFS mid-sendmmsg). Silently dropping the tail here was the
+        // bug this counter exists for — resubmit the remaining iovecs.
+        stats_.sendmmsg_short.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
+        --attempts > 0) {
+      // Zero-progress transient pushback: give the kernel a moment to
+      // drain, bounded so a dead route cannot wedge the caller.
+      std::this_thread::yield();
+      continue;
+    }
+    stats_.send_errors.fetch_add(count - done, std::memory_order_relaxed);
+    trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno),
+               payload_bytes);
+    break;
+  }
+  if (done > 0) {
+    stats_.frames_sent.fetch_add(done, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(done * payload_bytes,
+                                std::memory_order_relaxed);
+  }
+  return done;
+}
+
 Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,
                                  BytesView data) {
   SocketPtr pin;
@@ -461,9 +534,9 @@ Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,
   // Fixed-size stack fan-out state: no per-send heap allocation for
   // realistic avionics peer counts (heap fallback above that).
   constexpr size_t kStackPeers = 16;
-  HostId stack_peers[kStackPeers];
-  std::vector<HostId> heap_peers;
-  HostId* peers = stack_peers;
+  Address stack_peers[kStackPeers];
+  std::vector<Address> heap_peers;
+  const Address* peers = stack_peers;
   size_t n_peers = 0;
   {
     std::lock_guard lock(mutex_);
@@ -474,12 +547,25 @@ Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,
     } else {
       fd = shared_send_fd_locked();
     }
+    // Self-filter under the lock, where our bound ports are knowable: a
+    // port-less peer entry on our own host is always us; an explicit
+    // port is us only if one of our sockets holds it (multi-process
+    // topologies share one host address across processes).
+    auto is_self = [&](const Address& p) {
+      if (p.host != local_host_) return false;
+      return p.port == 0 || by_key_.count(key_of(p.port, false, 0)) > 0;
+    };
     if (peers_.size() > kStackPeers) {
-      heap_peers = peers_;
+      heap_peers.reserve(peers_.size());
+      for (const Address& p : peers_) {
+        if (!is_self(p)) heap_peers.push_back(p);
+      }
       peers = heap_peers.data();
       n_peers = heap_peers.size();
     } else {
-      for (HostId p : peers_) stack_peers[n_peers++] = p;
+      for (const Address& p : peers_) {
+        if (!is_self(p)) stack_peers[n_peers++] = p;
+      }
     }
   }
   if (fd < 0) return internal_error("no send socket");
@@ -490,27 +576,13 @@ Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,
   Status last = Status::ok();
   size_t batch = 0;
   auto flush = [&](size_t count) {
-    size_t done = 0;
-    while (done < count) {
-      int sent = send_batch(fd, msgs + done,
-                            static_cast<unsigned int>(count - done));
-      if (sent <= 0) {
-        stats_.send_errors.fetch_add(count - done,
-                                     std::memory_order_relaxed);
-        trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno),
-                   data.size());
-        last = unavailable_error("broadcast sendmmsg failed");
-        return;
-      }
-      done += static_cast<size_t>(sent);
+    if (flush_batch(fd, msgs, count, data.size()) < count) {
+      last = unavailable_error("broadcast sendmmsg failed");
     }
-    stats_.frames_sent.fetch_add(count, std::memory_order_relaxed);
-    stats_.bytes_sent.fetch_add(count * data.size(),
-                                std::memory_order_relaxed);
   };
   for (size_t i = 0; i < n_peers; ++i) {
-    if (peers[i] == local_host_) continue;
-    addrs[batch] = make_addr(peers[i], dst_port);
+    addrs[batch] =
+        make_addr(peers[i].host, peers[i].port != 0 ? peers[i].port : dst_port);
     msgs[batch] = mmsghdr{};
     msgs[batch].msg_hdr.msg_name = &addrs[batch];
     msgs[batch].msg_hdr.msg_namelen = sizeof(sockaddr_in);
@@ -547,6 +619,39 @@ Status UdpTransport::send_frame_broadcast(uint16_t src_port,
                                           uint16_t dst_port,
                                           SharedFrame frame) {
   return fanout_send(src_port, dst_port, frame.view());
+}
+
+Status UdpTransport::send_frame_to_many(uint16_t src_port,
+                                        const Address* dst, size_t n_dst,
+                                        const SharedFrame& frame) {
+  SocketPtr pin;
+  int fd = resolve_send_fd(src_port, pin);
+  if (fd < 0) return internal_error("no send socket");
+  const BytesView data = frame.view();
+  // Unlike fanout_send the destination list is caller-owned and already
+  // filtered (gateway subscribers), so there is no peer-table copy and
+  // no self check: just batch the syscalls over fixed stack state.
+  constexpr size_t kBatch = 32;
+  sockaddr_in addrs[kBatch];
+  mmsghdr msgs[kBatch];
+  iovec iov{const_cast<uint8_t*>(data.data()), data.size()};
+  Status last = Status::ok();
+  for (size_t i = 0; i < n_dst;) {
+    const size_t batch = std::min(kBatch, n_dst - i);
+    for (size_t j = 0; j < batch; ++j) {
+      addrs[j] = make_addr(dst[i + j].host, dst[i + j].port);
+      msgs[j] = mmsghdr{};
+      msgs[j].msg_hdr.msg_name = &addrs[j];
+      msgs[j].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      msgs[j].msg_hdr.msg_iov = &iov;
+      msgs[j].msg_hdr.msg_iovlen = 1;
+    }
+    if (flush_batch(fd, msgs, batch, data.size()) < batch) {
+      last = unavailable_error("send_frame_to_many failed");
+    }
+    i += batch;
+  }
+  return last;
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,10 @@
 #include "obs/obs.h"
 #include "transport/transport.h"
 
+// <sys/socket.h> on Linux; the .cpp supplies a one-message fallback
+// definition elsewhere. Only used as an opaque pointee here.
+struct mmsghdr;
+
 namespace marea::transport {
 
 // Parses dotted-quad to HostId (host byte order). Returns 0 on error.
@@ -65,6 +69,12 @@ struct UdpTransportOptions {
   int recv_batch = 8;
   // Batches drained per epoll event before yielding to other sockets.
   int max_batches_per_event = 4;
+  // Attempts per sendmmsg batch before the remaining tail is abandoned
+  // (counted in send_errors). Transient kernel pushback (ENOBUFS/EAGAIN)
+  // gets a brief yield between attempts; a short *accept* (k of n taken)
+  // is not an attempt — the tail is retried immediately and counted in
+  // sendmmsg_short.
+  int send_retry_attempts = 4;
 };
 
 class UdpTransport final : public Transport {
@@ -75,8 +85,14 @@ class UdpTransport final : public Transport {
                         UdpTransportOptions options = {});
   ~UdpTransport() override;
 
-  // Nodes reachable via send_broadcast.
+  // Nodes reachable via send_broadcast. The HostId form targets each
+  // peer at the broadcast's dst_port (single-process topologies where
+  // every node binds the same port number); the Address form carries a
+  // per-peer port for multi-process topologies where peers live on
+  // kernel-assigned ephemeral ports (an Address port of 0 falls back to
+  // the broadcast's dst_port).
   void set_peers(std::vector<HostId> peers);
+  void set_peers(std::vector<Address> peers);
 
   // Registers a snapshot collector publishing the live counters below as
   // "<prefix>.frames_sent", "<prefix>.payload_bytes_copied", … (names
@@ -102,11 +118,20 @@ class UdpTransport final : public Transport {
     uint64_t own_copies_filtered = 0;  // own multicast loopback copies
     uint64_t payload_copies = 0;       // user-space payload memcpys
     uint64_t payload_bytes_copied = 0;
+    uint64_t sendmmsg_short = 0;  // short sendmmsg accepts, tail retried
   };
   NetCounters net_counters() const;
 
   HostId local_host() const override { return local_host_; }
   size_t mtu() const override { return 65507; }
+
+  // Kernel sockets are paced by wall time.
+  const Clock* clock() const override { return &wall_clock_; }
+
+  // For requested == 0: the kernel-assigned port of the most recent
+  // ephemeral bind on this transport (valid immediately after that
+  // bind/bind_frames returns ok).
+  uint16_t bound_port(uint16_t requested) const override;
 
   Status bind(uint16_t port, RecvHandler handler) override;
   void unbind(uint16_t port) override;
@@ -129,6 +154,10 @@ class UdpTransport final : public Transport {
                               SharedFrame frame) override;
   Status send_frame_broadcast(uint16_t src_port, uint16_t dst_port,
                               SharedFrame frame) override;
+  // Gateway fan-out primitive: one shared frame to an explicit address
+  // list via batched sendmmsg — payload copies independent of list size.
+  Status send_frame_to_many(uint16_t src_port, const Address* dst,
+                            size_t n_dst, const SharedFrame& frame) override;
 
  private:
   struct Socket {
@@ -159,6 +188,7 @@ class UdpTransport final : public Transport {
     std::atomic<uint64_t> own_copies_filtered{0};
     std::atomic<uint64_t> payload_copies{0};
     std::atomic<uint64_t> payload_bytes_copied{0};
+    std::atomic<uint64_t> sendmmsg_short{0};
   };
 
   static uint64_t key_of(uint16_t port, bool multicast, GroupId group) {
@@ -177,6 +207,11 @@ class UdpTransport final : public Transport {
   Status sendto_counted(int fd, const void* addr, size_t addr_len,
                         BytesView data, const char* what);
   Status fanout_send(uint16_t src_port, uint16_t dst_port, BytesView data);
+  // Pushes `count` prepared mmsghdrs out of `fd`, retrying short accepts
+  // and transient pushback per options_.send_retry_attempts. Returns the
+  // number of datagrams the kernel accepted (counters updated inside).
+  size_t flush_batch(int fd, mmsghdr* msgs, size_t count,
+                     size_t payload_bytes);
 
   struct RecvScratch;  // reusable recvmmsg buffers, defined in the .cpp
   void poll_loop();
@@ -187,7 +222,8 @@ class UdpTransport final : public Transport {
 
   HostId local_host_;
   UdpTransportOptions options_;
-  std::vector<HostId> peers_;
+  std::vector<Address> peers_;  // port 0 = "use the broadcast dst_port"
+  SteadyClock wall_clock_;
 
   // Guards the socket tables, peers_, send_fd_ creation and obs wiring.
   // Never held across a syscall.
@@ -199,6 +235,7 @@ class UdpTransport final : public Transport {
   int epoll_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   int send_fd_ = -1;
+  uint16_t last_ephemeral_port_ = 0;  // guarded by mutex_
   std::atomic<bool> running_{false};
 
   NetStats stats_;

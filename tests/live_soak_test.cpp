@@ -11,6 +11,7 @@
 //   * churn guarantees fd numbers are recycled into sockets with
 //     different tags while traffic is in flight.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -35,10 +36,12 @@ uint16_t tag_of(BytesView d) {
   return d.size() >= 2 ? static_cast<uint16_t>(d[0] | (d[1] << 8)) : 0;
 }
 
-constexpr uint16_t kStablePort = 9500;   // bound on every node, broadcast dst
-constexpr uint16_t kUnicastPort = 9501;  // node 2 only
-constexpr GroupId kGroup = 77;
-constexpr uint16_t kChurnBase = 9600;    // ports that come and go
+// Logical payload tags, decoupled from port numbers: the stable/member
+// sockets now bind port 0 (kernel-assigned, collision-free under
+// `ctest -j` with other test binaries), so a fixed tag can no longer be
+// "the port".
+constexpr uint16_t kStableTag = 0xA001;   // broadcast traffic
+constexpr uint16_t kUnicastTag = 0xA002;  // t1 -> t2 unicast hammer
 
 TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
   std::unique_ptr<UdpTransport> t1, t2, t3;
@@ -52,9 +55,14 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
   HostId h1 = ipv4_host("127.0.0.1");
   HostId h2 = ipv4_host("127.0.0.2");
   HostId h3 = ipv4_host("127.0.0.3");
-  t1->set_peers({h1, h2, h3});
-  t2->set_peers({h1, h2, h3});
-  t3->set_peers({h1, h2, h3});
+
+  // pid-spread identifiers for everything that cannot be kernel-assigned:
+  // the multicast group (its port is derived from the id) and the churn /
+  // sender port ranges.
+  const GroupId kGroup = static_cast<GroupId>(77 + (::getpid() % 1000));
+  const uint16_t kChurnBase =
+      static_cast<uint16_t>(24000 + (::getpid() % 2000) * 8);
+  const uint16_t kSrcBase = static_cast<uint16_t>(kChurnBase + 4);
 
   obs::Observability obs;
   t2->set_obs(&obs, "n2");
@@ -67,11 +75,11 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
 
   // The member-port handler also serves group traffic (join_group hands
   // the group socket the member's handler), so it accepts either tag.
-  auto member_handler = [&](uint16_t own_port, std::atomic<int>& unicast,
+  auto member_handler = [&](uint16_t own_tag, std::atomic<int>& unicast,
                             std::atomic<int>& group) {
-    return [&, own_port](Address, BytesView data) {
+    return [&, own_tag](Address, BytesView data) {
       uint16_t tag = tag_of(data);
-      if (tag == own_port) {
+      if (tag == own_tag) {
         unicast.fetch_add(1);
       } else if (tag == multicast_port(kGroup)) {
         group.fetch_add(1);
@@ -81,18 +89,33 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
     };
   };
 
-  for (UdpTransport* t : {t1.get(), t2.get(), t3.get()}) {
-    ASSERT_TRUE(
-        t->bind(kStablePort,
-                member_handler(kStablePort, stable_got, group_got))
-            .is_ok());
+  // Port-0 stable binds; bound_port(0) reports each kernel-assigned port
+  // so the peer list below can carry real per-node addresses (the same
+  // resolved-ephemeral flow containers use via bind_transport()).
+  uint16_t stable_port[3] = {0, 0, 0};
+  UdpTransport* nodes[3] = {t1.get(), t2.get(), t3.get()};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(nodes[i]
+                    ->bind(0, member_handler(kStableTag, stable_got, group_got))
+                    .is_ok());
+    stable_port[i] = nodes[i]->bound_port(0);
+    ASSERT_NE(stable_port[i], 0);
   }
   ASSERT_TRUE(
-      t2->bind(kUnicastPort,
-               member_handler(kUnicastPort, unicast_got, group_got))
+      t2->bind(0, member_handler(kUnicastTag, unicast_got, group_got))
           .is_ok());
-  Status j2 = t2->join_group(kGroup, kStablePort);
-  Status j3 = t3->join_group(kGroup, kStablePort);
+  const uint16_t unicast_port = t2->bound_port(0);
+  ASSERT_NE(unicast_port, 0);
+
+  std::vector<Address> peers = {{h1, stable_port[0]},
+                                {h2, stable_port[1]},
+                                {h3, stable_port[2]}};
+  t1->set_peers(peers);
+  t2->set_peers(peers);
+  t3->set_peers(peers);
+
+  Status j2 = t2->join_group(kGroup, stable_port[1]);
+  Status j3 = t3->join_group(kGroup, stable_port[2]);
   bool multicast_ok = j2.is_ok() && j3.is_ok();
 
   std::atomic<bool> stop{false};
@@ -114,30 +137,31 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
       std::this_thread::sleep_for(std::chrono::microseconds(300));
       t->unbind(port);
       if (multicast_ok && k % 8 == 0) {
-        t3->leave_group(kGroup, kStablePort);
-        (void)t3->join_group(kGroup, kStablePort);
+        t3->leave_group(kGroup, stable_port[2]);
+        (void)t3->join_group(kGroup, stable_port[2]);
       }
       ++k;
     }
   });
 
   std::vector<std::thread> traffic;
-  // Unicast hammer: t1 -> t2:kUnicastPort from two threads.
+  // Unicast hammer: t1 -> t2's ephemeral member port from two threads.
   for (int i = 0; i < 2; ++i) {
     traffic.emplace_back([&, i] {
-      Buffer pay = tagged(kUnicastPort);
-      uint16_t src = static_cast<uint16_t>(9510 + i);
+      Buffer pay = tagged(kUnicastTag);
+      uint16_t src = static_cast<uint16_t>(kSrcBase + i);
       while (!stop.load()) {
-        (void)t1->send(src, Address{h2, kUnicastPort}, as_bytes_view(pay));
+        (void)t1->send(src, Address{h2, unicast_port}, as_bytes_view(pay));
         std::this_thread::sleep_for(std::chrono::microseconds(150));
       }
     });
   }
-  // Broadcast: t1 -> everyone's kStablePort.
+  // Broadcast: t1 -> every peer's own stable port (carried in the
+  // Address peer list, exactly how discovery propagates resolved ports).
   traffic.emplace_back([&] {
-    Buffer pay = tagged(kStablePort);
+    Buffer pay = tagged(kStableTag);
     while (!stop.load()) {
-      (void)t1->send_broadcast(kStablePort, kStablePort, as_bytes_view(pay));
+      (void)t1->send_broadcast(stable_port[0], 0, as_bytes_view(pay));
       std::this_thread::sleep_for(std::chrono::microseconds(300));
     }
   });
@@ -146,7 +170,7 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
     traffic.emplace_back([&] {
       Buffer pay = tagged(multicast_port(kGroup));
       while (!stop.load()) {
-        (void)t1->send_multicast(kStablePort, kGroup, as_bytes_view(pay));
+        (void)t1->send_multicast(stable_port[0], kGroup, as_bytes_view(pay));
         std::this_thread::sleep_for(std::chrono::microseconds(400));
       }
     });
@@ -158,7 +182,7 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
     while (!stop.load()) {
       for (int k = 0; k < 4; ++k) {
         HostId dst = (k % 2) ? h2 : h3;
-        (void)t1->send(9520,
+        (void)t1->send(static_cast<uint16_t>(kSrcBase + 2),
                        Address{dst, static_cast<uint16_t>(kChurnBase + k)},
                        as_bytes_view(pays[k]));
       }

@@ -4,10 +4,13 @@
 // the container's own executor, matching the documented threading model.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "encoding/typed.h"
 #include "middleware/container.h"
@@ -106,15 +109,17 @@ TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
   }
   transport::HostId h1 = transport::ipv4_host("127.0.0.1");
   transport::HostId h2 = transport::ipv4_host("127.0.0.2");
-  t1->set_peers({h1, h2});
-  t2->set_peers({h1, h2});
 
   sched::ThreadPoolExecutor e1(1), e2(1);
 
+  // data_port 0: the kernel picks free ports, so concurrently running
+  // test binaries can never collide. The resolved ports propagate into
+  // config().data_port via bind_transport() and from there into the
+  // broadcast peer list below.
   ContainerConfig c1;
   c1.id = 1;
   c1.node_name = "live-a";
-  c1.data_port = 4610;
+  c1.data_port = 0;
   c1.use_multicast = false;
   ServiceContainer pub(c1, *t1, e1);
   (void)pub.add_service(std::make_unique<LivePublisher>());
@@ -122,12 +127,26 @@ TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
   ContainerConfig c2;
   c2.id = 2;
   c2.node_name = "live-b";
-  c2.data_port = 4610;
+  c2.data_port = 0;
   c2.use_multicast = false;
   ServiceContainer sub(c2, *t2, e2);
   auto consumer = std::make_unique<LiveConsumer>();
   auto* consumer_ptr = consumer.get();
   (void)sub.add_service(std::move(consumer));
+
+  std::atomic<bool> bound1{false}, bound2{false};
+  e1.post(sched::Priority::kBackground,
+          [&] { bound1 = pub.bind_transport().is_ok(); });
+  e2.post(sched::Priority::kBackground,
+          [&] { bound2 = sub.bind_transport().is_ok(); });
+  e1.drain();
+  e2.drain();
+  ASSERT_TRUE(bound1.load());
+  ASSERT_TRUE(bound2.load());
+  std::vector<transport::Address> peers = {
+      {h1, pub.config().data_port}, {h2, sub.config().data_port}};
+  t1->set_peers(peers);
+  t2->set_peers(peers);
 
   std::atomic<bool> started1{false}, started2{false};
   e1.post(sched::Priority::kBackground, [&] {
@@ -143,10 +162,13 @@ TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
   // transport's fd-reuse lookup made this window dangerous).
   std::atomic<bool> churn_stop{false};
   std::atomic<int> churn_misroutes{0};
+  // pid-spread base keeps concurrent test binaries off each other's ports.
+  const uint16_t churn_base =
+      static_cast<uint16_t>(20000 + (::getpid() % 2000) * 4);
   std::thread churn([&] {
     int k = 0;
     while (!churn_stop.load()) {
-      uint16_t port = static_cast<uint16_t>(9700 + (k++ % 4));
+      uint16_t port = static_cast<uint16_t>(churn_base + (k++ % 4));
       auto* t = (k % 2) ? t1.get() : t2.get();
       (void)t->bind(port, [&, port](transport::Address,
                                     BytesView data) {
