@@ -21,6 +21,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,7 +32,7 @@
 #include <vector>
 
 #include "services/gateway_service.h"
-#include "transport/udp_transport.h"
+#include "transport/live_transport.h"
 
 // --- global heap instrumentation (same ground truth as bench_live) ----------
 namespace {
@@ -65,7 +66,9 @@ namespace {
 
 using services::GatewayFanout;
 using services::GatewayFanoutOptions;
-using transport::UdpTransport;
+using transport::LiveTransport;
+using transport::TransportBackend;
+using transport::TransportConfig;
 
 constexpr size_t kPayloadBytes = 128;  // one encoded telemetry update
 constexpr size_t kShards = 4;
@@ -114,7 +117,7 @@ struct SinkSet {
   }
 };
 
-SharedFrame make_update(UdpTransport& egress) {
+SharedFrame make_update(LiveTransport& egress) {
   FrameLease lease = egress.frame_pool().acquire(kPayloadBytes);
   lease.buffer().assign(kPayloadBytes, 0x7E);
   return std::move(lease).freeze();
@@ -123,12 +126,24 @@ SharedFrame make_update(UdpTransport& egress) {
 struct SweepResult {
   double mean_us = 0;
   double max_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
   double allocs_per_update = 0;
   double datagrams_per_update = 0;
   uint64_t drops = 0;
 };
 
-SweepResult run_sweep(UdpTransport& egress, SinkSet& sinks, size_t subs,
+// Nearest-rank on a sorted sample set: exact (not bucketed), matching
+// how a dashboard would compute tail freshness from raw samples.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+SweepResult run_sweep(LiveTransport& egress, SinkSet& sinks, size_t subs,
                       int updates) {
   GatewayFanoutOptions o;
   o.shards = kShards;
@@ -144,6 +159,11 @@ SweepResult run_sweep(UdpTransport& egress, SinkSet& sinks, size_t subs,
   }
   sinks.drain();
 
+  // Preallocated before the alloc-count window opens: recording a
+  // latency sample must not show up as a fan-out path allocation.
+  std::vector<double> lat;
+  lat.reserve(static_cast<size_t>(updates));
+
   GatewayFanout::Stats s0 = fan.stats();
   const uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
   double total_us = 0;
@@ -158,13 +178,18 @@ SweepResult run_sweep(UdpTransport& egress, SinkSet& sinks, size_t subs,
                     .count();
     total_us += us;
     if (us > max_us) max_us = us;
+    lat.push_back(us);
   }
   const uint64_t allocs1 = g_alloc_count.load(std::memory_order_relaxed);
   GatewayFanout::Stats s1 = fan.stats();
 
+  std::sort(lat.begin(), lat.end());
   SweepResult r;
   r.mean_us = total_us / updates;
   r.max_us = max_us;
+  r.p50_us = quantile(lat, 0.50);
+  r.p99_us = quantile(lat, 0.99);
+  r.p999_us = quantile(lat, 0.999);
   r.allocs_per_update =
       static_cast<double>(allocs1 - allocs0) / static_cast<double>(updates);
   r.datagrams_per_update = static_cast<double>(s1.datagrams - s0.datagrams) /
@@ -176,7 +201,7 @@ SweepResult run_sweep(UdpTransport& egress, SinkSet& sinks, size_t subs,
 
 // Publishes a burst far faster than 10k-subscriber passes can drain:
 // the depth-1 slots must conflate (freshest wins), never queue.
-uint64_t run_burst(UdpTransport& egress, SinkSet& sinks, size_t subs,
+uint64_t run_burst(LiveTransport& egress, SinkSet& sinks, size_t subs,
                    int burst) {
   GatewayFanoutOptions o;
   o.shards = kShards;
@@ -195,11 +220,21 @@ uint64_t run_burst(UdpTransport& egress, SinkSet& sinks, size_t subs,
   return fan.stats().conflated;
 }
 
-int run() {
-  std::unique_ptr<UdpTransport> egress;
+int run(TransportBackend backend) {
+  const char* backend_name =
+      backend == TransportBackend::kUring ? "uring" : "epoll";
+  if (backend == TransportBackend::kUring &&
+      !transport::uring_supported()) {
+    std::printf("{\n  \"bench\": \"gateway\",\n  \"skipped\": true,\n"
+                "  \"reason\": \"io_uring unsupported on this kernel\"\n}\n");
+    return 0;
+  }
+  std::unique_ptr<LiveTransport> egress;
   SinkSet sinks;
   try {
-    egress = std::make_unique<UdpTransport>("127.0.0.1");
+    TransportConfig config;
+    config.backend = backend;
+    egress = transport::make_live_transport("127.0.0.1", config);
   } catch (const std::exception& e) {
     std::printf("{\n  \"bench\": \"gateway\",\n  \"skipped\": true,\n"
                 "  \"reason\": \"%s\"\n}\n", e.what());
@@ -216,28 +251,26 @@ int run() {
   SweepResult r100k = run_sweep(*egress, sinks, 100000, 10);
   uint64_t burst_conflated = run_burst(*egress, sinks, 10000, 200);
 
+  auto print_tier = [](const char* tier, const SweepResult& r) {
+    std::printf("  \"%s_fanout_mean_us\": %.1f,\n", tier, r.mean_us);
+    std::printf("  \"%s_fanout_p50_us\": %.1f,\n", tier, r.p50_us);
+    std::printf("  \"%s_fanout_p99_us\": %.1f,\n", tier, r.p99_us);
+    std::printf("  \"%s_fanout_p999_us\": %.1f,\n", tier, r.p999_us);
+    std::printf("  \"%s_fanout_max_us\": %.1f,\n", tier, r.max_us);
+    std::printf("  \"%s_allocs_per_update\": %.2f,\n", tier,
+                r.allocs_per_update);
+    std::printf("  \"%s_datagrams_per_update\": %.1f,\n", tier,
+                r.datagrams_per_update);
+  };
   std::printf("{\n");
   std::printf("  \"bench\": \"gateway\",\n");
+  std::printf("  \"backend\": \"%s\",\n", backend_name);
   std::printf("  \"shards\": %zu,\n", kShards);
   std::printf("  \"sink_sockets\": %zu,\n", kSinks);
   std::printf("  \"payload_bytes\": %zu,\n", kPayloadBytes);
-  std::printf("  \"gw1k_fanout_mean_us\": %.1f,\n", r1k.mean_us);
-  std::printf("  \"gw1k_fanout_max_us\": %.1f,\n", r1k.max_us);
-  std::printf("  \"gw1k_allocs_per_update\": %.2f,\n", r1k.allocs_per_update);
-  std::printf("  \"gw1k_datagrams_per_update\": %.1f,\n",
-              r1k.datagrams_per_update);
-  std::printf("  \"gw10k_fanout_mean_us\": %.1f,\n", r10k.mean_us);
-  std::printf("  \"gw10k_fanout_max_us\": %.1f,\n", r10k.max_us);
-  std::printf("  \"gw10k_allocs_per_update\": %.2f,\n",
-              r10k.allocs_per_update);
-  std::printf("  \"gw10k_datagrams_per_update\": %.1f,\n",
-              r10k.datagrams_per_update);
-  std::printf("  \"gw100k_fanout_mean_us\": %.1f,\n", r100k.mean_us);
-  std::printf("  \"gw100k_fanout_max_us\": %.1f,\n", r100k.max_us);
-  std::printf("  \"gw100k_allocs_per_update\": %.2f,\n",
-              r100k.allocs_per_update);
-  std::printf("  \"gw100k_datagrams_per_update\": %.1f,\n",
-              r100k.datagrams_per_update);
+  print_tier("gw1k", r1k);
+  print_tier("gw10k", r10k);
+  print_tier("gw100k", r100k);
   std::printf("  \"backpressure_drops\": %llu,\n",
               static_cast<unsigned long long>(r1k.drops + r10k.drops +
                                               r100k.drops));
@@ -262,4 +295,25 @@ int run() {
 }  // namespace
 }  // namespace marea::bench
 
-int main() { return marea::bench::run(); }
+int main(int argc, char** argv) {
+  marea::transport::TransportBackend backend =
+      marea::transport::TransportBackend::kEpoll;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string value;
+    if (a.rfind("--backend=", 0) == 0) {
+      value = a.substr(10);
+    } else if (a == "--backend" && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_gateway [--backend epoll|uring]\n");
+      return 2;
+    }
+    if (!marea::transport::parse_backend(value, &backend) ||
+        backend == marea::transport::TransportBackend::kAuto) {
+      std::fprintf(stderr, "bench_gateway: --backend must be epoll|uring\n");
+      return 2;
+    }
+  }
+  return marea::bench::run(backend);
+}

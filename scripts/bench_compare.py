@@ -58,7 +58,12 @@ CONTEXT = [
     "net_payload_copies_per_sample",
     "wire_bytes_per_sample",
     "mean_latency_us",
+    "p50_latency_us",
     "p99_latency_us",
+    "p999_latency_us",
+    "samples_per_sec_wall",
+    "epoll_samples_per_sec_wall",
+    "speedup_vs_epoll",
     "engine_ring_events_per_sec",
     "fleet64_events_per_sec_1t",
     "fleet64_speedup",
@@ -80,7 +85,9 @@ def check_spec_gate(key, spec, baseline, current, failures):
         return
     cur = current[key]
     if cur is None:
-        reason = current.get("speedup_skip_reason", "reported null")
+        reason = current.get("skip_reason",
+                             current.get("speedup_skip_reason",
+                                         "reported null"))
         if spec.get("require_in_ci") and os.environ.get("CI"):
             print(f"  [REGRESSION] {key}: {reason} — but this key is "
                   "required on CI runners")

@@ -40,7 +40,7 @@
 #include "middleware/container.h"
 #include "sched/thread_pool.h"
 #include "services/gateway_service.h"
-#include "transport/udp_transport.h"
+#include "transport/live_transport.h"
 
 using namespace marea;
 
@@ -125,6 +125,7 @@ struct Options {
   size_t gw_shards = 2;
   std::vector<uint64_t> gw_topics;
   int telemetry_period_ms = 20;
+  transport::TransportBackend backend = transport::TransportBackend::kAuto;
 };
 
 bool parse_addr(const std::string& s, transport::Address& out) {
@@ -190,6 +191,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       }
     } else if (a == "--telemetry-period-ms") {
       opt.telemetry_period_ms = std::atoi(next());
+    } else if (a == "--transport") {
+      const char* v = next();
+      if (!v || !transport::parse_backend(v, &opt.backend)) {
+        std::fprintf(stderr, "--transport wants auto|epoll|uring\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -222,20 +229,26 @@ int main(int argc, char** argv) {
                  "[--incarnation auto|N] [--peers ip:port,...] "
                  "[--services flight|gateway] [--duration-s S] "
                  "[--obs-dump PATH] [--wait-peers] [--gw-sink ip:port] "
-                 "[--gw-subscribers N] [--gw-shards K] [--gw-topics a,b]\n");
+                 "[--gw-subscribers N] [--gw-shards K] [--gw-topics a,b] "
+                 "[--transport auto|epoll|uring]\n");
     return 2;
   }
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
   obs::Observability obs;
-  std::unique_ptr<transport::UdpTransport> net;
+  std::unique_ptr<transport::LiveTransport> net;
   try {
-    net = std::make_unique<transport::UdpTransport>(opt.ip);
+    transport::TransportConfig tcfg;
+    tcfg.backend = opt.backend;
+    net = transport::make_live_transport(opt.ip, tcfg);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "marea-node: %s\n", e.what());
     return 1;
   }
+  // Harnesses parse stdout ("MAREA_PORT ..."); the backend note goes to
+  // stderr so the control protocol stays unchanged.
+  std::fprintf(stderr, "marea-node: transport backend=%s\n", net->backend());
   net->set_obs(&obs, "net");
   net->set_peers(opt.peers);
 

@@ -1,0 +1,169 @@
+#include "transport/live_transport.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "transport/udp_transport.h"
+#include "transport/uring_transport.h"
+#include "util/logging.h"
+
+namespace marea::transport {
+
+bool parse_backend(const std::string& name, TransportBackend* out) {
+  if (name == "auto") {
+    *out = TransportBackend::kAuto;
+  } else if (name == "epoll") {
+    *out = TransportBackend::kEpoll;
+  } else if (name == "uring") {
+    *out = TransportBackend::kUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* backend_label(TransportBackend backend) {
+  switch (backend) {
+    case TransportBackend::kAuto:
+      return "auto";
+    case TransportBackend::kEpoll:
+      return "epoll";
+    case TransportBackend::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+TransportBackend resolve_backend(TransportBackend requested) {
+  if (requested != TransportBackend::kAuto) return requested;
+  if (const char* env = std::getenv("MAREA_TRANSPORT")) {
+    TransportBackend from_env = TransportBackend::kAuto;
+    if (parse_backend(env, &from_env) &&
+        from_env != TransportBackend::kAuto) {
+      // The env var is advisory (it steers whole test runs): a uring ask
+      // on a kernel without support degrades to epoll instead of failing
+      // every transport construction in the process.
+      if (from_env == TransportBackend::kUring && !uring_supported()) {
+        return TransportBackend::kEpoll;
+      }
+      return from_env;
+    }
+  }
+  return uring_supported() ? TransportBackend::kUring
+                           : TransportBackend::kEpoll;
+}
+
+std::unique_ptr<LiveTransport> make_live_transport(
+    const std::string& local_ip, const TransportConfig& config) {
+  switch (resolve_backend(config.backend)) {
+    case TransportBackend::kUring:
+      return std::make_unique<UringTransport>(local_ip, config.options);
+    default:
+      return std::make_unique<UdpTransport>(local_ip, config.options);
+  }
+}
+
+LiveTransport::~LiveTransport() {
+  detach_obs();
+}
+
+void LiveTransport::detach_obs() {
+  obs::Observability* obs = nullptr;
+  uint64_t token = 0;
+  {
+    std::lock_guard lock(obs_mu_);
+    obs = obs_;
+    token = obs_token_;
+    obs_ = nullptr;
+    obs_token_ = 0;
+  }
+  if (obs && token != 0) obs->metrics.remove_collector(token);
+}
+
+void LiveTransport::set_obs(obs::Observability* obs,
+                            const std::string& prefix) {
+  detach_obs();
+  if (!obs) return;
+  uint64_t token = obs->metrics.add_collector(
+      [this, p = prefix + "."](obs::MetricsRegistry& reg) {
+        NetCounters c = net_counters();
+        reg.counter(p + "frames_sent").set(c.frames_sent);
+        reg.counter(p + "bytes_sent").set(c.bytes_sent);
+        reg.counter(p + "frames_received").set(c.frames_received);
+        reg.counter(p + "bytes_received").set(c.bytes_received);
+        reg.counter(p + "drops_truncated").set(c.drops_truncated);
+        reg.counter(p + "send_errors").set(c.send_errors);
+        reg.counter(p + "recv_errors").set(c.recv_errors);
+        reg.counter(p + "socket_errors").set(c.socket_errors);
+        reg.counter(p + "recv_batches").set(c.recv_batches);
+        reg.counter(p + "own_copies_filtered").set(c.own_copies_filtered);
+        // Same meaning as the sim's net.payload_* datapath counters:
+        // payload buffer heap allocations and user-space payload copies
+        // (the kernel's per-destination copy is inherent to UDP and shows
+        // up as bytes_sent/bytes_received instead).
+        const FramePool::Stats ps = frame_pool().stats();
+        reg.counter(p + "payload_allocs").set(ps.slab_allocs);
+        reg.counter(p + "payload_copies").set(c.payload_copies);
+        reg.counter(p + "payload_bytes_copied").set(c.payload_bytes_copied);
+        reg.counter(p + "sendmmsg_short").set(c.sendmmsg_short);
+        // io_uring datapath counters — identically zero on epoll, so one
+        // dashboard schema covers both backends.
+        reg.counter(p + "uring_sqe_submitted").set(c.uring_sqe_submitted);
+        reg.counter(p + "uring_cqe_batch").set(c.uring_cqe_batch);
+        reg.counter(p + "uring_buf_ring_refills")
+            .set(c.uring_buf_ring_refills);
+        reg.counter(p + "uring_short_submits").set(c.uring_short_submits);
+        reg.counter(p + "pool_checkouts").set(ps.checkouts);
+        reg.counter(p + "pool_hits").set(ps.pool_hits);
+      });
+  std::lock_guard lock(obs_mu_);
+  obs_ = obs;
+  obs_token_ = token;
+}
+
+LiveTransport::NetCounters LiveTransport::net_counters() const {
+  NetCounters c;
+  const auto ld = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  c.frames_sent = ld(stats_.frames_sent);
+  c.bytes_sent = ld(stats_.bytes_sent);
+  c.frames_received = ld(stats_.frames_received);
+  c.bytes_received = ld(stats_.bytes_received);
+  c.drops_truncated = ld(stats_.drops_truncated);
+  c.send_errors = ld(stats_.send_errors);
+  c.recv_errors = ld(stats_.recv_errors);
+  c.socket_errors = ld(stats_.socket_errors);
+  c.recv_batches = ld(stats_.recv_batches);
+  c.own_copies_filtered = ld(stats_.own_copies_filtered);
+  c.payload_copies = ld(stats_.payload_copies);
+  c.payload_bytes_copied = ld(stats_.payload_bytes_copied);
+  c.sendmmsg_short = ld(stats_.sendmmsg_short);
+  c.uring_sqe_submitted = ld(stats_.uring_sqe_submitted);
+  c.uring_cqe_batch = ld(stats_.uring_cqe_batch);
+  c.uring_buf_ring_refills = ld(stats_.uring_buf_ring_refills);
+  c.uring_short_submits = ld(stats_.uring_short_submits);
+  return c;
+}
+
+void LiveTransport::set_peers(std::vector<HostId> peers) {
+  std::vector<Address> addrs;
+  addrs.reserve(peers.size());
+  for (HostId h : peers) addrs.push_back(Address{h, 0});
+  set_peers(std::move(addrs));
+}
+
+int64_t LiveTransport::trace_now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void LiveTransport::trace_drop(obs::TraceEvent ev, uint64_t a, uint64_t b) {
+  std::lock_guard lock(obs_mu_);
+  if (!obs_) return;
+  obs_->trace.record(TimePoint{trace_now_ns()}, ev, obs::TraceKind::kNet,
+                     local_host_ & 0xFFu, a, b);
+}
+
+}  // namespace marea::transport

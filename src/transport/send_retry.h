@@ -1,0 +1,80 @@
+// The shared retry contract for batched datagram submission, used by
+// both kernel backends: UdpTransport::flush_batch (sendmmsg) and
+// UringTransport's send path (batched SQE submission). Extracted so the
+// semantics are testable without a socket (SendRetry* in transport_test)
+// and provably identical across backends:
+//
+//   * A short ACCEPT (the kernel took k of n) is not a failure and not
+//     an attempt — the tail is resubmitted immediately and the event is
+//     counted (net.sendmmsg_short / net.uring_short_submits). Silently
+//     dropping the tail was the original bug this contract exists for.
+//   * Forward progress RESETS the transient budget: pushback absorbed
+//     before earlier progress must not cause a long fan-out tail to be
+//     abandoned while the path is demonstrably alive.
+//   * EINTR never consumes the transient budget (the kernel owes nothing
+//     for a signal), but it is bounded on its own generous budget — a
+//     pathological signal storm fails the tail instead of spinning the
+//     caller forever. (The unbounded `continue` was the audit finding.)
+//   * Zero-progress transient pushback (EAGAIN/EWOULDBLOCK/ENOBUFS)
+//     yields briefly between bounded attempts; anything else fails the
+//     remaining tail immediately.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace marea::transport {
+
+struct SendRetryPolicy {
+  // Consecutive zero-progress EAGAIN/EWOULDBLOCK/ENOBUFS rounds before
+  // the tail is abandoned (reset by any forward progress).
+  int transient_attempts = 4;
+  // Total EINTR interruptions tolerated across the whole batch.
+  int eintr_attempts = 64;
+};
+
+struct SendRetryResult {
+  size_t accepted = 0;      // datagrams the kernel took
+  int error = 0;            // errno that ended the loop early (0 = none)
+  uint32_t short_accepts = 0;  // short accepts (tail was resubmitted)
+};
+
+// Drives `submit(done, remaining) -> int` until `count` datagrams are
+// accepted or the policy gives up. `submit` returns the number of
+// datagrams accepted (> 0), or -errno on failure (0 is treated as
+// -EAGAIN: no progress, transient).
+template <typename SubmitFn>
+SendRetryResult retry_send_batches(size_t count,
+                                   const SendRetryPolicy& policy,
+                                   SubmitFn&& submit) {
+  SendRetryResult r;
+  int transient = policy.transient_attempts;
+  int eintr = policy.eintr_attempts;
+  while (r.accepted < count) {
+    const int got = submit(r.accepted, count - r.accepted);
+    if (got > 0) {
+      r.accepted += static_cast<size_t>(got);
+      if (r.accepted < count) ++r.short_accepts;
+      transient = policy.transient_attempts;
+      continue;
+    }
+    const int err = got < 0 ? -got : EAGAIN;
+    if (err == EINTR) {
+      if (--eintr > 0) continue;
+      r.error = EINTR;
+      break;
+    }
+    if ((err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS) &&
+        --transient > 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    r.error = err;
+    break;
+  }
+  return r;
+}
+
+}  // namespace marea::transport

@@ -1,0 +1,75 @@
+#include "transport/socket_setup.h"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace marea::transport::detail {
+
+sockaddr_in make_addr(HostId host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(host);
+  return addr;
+}
+
+in_addr_t group_ip(GroupId group) {
+  return htonl(0xEF4D0000u | (group & 0xFFFFu));
+}
+
+int open_live_socket(HostId local_host, uint16_t* port, bool multicast,
+                     GroupId group, std::string* err) {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    *err = "socket() failed";
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef SO_REUSEPORT
+  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+#endif
+  sockaddr_in addr = multicast ? make_addr(INADDR_ANY, *port)
+                               : make_addr(local_host, *port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    *err = "bind() failed for port " + std::to_string(*port);
+    return -1;
+  }
+  if (!multicast && *port == 0) {
+    // Ephemeral bind: learn the kernel-assigned port so the caller can
+    // advertise it through discovery (bound_port()) and so the socket
+    // tables key it like any explicit bind.
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+      ::close(fd);
+      *err = "getsockname() failed for ephemeral bind";
+      return -1;
+    }
+    *port = ntohs(bound.sin_port);
+  }
+  if (multicast) {
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = group_ip(group);
+    mreq.imr_interface.s_addr = htonl(local_host);
+    if (setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                   sizeof mreq) != 0) {
+      ::close(fd);
+      *err = "IP_ADD_MEMBERSHIP failed";
+      return -1;
+    }
+  } else {
+    // Unicast sockets double as multicast senders (send_multicast prefers
+    // the src_port-bound socket): configure their egress interface.
+    int loop = 1;
+    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
+    in_addr ifaddr{};
+    ifaddr.s_addr = htonl(local_host);
+    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof ifaddr);
+  }
+  return fd;
+}
+
+}  // namespace marea::transport::detail

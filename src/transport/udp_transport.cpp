@@ -12,6 +12,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "transport/send_retry.h"
+#include "transport/socket_setup.h"
 #include "util/logging.h"
 
 #if !defined(__linux__)
@@ -25,20 +27,9 @@ struct mmsghdr {
 
 namespace marea::transport {
 
+using detail::make_addr;
+
 namespace {
-
-sockaddr_in make_addr(HostId host, uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(host);
-  return addr;
-}
-
-in_addr_t group_ip(GroupId group) {
-  // 239.77.x.y — organization-local scope.
-  return htonl(0xEF4D0000u | (group & 0xFFFFu));
-}
 
 // recvmmsg/sendmmsg are Linux syscalls; elsewhere (or if the kernel
 // reports ENOSYS) the batch degrades to one recvmsg/sendmsg per call.
@@ -103,9 +94,8 @@ UdpTransport::Socket::~Socket() {
 
 UdpTransport::UdpTransport(const std::string& local_ip,
                            UdpTransportOptions options)
-    : local_host_(ipv4_host(local_ip)),
-      options_(options),
-      epoch_(std::chrono::steady_clock::now()) {
+    : options_(options) {
+  local_host_ = ipv4_host(local_ip);
   if (local_host_ == 0) {
     throw std::runtime_error("UdpTransport: bad local ip " + local_ip);
   }
@@ -135,17 +125,14 @@ UdpTransport::UdpTransport(const std::string& local_ip,
 }
 
 UdpTransport::~UdpTransport() {
+  // Stop publishing counters before the machinery winds down (the base
+  // destructor would catch this, but do it while everything is alive).
+  detach_obs();
   running_ = false;
   wake_poller();
   if (poller_.joinable()) poller_.join();
-  obs::Observability* obs = nullptr;
-  uint64_t token = 0;
   {
     std::lock_guard lock(mutex_);
-    obs = obs_;
-    token = obs_token_;
-    obs_ = nullptr;
-    obs_token_ = 0;
     // Sockets close their fds as the last references die — all of them
     // live in these tables now that the poll thread is joined.
     by_token_.clear();
@@ -153,17 +140,9 @@ UdpTransport::~UdpTransport() {
     if (send_fd_ >= 0) ::close(send_fd_);
     send_fd_ = -1;
   }
-  if (obs && token != 0) obs->metrics.remove_collector(token);
   ::close(epoll_fd_);
   ::close(wake_pipe_[0]);
   ::close(wake_pipe_[1]);
-}
-
-void UdpTransport::set_peers(std::vector<HostId> peers) {
-  std::vector<Address> addrs;
-  addrs.reserve(peers.size());
-  for (HostId h : peers) addrs.push_back(Address{h, 0});
-  set_peers(std::move(addrs));
 }
 
 void UdpTransport::set_peers(std::vector<Address> peers) {
@@ -175,84 +154,6 @@ uint16_t UdpTransport::bound_port(uint16_t requested) const {
   if (requested != 0) return requested;
   std::lock_guard lock(mutex_);
   return last_ephemeral_port_;
-}
-
-void UdpTransport::set_obs(obs::Observability* obs,
-                           const std::string& prefix) {
-  obs::Observability* old = nullptr;
-  uint64_t old_token = 0;
-  {
-    std::lock_guard lock(mutex_);
-    old = obs_;
-    old_token = obs_token_;
-    obs_ = obs;
-    obs_token_ = 0;
-  }
-  if (old && old_token != 0) old->metrics.remove_collector(old_token);
-  if (!obs) return;
-  uint64_t token = obs->metrics.add_collector(
-      [this, p = prefix + "."](obs::MetricsRegistry& reg) {
-        NetCounters c = net_counters();
-        reg.counter(p + "frames_sent").set(c.frames_sent);
-        reg.counter(p + "bytes_sent").set(c.bytes_sent);
-        reg.counter(p + "frames_received").set(c.frames_received);
-        reg.counter(p + "bytes_received").set(c.bytes_received);
-        reg.counter(p + "drops_truncated").set(c.drops_truncated);
-        reg.counter(p + "send_errors").set(c.send_errors);
-        reg.counter(p + "recv_errors").set(c.recv_errors);
-        reg.counter(p + "socket_errors").set(c.socket_errors);
-        reg.counter(p + "recv_batches").set(c.recv_batches);
-        reg.counter(p + "own_copies_filtered").set(c.own_copies_filtered);
-        // Same meaning as the sim's net.payload_* datapath counters:
-        // payload buffer heap allocations and user-space payload copies
-        // (the kernel's per-destination copy is inherent to UDP and shows
-        // up as bytes_sent/bytes_received instead).
-        const FramePool::Stats ps = frame_pool().stats();
-        reg.counter(p + "payload_allocs").set(ps.slab_allocs);
-        reg.counter(p + "payload_copies").set(c.payload_copies);
-        reg.counter(p + "payload_bytes_copied").set(c.payload_bytes_copied);
-        reg.counter(p + "sendmmsg_short").set(c.sendmmsg_short);
-        reg.counter(p + "pool_checkouts").set(ps.checkouts);
-        reg.counter(p + "pool_hits").set(ps.pool_hits);
-      });
-  std::lock_guard lock(mutex_);
-  obs_token_ = token;
-}
-
-UdpTransport::NetCounters UdpTransport::net_counters() const {
-  NetCounters c;
-  c.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
-  c.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
-  c.frames_received = stats_.frames_received.load(std::memory_order_relaxed);
-  c.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
-  c.drops_truncated =
-      stats_.drops_truncated.load(std::memory_order_relaxed);
-  c.send_errors = stats_.send_errors.load(std::memory_order_relaxed);
-  c.recv_errors = stats_.recv_errors.load(std::memory_order_relaxed);
-  c.socket_errors = stats_.socket_errors.load(std::memory_order_relaxed);
-  c.recv_batches = stats_.recv_batches.load(std::memory_order_relaxed);
-  c.own_copies_filtered =
-      stats_.own_copies_filtered.load(std::memory_order_relaxed);
-  c.payload_copies = stats_.payload_copies.load(std::memory_order_relaxed);
-  c.payload_bytes_copied =
-      stats_.payload_bytes_copied.load(std::memory_order_relaxed);
-  c.sendmmsg_short = stats_.sendmmsg_short.load(std::memory_order_relaxed);
-  return c;
-}
-
-int64_t UdpTransport::trace_now_ns() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
-
-void UdpTransport::trace_drop(obs::TraceEvent ev, uint64_t a, uint64_t b) {
-  // Cold path only (drops/errors). The ring is not thread-safe, so the
-  // table lock doubles as the trace lock; record() never blocks long.
-  std::lock_guard lock(mutex_);
-  if (!obs_) return;
-  obs_->trace.record(TimePoint{trace_now_ns()}, ev, obs::TraceKind::kNet,
-                     local_host_ & 0xFFu, a, b);
 }
 
 void UdpTransport::wake_poller() {
@@ -287,53 +188,11 @@ int UdpTransport::shared_send_fd_locked() {
 Status UdpTransport::open_socket(uint16_t port, RecvHandler handler,
                                  FrameRecvHandler frame_handler,
                                  bool multicast, GroupId group) {
-  int fd = socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) return internal_error("socket() failed");
-  // The fd stays blocking: receives always pass MSG_DONTWAIT, and sends
-  // through a bound socket should briefly block on a full send buffer
-  // rather than sporadically drop with EAGAIN.
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-#ifdef SO_REUSEPORT
-  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
-#endif
-  sockaddr_in addr =
-      multicast ? make_addr(INADDR_ANY, port) : make_addr(local_host_, port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return internal_error("bind() failed for port " + std::to_string(port));
-  }
+  std::string err;
   const bool ephemeral = !multicast && port == 0;
-  if (ephemeral) {
-    // Ephemeral bind: learn the kernel-assigned port so the caller can
-    // advertise it through discovery (bound_port()) and so the socket
-    // tables key it like any explicit bind.
-    sockaddr_in bound{};
-    socklen_t blen = sizeof bound;
-    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
-      ::close(fd);
-      return internal_error("getsockname() failed for ephemeral bind");
-    }
-    port = ntohs(bound.sin_port);
-  }
-  if (multicast) {
-    ip_mreq mreq{};
-    mreq.imr_multiaddr.s_addr = group_ip(group);
-    mreq.imr_interface.s_addr = htonl(local_host_);
-    if (setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) !=
-        0) {
-      ::close(fd);
-      return internal_error("IP_ADD_MEMBERSHIP failed");
-    }
-  } else {
-    // Unicast sockets double as multicast senders (send_multicast prefers
-    // the src_port-bound socket): configure their egress interface.
-    int loop = 1;
-    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
-    in_addr ifaddr{};
-    ifaddr.s_addr = htonl(local_host_);
-    setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof ifaddr);
-  }
+  int fd = detail::open_live_socket(local_host_, &port, multicast, group,
+                                    &err);
+  if (fd < 0) return internal_error(err);
 
   auto sock = std::make_shared<Socket>();
   sock->fd = fd;
@@ -485,46 +344,36 @@ Status UdpTransport::send_multicast(uint16_t src_port, GroupId group,
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(multicast_port(group));
-  addr.sin_addr.s_addr = group_ip(group);
+  addr.sin_addr.s_addr = detail::group_ip(group);
   return sendto_counted(fd, &addr, sizeof addr, data, "multicast sendto");
 }
 
 size_t UdpTransport::flush_batch(int fd, mmsghdr* msgs, size_t count,
                                  size_t payload_bytes) {
-  size_t done = 0;
-  int attempts = options_.send_retry_attempts;
-  while (done < count) {
-    int sent = send_batch(fd, msgs + done,
-                          static_cast<unsigned int>(count - done));
-    if (sent > 0) {
-      done += static_cast<size_t>(sent);
-      if (done < count) {
-        // Short accept: the kernel took a prefix of the batch (classic
-        // ENOBUFS mid-sendmmsg). Silently dropping the tail here was the
-        // bug this counter exists for — resubmit the remaining iovecs.
-        stats_.sendmmsg_short.fetch_add(1, std::memory_order_relaxed);
-      }
-      continue;
-    }
-    if (errno == EINTR) continue;
-    if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
-        --attempts > 0) {
-      // Zero-progress transient pushback: give the kernel a moment to
-      // drain, bounded so a dead route cannot wedge the caller.
-      std::this_thread::yield();
-      continue;
-    }
-    stats_.send_errors.fetch_add(count - done, std::memory_order_relaxed);
-    trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(errno),
-               payload_bytes);
-    break;
+  SendRetryPolicy policy;
+  policy.transient_attempts = options_.send_retry_attempts;
+  const SendRetryResult r = retry_send_batches(
+      count, policy, [&](size_t done, size_t remaining) {
+        int sent = send_batch(fd, msgs + done,
+                              static_cast<unsigned int>(remaining));
+        return sent >= 0 ? sent : -errno;
+      });
+  if (r.short_accepts > 0) {
+    stats_.sendmmsg_short.fetch_add(r.short_accepts,
+                                    std::memory_order_relaxed);
   }
-  if (done > 0) {
-    stats_.frames_sent.fetch_add(done, std::memory_order_relaxed);
-    stats_.bytes_sent.fetch_add(done * payload_bytes,
+  if (r.error != 0) {
+    stats_.send_errors.fetch_add(count - r.accepted,
+                                 std::memory_order_relaxed);
+    trace_drop(obs::TraceEvent::kDrop, static_cast<uint64_t>(r.error),
+               payload_bytes);
+  }
+  if (r.accepted > 0) {
+    stats_.frames_sent.fetch_add(r.accepted, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(r.accepted * payload_bytes,
                                 std::memory_order_relaxed);
   }
-  return done;
+  return r.accepted;
 }
 
 Status UdpTransport::fanout_send(uint16_t src_port, uint16_t dst_port,

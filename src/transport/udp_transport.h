@@ -1,8 +1,11 @@
 // Real POSIX UDP transport: the same Transport interface over loopback (or
 // a LAN), used by the live stack to show the middleware runs on an actual
-// kernel network path, not only in simulation.
+// kernel network path, not only in simulation. This is the epoll backend;
+// the io_uring backend (uring_transport.h) implements the identical
+// contract and is selected via make_live_transport (live_transport.h).
 //
-// Mapping of the abstract interface onto IP:
+// Mapping of the abstract interface onto IP (shared with the uring
+// backend through socket_setup.h):
 //   * HostId is an IPv4 address in host byte order. Run several "nodes" in
 //     one process by giving each transport its own loopback alias
 //     (127.0.0.1, 127.0.0.2, ...).
@@ -36,15 +39,13 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include "obs/obs.h"
-#include "transport/transport.h"
+#include "transport/live_transport.h"
 
 // <sys/socket.h> on Linux; the .cpp supplies a one-message fallback
 // definition elsewhere. Only used as an opaque pointee here.
@@ -52,32 +53,11 @@ struct mmsghdr;
 
 namespace marea::transport {
 
-// Parses dotted-quad to HostId (host byte order). Returns 0 on error.
-HostId ipv4_host(const std::string& dotted);
-std::string host_to_ipv4(HostId host);
+// Historical name: the epoll backend predates the backend split, so the
+// shared options struct keeps this alias for its many existing callers.
+using UdpTransportOptions = LiveTransportOptions;
 
-inline uint16_t multicast_port(GroupId group) {
-  return static_cast<uint16_t>(30000 + (group % 20000));
-}
-
-struct UdpTransportOptions {
-  // Per-datagram receive slab size: datagrams larger than this are
-  // truncation-dropped. Default covers the largest UDP payload; an
-  // MTU-sized deployment (bench_live) shrinks it.
-  size_t recv_buffer = 65536;
-  // Datagrams per recvmmsg batch.
-  int recv_batch = 8;
-  // Batches drained per epoll event before yielding to other sockets.
-  int max_batches_per_event = 4;
-  // Attempts per sendmmsg batch before the remaining tail is abandoned
-  // (counted in send_errors). Transient kernel pushback (ENOBUFS/EAGAIN)
-  // gets a brief yield between attempts; a short *accept* (k of n taken)
-  // is not an attempt — the tail is retried immediately and counted in
-  // sendmmsg_short.
-  int send_retry_attempts = 4;
-};
-
-class UdpTransport final : public Transport {
+class UdpTransport final : public LiveTransport {
  public:
   // `local_ip` e.g. "127.0.0.1". Throws std::runtime_error if the dispatch
   // machinery cannot start.
@@ -85,48 +65,10 @@ class UdpTransport final : public Transport {
                         UdpTransportOptions options = {});
   ~UdpTransport() override;
 
-  // Nodes reachable via send_broadcast. The HostId form targets each
-  // peer at the broadcast's dst_port (single-process topologies where
-  // every node binds the same port number); the Address form carries a
-  // per-peer port for multi-process topologies where peers live on
-  // kernel-assigned ephemeral ports (an Address port of 0 falls back to
-  // the broadcast's dst_port).
-  void set_peers(std::vector<HostId> peers);
-  void set_peers(std::vector<Address> peers);
+  const char* backend() const override { return "epoll"; }
 
-  // Registers a snapshot collector publishing the live counters below as
-  // "<prefix>.frames_sent", "<prefix>.payload_bytes_copied", … (names
-  // aligned with the sim net.* counters where the concept matches) plus
-  // "<prefix>.pool_*" slab stats, and points drop/error traces at the
-  // ring. Call during setup, before traffic; pass distinct prefixes when
-  // several transports share one registry. Null detaches. The registry
-  // must outlive this transport (or be detached first): the destructor
-  // deregisters its collector.
-  void set_obs(obs::Observability* obs, const std::string& prefix = "net");
-
-  // Allocation-free live counters (atomics; readable from any thread).
-  struct NetCounters {
-    uint64_t frames_sent = 0;
-    uint64_t bytes_sent = 0;
-    uint64_t frames_received = 0;
-    uint64_t bytes_received = 0;
-    uint64_t drops_truncated = 0;   // MSG_TRUNC datagrams dropped
-    uint64_t send_errors = 0;
-    uint64_t recv_errors = 0;
-    uint64_t socket_errors = 0;     // EPOLLERR/EPOLLHUP drained
-    uint64_t recv_batches = 0;      // recvmmsg calls that returned data
-    uint64_t own_copies_filtered = 0;  // own multicast loopback copies
-    uint64_t payload_copies = 0;       // user-space payload memcpys
-    uint64_t payload_bytes_copied = 0;
-    uint64_t sendmmsg_short = 0;  // short sendmmsg accepts, tail retried
-  };
-  NetCounters net_counters() const;
-
-  HostId local_host() const override { return local_host_; }
-  size_t mtu() const override { return 65507; }
-
-  // Kernel sockets are paced by wall time.
-  const Clock* clock() const override { return &wall_clock_; }
+  using LiveTransport::set_peers;
+  void set_peers(std::vector<Address> peers) override;
 
   // For requested == 0: the kernel-assigned port of the most recent
   // ephemeral bind on this transport (valid immediately after that
@@ -175,22 +117,6 @@ class UdpTransport final : public Transport {
   };
   using SocketPtr = std::shared_ptr<Socket>;
 
-  struct NetStats {
-    std::atomic<uint64_t> frames_sent{0};
-    std::atomic<uint64_t> bytes_sent{0};
-    std::atomic<uint64_t> frames_received{0};
-    std::atomic<uint64_t> bytes_received{0};
-    std::atomic<uint64_t> drops_truncated{0};
-    std::atomic<uint64_t> send_errors{0};
-    std::atomic<uint64_t> recv_errors{0};
-    std::atomic<uint64_t> socket_errors{0};
-    std::atomic<uint64_t> recv_batches{0};
-    std::atomic<uint64_t> own_copies_filtered{0};
-    std::atomic<uint64_t> payload_copies{0};
-    std::atomic<uint64_t> payload_bytes_copied{0};
-    std::atomic<uint64_t> sendmmsg_short{0};
-  };
-
   static uint64_t key_of(uint16_t port, bool multicast, GroupId group) {
     return multicast ? ((1ull << 32) | group) : port;
   }
@@ -207,9 +133,10 @@ class UdpTransport final : public Transport {
   Status sendto_counted(int fd, const void* addr, size_t addr_len,
                         BytesView data, const char* what);
   Status fanout_send(uint16_t src_port, uint16_t dst_port, BytesView data);
-  // Pushes `count` prepared mmsghdrs out of `fd`, retrying short accepts
-  // and transient pushback per options_.send_retry_attempts. Returns the
-  // number of datagrams the kernel accepted (counters updated inside).
+  // Pushes `count` prepared mmsghdrs out of `fd` under the shared retry
+  // contract (send_retry.h; bounded by options_.send_retry_attempts).
+  // Returns the number of datagrams the kernel accepted (counters
+  // updated inside).
   size_t flush_batch(int fd, mmsghdr* msgs, size_t count,
                      size_t payload_bytes);
 
@@ -217,16 +144,12 @@ class UdpTransport final : public Transport {
   void poll_loop();
   void wake_poller();
   void drain_socket(const SocketPtr& s, RecvScratch& scratch);
-  void trace_drop(obs::TraceEvent ev, uint64_t a, uint64_t b);
-  int64_t trace_now_ns() const;
 
-  HostId local_host_;
   UdpTransportOptions options_;
   std::vector<Address> peers_;  // port 0 = "use the broadcast dst_port"
-  SteadyClock wall_clock_;
 
-  // Guards the socket tables, peers_, send_fd_ creation and obs wiring.
-  // Never held across a syscall.
+  // Guards the socket tables, peers_ and send_fd_ creation. Never held
+  // across a syscall.
   mutable std::mutex mutex_;
   std::unordered_map<uint64_t, SocketPtr> by_key_;    // port / (1<<32)|group
   std::unordered_map<uint64_t, SocketPtr> by_token_;  // epoll token
@@ -237,11 +160,6 @@ class UdpTransport final : public Transport {
   int send_fd_ = -1;
   uint16_t last_ephemeral_port_ = 0;  // guarded by mutex_
   std::atomic<bool> running_{false};
-
-  NetStats stats_;
-  obs::Observability* obs_ = nullptr;  // guarded by mutex_
-  uint64_t obs_token_ = 0;
-  std::chrono::steady_clock::time_point epoch_;
 
   std::thread poller_;
 };

@@ -13,8 +13,10 @@ void release_slab(FrameSlab* slab) {
   std::lock_guard<std::mutex> lock(home->mu);
   if (home->closed || home->free_list.size() >= home->max_free) return;
   // Keep capacity, drop contents: a re-acquired slab must start empty so
-  // no stale bytes from a previous frame can leak into the next one.
+  // no stale bytes from a previous frame can leak into the next one. The
+  // view offset rewinds with it — the next checkout sees a whole buffer.
   owned->data.clear();
+  owned->view_offset = 0;
   home->free_list.push_back(std::move(owned));
 }
 

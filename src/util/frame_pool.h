@@ -34,6 +34,11 @@ struct PoolCore;
 // exclusively by a lease"; freeze() publishes it at refs == 1.
 struct FrameSlab {
   Buffer data;
+  // First byte of the published view. Normally 0; freeze_payload() sets
+  // it when a kernel-written buffer carries a header (io_uring multishot
+  // recvmsg prepends io_uring_recvmsg_out + the source address) ahead of
+  // the payload that readers should see.
+  size_t view_offset = 0;
   std::atomic<uint32_t> refs{0};
   // Strong ref back to the owning pool, held only while checked out.
   std::shared_ptr<PoolCore> home;
@@ -93,9 +98,13 @@ class SharedFrame {
   // NOTE: deliberately no implicit conversion to BytesView — sharing vs.
   // viewing must be explicit at call sites (overload resolution safety).
   BytesView view() const {
-    return slab_ ? BytesView(slab_->data) : BytesView{};
+    if (!slab_) return BytesView{};
+    return BytesView(slab_->data.data() + slab_->view_offset,
+                     slab_->data.size() - slab_->view_offset);
   }
-  size_t size() const { return slab_ ? slab_->data.size() : 0; }
+  size_t size() const {
+    return slab_ ? slab_->data.size() - slab_->view_offset : 0;
+  }
 
   void reset() {
     if (slab_ && slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -154,6 +163,17 @@ class FrameLease {
   // datagram that arrived. Consumes the lease.
   SharedFrame freeze_prefix(size_t n) && {
     if (n < slab_->data.size()) slab_->data.resize(n);
+    return std::move(*this).freeze();
+  }
+
+  // Publishes `len` bytes starting at `offset` — the payload window of a
+  // buffer whose head holds transport framing the kernel wrote alongside
+  // the datagram (see FrameSlab::view_offset). Zero-copy: the header
+  // bytes stay in the slab but are invisible to every reader of the
+  // SharedFrame. Consumes the lease.
+  SharedFrame freeze_payload(size_t offset, size_t len) && {
+    slab_->view_offset = offset;
+    if (offset + len < slab_->data.size()) slab_->data.resize(offset + len);
     return std::move(*this).freeze();
   }
 

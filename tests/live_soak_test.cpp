@@ -1,7 +1,8 @@
 // Live-transport soak: three loopback-alias "nodes" exchange unicast,
 // multicast and broadcast traffic from several threads while sockets are
-// bound/unbound and groups joined/left the whole time. Run under ASan in
-// CI, this is the lifetime/misroute gauntlet for the epoll dispatch loop:
+// bound/unbound and groups joined/left the whole time. Parameterized over
+// both kernel backends (epoll and io_uring) — run under ASan in CI, this
+// is the lifetime/misroute gauntlet for each backend's dispatch loop:
 //   * every payload carries the tag of its logical destination, and every
 //     handler checks it — one frame handed to the wrong handler fails the
 //     test (the seed transport's fd-reuse race);
@@ -15,12 +16,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/obs.h"
-#include "transport/udp_transport.h"
+#include "transport/live_transport.h"
 
 namespace marea::transport {
 namespace {
@@ -43,13 +46,42 @@ uint16_t tag_of(BytesView d) {
 constexpr uint16_t kStableTag = 0xA001;   // broadcast traffic
 constexpr uint16_t kUnicastTag = 0xA002;  // t1 -> t2 unicast hammer
 
-TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
-  std::unique_ptr<UdpTransport> t1, t2, t3;
-  try {
-    t1 = std::make_unique<UdpTransport>("127.0.0.1");
-    t2 = std::make_unique<UdpTransport>("127.0.0.2");
-    t3 = std::make_unique<UdpTransport>("127.0.0.3");
-  } catch (const std::exception&) {
+class LiveSoakTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string_view backend = GetParam();
+    if (backend == "uring" && !uring_supported()) {
+      GTEST_SKIP() << "io_uring unsupported on this kernel";
+    }
+    if (const char* only = std::getenv("MAREA_TRANSPORT")) {
+      if (std::string_view(only) != backend) {
+        GTEST_SKIP() << "MAREA_TRANSPORT=" << only << " filters this leg";
+      }
+    }
+  }
+
+  std::unique_ptr<LiveTransport> make_live(const char* ip) {
+    TransportConfig config;
+    EXPECT_TRUE(parse_backend(GetParam(), &config.backend));
+    try {
+      return make_live_transport(ip, config);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, LiveSoakTest,
+                         ::testing::Values("epoll", "uring"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
+  std::unique_ptr<LiveTransport> t1 = make_live("127.0.0.1");
+  std::unique_ptr<LiveTransport> t2 = make_live("127.0.0.2");
+  std::unique_ptr<LiveTransport> t3 = make_live("127.0.0.3");
+  if (!t1 || !t2 || !t3) {
     GTEST_SKIP() << "UDP sockets unavailable in this environment";
   }
   HostId h1 = ipv4_host("127.0.0.1");
@@ -93,7 +125,7 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
   // so the peer list below can carry real per-node addresses (the same
   // resolved-ephemeral flow containers use via bind_transport()).
   uint16_t stable_port[3] = {0, 0, 0};
-  UdpTransport* nodes[3] = {t1.get(), t2.get(), t3.get()};
+  LiveTransport* nodes[3] = {t1.get(), t2.get(), t3.get()};
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(nodes[i]
                     ->bind(0, member_handler(kStableTag, stable_got, group_got))
@@ -126,7 +158,7 @@ TEST(LiveSoakTest, ChurnUnderMultiNodeTrafficNoMisroute) {
     int k = 0;
     while (!stop.load()) {
       uint16_t port = static_cast<uint16_t>(kChurnBase + (k % 4));
-      UdpTransport* t = (k % 2) ? t2.get() : t3.get();
+      LiveTransport* t = (k % 2) ? t2.get() : t3.get();
       (void)t->bind(port, [&, port](Address, BytesView data) {
         if (tag_of(data) != port) {
           misroutes.fetch_add(1);

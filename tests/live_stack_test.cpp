@@ -1,21 +1,25 @@
 // The non-simulated stack: ServiceContainer on a single-worker
-// ThreadPoolExecutor over real loopback UDP sockets. Skipped cleanly when
-// the environment forbids sockets. All container interaction happens on
-// the container's own executor, matching the documented threading model.
+// ThreadPoolExecutor over real loopback UDP sockets, parameterized over
+// both kernel transport backends (epoll and io_uring). Skipped cleanly
+// when the environment forbids sockets or lacks io_uring. All container
+// interaction happens on the container's own executor, matching the
+// documented threading model.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "encoding/typed.h"
 #include "middleware/container.h"
 #include "sched/thread_pool.h"
-#include "transport/udp_transport.h"
+#include "transport/live_transport.h"
 
 namespace marea::mw {
 namespace {
@@ -99,14 +103,41 @@ class LiveConsumer final : public Service {
   std::atomic<bool> rpc_ok{false};
 };
 
-TEST(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
-  std::unique_ptr<transport::UdpTransport> t1, t2;
-  try {
-    t1 = std::make_unique<transport::UdpTransport>("127.0.0.1");
-    t2 = std::make_unique<transport::UdpTransport>("127.0.0.2");
-  } catch (const std::exception&) {
-    GTEST_SKIP() << "UDP sockets unavailable";
+class LiveStackTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string_view backend = GetParam();
+    if (backend == "uring" && !transport::uring_supported()) {
+      GTEST_SKIP() << "io_uring unsupported on this kernel";
+    }
+    if (const char* only = std::getenv("MAREA_TRANSPORT")) {
+      if (std::string_view(only) != backend) {
+        GTEST_SKIP() << "MAREA_TRANSPORT=" << only << " filters this leg";
+      }
+    }
   }
+
+  std::unique_ptr<transport::LiveTransport> make_live(const char* ip) {
+    transport::TransportConfig config;
+    EXPECT_TRUE(transport::parse_backend(GetParam(), &config.backend));
+    try {
+      return transport::make_live_transport(ip, config);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, LiveStackTest,
+                         ::testing::Values("epoll", "uring"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(LiveStackTest, AllPrimitivesOverRealUdpAndThreads) {
+  std::unique_ptr<transport::LiveTransport> t1 = make_live("127.0.0.1");
+  std::unique_ptr<transport::LiveTransport> t2 = make_live("127.0.0.2");
+  if (!t1 || !t2) GTEST_SKIP() << "UDP sockets unavailable";
   transport::HostId h1 = transport::ipv4_host("127.0.0.1");
   transport::HostId h2 = transport::ipv4_host("127.0.0.2");
 

@@ -7,9 +7,11 @@
 
 #include "obs/obs.h"
 #include "sim/network.h"
+#include "transport/send_retry.h"
 #include "transport/sim_transport.h"
 #include "transport/tcp_model.h"
 #include "transport/udp_transport.h"
+#include "transport/uring_transport.h"
 
 namespace marea::transport {
 namespace {
@@ -204,14 +206,171 @@ TEST(UdpTransportTest, Ipv4Parsing) {
   EXPECT_EQ(ipv4_host("not-an-ip"), 0u);
 }
 
-TEST(UdpTransportTest, LoopbackSendReceive) {
-  std::unique_ptr<UdpTransport> t1, t2;
-  try {
-    t1 = std::make_unique<UdpTransport>("127.0.0.1");
-    t2 = std::make_unique<UdpTransport>("127.0.0.2");
-  } catch (const std::exception&) {
-    GTEST_SKIP() << "UDP sockets unavailable in this environment";
+TEST(UdpTransportTest, BackendParsingAndSelection) {
+  TransportBackend b = TransportBackend::kAuto;
+  EXPECT_TRUE(parse_backend("epoll", &b));
+  EXPECT_EQ(b, TransportBackend::kEpoll);
+  EXPECT_TRUE(parse_backend("uring", &b));
+  EXPECT_EQ(b, TransportBackend::kUring);
+  EXPECT_TRUE(parse_backend("auto", &b));
+  EXPECT_EQ(b, TransportBackend::kAuto);
+  EXPECT_FALSE(parse_backend("kqueue", &b));
+  // Explicit backends resolve to themselves regardless of environment.
+  EXPECT_EQ(resolve_backend(TransportBackend::kEpoll),
+            TransportBackend::kEpoll);
+  EXPECT_EQ(resolve_backend(TransportBackend::kUring),
+            TransportBackend::kUring);
+  // Auto resolves to a concrete backend, uring only when supported.
+  const TransportBackend resolved = resolve_backend(TransportBackend::kAuto);
+  EXPECT_NE(resolved, TransportBackend::kAuto);
+  if (!uring_supported()) {
+    EXPECT_EQ(resolved, TransportBackend::kEpoll);
   }
+}
+
+// --- shared send-retry contract (send_retry.h) --------------------------------
+// Scripted submit functions prove the semantics both kernel backends
+// inherit: short accepts resubmit the tail without burning attempts,
+// progress resets the transient budget, and EINTR is bounded on its own
+// budget instead of spinning or consuming transient attempts.
+
+TEST(SendRetryTest, ShortAcceptResubmitsTailWithoutBurningBudget) {
+  SendRetryPolicy policy;
+  policy.transient_attempts = 1;  // any "attempt" charged would abort
+  std::vector<std::pair<size_t, size_t>> calls;
+  const SendRetryResult r = retry_send_batches(
+      8, policy, [&](size_t done, size_t remaining) -> int {
+        calls.emplace_back(done, remaining);
+        return remaining > 2 ? 3 : static_cast<int>(remaining);
+      });
+  EXPECT_EQ(r.accepted, 8u);
+  EXPECT_EQ(r.error, 0);
+  EXPECT_EQ(r.short_accepts, 2u);  // 3, 3, then the final 2 completes
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[1], (std::pair<size_t, size_t>{3, 5}));
+  EXPECT_EQ(calls[2], (std::pair<size_t, size_t>{6, 2}));
+}
+
+TEST(SendRetryTest, ProgressResetsTransientBudget) {
+  // Pattern: accept 1, then EAGAIN x2, repeatedly. With a budget of 3
+  // the old non-resetting loop would abandon the tail after the second
+  // pushback pair; the contract requires completion.
+  SendRetryPolicy policy;
+  policy.transient_attempts = 3;
+  int phase = 0;
+  const SendRetryResult r =
+      retry_send_batches(4, policy, [&](size_t, size_t) -> int {
+        if (phase++ % 3 == 0) return 1;
+        return -EAGAIN;
+      });
+  EXPECT_EQ(r.accepted, 4u);
+  EXPECT_EQ(r.error, 0);
+}
+
+TEST(SendRetryTest, ExhaustedTransientBudgetAbandonsTailLoudly) {
+  SendRetryPolicy policy;
+  policy.transient_attempts = 3;
+  int calls = 0;
+  const SendRetryResult r =
+      retry_send_batches(5, policy, [&](size_t, size_t) -> int {
+        ++calls;
+        return calls == 1 ? 2 : -ENOBUFS;
+      });
+  EXPECT_EQ(r.accepted, 2u);
+  EXPECT_EQ(r.error, ENOBUFS);
+  EXPECT_EQ(calls, 1 + 3);  // one accept + exactly the transient budget
+}
+
+TEST(SendRetryTest, EintrBoundedSeparatelyFromTransientBudget) {
+  // A long EINTR run must neither spin forever (the audit finding: the
+  // retry loop 'continue'd on EINTR with no bound) nor consume the
+  // transient budget meant for kernel pushback.
+  SendRetryPolicy policy;
+  policy.transient_attempts = 2;
+  policy.eintr_attempts = 10;
+  int eintrs = 0;
+  const SendRetryResult ok =
+      retry_send_batches(1, policy, [&](size_t, size_t) -> int {
+        if (eintrs < 8) {
+          ++eintrs;
+          return -EINTR;
+        }
+        return 1;
+      });
+  EXPECT_EQ(ok.accepted, 1u);  // 8 EINTRs < budget: still completes
+  EXPECT_EQ(ok.error, 0);
+
+  int calls = 0;
+  const SendRetryResult storm =
+      retry_send_batches(1, policy, [&](size_t, size_t) -> int {
+        ++calls;
+        return -EINTR;
+      });
+  EXPECT_EQ(storm.accepted, 0u);
+  EXPECT_EQ(storm.error, EINTR);  // bounded: fails instead of spinning
+  EXPECT_EQ(calls, policy.eintr_attempts);
+}
+
+TEST(SendRetryTest, ZeroReturnTreatedAsTransient) {
+  SendRetryPolicy policy;
+  policy.transient_attempts = 2;
+  int calls = 0;
+  const SendRetryResult r = retry_send_batches(
+      3, policy, [&](size_t, size_t) -> int {
+        ++calls;
+        return 0;
+      });
+  EXPECT_EQ(r.accepted, 0u);
+  EXPECT_EQ(r.error, EAGAIN);
+  EXPECT_EQ(calls, policy.transient_attempts);
+}
+
+// --- live kernel-backend concurrency / parity suite ---------------------------
+// Every test runs against both kernel datapaths (epoll and io_uring);
+// the uring leg skips cleanly on kernels without io_uring support, and
+// MAREA_TRANSPORT=<backend> filters to a single leg.
+
+namespace {
+
+class LiveBackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string_view backend = GetParam();
+    if (backend == "uring" && !uring_supported()) {
+      GTEST_SKIP() << "io_uring unsupported on this kernel";
+    }
+    if (const char* only = std::getenv("MAREA_TRANSPORT")) {
+      if (std::string_view(only) != backend) {
+        GTEST_SKIP() << "MAREA_TRANSPORT=" << only << " filters this leg";
+      }
+    }
+  }
+
+  std::unique_ptr<LiveTransport> make_live(const char* ip,
+                                           LiveTransportOptions options = {}) {
+    TransportConfig config;
+    EXPECT_TRUE(parse_backend(GetParam(), &config.backend));
+    config.options = options;
+    try {
+      return make_live_transport(ip, config);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, LiveBackendTest,
+                         ::testing::Values("epoll", "uring"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(LiveBackendTest, LoopbackSendReceive) {
+  auto t1 = make_live("127.0.0.1");
+  auto t2 = make_live("127.0.0.2");
+  if (!t1 || !t2) GTEST_SKIP() << "UDP sockets unavailable";
+  EXPECT_STREQ(t1->backend(), GetParam());
+
   std::atomic<int> got{0};
   Status s = t2->bind(9100, [&](Address, BytesView data) {
     if (data.size() == 3) got.fetch_add(1);
@@ -225,18 +384,20 @@ TEST(UdpTransportTest, LoopbackSendReceive) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   EXPECT_GT(got.load(), 0);
-}
 
-// --- live UDP concurrency / parity suite --------------------------------------
-
-namespace {
-
-std::unique_ptr<UdpTransport> make_udp(const char* ip,
-                                       UdpTransportOptions options = {}) {
-  try {
-    return std::make_unique<UdpTransport>(ip, options);
-  } catch (const std::exception&) {
-    return nullptr;
+  // The backend-specific counters witness which datapath actually ran:
+  // nonzero ring counters on uring, all-zero on epoll.
+  const auto txc = t1->net_counters();
+  const auto rxc = t2->net_counters();
+  EXPECT_GE(txc.frames_sent, 1u);
+  EXPECT_GE(rxc.frames_received, 1u);
+  if (std::string_view(GetParam()) == "uring") {
+    EXPECT_GT(txc.uring_sqe_submitted, 0u);
+    EXPECT_GT(rxc.uring_buf_ring_refills, 0u);
+    EXPECT_GT(rxc.uring_cqe_batch, 0u);
+  } else {
+    EXPECT_EQ(txc.uring_sqe_submitted, 0u);
+    EXPECT_EQ(rxc.uring_buf_ring_refills, 0u);
   }
 }
 
@@ -256,8 +417,8 @@ uint16_t tag_of(BytesView d) {
 
 }  // namespace
 
-TEST(UdpTransportTest, MulticastPortCollisionRejected) {
-  auto t = make_udp("127.0.0.1");
+TEST_P(LiveBackendTest, MulticastPortCollisionRejected) {
+  auto t = make_live("127.0.0.1");
   if (!t) GTEST_SKIP() << "UDP sockets unavailable in this environment";
 
   // Direction 1: the canonical port of group 700 is already bound as a
@@ -273,7 +434,7 @@ TEST(UdpTransportTest, MulticastPortCollisionRejected) {
 
   // Direction 2: group joined first -> binding its canonical port as a
   // unicast port must be rejected.
-  auto t2 = make_udp("127.0.0.2");
+  auto t2 = make_live("127.0.0.2");
   if (!t2) GTEST_SKIP() << "UDP sockets unavailable";
   ASSERT_TRUE(t2->bind(9300, [](Address, BytesView) {}).is_ok());
   Status join2 = t2->join_group(701, 9300);
@@ -284,15 +445,15 @@ TEST(UdpTransportTest, MulticastPortCollisionRejected) {
       << bind2.to_string();
 }
 
-TEST(UdpTransportTest, TruncatedDatagramDroppedWithCounterAndTrace) {
+TEST_P(LiveBackendTest, TruncatedDatagramDroppedWithCounterAndTrace) {
   // Declared before the transports: the registry must outlive the
   // transport whose collector is registered in it.
   obs::Observability obs;
 
-  UdpTransportOptions small;
+  LiveTransportOptions small;
   small.recv_buffer = 512;
-  auto rx = make_udp("127.0.0.2", small);
-  auto tx = make_udp("127.0.0.1");
+  auto rx = make_live("127.0.0.2", small);
+  auto tx = make_live("127.0.0.1");
   if (!rx || !tx) GTEST_SKIP() << "UDP sockets unavailable";
 
   rx->set_obs(&obs, "net");
@@ -336,10 +497,10 @@ TEST(UdpTransportTest, TruncatedDatagramDroppedWithCounterAndTrace) {
   EXPECT_TRUE(saw_drop_trace);
 }
 
-TEST(UdpTransportTest, BroadcastReachesPeersNotSelf) {
-  auto t1 = make_udp("127.0.0.1");
-  auto t2 = make_udp("127.0.0.2");
-  auto t3 = make_udp("127.0.0.3");
+TEST_P(LiveBackendTest, BroadcastReachesPeersNotSelf) {
+  auto t1 = make_live("127.0.0.1");
+  auto t2 = make_live("127.0.0.2");
+  auto t3 = make_live("127.0.0.3");
   if (!t1 || !t2 || !t3) GTEST_SKIP() << "UDP sockets unavailable";
   HostId h1 = ipv4_host("127.0.0.1");
   HostId h2 = ipv4_host("127.0.0.2");
@@ -366,9 +527,9 @@ TEST(UdpTransportTest, BroadcastReachesPeersNotSelf) {
   EXPECT_GE(t1->net_counters().frames_sent, 2u);
 }
 
-TEST(UdpTransportTest, MulticastOwnLoopbackCopyFiltered) {
-  auto t1 = make_udp("127.0.0.1");
-  auto t2 = make_udp("127.0.0.2");
+TEST_P(LiveBackendTest, MulticastOwnLoopbackCopyFiltered) {
+  auto t1 = make_live("127.0.0.1");
+  auto t2 = make_live("127.0.0.2");
   if (!t1 || !t2) GTEST_SKIP() << "UDP sockets unavailable";
 
   std::atomic<int> got1{0}, got2{0};
@@ -392,9 +553,9 @@ TEST(UdpTransportTest, MulticastOwnLoopbackCopyFiltered) {
   EXPECT_GE(t1->net_counters().own_copies_filtered, 1u);
 }
 
-TEST(UdpTransportTest, FrameBindDeliversRetainablePooledFrame) {
-  auto tx = make_udp("127.0.0.1");
-  auto rx = make_udp("127.0.0.2");
+TEST_P(LiveBackendTest, FrameBindDeliversRetainablePooledFrame) {
+  auto tx = make_live("127.0.0.1");
+  auto rx = make_live("127.0.0.2");
   if (!tx || !rx) GTEST_SKIP() << "UDP sockets unavailable";
 
   std::mutex mu;
@@ -437,9 +598,9 @@ TEST(UdpTransportTest, FrameBindDeliversRetainablePooledFrame) {
 // reuse. N sender threads hammer tagged traffic at a stable port and at
 // churning ports while another thread binds/unbinds them; every handler
 // checks the tag of what it received.
-TEST(UdpTransportTest, ConcurrentSendersAndBindChurnNoMisroute) {
-  auto tx = make_udp("127.0.0.1");
-  auto rx = make_udp("127.0.0.2");
+TEST_P(LiveBackendTest, ConcurrentSendersAndBindChurnNoMisroute) {
+  auto tx = make_live("127.0.0.1");
+  auto rx = make_live("127.0.0.2");
   if (!tx || !rx) GTEST_SKIP() << "UDP sockets unavailable";
 
   std::atomic<int> misroutes{0};
